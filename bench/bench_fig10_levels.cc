@@ -1,0 +1,64 @@
+// E7 — Figure 10: processing time (10a) and space usage (10b) vs. the
+// number of levels between the m- and o-layers, with cube structure
+// D2C10T10K and the exception rate at 1%. Both algorithms are expected to
+// grow exponentially with the number of levels (the paper's "curse of
+// dimensionality" observation). Override the tuple count with tuples=<n>.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "regcube/core/regression_cube.h"
+
+namespace regcube {
+namespace {
+
+void Run(int argc, char** argv) {
+  const std::int64_t tuples_n = bench::ArgInt(argc, argv, "tuples", 10'000);
+  const std::int64_t max_levels = bench::ArgInt(argc, argv, "levels", 7);
+
+  bench::PrintHeader(StrPrintf(
+      "Figure 10: time & space vs #levels (D2C10T%lldK, 1%% exceptions)",
+      static_cast<long long>(tuples_n / 1000)));
+
+  bench::PrintRow({"levels", "algorithm", "time(s)", "memory(MB)",
+                   "cells", "exceptions"});
+  for (int levels = 3; levels <= max_levels; ++levels) {
+    WorkloadSpec spec;
+    spec.num_dims = 2;
+    spec.num_levels = levels;
+    spec.fanout = 10;
+    spec.num_tuples = tuples_n;
+    spec.series_length = 32;
+    spec.anomaly_fraction = 0.05;
+    spec.seed = 2002;
+
+    auto schema = MakeWorkloadSchemaPtr(spec);
+    RC_CHECK(schema.ok());
+    StreamGenerator gen(spec);
+    std::vector<MLayerTuple> tuples = gen.GenerateMLayerTuples();
+    CuboidLattice lattice(**schema);
+    const double threshold =
+        CalibrateExceptionThreshold(lattice, tuples, 0.01);
+
+    bench::RunResult mo = bench::RunMoCubing(*schema, tuples, threshold);
+    bench::PrintRow(
+        {StrPrintf("%d", levels), "m/o-cubing", StrPrintf("%.3f", mo.seconds),
+         StrPrintf("%.1f", mo.peak_mb),
+         StrPrintf("%lld", static_cast<long long>(mo.cells_computed)),
+         StrPrintf("%lld", static_cast<long long>(mo.exception_cells))});
+    bench::RunResult pp = bench::RunPopularPath(*schema, tuples, threshold);
+    bench::PrintRow(
+        {StrPrintf("%d", levels), "popular-path",
+         StrPrintf("%.3f", pp.seconds), StrPrintf("%.1f", pp.peak_mb),
+         StrPrintf("%lld", static_cast<long long>(pp.cells_computed)),
+         StrPrintf("%lld", static_cast<long long>(pp.exception_cells))});
+  }
+}
+
+}  // namespace
+}  // namespace regcube
+
+int main(int argc, char** argv) {
+  regcube::Run(argc, argv);
+  return 0;
+}

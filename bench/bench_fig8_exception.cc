@@ -1,0 +1,82 @@
+// E5 — Figure 8: processing time (8a) and memory usage (8b) vs. the
+// percentage of aggregated cells that are exceptions, on D3L3C10T100K.
+// The exception threshold is calibrated per rate from the exact slope
+// distribution of the intermediate cells, so the x-axis matches the paper's
+// definition ("percentage of aggregated cells that belong to exception
+// cells"). Override the tuple count with tuples=<n> for quick runs.
+//
+// Expected shape (paper): m/o-cubing time ~flat, slightly higher at 100%;
+// popular-path cheap at low rates and crossing above m/o as the rate grows.
+// m/o memory grows strongly with the rate (only exceptions are retained);
+// popular-path memory is flatter (path cells dominate at low rates).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "regcube/core/regression_cube.h"
+
+namespace regcube {
+namespace {
+
+void Run(int argc, char** argv) {
+  WorkloadSpec spec;
+  spec.num_dims = 3;
+  spec.num_levels = 3;
+  spec.fanout = 10;
+  spec.num_tuples = bench::ArgInt(argc, argv, "tuples", 100'000);
+  spec.series_length = 32;
+  spec.anomaly_fraction = 0.05;
+  spec.seed = 2002;
+
+  bench::PrintHeader(
+      StrPrintf("Figure 8: time & memory vs exception %% (%s)",
+                spec.Name().c_str()));
+
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  RC_CHECK(schema.ok()) << schema.status().ToString();
+  StreamGenerator gen(spec);
+  Stopwatch gen_timer;
+  std::vector<MLayerTuple> tuples = gen.GenerateMLayerTuples();
+  std::printf("generated %zu m-layer streams in %.2f s\n", tuples.size(),
+              gen_timer.ElapsedSeconds());
+
+  CuboidLattice lattice(**schema);
+  Stopwatch calib_timer;
+  std::vector<double> slopes = CollectIntermediateSlopes(lattice, tuples);
+  std::printf("calibration: %zu intermediate cells, %.2f s\n", slopes.size(),
+              calib_timer.ElapsedSeconds());
+
+  auto threshold_for = [&](double rate) {
+    if (rate >= 1.0) return 0.0;
+    const double idx = (1.0 - rate) * static_cast<double>(slopes.size() - 1);
+    return slopes[static_cast<size_t>(idx)];
+  };
+
+  bench::PrintRow({"exception%", "algorithm", "time(s)", "memory(MB)",
+                   "cells", "exceptions"});
+  for (double rate : {0.001, 0.01, 0.1, 1.0}) {
+    const double threshold = threshold_for(rate);
+    bench::RunResult mo = bench::RunMoCubing(*schema, tuples, threshold);
+    bench::PrintRow({StrPrintf("%.1f", rate * 100.0), "m/o-cubing",
+                     StrPrintf("%.3f", mo.seconds),
+                     StrPrintf("%.1f", mo.peak_mb),
+                     StrPrintf("%lld", static_cast<long long>(mo.cells_computed)),
+                     StrPrintf("%lld",
+                               static_cast<long long>(mo.exception_cells))});
+    bench::RunResult pp = bench::RunPopularPath(*schema, tuples, threshold);
+    bench::PrintRow({StrPrintf("%.1f", rate * 100.0), "popular-path",
+                     StrPrintf("%.3f", pp.seconds),
+                     StrPrintf("%.1f", pp.peak_mb),
+                     StrPrintf("%lld", static_cast<long long>(pp.cells_computed)),
+                     StrPrintf("%lld",
+                               static_cast<long long>(pp.exception_cells))});
+  }
+}
+
+}  // namespace
+}  // namespace regcube
+
+int main(int argc, char** argv) {
+  regcube::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E6 — Figure 9: processing time (9a) and memory usage (9b) vs. the size of
+// the m-layer, with cube structure D3L3C10 and the exception rate fixed at
+// 1%. As in the paper, the varied sizes are prefixes of one generated
+// dataset. Override the largest size with max_tuples=<n>.
+//
+// Expected shape (paper): popular-path scales better in time (m/o-cubing
+// computes every cell between the layers), but uses more memory (all cells
+// along the path are retained).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "regcube/core/regression_cube.h"
+
+namespace regcube {
+namespace {
+
+void Run(int argc, char** argv) {
+  const std::int64_t max_tuples =
+      bench::ArgInt(argc, argv, "max_tuples", 256'000);
+
+  WorkloadSpec spec;
+  spec.num_dims = 3;
+  spec.num_levels = 3;
+  spec.fanout = 10;
+  spec.num_tuples = max_tuples;
+  spec.series_length = 32;
+  spec.anomaly_fraction = 0.05;
+  spec.seed = 2002;
+
+  bench::PrintHeader(StrPrintf(
+      "Figure 9: time & memory vs m-layer size (D3L3C10, 1%% exceptions, "
+      "up to %lldK tuples)",
+      static_cast<long long>(max_tuples / 1000)));
+
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  RC_CHECK(schema.ok());
+  StreamGenerator gen(spec);
+  std::vector<MLayerTuple> all_tuples = gen.GenerateMLayerTuples();
+  CuboidLattice lattice(**schema);
+
+  bench::PrintRow({"size(K)", "algorithm", "time(s)", "memory(MB)",
+                   "exceptions"});
+  for (std::int64_t size = max_tuples / 8; size <= max_tuples; size *= 2) {
+    std::vector<MLayerTuple> tuples(
+        all_tuples.begin(), all_tuples.begin() + static_cast<size_t>(size));
+    const double threshold =
+        CalibrateExceptionThreshold(lattice, tuples, 0.01);
+
+    bench::RunResult mo = bench::RunMoCubing(*schema, tuples, threshold);
+    bench::PrintRow(
+        {StrPrintf("%lld", static_cast<long long>(size / 1000)), "m/o-cubing",
+         StrPrintf("%.3f", mo.seconds), StrPrintf("%.1f", mo.peak_mb),
+         StrPrintf("%lld", static_cast<long long>(mo.exception_cells))});
+    bench::RunResult pp = bench::RunPopularPath(*schema, tuples, threshold);
+    bench::PrintRow(
+        {StrPrintf("%lld", static_cast<long long>(size / 1000)),
+         "popular-path", StrPrintf("%.3f", pp.seconds),
+         StrPrintf("%.1f", pp.peak_mb),
+         StrPrintf("%lld", static_cast<long long>(pp.exception_cells))});
+  }
+}
+
+}  // namespace
+}  // namespace regcube
+
+int main(int argc, char** argv) {
+  regcube::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,99 @@
+#ifndef REGCUBE_BENCH_BENCH_UTIL_H_
+#define REGCUBE_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the figure-reproduction harnesses: argument parsing
+// (key=value overrides so CI can shrink workloads), fixed-width table
+// printing, and a one-call runner that executes both cubing algorithms and
+// reports the time/memory quantities Figures 8-10 plot.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/stopwatch.h"
+#include "regcube/common/str.h"
+#include "regcube/core/mo_cubing.h"
+#include "regcube/core/popular_path.h"
+#include "regcube/gen/stream_generator.h"
+#include "regcube/gen/workload.h"
+
+namespace regcube {
+namespace bench {
+
+/// Returns the integer value of "key=value" among argv, or `fallback`.
+inline std::int64_t ArgInt(int argc, char** argv, const char* key,
+                           std::int64_t fallback) {
+  const std::string prefix = std::string(key) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    // First column is wider: it usually carries a configuration label.
+    std::printf(i == 0 ? "%-26s" : "%-16s", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+/// One measured cubing run.
+struct RunResult {
+  double seconds = 0.0;
+  double peak_mb = 0.0;
+  std::int64_t cells_computed = 0;
+  std::int64_t exception_cells = 0;
+};
+
+inline double ToMb(std::int64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+/// Runs Algorithm 1 (m/o H-cubing) and returns the figures' quantities.
+inline RunResult RunMoCubing(std::shared_ptr<const CubeSchema> schema,
+                             const std::vector<MLayerTuple>& tuples,
+                             double threshold) {
+  MoCubingOptions options;
+  options.policy = ExceptionPolicy(threshold);
+  Stopwatch timer;
+  auto cube = ComputeMoCubing(schema, tuples, options);
+  RC_CHECK(cube.ok()) << cube.status().ToString();
+  RunResult r;
+  r.seconds = timer.ElapsedSeconds();
+  r.peak_mb = ToMb(cube->stats().peak_memory_bytes);
+  r.cells_computed = cube->stats().cells_computed;
+  r.exception_cells = cube->stats().exception_cells;
+  return r;
+}
+
+/// Runs Algorithm 2 (popular-path cubing).
+inline RunResult RunPopularPath(std::shared_ptr<const CubeSchema> schema,
+                                const std::vector<MLayerTuple>& tuples,
+                                double threshold) {
+  PopularPathOptions options;
+  options.policy = ExceptionPolicy(threshold);
+  Stopwatch timer;
+  auto cube = ComputePopularPathCubing(schema, tuples, options);
+  RC_CHECK(cube.ok()) << cube.status().ToString();
+  RunResult r;
+  r.seconds = timer.ElapsedSeconds();
+  r.peak_mb = ToMb(cube->stats().peak_memory_bytes);
+  r.cells_computed = cube->stats().cells_computed;
+  r.exception_cells = cube->stats().exception_cells;
+  return r;
+}
+
+}  // namespace bench
+}  // namespace regcube
+
+#endif  // REGCUBE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,26 @@
+#include "regcube/common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace regcube {
+namespace internal_logging {
+
+void CheckFail(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: CHECK failed: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+CheckMessageBuilder::CheckMessageBuilder(const char* file, int line,
+                                         const char* condition)
+    : file_(file), line_(line) {
+  stream_ << condition << " ";
+}
+
+CheckMessageBuilder::~CheckMessageBuilder() {
+  CheckFail(file_, line_, stream_.str());
+}
+
+}  // namespace internal_logging
+}  // namespace regcube

@@ -1,0 +1,58 @@
+#ifndef REGCUBE_COMMON_LOGGING_H_
+#define REGCUBE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace regcube {
+namespace internal_logging {
+
+/// Terminates the process after printing `file:line: message` to stderr.
+/// Used by the RC_CHECK family for unrecoverable invariant violations.
+[[noreturn]] void CheckFail(const char* file, int line, const std::string& msg);
+
+/// Stream-collecting helper so RC_CHECK(x) << "detail" works. The destructor
+/// of a fired checker aborts the process.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition);
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+  [[noreturn]] ~CheckMessageBuilder();
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace regcube
+
+/// Aborts with a diagnostic if `condition` is false. For programmer errors /
+/// internal invariants only — user-facing validation returns Status instead.
+#define RC_CHECK(condition)                                             \
+  while (!(condition))                                                  \
+  ::regcube::internal_logging::CheckMessageBuilder(__FILE__, __LINE__,  \
+                                                   #condition)
+
+#define RC_CHECK_EQ(a, b) RC_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define RC_CHECK_NE(a, b) RC_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define RC_CHECK_LT(a, b) RC_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define RC_CHECK_LE(a, b) RC_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define RC_CHECK_GT(a, b) RC_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define RC_CHECK_GE(a, b) RC_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define RC_DCHECK(condition) RC_CHECK(true || (condition))
+#else
+#define RC_DCHECK(condition) RC_CHECK(condition)
+#endif
+
+#endif  // REGCUBE_COMMON_LOGGING_H_

@@ -1,0 +1,44 @@
+#include "regcube/common/memory_tracker.h"
+
+#include <algorithm>
+
+#include "regcube/common/logging.h"
+
+namespace regcube {
+
+void MemoryTracker::Add(const std::string& category, std::int64_t bytes) {
+  RC_CHECK_GE(bytes, 0);
+  by_category_[category] += bytes;
+  current_ += bytes;
+  peak_ = std::max(peak_, current_);
+}
+
+void MemoryTracker::Release(const std::string& category, std::int64_t bytes) {
+  RC_CHECK_GE(bytes, 0);
+  auto it = by_category_.find(category);
+  RC_CHECK(it != by_category_.end()) << "unknown category " << category;
+  RC_CHECK_GE(it->second, bytes) << "category " << category << " underflow";
+  it->second -= bytes;
+  current_ -= bytes;
+}
+
+std::int64_t MemoryTracker::category_bytes(const std::string& category) const {
+  auto it = by_category_.find(category);
+  return it == by_category_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MemoryTracker::Snapshot()
+    const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(by_category_.size());
+  for (const auto& [name, bytes] : by_category_) out.emplace_back(name, bytes);
+  return out;
+}
+
+void MemoryTracker::Reset() {
+  by_category_.clear();
+  current_ = 0;
+  peak_ = 0;
+}
+
+}  // namespace regcube

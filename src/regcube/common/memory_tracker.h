@@ -1,0 +1,59 @@
+#ifndef REGCUBE_COMMON_MEMORY_TRACKER_H_
+#define REGCUBE_COMMON_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace regcube {
+
+/// Analytic accounting of the bytes retained by the data structures a cubing
+/// run keeps alive (H-tree nodes, header tables, materialized cells,
+/// exception cells, tilt-frame slots). This mirrors what the paper's "Memory
+/// Usage" axis measures: peak retained state of the algorithm, independent of
+/// allocator behavior.
+///
+/// Components register byte counts under a category name; the tracker keeps
+/// both the current total and the high-water mark.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+
+  // Trackers are identity objects shared by reference; copying one would
+  // silently fork the accounting.
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Adds `bytes` under `category`.
+  void Add(const std::string& category, std::int64_t bytes);
+
+  /// Subtracts `bytes` under `category`. The per-category total must not go
+  /// negative (checked).
+  void Release(const std::string& category, std::int64_t bytes);
+
+  /// Current total bytes across all categories.
+  std::int64_t current_bytes() const { return current_; }
+
+  /// Highest value `current_bytes()` has reached.
+  std::int64_t peak_bytes() const { return peak_; }
+
+  /// Current bytes in one category (0 if never touched).
+  std::int64_t category_bytes(const std::string& category) const;
+
+  /// Snapshot of all categories, sorted by name.
+  std::vector<std::pair<std::string, std::int64_t>> Snapshot() const;
+
+  /// Resets all counters (including the peak) to zero.
+  void Reset();
+
+ private:
+  std::map<std::string, std::int64_t> by_category_;
+  std::int64_t current_ = 0;
+  std::int64_t peak_ = 0;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_COMMON_MEMORY_TRACKER_H_

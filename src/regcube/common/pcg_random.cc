@@ -1,0 +1,60 @@
+#include "regcube/common/pcg_random.h"
+
+#include <cmath>
+
+namespace regcube {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0u), inc_((stream << 1u) | 1u) {
+  Next();
+  state_ += seed;
+  Next();
+}
+
+std::uint32_t Pcg32::Next() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  std::uint32_t xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Pcg32::Uniform(std::uint32_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint32_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::NextDouble() {
+  return Next() * (1.0 / 4294967296.0);
+}
+
+double Pcg32::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double mul = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * mul;
+  has_cached_gaussian_ = true;
+  return u * mul;
+}
+
+std::uint64_t SplitMix64::Next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace regcube

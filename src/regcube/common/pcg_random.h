@@ -1,0 +1,53 @@
+#ifndef REGCUBE_COMMON_PCG_RANDOM_H_
+#define REGCUBE_COMMON_PCG_RANDOM_H_
+
+#include <cstdint>
+
+namespace regcube {
+
+/// PCG32 (XSH-RR variant) pseudo-random generator. Deterministic across
+/// platforms and compilers, which std::mt19937 distributions are not —
+/// the synthetic-workload generator depends on byte-identical streams for a
+/// given seed so experiments are exactly repeatable.
+class Pcg32 {
+ public:
+  /// Seeds the generator. Two generators with the same (seed, stream) produce
+  /// identical sequences; distinct `stream` values give independent sequences
+  /// for the same seed.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Next uniformly distributed 32-bit value.
+  std::uint32_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses unbiased
+  /// rejection sampling.
+  std::uint32_t Uniform(std::uint32_t bound);
+
+  /// Uniform double in [0, 1) with 32 bits of entropy.
+  double NextDouble();
+
+  /// Standard normal deviate (Marsaglia polar method, deterministic).
+  double NextGaussian();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// SplitMix64: used to derive independent seeds from one master seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_COMMON_PCG_RANDOM_H_

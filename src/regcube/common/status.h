@@ -1,0 +1,136 @@
+#ifndef REGCUBE_COMMON_STATUS_H_
+#define REGCUBE_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace regcube {
+
+/// Error category for a failed operation. Mirrors the small set of failure
+/// modes the library can produce; no exceptions cross the public API.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // cell / cuboid / slot does not exist
+  kOutOfRange,        // time tick or index outside the valid interval
+  kFailedPrecondition,// object not in the required state for this call
+  kAlreadyExists,     // duplicate registration
+  kInternal,          // invariant violation that is a library bug
+  kUnimplemented,     // feature not available in this configuration
+};
+
+/// Returns a stable human-readable name ("InvalidArgument", ...) for `code`.
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy in the OK case
+/// (no allocation); carries a message otherwise. RocksDB-style: every
+/// fallible public API returns a Status (or a Result<T>, below) and never
+/// throws.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk; use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Analogous to
+/// absl::StatusOr<T>, kept minimal on purpose. T need not be
+/// default-constructible (factory-pattern classes keep their default
+/// constructors private).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so functions can `return value;`).
+  Result(T value) : status_(), value_(std::move(value)) {}
+  /// Constructs from an error status; `status.ok()` must be false.
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok(). Accessing the value of an error Result is undefined
+  /// (std::optional semantics).
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace regcube
+
+/// Propagates a non-OK Status to the caller. Usable only in functions that
+/// return Status.
+#define RC_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::regcube::Status rc_status__ = (expr);        \
+    if (!rc_status__.ok()) return rc_status__;     \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// assigns the value to `lhs` (which must already be declared or be a
+/// declaration).
+#define RC_ASSIGN_OR_RETURN(lhs, expr)                 \
+  RC_ASSIGN_OR_RETURN_IMPL_(                           \
+      RC_STATUS_CONCAT_(rc_result__, __LINE__), lhs, expr)
+
+#define RC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define RC_STATUS_CONCAT_(a, b) RC_STATUS_CONCAT_IMPL_(a, b)
+#define RC_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // REGCUBE_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef REGCUBE_COMMON_STOPWATCH_H_
+#define REGCUBE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace regcube {
+
+/// Wall-clock stopwatch for the benchmark harnesses and algorithm stats.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_COMMON_STOPWATCH_H_

@@ -1,0 +1,26 @@
+#ifndef REGCUBE_COMMON_STR_H_
+#define REGCUBE_COMMON_STR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace regcube {
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// Formats `v` with `digits` significant digits (benchmark table output).
+std::string FormatDouble(double v, int digits = 6);
+
+/// Human-readable byte count, e.g. "12.3 MB".
+std::string FormatBytes(std::int64_t bytes);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_COMMON_STR_H_

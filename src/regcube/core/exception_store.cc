@@ -1,0 +1,54 @@
+#include "regcube/core/exception_store.h"
+
+#include "regcube/common/str.h"
+
+namespace regcube {
+
+void ExceptionStore::Insert(CuboidId cuboid, const CellKey& key,
+                            const Isb& isb) {
+  CellMap& cells = by_cuboid_[cuboid];
+  auto [it, inserted] = cells.emplace(key, isb);
+  if (inserted) {
+    ++total_cells_;
+  } else {
+    it->second = isb;
+  }
+}
+
+void ExceptionStore::InsertAll(CuboidId cuboid, const CellMap& cells) {
+  for (const auto& [key, isb] : cells) Insert(cuboid, key, isb);
+}
+
+bool ExceptionStore::Contains(CuboidId cuboid, const CellKey& key) const {
+  auto it = by_cuboid_.find(cuboid);
+  return it != by_cuboid_.end() && it->second.count(key) > 0;
+}
+
+const CellMap* ExceptionStore::CellsOf(CuboidId cuboid) const {
+  auto it = by_cuboid_.find(cuboid);
+  return it == by_cuboid_.end() ? nullptr : &it->second;
+}
+
+std::vector<CuboidId> ExceptionStore::Cuboids() const {
+  std::vector<CuboidId> out;
+  out.reserve(by_cuboid_.size());
+  for (const auto& [cuboid, cells] : by_cuboid_) {
+    if (!cells.empty()) out.push_back(cuboid);
+  }
+  return out;
+}
+
+std::int64_t ExceptionStore::MemoryBytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& [cuboid, cells] : by_cuboid_) {
+    bytes += CellMapMemoryBytes(cells);
+  }
+  return bytes;
+}
+
+std::string ExceptionStore::ToString() const {
+  return StrPrintf("ExceptionStore(%lld cells across %zu cuboids)",
+                   static_cast<long long>(total_cells_), by_cuboid_.size());
+}
+
+}  // namespace regcube

@@ -1,0 +1,50 @@
+#ifndef REGCUBE_CORE_EXCEPTION_STORE_H_
+#define REGCUBE_CORE_EXCEPTION_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "regcube/cube/cell.h"
+#include "regcube/htree/htree_cubing.h"
+
+namespace regcube {
+
+/// Storage for the exception cells of the cuboids between the critical
+/// layers (Framework 4.1: only exception cells are retained there). Keyed by
+/// cuboid; iteration order is deterministic (cuboid id order) so outputs are
+/// stable across runs.
+class ExceptionStore {
+ public:
+  ExceptionStore() = default;
+
+  /// Records `isb` as an exception cell. Re-inserting the same cell
+  /// overwrites (idempotent for equal measures).
+  void Insert(CuboidId cuboid, const CellKey& key, const Isb& isb);
+
+  /// Bulk-inserts a whole map of exception cells for one cuboid.
+  void InsertAll(CuboidId cuboid, const CellMap& cells);
+
+  bool Contains(CuboidId cuboid, const CellKey& key) const;
+
+  /// Exception cells of one cuboid; nullptr if the cuboid has none.
+  const CellMap* CellsOf(CuboidId cuboid) const;
+
+  /// Cuboids that have at least one exception cell, ascending.
+  std::vector<CuboidId> Cuboids() const;
+
+  std::int64_t total_cells() const { return total_cells_; }
+
+  std::int64_t MemoryBytes() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<CuboidId, CellMap> by_cuboid_;
+  std::int64_t total_cells_ = 0;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CORE_EXCEPTION_STORE_H_

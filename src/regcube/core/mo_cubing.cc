@@ -1,0 +1,85 @@
+#include "regcube/core/mo_cubing.h"
+
+#include "regcube/common/logging.h"
+#include "regcube/common/stopwatch.h"
+#include "regcube/htree/htree_cubing.h"
+
+namespace regcube {
+
+Result<RegressionCube> ComputeMoCubing(
+    std::shared_ptr<const CubeSchema> schema,
+    const std::vector<MLayerTuple>& tuples, const MoCubingOptions& options) {
+  RC_CHECK(schema != nullptr);
+  MemoryTracker local_tracker;
+  MemoryTracker& tracker = options.tracker ? *options.tracker : local_tracker;
+
+  RegressionCube cube(schema);
+  const CuboidLattice& lattice = cube.lattice();
+  CubingStats& stats = cube.mutable_stats();
+
+  // Step 1: aggregate the stream to the m-layer and build the H-tree,
+  // regression points at the leaves only.
+  Stopwatch build_timer;
+  HTree::Options tree_options;
+  tree_options.attribute_order = options.attribute_order.empty()
+                                     ? CardinalityAscendingOrder(*schema)
+                                     : options.attribute_order;
+  tree_options.store_nonleaf_measures = false;
+  auto tree_result = HTree::Build(*schema, tuples, std::move(tree_options));
+  if (!tree_result.ok()) return tree_result.status();
+  HTree tree = std::move(tree_result).value();
+  stats.build_tree_seconds = build_timer.ElapsedSeconds();
+  stats.htree_nodes = tree.num_nodes();
+  stats.htree_bytes = tree.MemoryBytes();
+  tracker.Add("htree", stats.htree_bytes);
+
+  // The m-layer is retained in full (it is the base of the stored cube).
+  Stopwatch compute_timer;
+  for (MLayerTuple& cell : tree.MLayerCells()) {
+    cube.mutable_m_layer().emplace(cell.key, cell.measure);
+  }
+  tracker.Add("m-layer", CellMapMemoryBytes(cube.m_layer()));
+
+  // Step 2: H-cube every cuboid from the m-layer up to the o-layer.
+  // All cells are computed; only exception cells are retained in between
+  // ("except for the o-layer in which all cells are retained for
+  // observation").
+  if (lattice.o_layer_id() == lattice.m_layer_id()) {
+    // Degenerate lattice: the single cuboid is both critical layers.
+    cube.mutable_o_layer() = cube.m_layer();
+    tracker.Add("o-layer", CellMapMemoryBytes(cube.o_layer()));
+  }
+  for (CuboidId cuboid = 0; cuboid < lattice.num_cuboids(); ++cuboid) {
+    if (cuboid == lattice.m_layer_id()) continue;
+    CellMap cells = ComputeCuboidCells(tree, lattice, cuboid);
+    stats.cells_computed += static_cast<std::int64_t>(cells.size());
+    const std::int64_t transient_bytes = CellMapMemoryBytes(cells);
+    tracker.Add("transient", transient_bytes);
+
+    if (cuboid == lattice.o_layer_id()) {
+      cube.mutable_o_layer() = std::move(cells);
+      tracker.Add("o-layer", CellMapMemoryBytes(cube.o_layer()));
+    } else {
+      const int depth = SpecDepth(lattice.spec(cuboid));
+      CellMap retained;
+      for (const auto& [key, isb] : cells) {
+        if (options.policy.IsException(isb, cuboid, depth)) {
+          retained.emplace(key, isb);
+        }
+      }
+      stats.exception_cells += static_cast<std::int64_t>(retained.size());
+      tracker.Add("exceptions", CellMapMemoryBytes(retained));
+      cube.mutable_exceptions().InsertAll(cuboid, retained);
+    }
+    tracker.Release("transient", transient_bytes);
+  }
+  stats.compute_seconds = compute_timer.ElapsedSeconds();
+
+  stats.peak_memory_bytes = tracker.peak_bytes();
+  stats.retained_memory_bytes =
+      stats.htree_bytes + CellMapMemoryBytes(cube.m_layer()) +
+      CellMapMemoryBytes(cube.o_layer()) + cube.exceptions().MemoryBytes();
+  return cube;
+}
+
+}  // namespace regcube

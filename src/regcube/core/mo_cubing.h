@@ -1,0 +1,42 @@
+#ifndef REGCUBE_CORE_MO_CUBING_H_
+#define REGCUBE_CORE_MO_CUBING_H_
+
+#include <memory>
+#include <vector>
+
+#include "regcube/common/memory_tracker.h"
+#include "regcube/common/status.h"
+#include "regcube/cube/exception_policy.h"
+#include "regcube/core/regression_cube.h"
+#include "regcube/htree/htree.h"
+
+namespace regcube {
+
+/// Options for Algorithm 1.
+struct MoCubingOptions {
+  /// Exception predicate for the cuboids between the critical layers.
+  ExceptionPolicy policy{0.0};
+
+  /// H-tree level order; empty selects the cardinality-ascending order of
+  /// Example 5 (maximum prefix sharing).
+  std::vector<Attribute> attribute_order;
+
+  /// Optional external tracker (e.g. shared across benchmark phases).
+  /// If null, the run uses an internal tracker.
+  MemoryTracker* tracker = nullptr;
+};
+
+/// Algorithm 1 (m/o H-cubing): builds the H-tree with measures only at the
+/// leaves, then computes *every* cuboid between the m- and o-layers via
+/// node-link traversal, retaining all cells at the two critical layers and
+/// only the exception cells in between.
+///
+/// All tuples must share one time interval (Theorem 3.2). Errors propagate
+/// from tree construction.
+Result<RegressionCube> ComputeMoCubing(std::shared_ptr<const CubeSchema> schema,
+                                       const std::vector<MLayerTuple>& tuples,
+                                       const MoCubingOptions& options);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CORE_MO_CUBING_H_

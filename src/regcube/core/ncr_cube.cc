@@ -1,0 +1,130 @@
+#include "regcube/core/ncr_cube.h"
+
+#include <cmath>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+
+namespace regcube {
+
+const char* NcrRollupName(NcrRollup rollup) {
+  switch (rollup) {
+    case NcrRollup::kSumResponses:
+      return "sum-responses";
+    case NcrRollup::kPoolObservations:
+      return "pool-observations";
+  }
+  return "?";
+}
+
+NcrCube::NcrCube(std::shared_ptr<const CubeSchema> schema)
+    : schema_(std::move(schema)), lattice_(*schema_) {
+  RC_CHECK(schema_ != nullptr);
+}
+
+std::int64_t NcrCube::total_exception_cells() const {
+  std::int64_t total = 0;
+  for (const auto& [cuboid, cells] : exceptions_) {
+    total += static_cast<std::int64_t>(cells.size());
+  }
+  return total;
+}
+
+Result<NcrCellMap> ComputeNcrCuboid(const CuboidLattice& lattice,
+                                    const std::vector<NcrTuple>& tuples,
+                                    CuboidId cuboid, NcrRollup rollup) {
+  NcrCellMap cells;
+  for (const NcrTuple& tuple : tuples) {
+    CellKey key = lattice.ProjectMLayerKey(tuple.key, cuboid);
+    auto it = cells.find(key);
+    if (it == cells.end()) {
+      cells.emplace(key, tuple.measure);
+      continue;
+    }
+    Status merged = rollup == NcrRollup::kSumResponses
+                        ? it->second.MergeSameDesign(tuple.measure)
+                        : it->second.MergeDisjoint(tuple.measure);
+    if (!merged.ok()) {
+      return Status::InvalidArgument(StrPrintf(
+          "%s roll-up failed for cell %s of %s: %s", NcrRollupName(rollup),
+          key.ToString().c_str(), lattice.CuboidName(cuboid).c_str(),
+          merged.message().c_str()));
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+/// Exception test on a cell's solved model; singular cells are either an
+/// error or simply not exceptional, per the options.
+Result<bool> IsExceptionalCell(const NcrMeasure& measure,
+                               const NcrCubeOptions& options) {
+  auto fit = measure.Solve();
+  if (!fit.ok()) {
+    if (options.fail_on_singular_cells) return fit.status();
+    return false;
+  }
+  if (options.watch_coefficient >= fit->theta.size()) {
+    return Status::InvalidArgument(StrPrintf(
+        "watch_coefficient %zu out of range for %zu-parameter model",
+        options.watch_coefficient, fit->theta.size()));
+  }
+  return std::fabs(fit->theta[options.watch_coefficient]) >=
+         options.threshold;
+}
+
+}  // namespace
+
+Result<NcrCube> ComputeNcrCube(std::shared_ptr<const CubeSchema> schema,
+                               const std::vector<NcrTuple>& tuples,
+                               const NcrCubeOptions& options) {
+  RC_CHECK(schema != nullptr);
+  if (tuples.empty()) {
+    return Status::InvalidArgument("no NCR tuples to cube");
+  }
+  const std::size_t arity = tuples.front().measure.num_features();
+  for (const NcrTuple& t : tuples) {
+    if (t.measure.num_features() != arity) {
+      return Status::InvalidArgument(
+          "all tuples must share one regression basis");
+    }
+  }
+
+  NcrCube cube(schema);
+  const CuboidLattice& lattice = cube.lattice();
+
+  // m-layer: tuples aggregated by key (duplicates merge per roll-up).
+  {
+    auto m_cells = ComputeNcrCuboid(lattice, tuples, lattice.m_layer_id(),
+                                    options.rollup);
+    if (!m_cells.ok()) return m_cells.status();
+    cube.mutable_m_layer() = std::move(m_cells).value();
+  }
+
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    if (c == lattice.m_layer_id()) continue;
+    auto cells = ComputeNcrCuboid(lattice, tuples, c, options.rollup);
+    if (!cells.ok()) return cells.status();
+    if (c == lattice.o_layer_id()) {
+      cube.mutable_o_layer() = std::move(cells).value();
+      continue;
+    }
+    NcrCellMap retained;
+    for (auto& [key, measure] : *cells) {
+      auto exceptional = IsExceptionalCell(measure, options);
+      if (!exceptional.ok()) return exceptional.status();
+      if (*exceptional) retained.emplace(key, std::move(measure));
+    }
+    if (!retained.empty()) {
+      cube.mutable_exceptions()[c] = std::move(retained);
+    }
+  }
+
+  if (lattice.o_layer_id() == lattice.m_layer_id()) {
+    cube.mutable_o_layer() = cube.m_layer();
+  }
+  return cube;
+}
+
+}  // namespace regcube

@@ -1,0 +1,109 @@
+#ifndef REGCUBE_CORE_NCR_CUBE_H_
+#define REGCUBE_CORE_NCR_CUBE_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/cube/cuboid.h"
+#include "regcube/cube/schema.h"
+#include "regcube/regression/ncr.h"
+
+namespace regcube {
+
+/// One m-layer cell carrying a multiple-regression measure (§6.2): the
+/// NCR sufficient statistics of the cell's observations under a shared
+/// basis.
+struct NcrTuple {
+  CellKey key;
+  NcrMeasure measure;
+};
+
+using NcrCellMap = std::unordered_map<CellKey, NcrMeasure, CellKeyHash>;
+
+/// How a roll-up combines descendant NCR measures. Both are lossless for
+/// the model parameters; they encode different cube semantics:
+///  * kSumResponses — the aggregate cell's response is the SUM of the
+///    descendants' responses at identical design points (the Theorem 3.2
+///    semantics: total power usage across users). Requires equal designs,
+///    validated at merge; RSS becomes unavailable.
+///  * kPoolObservations — the aggregate cell's observation set is the UNION
+///    of the descendants' observations (regional sensor pooling, the §6.2
+///    multi-variable scenario). RSS stays exact.
+enum class NcrRollup {
+  kSumResponses,
+  kPoolObservations,
+};
+
+const char* NcrRollupName(NcrRollup rollup);
+
+struct NcrCubeOptions {
+  NcrRollup rollup = NcrRollup::kPoolObservations;
+
+  /// Exception predicate on the *solved* model: a cell is exceptional iff
+  /// |theta[watch_coefficient]| >= threshold. With the linear-time basis
+  /// and watch_coefficient = 1 this is exactly the paper's slope test.
+  std::size_t watch_coefficient = 1;
+  double threshold = 0.0;
+
+  /// Cells whose normal equations cannot be solved (underdetermined or
+  /// collinear) are never exceptional; set this to fail the computation
+  /// instead.
+  bool fail_on_singular_cells = false;
+};
+
+/// The §6.2 generalization of the regression cube: the two critical layers
+/// fully materialized with NCR measures, exception cells in between.
+/// Computation aggregates m-layer sufficient statistics by direct
+/// projection (the H-tree sharing of the ISB pipeline applies identically
+/// but is not reimplemented for the heavier measure type).
+class NcrCube {
+ public:
+  explicit NcrCube(std::shared_ptr<const CubeSchema> schema);
+
+  NcrCube(NcrCube&&) noexcept = default;
+  NcrCube& operator=(NcrCube&&) noexcept = default;
+
+  const CubeSchema& schema() const { return *schema_; }
+  const CuboidLattice& lattice() const { return lattice_; }
+
+  const NcrCellMap& m_layer() const { return m_layer_; }
+  const NcrCellMap& o_layer() const { return o_layer_; }
+
+  /// Exception cells per intermediate cuboid (cuboid-id ascending).
+  const std::map<CuboidId, NcrCellMap>& exceptions() const {
+    return exceptions_;
+  }
+
+  std::int64_t total_exception_cells() const;
+
+  NcrCellMap& mutable_m_layer() { return m_layer_; }
+  NcrCellMap& mutable_o_layer() { return o_layer_; }
+  std::map<CuboidId, NcrCellMap>& mutable_exceptions() { return exceptions_; }
+
+ private:
+  std::shared_ptr<const CubeSchema> schema_;
+  CuboidLattice lattice_;
+  NcrCellMap m_layer_;
+  NcrCellMap o_layer_;
+  std::map<CuboidId, NcrCellMap> exceptions_;
+};
+
+/// Aggregates the m-layer tuples into every cell of `cuboid` under the
+/// chosen roll-up. Feature arities must agree (validated); kSumResponses
+/// additionally validates equal designs per merge.
+Result<NcrCellMap> ComputeNcrCuboid(const CuboidLattice& lattice,
+                                    const std::vector<NcrTuple>& tuples,
+                                    CuboidId cuboid, NcrRollup rollup);
+
+/// Materializes the partially-computed NCR cube: full m- and o-layers,
+/// exception cells (per NcrCubeOptions) in between.
+Result<NcrCube> ComputeNcrCube(std::shared_ptr<const CubeSchema> schema,
+                               const std::vector<NcrTuple>& tuples,
+                               const NcrCubeOptions& options);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CORE_NCR_CUBE_H_

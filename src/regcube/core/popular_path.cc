@@ -1,0 +1,149 @@
+#include "regcube/core/popular_path.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/stopwatch.h"
+#include "regcube/htree/htree_cubing.h"
+
+namespace regcube {
+
+Result<RegressionCube> ComputePopularPathCubing(
+    std::shared_ptr<const CubeSchema> schema,
+    const std::vector<MLayerTuple>& tuples,
+    const PopularPathOptions& options) {
+  RC_CHECK(schema != nullptr);
+  MemoryTracker local_tracker;
+  MemoryTracker& tracker = options.tracker ? *options.tracker : local_tracker;
+
+  RegressionCube cube(schema);
+  const CuboidLattice& lattice = cube.lattice();
+  CubingStats& stats = cube.mutable_stats();
+
+  DrillPath path = options.path.has_value() ? *options.path
+                                            : DrillPath::MakeDefault(lattice);
+  RC_RETURN_IF_ERROR(DrillPath::Validate(lattice, path));
+
+  // Step 1: H-tree in the path's attribute-introduction order, aggregated
+  // regression points stored in the non-leaf nodes (the path cells live in
+  // the tree).
+  Stopwatch build_timer;
+  HTree::Options tree_options;
+  tree_options.attribute_order = PathIntroductionOrder(lattice, path);
+  tree_options.store_nonleaf_measures = true;
+  auto tree_result = HTree::Build(*schema, tuples, std::move(tree_options));
+  if (!tree_result.ok()) return tree_result.status();
+  HTree tree = std::move(tree_result).value();
+  stats.build_tree_seconds = build_timer.ElapsedSeconds();
+  stats.htree_nodes = tree.num_nodes();
+  stats.htree_bytes = tree.MemoryBytes();
+  tracker.Add("htree", stats.htree_bytes);
+
+  Stopwatch compute_timer;
+
+  std::unordered_set<CuboidId> on_path(path.steps.begin(), path.steps.end());
+  std::unordered_map<CuboidId, int> path_depth;  // cuboid -> tree prefix depth
+  {
+    int base_depth = static_cast<int>(
+        lattice.AttributesOf(path.steps.front()).size());
+    for (size_t i = 0; i < path.steps.size(); ++i) {
+      path_depth[path.steps[i]] = base_depth + static_cast<int>(i);
+    }
+  }
+
+  // Cells drilled into off-path cuboids, held until that cuboid is
+  // processed; exception cells per cuboid seed further drilling.
+  std::unordered_map<CuboidId, CellMap> drilled_cells;
+  std::unordered_map<CuboidId, CellMap> exception_seeds;
+
+  // Steps 2+3 interleaved in topological (roll-up depth) order: every
+  // cuboid is visited after all of its roll-up parents, so its computed
+  // cells are complete when its exceptions are evaluated.
+  std::vector<CuboidId> order(static_cast<size_t>(lattice.num_cuboids()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<CuboidId>(i);
+  std::sort(order.begin(), order.end(), [&](CuboidId a, CuboidId b) {
+    const int da = SpecDepth(lattice.spec(a));
+    const int db = SpecDepth(lattice.spec(b));
+    return da != db ? da < db : a < b;
+  });
+
+  for (CuboidId x : order) {
+    const int depth_x = SpecDepth(lattice.spec(x));
+    CellMap exceptions_x;
+
+    if (on_path.count(x) > 0) {
+      CellMap cells = ReadPrefixCuboidCells(tree, lattice, x, path_depth[x]);
+      stats.cells_computed += static_cast<std::int64_t>(cells.size());
+      const std::int64_t transient_bytes = CellMapMemoryBytes(cells);
+      tracker.Add("transient", transient_bytes);
+      for (const auto& [key, isb] : cells) {
+        if (options.policy.IsException(isb, x, depth_x)) {
+          exceptions_x.emplace(key, isb);
+        }
+      }
+      if (x == lattice.o_layer_id()) {
+        if (x == lattice.m_layer_id()) {
+          // Degenerate lattice: the single cuboid is both critical layers.
+          cube.mutable_m_layer() = cells;
+          tracker.Add("m-layer", CellMapMemoryBytes(cube.m_layer()));
+        }
+        cube.mutable_o_layer() = std::move(cells);
+        tracker.Add("o-layer", CellMapMemoryBytes(cube.o_layer()));
+      } else if (x == lattice.m_layer_id()) {
+        cube.mutable_m_layer() = std::move(cells);
+        tracker.Add("m-layer", CellMapMemoryBytes(cube.m_layer()));
+      } else {
+        stats.exception_cells +=
+            static_cast<std::int64_t>(exceptions_x.size());
+        tracker.Add("exceptions", CellMapMemoryBytes(exceptions_x));
+        cube.mutable_exceptions().InsertAll(x, exceptions_x);
+      }
+      tracker.Release("transient", transient_bytes);
+    } else {
+      auto it = drilled_cells.find(x);
+      if (it == drilled_cells.end()) continue;  // nothing reached this cuboid
+      for (const auto& [key, isb] : it->second) {
+        if (options.policy.IsException(isb, x, depth_x)) {
+          exceptions_x.emplace(key, isb);
+        }
+      }
+      stats.exception_cells += static_cast<std::int64_t>(exceptions_x.size());
+      tracker.Add("exceptions", CellMapMemoryBytes(exceptions_x));
+      cube.mutable_exceptions().InsertAll(x, exceptions_x);
+      tracker.Release("drilled", CellMapMemoryBytes(it->second));
+      drilled_cells.erase(it);
+    }
+
+    if (exceptions_x.empty()) continue;
+    if (x == lattice.m_layer_id()) continue;  // recursion ends at the m-layer
+
+    // Drill the exception cells of x into every non-computed child cuboid,
+    // rolling up from the closest computed cuboid below (the deepest tree
+    // prefix — encapsulated in ComputeDrillChildren's stored node measures).
+    for (CuboidId y : lattice.DrillChildren(x)) {
+      if (on_path.count(y) > 0) continue;  // already fully computed
+      CellMap children =
+          ComputeDrillChildren(tree, lattice, x, exceptions_x, y);
+      stats.cells_computed += static_cast<std::int64_t>(children.size());
+      CellMap& dest = drilled_cells[y];
+      const std::int64_t before = CellMapMemoryBytes(dest);
+      for (auto& [key, isb] : children) {
+        dest.emplace(key, isb);  // same totals under any parent: keep first
+      }
+      tracker.Add("drilled", CellMapMemoryBytes(dest) - before);
+    }
+  }
+  RC_CHECK(drilled_cells.empty())
+      << "drilled cells left unprocessed; topological order broken";
+  stats.compute_seconds = compute_timer.ElapsedSeconds();
+
+  stats.peak_memory_bytes = tracker.peak_bytes();
+  stats.retained_memory_bytes =
+      stats.htree_bytes + CellMapMemoryBytes(cube.m_layer()) +
+      CellMapMemoryBytes(cube.o_layer()) + cube.exceptions().MemoryBytes();
+  return cube;
+}
+
+}  // namespace regcube

@@ -1,0 +1,47 @@
+#ifndef REGCUBE_CORE_POPULAR_PATH_H_
+#define REGCUBE_CORE_POPULAR_PATH_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "regcube/common/memory_tracker.h"
+#include "regcube/common/status.h"
+#include "regcube/cube/exception_policy.h"
+#include "regcube/core/regression_cube.h"
+#include "regcube/htree/htree.h"
+
+namespace regcube {
+
+/// Options for Algorithm 2.
+struct PopularPathOptions {
+  /// Exception predicate (same semantics as Algorithm 1).
+  ExceptionPolicy policy{0.0};
+
+  /// The popular drilling path. Unset selects DrillPath::MakeDefault
+  /// (refine dimensions fully in schema order).
+  std::optional<DrillPath> path;
+
+  /// Optional external tracker.
+  MemoryTracker* tracker = nullptr;
+};
+
+/// Algorithm 2 (popular-path cubing): builds the H-tree in the path's
+/// attribute-introduction order with aggregated regression points stored in
+/// the non-leaf nodes, materializes the cuboids along the path for free
+/// (they are tree prefixes), then recursively drills from the o-layer:
+/// every exception cell's children in off-path cuboids are computed by
+/// rolling up the closest computed cuboid (the deepest tree prefix below
+/// them), and only newly found exception cells continue the recursion
+/// (Framework 4.1).
+///
+/// Output contract vs Algorithm 1 (paper footnote 7): both return identical
+/// m- and o-layers; Algorithm 2's exception set is the subset of Algorithm
+/// 1's that is reachable through exception parents or lies on the path.
+Result<RegressionCube> ComputePopularPathCubing(
+    std::shared_ptr<const CubeSchema> schema,
+    const std::vector<MLayerTuple>& tuples, const PopularPathOptions& options);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CORE_POPULAR_PATH_H_

@@ -1,0 +1,82 @@
+#include "regcube/core/regression_cube.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+#include "regcube/regression/aggregate.h"
+
+namespace regcube {
+
+std::string CubingStats::ToString() const {
+  return StrPrintf(
+      "CubingStats{build=%.3fs, compute=%.3fs, nodes=%lld, cells=%lld, "
+      "exceptions=%lld, peak=%s, retained=%s}",
+      build_tree_seconds, compute_seconds,
+      static_cast<long long>(htree_nodes),
+      static_cast<long long>(cells_computed),
+      static_cast<long long>(exception_cells),
+      FormatBytes(peak_memory_bytes).c_str(),
+      FormatBytes(retained_memory_bytes).c_str());
+}
+
+RegressionCube::RegressionCube(std::shared_ptr<const CubeSchema> schema)
+    : schema_(std::move(schema)), lattice_(*schema_) {
+  RC_CHECK(schema_ != nullptr);
+}
+
+const CellMap* RegressionCube::CellsAt(CuboidId cuboid) const {
+  if (cuboid == lattice_.m_layer_id()) return &m_layer_;
+  if (cuboid == lattice_.o_layer_id()) return &o_layer_;
+  return exceptions_.CellsOf(cuboid);
+}
+
+std::string RegressionCube::ToString() const {
+  return StrPrintf(
+      "RegressionCube{%s, m-layer=%zu cells, o-layer=%zu cells, %lld "
+      "exception cells}",
+      schema_->ToString().c_str(), m_layer_.size(), o_layer_.size(),
+      static_cast<long long>(exceptions_.total_cells()));
+}
+
+CellMap ComputeCuboidBruteForce(const CuboidLattice& lattice,
+                                const std::vector<MLayerTuple>& tuples,
+                                CuboidId cuboid) {
+  CellMap cells;
+  for (const MLayerTuple& tuple : tuples) {
+    CellKey key = lattice.ProjectMLayerKey(tuple.key, cuboid);
+    Isb& acc = cells.try_emplace(key).first->second;
+    AccumulateStandardDim(acc, tuple.measure);
+  }
+  return cells;
+}
+
+std::vector<double> CollectIntermediateSlopes(
+    const CuboidLattice& lattice, const std::vector<MLayerTuple>& tuples) {
+  std::vector<double> slopes;
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    if (c == lattice.m_layer_id() || c == lattice.o_layer_id()) continue;
+    CellMap cells = ComputeCuboidBruteForce(lattice, tuples, c);
+    for (const auto& [key, isb] : cells) {
+      slopes.push_back(std::fabs(isb.slope));
+    }
+  }
+  std::sort(slopes.begin(), slopes.end());
+  return slopes;
+}
+
+double CalibrateExceptionThreshold(const CuboidLattice& lattice,
+                                   const std::vector<MLayerTuple>& tuples,
+                                   double target_fraction) {
+  target_fraction = std::clamp(target_fraction, 0.0, 1.0);
+  std::vector<double> slopes = CollectIntermediateSlopes(lattice, tuples);
+  if (slopes.empty()) return 0.0;
+  if (target_fraction >= 1.0) return 0.0;  // everything is an exception
+  // The top target_fraction of |slope| values pass the threshold.
+  const double idx =
+      (1.0 - target_fraction) * static_cast<double>(slopes.size() - 1);
+  return slopes[static_cast<size_t>(idx)];
+}
+
+}  // namespace regcube

@@ -1,0 +1,95 @@
+#ifndef REGCUBE_CORE_REGRESSION_CUBE_H_
+#define REGCUBE_CORE_REGRESSION_CUBE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/cube/cuboid.h"
+#include "regcube/cube/schema.h"
+#include "regcube/core/exception_store.h"
+#include "regcube/htree/htree_cubing.h"
+
+namespace regcube {
+
+/// Cost accounting of one cubing run; the quantities Figures 8–10 plot.
+struct CubingStats {
+  double build_tree_seconds = 0.0;
+  double compute_seconds = 0.0;
+  std::int64_t htree_nodes = 0;
+  std::int64_t htree_bytes = 0;
+  std::int64_t cells_computed = 0;   // all cells materialized (even briefly)
+  std::int64_t exception_cells = 0;  // retained between the layers
+  std::int64_t peak_memory_bytes = 0;
+  std::int64_t retained_memory_bytes = 0;  // final: tree + layers + exceptions
+
+  double total_seconds() const { return build_tree_seconds + compute_seconds; }
+
+  std::string ToString() const;
+};
+
+/// The materialized partially-computed regression cube of §4: all cells at
+/// the two critical layers, exception cells in between, plus run statistics.
+/// Produced by ComputeMoCubing / ComputePopularPathCubing and queried
+/// through CubeView (core/query.h).
+class RegressionCube {
+ public:
+  explicit RegressionCube(std::shared_ptr<const CubeSchema> schema);
+
+  RegressionCube(RegressionCube&&) noexcept = default;
+  RegressionCube& operator=(RegressionCube&&) noexcept = default;
+
+  const CubeSchema& schema() const { return *schema_; }
+  std::shared_ptr<const CubeSchema> schema_ptr() const { return schema_; }
+  const CuboidLattice& lattice() const { return lattice_; }
+
+  const CellMap& m_layer() const { return m_layer_; }
+  const CellMap& o_layer() const { return o_layer_; }
+  const ExceptionStore& exceptions() const { return exceptions_; }
+  const CubingStats& stats() const { return stats_; }
+
+  CellMap& mutable_m_layer() { return m_layer_; }
+  CellMap& mutable_o_layer() { return o_layer_; }
+  ExceptionStore& mutable_exceptions() { return exceptions_; }
+  CubingStats& mutable_stats() { return stats_; }
+
+  /// Retained cells of `cuboid`: the full layer for m/o, otherwise the
+  /// stored exception cells (nullptr if none).
+  const CellMap* CellsAt(CuboidId cuboid) const;
+
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const CubeSchema> schema_;
+  CuboidLattice lattice_;  // points into *schema_, stable across moves
+  CellMap m_layer_;
+  CellMap o_layer_;
+  ExceptionStore exceptions_;
+  CubingStats stats_;
+};
+
+/// Reference oracle: computes every cell of `cuboid` by directly projecting
+/// each m-layer tuple and aggregating with Theorem 3.2. O(|tuples|) per
+/// cuboid with no shared computation — used by tests as ground truth and by
+/// benchmarks to calibrate exception thresholds.
+CellMap ComputeCuboidBruteForce(const CuboidLattice& lattice,
+                                const std::vector<MLayerTuple>& tuples,
+                                CuboidId cuboid);
+
+/// Absolute slopes of every cell in every cuboid strictly between the
+/// o-layer and m-layer (the "aggregated cells" whose exception percentage
+/// Figures 8–10 sweep). Sorted ascending.
+std::vector<double> CollectIntermediateSlopes(
+    const CuboidLattice& lattice, const std::vector<MLayerTuple>& tuples);
+
+/// Threshold θ such that ~`target_fraction` of the intermediate cells have
+/// |slope| >= θ (DESIGN.md §4.2's exception-rate calibration).
+/// target_fraction is clamped to [0, 1].
+double CalibrateExceptionThreshold(const CuboidLattice& lattice,
+                                   const std::vector<MLayerTuple>& tuples,
+                                   double target_fraction);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CORE_REGRESSION_CUBE_H_

@@ -1,0 +1,215 @@
+#include "regcube/core/stream_engine.h"
+
+#include <algorithm>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+#include "regcube/regression/aggregate.h"
+
+namespace regcube {
+
+StreamCubeEngine::StreamCubeEngine(std::shared_ptr<const CubeSchema> schema,
+                                   Options options)
+    : schema_(std::move(schema)),
+      lattice_(*schema_),
+      options_(std::move(options)),
+      now_(options_.start_tick) {
+  RC_CHECK(schema_ != nullptr);
+  RC_CHECK(options_.tilt_policy != nullptr);
+}
+
+TiltTimeFrame& StreamCubeEngine::FrameFor(const CellKey& key) {
+  auto it = frames_.find(key);
+  if (it == frames_.end()) {
+    it = frames_
+             .emplace(key,
+                      TiltTimeFrame(options_.tilt_policy, options_.start_tick))
+             .first;
+  }
+  return it->second;
+}
+
+Status StreamCubeEngine::Ingest(const StreamTuple& tuple) {
+  const CellKey key =
+      options_.key_mapper ? options_.key_mapper(tuple.key) : tuple.key;
+  RC_RETURN_IF_ERROR(FrameFor(key).Add(tuple.tick, tuple.value));
+  now_ = std::max(now_, tuple.tick);
+  return Status::OK();
+}
+
+Status StreamCubeEngine::IngestBatch(const std::vector<StreamTuple>& tuples) {
+  for (const StreamTuple& t : tuples) RC_RETURN_IF_ERROR(Ingest(t));
+  return Status::OK();
+}
+
+Status StreamCubeEngine::SealThrough(TimeTick t) {
+  now_ = std::max(now_, t + 1);
+  AlignFrames();
+  return Status::OK();
+}
+
+void StreamCubeEngine::AlignFrames() {
+  for (auto& [key, frame] : frames_) {
+    Status s = frame.AdvanceTo(now_);
+    RC_CHECK(s.ok()) << s.ToString();
+  }
+}
+
+Result<std::vector<MLayerTuple>> StreamCubeEngine::SnapshotWindow(int level,
+                                                                  int k) {
+  if (frames_.empty()) {
+    return Status::FailedPrecondition("no stream data ingested yet");
+  }
+  AlignFrames();
+  std::vector<MLayerTuple> tuples;
+  tuples.reserve(frames_.size());
+  for (auto& [key, frame] : frames_) {
+    auto isb = frame.RegressLastSlots(level, k);
+    if (!isb.ok()) return isb.status();
+    tuples.push_back(MLayerTuple{key, *isb});
+  }
+  return tuples;
+}
+
+Result<RegressionCube> StreamCubeEngine::ComputeCube(int level, int k) {
+  auto tuples = SnapshotWindow(level, k);
+  if (!tuples.ok()) return tuples.status();
+  if (options_.algorithm == Algorithm::kMoCubing) {
+    MoCubingOptions mo;
+    mo.policy = options_.policy;
+    return ComputeMoCubing(schema_, *tuples, mo);
+  }
+  PopularPathOptions pp;
+  pp.policy = options_.policy;
+  pp.path = options_.path;
+  return ComputePopularPathCubing(schema_, *tuples, pp);
+}
+
+Result<StreamCubeEngine::DeckSeries> StreamCubeEngine::ObservationDeck(
+    int level) {
+  if (frames_.empty()) {
+    return Status::FailedPrecondition("no stream data ingested yet");
+  }
+  AlignFrames();
+  // Per o-layer cell, per slot index: moment sums across member frames
+  // (Theorem 3.2 applied slot-wise in moment space).
+  std::unordered_map<CellKey, std::vector<MomentSums>, CellKeyHash> acc;
+  const CuboidId o_id = lattice_.o_layer_id();
+  for (auto& [key, frame] : frames_) {
+    const CellKey o_key = lattice_.ProjectMLayerKey(key, o_id);
+    const auto& slots = frame.RawSlots(level);
+    auto& dest = acc[o_key];
+    if (dest.size() < slots.size()) dest.resize(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (dest[i].interval.empty()) {
+        dest[i] = slots[i];
+      } else {
+        RC_CHECK(dest[i].interval == slots[i].interval)
+            << "frames misaligned at slot " << i;
+        dest[i].sum_z += slots[i].sum_z;
+        dest[i].sum_tz += slots[i].sum_tz;
+      }
+    }
+  }
+  DeckSeries deck;
+  deck.reserve(acc.size());
+  for (auto& [key, moments] : acc) {
+    std::vector<Isb> series;
+    series.reserve(moments.size());
+    for (const MomentSums& m : moments) series.push_back(FitFromMoments(m));
+    deck.emplace(key, std::move(series));
+  }
+  return deck;
+}
+
+Result<std::vector<StreamCubeEngine::TrendChange>>
+StreamCubeEngine::DetectTrendChanges(int level, double threshold) {
+  auto deck = ObservationDeck(level);
+  if (!deck.ok()) return deck.status();
+  std::vector<TrendChange> changes;
+  for (const auto& [key, series] : *deck) {
+    if (series.size() < 2) continue;
+    const Isb& prev = series[series.size() - 2];
+    const Isb& cur = series[series.size() - 1];
+    const double delta = std::abs(cur.slope - prev.slope);
+    if (delta >= threshold) {
+      changes.push_back(TrendChange{key, prev, cur, delta});
+    }
+  }
+  std::sort(changes.begin(), changes.end(),
+            [](const TrendChange& a, const TrendChange& b) {
+              return a.slope_delta > b.slope_delta;
+            });
+  return changes;
+}
+
+Result<Isb> StreamCubeEngine::QueryCell(CuboidId cuboid, const CellKey& key,
+                                        int level, int k) {
+  if (frames_.empty()) {
+    return Status::FailedPrecondition("no stream data ingested yet");
+  }
+  AlignFrames();
+  Isb acc;
+  bool found = false;
+  for (auto& [m_key, frame] : frames_) {
+    if (!(lattice_.ProjectMLayerKey(m_key, cuboid) == key)) continue;
+    auto isb = frame.RegressLastSlots(level, k);
+    if (!isb.ok()) return isb.status();
+    AccumulateStandardDim(acc, *isb);
+    found = true;
+  }
+  if (!found) {
+    return Status::NotFound(
+        StrPrintf("no m-layer cell rolls up into %s of cuboid %s",
+                  key.ToString().c_str(),
+                  lattice_.CuboidName(cuboid).c_str()));
+  }
+  return acc;
+}
+
+Result<std::vector<Isb>> StreamCubeEngine::QueryCellSeries(
+    CuboidId cuboid, const CellKey& key, int level) {
+  if (frames_.empty()) {
+    return Status::FailedPrecondition("no stream data ingested yet");
+  }
+  AlignFrames();
+  std::vector<MomentSums> acc;
+  bool found = false;
+  for (auto& [m_key, frame] : frames_) {
+    if (!(lattice_.ProjectMLayerKey(m_key, cuboid) == key)) continue;
+    const auto& slots = frame.RawSlots(level);
+    if (acc.size() < slots.size()) acc.resize(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (acc[i].interval.empty()) {
+        acc[i] = slots[i];
+      } else {
+        RC_CHECK(acc[i].interval == slots[i].interval);
+        acc[i].sum_z += slots[i].sum_z;
+        acc[i].sum_tz += slots[i].sum_tz;
+      }
+    }
+    found = true;
+  }
+  if (!found) {
+    return Status::NotFound(
+        StrPrintf("no m-layer cell rolls up into %s of cuboid %s",
+                  key.ToString().c_str(),
+                  lattice_.CuboidName(cuboid).c_str()));
+  }
+  std::vector<Isb> series;
+  series.reserve(acc.size());
+  for (const MomentSums& m : acc) series.push_back(FitFromMoments(m));
+  return series;
+}
+
+std::int64_t StreamCubeEngine::MemoryBytes() const {
+  std::int64_t bytes = 0;
+  constexpr std::int64_t kMapEntryOverhead = 16;
+  for (const auto& [key, frame] : frames_) {
+    bytes += static_cast<std::int64_t>(sizeof(CellKey)) + kMapEntryOverhead +
+             frame.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace regcube

@@ -1,0 +1,146 @@
+#ifndef REGCUBE_CORE_STREAM_ENGINE_H_
+#define REGCUBE_CORE_STREAM_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/core/mo_cubing.h"
+#include "regcube/core/popular_path.h"
+#include "regcube/core/regression_cube.h"
+#include "regcube/cube/exception_policy.h"
+#include "regcube/time/tilt_frame.h"
+
+namespace regcube {
+
+/// One raw stream observation: a cell key (m-layer values, or primitive
+/// values if a key mapper is installed), a time tick, and a measure value.
+struct StreamTuple {
+  CellKey key;
+  TimeTick tick = 0;
+  double value = 0.0;
+};
+
+/// The on-line analysis engine of §4.5: maintains one tilt time frame per
+/// m-layer cell, continuously absorbing the stream; when a window is
+/// sealed, the partially materialized cube (critical layers + exceptions)
+/// can be recomputed over any tilt-frame window with either cubing
+/// algorithm, and the observation deck / trend-change queries read the
+/// o-layer directly.
+///
+/// Tick semantics: ticks arrive in non-decreasing order per cell (enforced
+/// per frame); missing ticks contribute zero (additive stream semantics,
+/// see TiltTimeFrame).
+class StreamCubeEngine {
+ public:
+  enum class Algorithm { kMoCubing, kPopularPath };
+
+  struct Options {
+    /// Tilt frame structure shared by every cell.
+    std::shared_ptr<const TiltPolicy> tilt_policy;
+
+    /// First tick of the stream.
+    TimeTick start_tick = 0;
+
+    /// Exception predicate used by ComputeCube.
+    ExceptionPolicy policy{0.0};
+
+    Algorithm algorithm = Algorithm::kMoCubing;
+
+    /// Drill path for the popular-path algorithm (default path if unset).
+    std::optional<DrillPath> path;
+
+    /// Maps incoming primitive-layer keys to m-layer keys ("the m-layer
+    /// should be the layer aggregated directly from the stream data").
+    /// Identity when null.
+    std::function<CellKey(const CellKey&)> key_mapper;
+  };
+
+  StreamCubeEngine(std::shared_ptr<const CubeSchema> schema, Options options);
+
+  /// Absorbs one observation.
+  Status Ingest(const StreamTuple& tuple);
+
+  /// Absorbs a batch (stops at the first error).
+  Status IngestBatch(const std::vector<StreamTuple>& tuples);
+
+  /// Declares that no data with tick <= `t` remains in flight: every frame
+  /// seals all units ending at or before `t` ("the aggregated data will
+  /// trigger the cube computation once every 15 minutes").
+  Status SealThrough(TimeTick t);
+
+  /// Latest tick ingested or sealed.
+  TimeTick now() const { return now_; }
+
+  /// Number of distinct m-layer cells seen.
+  std::int64_t num_cells() const {
+    return static_cast<std::int64_t>(frames_.size());
+  }
+
+  /// m-layer regression tuples over the most recent `k` sealed slots of
+  /// tilt level `level` — the cube computation input. Aligns all frames to
+  /// the engine clock first. OutOfRange if fewer than `k` slots are sealed.
+  Result<std::vector<MLayerTuple>> SnapshotWindow(int level, int k);
+
+  /// Recomputes the partially materialized cube over that window with the
+  /// configured algorithm.
+  Result<RegressionCube> ComputeCube(int level, int k);
+
+  /// Observation deck (§4.2): for every o-layer cell, its sealed slot
+  /// series at tilt level `level` — "the layer an analyst takes as an
+  /// observation deck, watching the changes of the current stream data".
+  using DeckSeries = std::unordered_map<CellKey, std::vector<Isb>, CellKeyHash>;
+  Result<DeckSeries> ObservationDeck(int level);
+
+  /// A trend change at the o-layer: the regression "between two points
+  /// represented by the current cell vs. the previous one" (§4.3).
+  struct TrendChange {
+    CellKey key;
+    Isb previous;
+    Isb current;
+    double slope_delta = 0.0;  // |current.slope - previous.slope|
+  };
+
+  /// O-layer cells whose slope moved by >= `threshold` between the last two
+  /// sealed slots of `level`, strongest change first.
+  Result<std::vector<TrendChange>> DetectTrendChanges(int level,
+                                                      double threshold);
+
+  /// On-the-fly regression of one cell of any lattice cuboid over the most
+  /// recent `k` sealed slots of tilt `level`, aggregated directly from the
+  /// member frames (no cube materialization). NotFound if no m-layer cell
+  /// rolls up into `key`.
+  Result<Isb> QueryCell(CuboidId cuboid, const CellKey& key, int level,
+                        int k);
+
+  /// The cell's whole sealed slot series at `level` (one ISB per retained
+  /// unit), for charting a single cell the way the observation deck charts
+  /// the o-layer.
+  Result<std::vector<Isb>> QueryCellSeries(CuboidId cuboid,
+                                           const CellKey& key, int level);
+
+  /// Total bytes retained by the per-cell tilt frames.
+  std::int64_t MemoryBytes() const;
+
+  const CubeSchema& schema() const { return *schema_; }
+  const CuboidLattice& lattice() const { return lattice_; }
+
+ private:
+  /// Advances every frame to the engine clock so slot structures align.
+  void AlignFrames();
+
+  TiltTimeFrame& FrameFor(const CellKey& key);
+
+  std::shared_ptr<const CubeSchema> schema_;
+  CuboidLattice lattice_;
+  Options options_;
+  std::unordered_map<CellKey, TiltTimeFrame, CellKeyHash> frames_;
+  TimeTick now_;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CORE_STREAM_ENGINE_H_

@@ -1,0 +1,213 @@
+#include "regcube/cube/cuboid.h"
+
+#include <algorithm>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+
+namespace regcube {
+
+CuboidLattice::CuboidLattice(const CubeSchema& schema) : schema_(&schema) {
+  const int num_dims = schema.num_dims();
+  radix_.resize(static_cast<size_t>(num_dims));
+  num_cuboids_ = 1;
+  // Least-significant radix digit = dimension 0.
+  for (int d = 0; d < num_dims; ++d) {
+    radix_[static_cast<size_t>(d)] = num_cuboids_;
+    num_cuboids_ *=
+        schema.m_layer()[static_cast<size_t>(d)] -
+        schema.o_layer()[static_cast<size_t>(d)] + 1;
+  }
+  RC_CHECK_LE(num_cuboids_, 1 << 24) << "lattice too large";
+
+  specs_.reserve(static_cast<size_t>(num_cuboids_));
+  for (std::int64_t i = 0; i < num_cuboids_; ++i) {
+    LayerSpec spec(static_cast<size_t>(num_dims));
+    std::int64_t rest = i;
+    for (int d = num_dims - 1; d >= 0; --d) {
+      const std::int64_t digits =
+          schema.m_layer()[static_cast<size_t>(d)] -
+          schema.o_layer()[static_cast<size_t>(d)] + 1;
+      (void)digits;
+      std::int64_t digit = rest / radix_[static_cast<size_t>(d)];
+      rest %= radix_[static_cast<size_t>(d)];
+      spec[static_cast<size_t>(d)] =
+          schema.o_layer()[static_cast<size_t>(d)] + static_cast<int>(digit);
+    }
+    specs_.push_back(std::move(spec));
+  }
+  o_id_ = id(schema.o_layer());
+  m_id_ = id(schema.m_layer());
+}
+
+const LayerSpec& CuboidLattice::spec(CuboidId id) const {
+  RC_CHECK(id >= 0 && id < num_cuboids_);
+  return specs_[static_cast<size_t>(id)];
+}
+
+CuboidId CuboidLattice::id(const LayerSpec& spec) const {
+  RC_CHECK_EQ(spec.size(), static_cast<size_t>(schema_->num_dims()));
+  std::int64_t out = 0;
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    const int lo = schema_->o_layer()[static_cast<size_t>(d)];
+    const int hi = schema_->m_layer()[static_cast<size_t>(d)];
+    const int level = spec[static_cast<size_t>(d)];
+    RC_CHECK(level >= lo && level <= hi)
+        << "level " << level << " of dim " << d << " outside lattice ["
+        << lo << "," << hi << "]";
+    out += static_cast<std::int64_t>(level - lo) * radix_[static_cast<size_t>(d)];
+  }
+  return static_cast<CuboidId>(out);
+}
+
+std::vector<CuboidId> CuboidLattice::DrillChildren(CuboidId id) const {
+  const LayerSpec& s = spec(id);
+  std::vector<CuboidId> out;
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    if (s[static_cast<size_t>(d)] <
+        schema_->m_layer()[static_cast<size_t>(d)]) {
+      LayerSpec child = s;
+      ++child[static_cast<size_t>(d)];
+      out.push_back(this->id(child));
+    }
+  }
+  return out;
+}
+
+std::vector<CuboidId> CuboidLattice::RollupParents(CuboidId id) const {
+  const LayerSpec& s = spec(id);
+  std::vector<CuboidId> out;
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    if (s[static_cast<size_t>(d)] >
+        schema_->o_layer()[static_cast<size_t>(d)]) {
+      LayerSpec parent = s;
+      --parent[static_cast<size_t>(d)];
+      out.push_back(this->id(parent));
+    }
+  }
+  return out;
+}
+
+bool CuboidLattice::IsAncestorOrEqual(CuboidId a, CuboidId b) const {
+  const LayerSpec& sa = spec(a);
+  const LayerSpec& sb = spec(b);
+  for (size_t d = 0; d < sa.size(); ++d) {
+    if (sa[d] > sb[d]) return false;
+  }
+  return true;
+}
+
+std::vector<Attribute> CuboidLattice::AttributesOf(CuboidId id) const {
+  const LayerSpec& s = spec(id);
+  std::vector<Attribute> out;
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    if (s[static_cast<size_t>(d)] >= 1) {
+      out.push_back({d, s[static_cast<size_t>(d)]});
+    }
+  }
+  return out;
+}
+
+CellKey CuboidLattice::ProjectMLayerKey(const CellKey& m_key,
+                                        CuboidId id) const {
+  const LayerSpec& s = spec(id);
+  CellKey out(schema_->num_dims());
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    const int level = s[static_cast<size_t>(d)];
+    if (level == 0) continue;  // stays kStarValue
+    out.set(d, schema_->RollUp(d, m_key[d], level));
+  }
+  return out;
+}
+
+CellKey CuboidLattice::ProjectKey(const CellKey& key, CuboidId from,
+                                  CuboidId to) const {
+  RC_CHECK(IsAncestorOrEqual(to, from))
+      << CuboidName(to) << " is not an ancestor of " << CuboidName(from);
+  const LayerSpec& sf = spec(from);
+  const LayerSpec& st = spec(to);
+  CellKey out(schema_->num_dims());
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    const int to_level = st[static_cast<size_t>(d)];
+    if (to_level == 0) continue;
+    out.set(d, schema_->dim(d).hierarchy().Ancestor(
+                   sf[static_cast<size_t>(d)], key[d], to_level));
+  }
+  return out;
+}
+
+bool CuboidLattice::KeyIsDescendant(const CellKey& child_key, CuboidId child,
+                                    const CellKey& parent_key,
+                                    CuboidId parent) const {
+  if (!IsAncestorOrEqual(parent, child)) return false;
+  return ProjectKey(child_key, child, parent) == parent_key;
+}
+
+std::string CuboidLattice::CuboidName(CuboidId id) const {
+  return LayerToString(spec(id), schema_->dims());
+}
+
+Status DrillPath::Validate(const CuboidLattice& lattice,
+                           const DrillPath& path) {
+  if (path.steps.empty()) {
+    return Status::InvalidArgument("empty drill path");
+  }
+  if (path.steps.front() != lattice.o_layer_id()) {
+    return Status::InvalidArgument("path must start at the o-layer");
+  }
+  if (path.steps.back() != lattice.m_layer_id()) {
+    return Status::InvalidArgument("path must end at the m-layer");
+  }
+  for (size_t i = 1; i < path.steps.size(); ++i) {
+    const LayerSpec& prev = lattice.spec(path.steps[i - 1]);
+    const LayerSpec& next = lattice.spec(path.steps[i]);
+    int refined = 0;
+    for (size_t d = 0; d < prev.size(); ++d) {
+      if (next[d] == prev[d] + 1) {
+        ++refined;
+      } else if (next[d] != prev[d]) {
+        return Status::InvalidArgument(
+            StrPrintf("step %zu changes dim %zu by more than one level", i, d));
+      }
+    }
+    if (refined != 1) {
+      return Status::InvalidArgument(
+          StrPrintf("step %zu must refine exactly one dimension", i));
+    }
+  }
+  return Status::OK();
+}
+
+Result<DrillPath> DrillPath::MakeDimOrderPath(const CuboidLattice& lattice,
+                                              const std::vector<int>& dim_order) {
+  const CubeSchema& schema = lattice.schema();
+  std::vector<int> sorted = dim_order;
+  std::sort(sorted.begin(), sorted.end());
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (sorted[static_cast<size_t>(d)] != d) {
+      return Status::InvalidArgument(
+          "dim_order must be a permutation of the dimensions");
+    }
+  }
+  DrillPath path;
+  LayerSpec cur = schema.o_layer();
+  path.steps.push_back(lattice.id(cur));
+  for (int d : dim_order) {
+    while (cur[static_cast<size_t>(d)] <
+           schema.m_layer()[static_cast<size_t>(d)]) {
+      ++cur[static_cast<size_t>(d)];
+      path.steps.push_back(lattice.id(cur));
+    }
+  }
+  return path;
+}
+
+DrillPath DrillPath::MakeDefault(const CuboidLattice& lattice) {
+  std::vector<int> order(static_cast<size_t>(lattice.schema().num_dims()));
+  for (size_t d = 0; d < order.size(); ++d) order[d] = static_cast<int>(d);
+  auto path = MakeDimOrderPath(lattice, order);
+  RC_CHECK(path.ok());
+  return std::move(path).value();
+}
+
+}  // namespace regcube

@@ -1,0 +1,109 @@
+#ifndef REGCUBE_CUBE_CUBOID_H_
+#define REGCUBE_CUBE_CUBOID_H_
+
+#include <string>
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/cube/cell.h"
+#include "regcube/cube/schema.h"
+
+namespace regcube {
+
+/// One (dimension, level) pair — an "attribute" of the H-tree path in the
+/// paper's Example 5 terminology (A1, B2, C1, ...).
+struct Attribute {
+  int dim = 0;
+  int level = 0;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+/// The lattice of cuboids between the o-layer (top, most aggregated) and the
+/// m-layer (bottom, most detailed), inclusive — Fig 6. A cuboid is a
+/// LayerSpec with o[d] <= level[d] <= m[d] per dimension; cuboids get dense
+/// ids via mixed-radix encoding so per-cuboid state can live in flat arrays.
+///
+/// Direction vocabulary (matches the paper): *drilling down* moves toward
+/// the m-layer (one dimension one level deeper); *rolling up* moves toward
+/// the o-layer.
+class CuboidLattice {
+ public:
+  explicit CuboidLattice(const CubeSchema& schema);
+
+  const CubeSchema& schema() const { return *schema_; }
+
+  std::int64_t num_cuboids() const { return num_cuboids_; }
+
+  /// Levels per dimension of cuboid `id`.
+  const LayerSpec& spec(CuboidId id) const;
+
+  /// Dense id of `spec`. Pre: o <= spec <= m elementwise (checked).
+  CuboidId id(const LayerSpec& spec) const;
+
+  CuboidId o_layer_id() const { return o_id_; }
+  CuboidId m_layer_id() const { return m_id_; }
+
+  /// Cuboids one drill step below `id` (one dimension one level deeper,
+  /// toward the m-layer).
+  std::vector<CuboidId> DrillChildren(CuboidId id) const;
+
+  /// Cuboids one roll-up step above `id` (toward the o-layer).
+  std::vector<CuboidId> RollupParents(CuboidId id) const;
+
+  /// True iff cuboid `a` is an ancestor of (or equal to) `b`: a's levels
+  /// are <= b's levels in every dimension, so every cell of `a` aggregates
+  /// cells of `b`.
+  bool IsAncestorOrEqual(CuboidId a, CuboidId b) const;
+
+  /// Attributes of cuboid `id`: the (dim, level) pairs with level >= 1.
+  std::vector<Attribute> AttributesOf(CuboidId id) const;
+
+  /// Projects an m-layer cell key onto cuboid `id` by rolling every
+  /// dimension up to the cuboid's level.
+  CellKey ProjectMLayerKey(const CellKey& m_key, CuboidId id) const;
+
+  /// Projects a key of cuboid `from` onto its ancestor cuboid `to`.
+  /// Pre: IsAncestorOrEqual(to, from) (checked).
+  CellKey ProjectKey(const CellKey& key, CuboidId from, CuboidId to) const;
+
+  /// True iff `child_key` (a cell of `child`) lies under `parent_key`
+  /// (a cell of ancestor cuboid `parent`).
+  bool KeyIsDescendant(const CellKey& child_key, CuboidId child,
+                       const CellKey& parent_key, CuboidId parent) const;
+
+  /// Renders "(A2, *, C1)" for diagnostics.
+  std::string CuboidName(CuboidId id) const;
+
+ private:
+  const CubeSchema* schema_;  // not owned; must outlive the lattice
+  std::vector<LayerSpec> specs_;
+  std::vector<std::int64_t> radix_;  // mixed-radix strides per dim
+  std::int64_t num_cuboids_ = 0;
+  CuboidId o_id_ = -1;
+  CuboidId m_id_ = -1;
+};
+
+/// A drilling path from the o-layer to the m-layer: a chain of cuboids where
+/// each step refines exactly one dimension by one level (the dark-line path
+/// of Fig 6). The popular-path algorithm materializes all cells along it.
+struct DrillPath {
+  std::vector<CuboidId> steps;  // steps.front() == o, steps.back() == m
+
+  /// OK iff the chain starts at o, ends at m, and each hop refines one
+  /// dimension by exactly one level.
+  static Status Validate(const CuboidLattice& lattice, const DrillPath& path);
+
+  /// Path that refines dimensions fully one at a time, in `dim_order`
+  /// (must be a permutation of 0..D-1). E.g. Fig 6's path is dim order
+  /// {B, A, C} for the Example 5 schema.
+  static Result<DrillPath> MakeDimOrderPath(const CuboidLattice& lattice,
+                                            const std::vector<int>& dim_order);
+
+  /// Default popular path: dimensions in schema order.
+  static DrillPath MakeDefault(const CuboidLattice& lattice);
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CUBE_CUBOID_H_

@@ -1,0 +1,77 @@
+#include "regcube/cube/exception_policy.h"
+
+#include <cmath>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+
+namespace regcube {
+
+const char* ExceptionModeName(ExceptionMode mode) {
+  switch (mode) {
+    case ExceptionMode::kAbsoluteSlope:
+      return "abs-slope";
+    case ExceptionMode::kPositiveSlope:
+      return "positive-slope";
+    case ExceptionMode::kNegativeSlope:
+      return "negative-slope";
+  }
+  return "?";
+}
+
+ExceptionPolicy::ExceptionPolicy(double global_threshold, ExceptionMode mode)
+    : global_threshold_(global_threshold), mode_(mode) {
+  RC_CHECK_GE(global_threshold, 0.0);
+}
+
+void ExceptionPolicy::SetCuboidThreshold(CuboidId cuboid, double threshold) {
+  RC_CHECK_GE(threshold, 0.0);
+  per_cuboid_[cuboid] = threshold;
+}
+
+void ExceptionPolicy::SetDepthThreshold(int depth, double threshold) {
+  RC_CHECK_GE(threshold, 0.0);
+  per_depth_[depth] = threshold;
+}
+
+double ExceptionPolicy::ThresholdFor(CuboidId cuboid, int depth) const {
+  if (auto it = per_cuboid_.find(cuboid); it != per_cuboid_.end()) {
+    return it->second;
+  }
+  if (auto it = per_depth_.find(depth); it != per_depth_.end()) {
+    return it->second;
+  }
+  return global_threshold_;
+}
+
+bool ExceptionPolicy::Test(double slope, double threshold) const {
+  switch (mode_) {
+    case ExceptionMode::kAbsoluteSlope:
+      return std::fabs(slope) >= threshold;
+    case ExceptionMode::kPositiveSlope:
+      return slope >= threshold;
+    case ExceptionMode::kNegativeSlope:
+      return slope <= -threshold;
+  }
+  return false;
+}
+
+bool ExceptionPolicy::IsException(const Isb& isb, CuboidId cuboid,
+                                  int depth) const {
+  return Test(isb.slope, ThresholdFor(cuboid, depth));
+}
+
+std::string ExceptionPolicy::ToString() const {
+  return StrPrintf("ExceptionPolicy(mode=%s, θ=%.6g, %zu cuboid + %zu depth "
+                   "overrides)",
+                   ExceptionModeName(mode_), global_threshold_,
+                   per_cuboid_.size(), per_depth_.size());
+}
+
+int SpecDepth(const LayerSpec& spec) {
+  int depth = 0;
+  for (int level : spec) depth += level;
+  return depth;
+}
+
+}  // namespace regcube

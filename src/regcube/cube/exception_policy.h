@@ -1,0 +1,68 @@
+#ifndef REGCUBE_CUBE_EXCEPTION_POLICY_H_
+#define REGCUBE_CUBE_EXCEPTION_POLICY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "regcube/cube/cell.h"
+#include "regcube/regression/isb.h"
+
+namespace regcube {
+
+/// Which slope statistic the threshold applies to (§4.3: the regression line
+/// may be a cell's own line or relate the current time unit to the previous
+/// one; the engine picks the reference points in the tilt frame).
+enum class ExceptionMode {
+  kAbsoluteSlope,  // |β̂| >= θ
+  kPositiveSlope,  // β̂ >= θ   (rising trends only)
+  kNegativeSlope,  // β̂ <= -θ  (falling trends only)
+};
+
+const char* ExceptionModeName(ExceptionMode mode);
+
+/// Exception predicate of Framework 4.1: "a regression line is exceptional
+/// if its slope >= the exception threshold, where a threshold can be defined
+/// for each cuboid, for each dimension level, or for the whole cube".
+/// Resolution order for a cell's threshold: per-cuboid override, else
+/// per-total-level override (sum of the cuboid's levels, a proxy for "depth"
+/// in the lattice), else the global threshold.
+class ExceptionPolicy {
+ public:
+  /// Policy with a global threshold (must be >= 0, checked).
+  explicit ExceptionPolicy(double global_threshold,
+                           ExceptionMode mode = ExceptionMode::kAbsoluteSlope);
+
+  /// Overrides the threshold for one cuboid.
+  void SetCuboidThreshold(CuboidId cuboid, double threshold);
+
+  /// Overrides the threshold for all cuboids whose level-sum equals `depth`.
+  void SetDepthThreshold(int depth, double threshold);
+
+  /// Threshold applying to `cuboid` whose spec has level-sum `depth`.
+  double ThresholdFor(CuboidId cuboid, int depth) const;
+
+  /// The exception test on a cell's regression line.
+  bool IsException(const Isb& isb, CuboidId cuboid, int depth) const;
+
+  double global_threshold() const { return global_threshold_; }
+  ExceptionMode mode() const { return mode_; }
+
+  std::string ToString() const;
+
+ private:
+  bool Test(double slope, double threshold) const;
+
+  double global_threshold_;
+  ExceptionMode mode_;
+  std::unordered_map<CuboidId, double> per_cuboid_;
+  std::unordered_map<int, double> per_depth_;
+};
+
+/// Level-sum of a cuboid spec (the "depth" used by per-depth thresholds).
+int SpecDepth(const LayerSpec& spec);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CUBE_EXCEPTION_POLICY_H_

@@ -1,0 +1,76 @@
+#include "regcube/cube/schema.h"
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+
+namespace regcube {
+
+std::string LayerToString(const LayerSpec& layer,
+                          const std::vector<Dimension>& dims) {
+  std::vector<std::string> parts;
+  for (size_t d = 0; d < layer.size(); ++d) {
+    parts.push_back(d < dims.size() ? dims[d].level_name(layer[d])
+                                    : StrPrintf("L%d", layer[d]));
+  }
+  std::string out = "(";
+  out += StrJoin(parts, ", ");
+  out += ")";
+  return out;
+}
+
+Result<CubeSchema> CubeSchema::Create(std::vector<Dimension> dims,
+                                      LayerSpec m_layer, LayerSpec o_layer) {
+  if (dims.empty() || dims.size() > static_cast<size_t>(kMaxDims)) {
+    return Status::InvalidArgument(
+        StrPrintf("need 1..%d dimensions, got %zu", kMaxDims, dims.size()));
+  }
+  if (m_layer.size() != dims.size() || o_layer.size() != dims.size()) {
+    return Status::InvalidArgument("layer specs must cover every dimension");
+  }
+  for (size_t d = 0; d < dims.size(); ++d) {
+    const int max_level = dims[d].num_levels();
+    if (m_layer[d] < 1 || m_layer[d] > max_level) {
+      return Status::InvalidArgument(StrPrintf(
+          "m-layer level %d of dimension %s outside [1,%d]", m_layer[d],
+          dims[d].name().c_str(), max_level));
+    }
+    if (o_layer[d] < 0 || o_layer[d] > m_layer[d]) {
+      return Status::InvalidArgument(StrPrintf(
+          "o-layer level %d of dimension %s outside [0,%d]", o_layer[d],
+          dims[d].name().c_str(), m_layer[d]));
+    }
+  }
+  CubeSchema schema;
+  schema.dims_ = std::move(dims);
+  schema.m_layer_ = std::move(m_layer);
+  schema.o_layer_ = std::move(o_layer);
+  return schema;
+}
+
+std::int64_t CubeSchema::NumLatticeCuboids() const {
+  std::int64_t n = 1;
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    n *= m_layer_[d] - o_layer_[d] + 1;
+  }
+  return n;
+}
+
+ValueId CubeSchema::RollUp(int d, ValueId m_value, int level) const {
+  RC_DCHECK(d >= 0 && d < num_dims());
+  if (level == 0) return 0;
+  return dim(d).hierarchy().Ancestor(m_layer_[static_cast<size_t>(d)], m_value,
+                                     level);
+}
+
+std::string CubeSchema::ToString() const {
+  std::string out = "CubeSchema{";
+  std::vector<std::string> names;
+  for (const Dimension& d : dims_) names.push_back(d.name());
+  out += StrJoin(names, ", ");
+  out += "; m-layer=" + LayerToString(m_layer_, dims_);
+  out += ", o-layer=" + LayerToString(o_layer_, dims_);
+  out += "}";
+  return out;
+}
+
+}  // namespace regcube

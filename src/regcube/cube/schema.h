@@ -1,0 +1,66 @@
+#ifndef REGCUBE_CUBE_SCHEMA_H_
+#define REGCUBE_CUBE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/cube/dimension.h"
+
+namespace regcube {
+
+/// Maximum number of standard dimensions a cube may have. Cell keys are
+/// fixed-size arrays for speed; the paper observes that practical stream
+/// analyses involve a small number of dimensions (§5).
+inline constexpr int kMaxDims = 8;
+
+/// A layer (cuboid signature): one hierarchy level per dimension, where 0
+/// means "*" (dimension fully aggregated). The m-layer and o-layer of §4.2
+/// are LayerSpecs, as is every cuboid in between.
+using LayerSpec = std::vector<int>;
+
+/// Renders a layer like "(A2, *, C1)".
+std::string LayerToString(const LayerSpec& layer,
+                          const std::vector<Dimension>& dims);
+
+/// Schema of a regression cube: the standard dimensions (the time dimension
+/// is handled separately by the tilt frame) plus the two critical layers.
+/// Invariants (validated at construction):
+///  * 1..kMaxDims dimensions;
+///  * each m-layer level is within its dimension's hierarchy and >= 1
+///    (the m-layer is materialized, so no dimension may be "*" there);
+///  * each o-layer level is <= the m-layer level (the o-layer is an
+///    ancestor layer; 0 = "*" is allowed).
+class CubeSchema {
+ public:
+  static Result<CubeSchema> Create(std::vector<Dimension> dims,
+                                   LayerSpec m_layer, LayerSpec o_layer);
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+  const std::vector<Dimension>& dims() const { return dims_; }
+  const Dimension& dim(int d) const { return dims_[static_cast<size_t>(d)]; }
+
+  const LayerSpec& m_layer() const { return m_layer_; }
+  const LayerSpec& o_layer() const { return o_layer_; }
+
+  /// Number of cuboids in the lattice between the o-layer and the m-layer,
+  /// inclusive: Π_d (m[d] - o[d] + 1). Example 5: 2·3·2 = 12.
+  std::int64_t NumLatticeCuboids() const;
+
+  /// Rolls an m-layer value of dimension `d` up to `level` (0 returns 0,
+  /// the single "*" bucket).
+  ValueId RollUp(int d, ValueId m_value, int level) const;
+
+  std::string ToString() const;
+
+ private:
+  CubeSchema() = default;
+
+  std::vector<Dimension> dims_;
+  LayerSpec m_layer_;
+  LayerSpec o_layer_;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CUBE_SCHEMA_H_

@@ -1,0 +1,158 @@
+#include "regcube/gen/stream_generator.h"
+
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+#include "regcube/common/logging.h"
+#include "regcube/regression/linear_fit.h"
+
+namespace regcube {
+namespace {
+
+constexpr std::uint64_t kKeyStream = 0x01;
+constexpr std::uint64_t kParamStream = 0x02;
+constexpr std::uint64_t kNoiseStreamBase = 0x1000;
+
+}  // namespace
+
+StreamGenerator::StreamGenerator(WorkloadSpec spec) : spec_(std::move(spec)) {}
+
+const std::vector<StreamGenerator::CellParams>& StreamGenerator::cells() {
+  if (cells_ready_) return cells_;
+
+  const std::int64_t card = [&] {
+    std::int64_t c = 1;
+    for (int l = 0; l < spec_.num_levels; ++l) c *= spec_.fanout;
+    return c;
+  }();
+  double space = 1.0;
+  for (int d = 0; d < spec_.num_dims; ++d) space *= static_cast<double>(card);
+  RC_CHECK_LE(static_cast<double>(spec_.num_tuples), space)
+      << "more tuples requested than distinct m-layer cells exist";
+
+  SplitMix64 seeder(spec_.seed);
+  Pcg32 key_rng(seeder.Next(), kKeyStream);
+  Pcg32 param_rng(seeder.Next(), kParamStream);
+
+  std::vector<CellKey> keys;
+  keys.reserve(static_cast<size_t>(spec_.num_tuples));
+  if (space <= 1e6) {
+    // Small space: enumerate every cell and take a deterministic shuffle
+    // prefix (supports dense test workloads).
+    std::vector<CellKey> all;
+    all.reserve(static_cast<size_t>(space));
+    std::vector<ValueId> digits(static_cast<size_t>(spec_.num_dims), 0);
+    for (;;) {
+      CellKey key(spec_.num_dims);
+      for (int d = 0; d < spec_.num_dims; ++d) {
+        key.set(d, digits[static_cast<size_t>(d)]);
+      }
+      all.push_back(key);
+      int d = 0;
+      while (d < spec_.num_dims) {
+        if (++digits[static_cast<size_t>(d)] <
+            static_cast<ValueId>(card)) {
+          break;
+        }
+        digits[static_cast<size_t>(d)] = 0;
+        ++d;
+      }
+      if (d == spec_.num_dims) break;
+    }
+    // Fisher-Yates prefix shuffle.
+    for (std::int64_t i = 0; i < spec_.num_tuples; ++i) {
+      const std::int64_t j =
+          i + key_rng.Uniform(static_cast<std::uint32_t>(all.size() - i));
+      std::swap(all[static_cast<size_t>(i)], all[static_cast<size_t>(j)]);
+      keys.push_back(all[static_cast<size_t>(i)]);
+    }
+  } else {
+    // Large space: rejection-sample distinct keys.
+    std::unordered_set<CellKey, CellKeyHash> seen;
+    while (keys.size() < static_cast<size_t>(spec_.num_tuples)) {
+      CellKey key(spec_.num_dims);
+      for (int d = 0; d < spec_.num_dims; ++d) {
+        key.set(d, key_rng.Uniform(static_cast<std::uint32_t>(card)));
+      }
+      if (seen.insert(key).second) keys.push_back(key);
+    }
+  }
+
+  cells_.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    CellParams cell;
+    cell.key = keys[i];
+    cell.base = param_rng.NextDouble() * spec_.base_scale;
+    cell.anomalous =
+        param_rng.NextDouble() < spec_.anomaly_fraction;
+    if (cell.anomalous) {
+      const double magnitude =
+          spec_.anomaly_slope_min +
+          param_rng.NextDouble() *
+              (spec_.anomaly_slope_max - spec_.anomaly_slope_min);
+      cell.slope = (param_rng.NextDouble() < 0.5 ? -1.0 : 1.0) * magnitude;
+    } else {
+      cell.slope = param_rng.NextGaussian() * spec_.slope_sigma;
+    }
+    cell.phase = param_rng.NextDouble() * 2.0 * std::numbers::pi;
+    cells_.push_back(std::move(cell));
+  }
+  cells_ready_ = true;
+  return cells_;
+}
+
+double StreamGenerator::ValueAt(const CellParams& cell, Pcg32& noise_rng,
+                                TimeTick t) const {
+  const double seasonal =
+      spec_.seasonal_amplitude *
+      std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                   spec_.seasonal_period +
+               cell.phase);
+  return cell.base + cell.slope * static_cast<double>(t) + seasonal +
+         noise_rng.NextGaussian() * spec_.noise_sigma;
+}
+
+TimeSeries StreamGenerator::SeriesFor(std::size_t i) {
+  const CellParams& cell = cells().at(i);
+  Pcg32 noise_rng(spec_.seed ^ (kNoiseStreamBase + i), kNoiseStreamBase + i);
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(spec_.series_length));
+  for (TimeTick t = 0; t < spec_.series_length; ++t) {
+    values.push_back(ValueAt(cell, noise_rng, t));
+  }
+  return TimeSeries(0, std::move(values));
+}
+
+std::vector<MLayerTuple> StreamGenerator::GenerateMLayerTuples() {
+  const std::vector<CellParams>& all = cells();
+  std::vector<MLayerTuple> tuples;
+  tuples.reserve(all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    TimeSeries series = SeriesFor(i);
+    auto isb = FitIsb(series);
+    RC_CHECK(isb.ok()) << isb.status().ToString();
+    tuples.push_back(MLayerTuple{all[i].key, *isb});
+  }
+  return tuples;
+}
+
+std::vector<StreamTuple> StreamGenerator::GenerateStream() {
+  const std::vector<CellParams>& all = cells();
+  // Materialize the series, then emit tick-major so the engine sees the
+  // realistic arrival order (all cells' minute-0 readings, then minute 1...).
+  std::vector<TimeSeries> series;
+  series.reserve(all.size());
+  for (size_t i = 0; i < all.size(); ++i) series.push_back(SeriesFor(i));
+
+  std::vector<StreamTuple> stream;
+  stream.reserve(all.size() * static_cast<size_t>(spec_.series_length));
+  for (TimeTick t = 0; t < spec_.series_length; ++t) {
+    for (size_t i = 0; i < all.size(); ++i) {
+      stream.push_back(StreamTuple{all[i].key, t, series[i].at(t)});
+    }
+  }
+  return stream;
+}
+
+}  // namespace regcube

@@ -1,0 +1,62 @@
+#ifndef REGCUBE_GEN_STREAM_GENERATOR_H_
+#define REGCUBE_GEN_STREAM_GENERATOR_H_
+
+#include <vector>
+
+#include "regcube/common/pcg_random.h"
+#include "regcube/common/status.h"
+#include "regcube/core/stream_engine.h"
+#include "regcube/gen/workload.h"
+#include "regcube/htree/htree.h"
+
+namespace regcube {
+
+/// Synthetic stream generator "similar in spirit to the IBM data generator"
+/// (§5): draws `num_tuples` distinct m-layer cells uniformly from the
+/// multi-dimensional space, then synthesizes each cell's time series as
+///
+///   z(t) = base + slope·t + amplitude·sin(2πt/period + φ) + ε,  ε~N(0,σ²)
+///
+/// where a controllable fraction of cells receive an injected anomalous
+/// slope (the "unusual changes of trends" the cube is built to surface).
+/// Fully deterministic for a given seed, across platforms (PCG32).
+class StreamGenerator {
+ public:
+  /// Ground-truth parameters of one generated cell (for tests).
+  struct CellParams {
+    CellKey key;
+    double base = 0.0;
+    double slope = 0.0;
+    double phase = 0.0;
+    bool anomalous = false;
+  };
+
+  explicit StreamGenerator(WorkloadSpec spec);
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+  /// The generated cells (deterministic; generated on first use).
+  const std::vector<CellParams>& cells();
+
+  /// Batch evaluation input: one merged m-layer tuple per cell, its measure
+  /// the exact LSE fit of the cell's series over [0, series_length).
+  std::vector<MLayerTuple> GenerateMLayerTuples();
+
+  /// Online input: the same data as per-tick observations in time order
+  /// (tick-major, so the engine sees a realistic interleaved stream).
+  std::vector<StreamTuple> GenerateStream();
+
+  /// Raw series of cell index `i` (tests compare against fits).
+  TimeSeries SeriesFor(std::size_t i);
+
+ private:
+  double ValueAt(const CellParams& cell, Pcg32& noise_rng, TimeTick t) const;
+
+  WorkloadSpec spec_;
+  std::vector<CellParams> cells_;
+  bool cells_ready_ = false;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_GEN_STREAM_GENERATOR_H_

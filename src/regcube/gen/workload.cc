@@ -1,0 +1,104 @@
+#include "regcube/gen/workload.h"
+
+#include <cctype>
+
+#include "regcube/common/str.h"
+
+namespace regcube {
+namespace {
+
+std::string TupleCountName(std::int64_t n) {
+  if (n % 1'000'000 == 0) return StrPrintf("%lldM", static_cast<long long>(n / 1'000'000));
+  if (n % 1'000 == 0) return StrPrintf("%lldK", static_cast<long long>(n / 1'000));
+  return StrPrintf("%lld", static_cast<long long>(n));
+}
+
+}  // namespace
+
+std::string WorkloadSpec::Name() const {
+  return StrPrintf("D%dL%dC%dT%s", num_dims, num_levels, fanout,
+                   TupleCountName(num_tuples).c_str());
+}
+
+Result<WorkloadSpec> WorkloadSpec::Parse(const std::string& name) {
+  WorkloadSpec spec;
+  size_t i = 0;
+  auto read_field = [&](char tag, std::int64_t* out) -> Status {
+    if (i >= name.size() || std::toupper(name[i]) != tag) {
+      return Status::InvalidArgument(
+          StrPrintf("expected '%c' at position %zu of \"%s\"", tag, i,
+                    name.c_str()));
+    }
+    ++i;
+    if (i >= name.size() || !std::isdigit(name[i])) {
+      return Status::InvalidArgument(
+          StrPrintf("expected digits after '%c' in \"%s\"", tag,
+                    name.c_str()));
+    }
+    std::int64_t value = 0;
+    while (i < name.size() && std::isdigit(name[i])) {
+      value = value * 10 + (name[i] - '0');
+      ++i;
+    }
+    *out = value;
+    return Status::OK();
+  };
+
+  std::int64_t d = 0, l = 0, c = 0, t = 0;
+  RC_RETURN_IF_ERROR(read_field('D', &d));
+  RC_RETURN_IF_ERROR(read_field('L', &l));
+  RC_RETURN_IF_ERROR(read_field('C', &c));
+  RC_RETURN_IF_ERROR(read_field('T', &t));
+  if (i < name.size()) {
+    const char suffix = static_cast<char>(std::toupper(name[i]));
+    if (suffix == 'K') {
+      t *= 1'000;
+      ++i;
+    } else if (suffix == 'M') {
+      t *= 1'000'000;
+      ++i;
+    }
+  }
+  if (i != name.size()) {
+    return Status::InvalidArgument(
+        StrPrintf("trailing characters in workload name \"%s\"",
+                  name.c_str()));
+  }
+  if (d < 1 || d > kMaxDims || l < 1 || c < 1 || t < 1) {
+    return Status::InvalidArgument(
+        StrPrintf("workload \"%s\" has out-of-range parameters",
+                  name.c_str()));
+  }
+  spec.num_dims = static_cast<int>(d);
+  spec.num_levels = static_cast<int>(l);
+  spec.fanout = static_cast<int>(c);
+  spec.num_tuples = t;
+  return spec;
+}
+
+Result<CubeSchema> MakeWorkloadSchema(const WorkloadSpec& spec) {
+  if (spec.num_dims < 1 || spec.num_dims > kMaxDims) {
+    return Status::InvalidArgument(
+        StrPrintf("num_dims %d outside [1,%d]", spec.num_dims, kMaxDims));
+  }
+  std::vector<Dimension> dims;
+  auto hierarchy = std::make_shared<FanoutHierarchy>(spec.num_levels,
+                                                     spec.fanout);
+  for (int d = 0; d < spec.num_dims; ++d) {
+    dims.emplace_back(StrPrintf("%c", 'A' + d), hierarchy);
+  }
+  LayerSpec m_layer(static_cast<size_t>(spec.num_dims), spec.num_levels);
+  LayerSpec o_layer(static_cast<size_t>(spec.num_dims), 1);
+  return CubeSchema::Create(std::move(dims), std::move(m_layer),
+                            std::move(o_layer));
+}
+
+Result<std::shared_ptr<const CubeSchema>> MakeWorkloadSchemaPtr(
+    const WorkloadSpec& spec) {
+  auto schema = MakeWorkloadSchema(spec);
+  if (!schema.ok()) return schema.status();
+  return std::shared_ptr<const CubeSchema>(
+      std::make_shared<CubeSchema>(std::move(schema).value()));
+}
+
+}  // namespace regcube

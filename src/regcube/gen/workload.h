@@ -1,0 +1,61 @@
+#ifndef REGCUBE_GEN_WORKLOAD_H_
+#define REGCUBE_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "regcube/common/status.h"
+#include "regcube/cube/schema.h"
+
+namespace regcube {
+
+/// Parameters of a synthetic evaluation dataset, named with the paper's §5
+/// convention: "D3L3C10T100K means 3 dimensions, 3 levels per dimension
+/// (from the m-layer to the o-layer, inclusive), node fan-out 10, and 100K
+/// merged m-layer tuples."
+struct WorkloadSpec {
+  int num_dims = 3;
+  int num_levels = 3;  // per dimension, o-layer..m-layer inclusive
+  int fanout = 10;
+  std::int64_t num_tuples = 100'000;
+
+  /// Ticks in each merged stream's analysis window.
+  std::int64_t series_length = 32;
+
+  /// Fraction of m-layer streams given an anomalous (injected) trend.
+  double anomaly_fraction = 0.05;
+
+  /// Series shape: z(t) = base + slope·t + amplitude·sin(2πt/period + φ) + ε.
+  double base_scale = 10.0;       // base ~ U(0, base_scale)
+  double slope_sigma = 0.02;      // normal slope ~ N(0, slope_sigma)
+  double anomaly_slope_min = 0.2; // |anomalous slope| ~ U(min, max), ± sign
+  double anomaly_slope_max = 0.6;
+  double seasonal_amplitude = 0.5;
+  double seasonal_period = 8.0;
+  double noise_sigma = 0.25;
+
+  std::uint64_t seed = 42;
+
+  /// "D3L3C10T100K".
+  std::string Name() const;
+
+  /// Parses the §5 naming convention; series/shape parameters keep their
+  /// defaults. Accepts "D3L3C10T100K" and "D2L4C10T10K" style names
+  /// (T suffix K or M, or a bare count).
+  static Result<WorkloadSpec> Parse(const std::string& name);
+};
+
+/// Builds the cube schema for a spec: `num_dims` dimensions with
+/// `num_levels`-deep fan-out hierarchies, m-layer at the deepest level and
+/// o-layer at level 1 of every dimension (so there are exactly `num_levels`
+/// levels from m to o inclusive, as the naming convention defines).
+Result<CubeSchema> MakeWorkloadSchema(const WorkloadSpec& spec);
+
+/// Shared-pointer convenience used by the algorithms' entry points.
+Result<std::shared_ptr<const CubeSchema>> MakeWorkloadSchemaPtr(
+    const WorkloadSpec& spec);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_GEN_WORKLOAD_H_

@@ -1,0 +1,54 @@
+#ifndef REGCUBE_HTREE_HEADER_TABLE_H_
+#define REGCUBE_HTREE_HEADER_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "regcube/cube/dimension.h"
+
+namespace regcube {
+
+class HTreeNode;
+
+/// Header table of one H-tree attribute (Fig 7): for every distinct value of
+/// the attribute, the head of the node-link chain threading all tree nodes
+/// that carry that value, plus the chain length. Traversing a chain visits
+/// every occurrence of the value across the tree — the core H-cubing access
+/// path.
+class HeaderTable {
+ public:
+  struct Entry {
+    HTreeNode* head = nullptr;  // most recently linked node
+    std::int64_t count = 0;
+  };
+
+  /// Links `node` (which carries `value`) at the head of the value's chain.
+  void Link(ValueId value, HTreeNode* node);
+
+  /// Chain head for `value` (nullptr if the value never occurs).
+  const HTreeNode* ChainHead(ValueId value) const;
+
+  /// Number of distinct values.
+  std::int64_t num_values() const {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+
+  /// Total nodes across all chains (== nodes at this attribute's depth).
+  std::int64_t total_nodes() const { return total_nodes_; }
+
+  const std::unordered_map<ValueId, Entry>& entries() const {
+    return entries_;
+  }
+
+  /// Analytic footprint of the table (entries only; nodes are counted by
+  /// the tree).
+  std::int64_t MemoryBytes() const;
+
+ private:
+  std::unordered_map<ValueId, Entry> entries_;
+  std::int64_t total_nodes_ = 0;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_HTREE_HEADER_TABLE_H_

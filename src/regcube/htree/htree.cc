@@ -1,0 +1,275 @@
+#include "regcube/htree/htree.h"
+
+#include <algorithm>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+#include "regcube/regression/aggregate.h"
+
+namespace regcube {
+namespace {
+
+std::int64_t AttrKey(int dim, int level) { return dim * 64 + level; }
+
+/// Merges per-dimension attribute lists (levels ascending within each
+/// dimension) into one order, repeatedly taking the dimension whose next
+/// attribute has the smallest (ascending) or largest (descending)
+/// cardinality. Within-dimension level order is preserved by construction.
+std::vector<Attribute> MergeByCardinality(const CubeSchema& schema,
+                                          bool ascending) {
+  const int num_dims = schema.num_dims();
+  std::vector<int> next_level(static_cast<size_t>(num_dims));
+  for (int d = 0; d < num_dims; ++d) {
+    next_level[static_cast<size_t>(d)] =
+        std::max(schema.o_layer()[static_cast<size_t>(d)], 1);
+  }
+  std::vector<Attribute> order;
+  for (;;) {
+    int best_dim = -1;
+    std::int64_t best_card = 0;
+    for (int d = 0; d < num_dims; ++d) {
+      const int level = next_level[static_cast<size_t>(d)];
+      if (level > schema.m_layer()[static_cast<size_t>(d)]) continue;
+      const std::int64_t card = schema.dim(d).hierarchy().Cardinality(level);
+      if (best_dim < 0 || (ascending ? card < best_card : card > best_card)) {
+        best_dim = d;
+        best_card = card;
+      }
+    }
+    if (best_dim < 0) break;
+    order.push_back({best_dim, next_level[static_cast<size_t>(best_dim)]});
+    ++next_level[static_cast<size_t>(best_dim)];
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<Attribute> CardinalityAscendingOrder(const CubeSchema& schema) {
+  return MergeByCardinality(schema, /*ascending=*/true);
+}
+
+std::vector<Attribute> CardinalityDescendingOrder(const CubeSchema& schema) {
+  return MergeByCardinality(schema, /*ascending=*/false);
+}
+
+std::vector<Attribute> PathIntroductionOrder(const CuboidLattice& lattice,
+                                             const DrillPath& path) {
+  RC_CHECK(DrillPath::Validate(lattice, path).ok());
+  std::vector<Attribute> order = lattice.AttributesOf(path.steps.front());
+  for (size_t i = 1; i < path.steps.size(); ++i) {
+    const LayerSpec& prev = lattice.spec(path.steps[i - 1]);
+    const LayerSpec& next = lattice.spec(path.steps[i]);
+    for (size_t d = 0; d < prev.size(); ++d) {
+      if (next[d] != prev[d]) {
+        order.push_back({static_cast<int>(d), next[d]});
+      }
+    }
+  }
+  return order;
+}
+
+HTreeNode* HTree::NewNode() {
+  pool_.emplace_back();
+  return &pool_.back();
+}
+
+Result<HTree> HTree::Build(const CubeSchema& schema,
+                           const std::vector<MLayerTuple>& tuples,
+                           Options options) {
+  if (tuples.empty()) {
+    return Status::InvalidArgument("cannot build an H-tree from no tuples");
+  }
+
+  // Validate that the attribute order covers the lattice's attribute set
+  // exactly, with levels ascending within each dimension.
+  std::size_t expected = 0;
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    expected += static_cast<std::size_t>(
+        schema.m_layer()[static_cast<size_t>(d)] -
+        std::max(schema.o_layer()[static_cast<size_t>(d)], 1) + 1);
+  }
+  if (options.attribute_order.size() != expected) {
+    return Status::InvalidArgument(
+        StrPrintf("attribute order has %zu entries, lattice needs %zu",
+                  options.attribute_order.size(), expected));
+  }
+  std::unordered_map<std::int64_t, int> positions;
+  std::vector<int> last_level(static_cast<size_t>(schema.num_dims()), 0);
+  for (size_t pos = 0; pos < options.attribute_order.size(); ++pos) {
+    const Attribute& a = options.attribute_order[pos];
+    if (a.dim < 0 || a.dim >= schema.num_dims() || a.level < 1 ||
+        a.level > schema.m_layer()[static_cast<size_t>(a.dim)] ||
+        a.level < std::max(schema.o_layer()[static_cast<size_t>(a.dim)], 1)) {
+      return Status::InvalidArgument(
+          StrPrintf("attribute %zu (dim %d, level %d) outside the lattice",
+                    pos, a.dim, a.level));
+    }
+    if (!positions.emplace(AttrKey(a.dim, a.level), static_cast<int>(pos))
+             .second) {
+      return Status::InvalidArgument(
+          StrPrintf("attribute (dim %d, level %d) appears twice", a.dim,
+                    a.level));
+    }
+    if (a.level <= last_level[static_cast<size_t>(a.dim)]) {
+      return Status::InvalidArgument(StrPrintf(
+          "dimension %d levels must appear in increasing order", a.dim));
+    }
+    last_level[static_cast<size_t>(a.dim)] = a.level;
+  }
+
+  HTree tree;
+  tree.attrs_ = std::move(options.attribute_order);
+  tree.attr_position_ = std::move(positions);
+  tree.store_nonleaf_ = options.store_nonleaf_measures;
+  tree.headers_.resize(tree.attrs_.size());
+  tree.root_ = tree.NewNode();
+  tree.interval_ = tuples.front().measure.interval;
+
+  for (const MLayerTuple& tuple : tuples) {
+    if (!(tuple.measure.interval == tree.interval_)) {
+      return Status::InvalidArgument(StrPrintf(
+          "tuple interval %s differs from common interval %s "
+          "(Theorem 3.2 requires one analysis window)",
+          tuple.measure.interval.ToString().c_str(),
+          tree.interval_.ToString().c_str()));
+    }
+    HTreeNode* cur = tree.root_;
+    for (size_t pos = 0; pos < tree.attrs_.size(); ++pos) {
+      const Attribute& attr = tree.attrs_[pos];
+      const ValueId v = schema.RollUp(attr.dim, tuple.key[attr.dim],
+                                      attr.level);
+      auto [it, inserted] = cur->children.try_emplace(v, nullptr);
+      if (inserted) {
+        HTreeNode* node = tree.NewNode();
+        node->value = v;
+        node->attr_index = static_cast<int>(pos);
+        node->parent = cur;
+        it->second = node;
+        tree.headers_[pos].Link(v, node);
+        if (pos + 1 == tree.attrs_.size()) ++tree.num_leaves_;
+      }
+      cur = it->second;
+    }
+    AccumulateStandardDim(cur->measure, tuple.measure);
+    cur->has_measure = true;
+  }
+
+  if (tree.store_nonleaf_) tree.ComputeNonLeafMeasures(tree.root_);
+  return tree;
+}
+
+void HTree::ComputeNonLeafMeasures(HTreeNode* node) {
+  if (node->is_leaf()) return;
+  node->measure = Isb{};
+  for (auto& [value, child] : node->children) {
+    ComputeNonLeafMeasures(child);
+    AccumulateStandardDim(node->measure, child->measure);
+  }
+  node->has_measure = true;
+}
+
+const Attribute& HTree::attribute(int pos) const {
+  RC_CHECK(pos >= 0 && pos < num_attributes());
+  return attrs_[static_cast<size_t>(pos)];
+}
+
+int HTree::AttributePosition(int dim, int level) const {
+  auto it = attr_position_.find(AttrKey(dim, level));
+  return it == attr_position_.end() ? -1 : it->second;
+}
+
+const HeaderTable& HTree::header(int pos) const {
+  RC_CHECK(pos >= 0 && pos < num_attributes());
+  return headers_[static_cast<size_t>(pos)];
+}
+
+Isb HTree::SubtreeMeasureSlow(const HTreeNode* node) const {
+  if (node->is_leaf()) {
+    RC_DCHECK(node->has_measure);
+    return node->measure;
+  }
+  Isb acc;
+  for (const auto& [value, child] : node->children) {
+    AccumulateStandardDim(acc, SubtreeMeasureSlow(child));
+  }
+  return acc;
+}
+
+Isb HTree::SubtreeMeasure(const HTreeNode* node) const {
+  RC_CHECK(node != nullptr);
+  if (node->has_measure) return node->measure;
+  return SubtreeMeasureSlow(node);
+}
+
+ValueId HTree::PathValue(const HTreeNode* node, int attr_pos) const {
+  const HTreeNode* cur = node;
+  while (cur != nullptr && cur->attr_index != attr_pos) cur = cur->parent;
+  RC_CHECK(cur != nullptr) << "attribute position " << attr_pos
+                           << " not on the path of node at depth "
+                           << node->attr_index;
+  return cur->value;
+}
+
+std::vector<MLayerTuple> HTree::MLayerCells() const {
+  // Every leaf is one m-layer cell; reconstruct keys from the m-level
+  // attribute positions on the leaf's path (key width comes from attrs_).
+  int num_dims = 0;
+  for (const Attribute& a : attrs_) num_dims = std::max(num_dims, a.dim + 1);
+
+  std::vector<int> m_level(static_cast<size_t>(num_dims), 0);
+  for (const Attribute& a : attrs_) {
+    m_level[static_cast<size_t>(a.dim)] =
+        std::max(m_level[static_cast<size_t>(a.dim)], a.level);
+  }
+
+  std::vector<MLayerTuple> out;
+  out.reserve(static_cast<size_t>(num_leaves_));
+  // Leaves are exactly the chains of the last attribute's header table.
+  const HeaderTable& leaf_header = headers_.back();
+  for (const auto& [value, entry] : leaf_header.entries()) {
+    for (const HTreeNode* n = entry.head; n != nullptr; n = n->next_link) {
+      MLayerTuple t;
+      t.key = CellKey(num_dims);
+      for (int d = 0; d < num_dims; ++d) {
+        const int pos = AttributePosition(d, m_level[static_cast<size_t>(d)]);
+        RC_CHECK_GE(pos, 0);
+        t.key.set(d, PathValue(n, pos));
+      }
+      t.measure = n->measure;
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+std::int64_t HTree::MemoryBytes() const {
+  // Analytic model (DESIGN.md §4): fixed node payload + one child-map entry
+  // per edge + a measure wherever one is stored + header tables.
+  constexpr std::int64_t kNodeBytes = 48;
+  constexpr std::int64_t kChildEntryBytes = 24;
+  const std::int64_t measures_stored =
+      store_nonleaf_ ? num_nodes() : num_leaves_;
+  std::int64_t bytes = num_nodes() * kNodeBytes +
+                       (num_nodes() - 1) * kChildEntryBytes +
+                       measures_stored * static_cast<std::int64_t>(sizeof(Isb));
+  for (const HeaderTable& h : headers_) bytes += h.MemoryBytes();
+  return bytes;
+}
+
+std::string HTree::ToString() const {
+  std::string out = StrPrintf(
+      "HTree(%lld nodes, %lld leaves, %d attributes, nonleaf_measures=%d)\n",
+      static_cast<long long>(num_nodes()),
+      static_cast<long long>(num_leaves_), num_attributes(),
+      store_nonleaf_ ? 1 : 0);
+  for (size_t pos = 0; pos < attrs_.size(); ++pos) {
+    out += StrPrintf("  attr %zu: dim %d level %d (%lld values, %lld nodes)\n",
+                     pos, attrs_[pos].dim, attrs_[pos].level,
+                     static_cast<long long>(headers_[pos].num_values()),
+                     static_cast<long long>(headers_[pos].total_nodes()));
+  }
+  return out;
+}
+
+}  // namespace regcube

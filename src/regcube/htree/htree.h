@@ -1,0 +1,142 @@
+#ifndef REGCUBE_HTREE_HTREE_H_
+#define REGCUBE_HTREE_HTREE_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/cube/cell.h"
+#include "regcube/cube/cuboid.h"
+#include "regcube/cube/schema.h"
+#include "regcube/htree/header_table.h"
+#include "regcube/regression/isb.h"
+
+namespace regcube {
+
+/// One merged m-layer stream: its cell key (value per dimension at the
+/// m-layer level) and its regression measure over the common analysis
+/// window. This is the input row of both cubing algorithms.
+struct MLayerTuple {
+  CellKey key;
+  Isb measure;
+};
+
+/// A node of the hyper-linked H-tree (§4.4, Fig 7). Nodes at depth k+1 carry
+/// a value of the k-th attribute in the tree's attribute order; leaf nodes
+/// aggregate the measures of the m-layer tuples that share the full path.
+class HTreeNode {
+ public:
+  ValueId value = kStarValue;
+  int attr_index = -1;  // position in the attribute order; -1 = root
+  HTreeNode* parent = nullptr;
+  HTreeNode* next_link = nullptr;  // node-link chain (same attr, same value)
+  std::unordered_map<ValueId, HTreeNode*> children;
+
+  /// Leaf nodes always carry their aggregated measure. Non-leaf nodes carry
+  /// a subtree aggregate only when the tree was built with
+  /// store_nonleaf_measures (the popular-path configuration; the m/o
+  /// configuration "saves regression points only at the leaf").
+  Isb measure;
+  bool has_measure = false;
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+/// The H-tree: a compact prefix tree over expanded m-layer tuples with
+/// per-attribute header tables and node-link chains. The attribute order
+/// determines sharing (cardinality-ascending maximizes prefix sharing,
+/// Example 5) or encodes a drilling path (popular-path cubing).
+class HTree {
+ public:
+  struct Options {
+    /// Tree level order. Must contain exactly every attribute of the
+    /// m/o lattice (each dimension's levels max(o,1)..m), with each
+    /// dimension's levels in increasing order.
+    std::vector<Attribute> attribute_order;
+
+    /// Store subtree aggregates in non-leaf nodes (popular-path mode).
+    bool store_nonleaf_measures = false;
+  };
+
+  /// Builds the tree from m-layer tuples. All tuple measures must share one
+  /// common time interval (Theorem 3.2 precondition); violations are
+  /// InvalidArgument. Tuples mapping to the same m-layer cell are aggregated
+  /// into one leaf.
+  static Result<HTree> Build(const CubeSchema& schema,
+                             const std::vector<MLayerTuple>& tuples,
+                             Options options);
+
+  HTree(HTree&&) noexcept = default;
+  HTree& operator=(HTree&&) noexcept = default;
+
+  int num_attributes() const { return static_cast<int>(attrs_.size()); }
+  const Attribute& attribute(int pos) const;
+  const std::vector<Attribute>& attribute_order() const { return attrs_; }
+
+  /// Position of attribute (dim, level) in the order; -1 if absent (level 0).
+  int AttributePosition(int dim, int level) const;
+
+  const HeaderTable& header(int pos) const;
+  const HTreeNode* root() const { return root_; }
+
+  std::int64_t num_nodes() const { return static_cast<std::int64_t>(pool_.size()); }
+  std::int64_t num_leaves() const { return num_leaves_; }
+  bool store_nonleaf_measures() const { return store_nonleaf_; }
+
+  /// The common time interval of every measure in the tree.
+  const TimeInterval& common_interval() const { return interval_; }
+
+  /// Aggregated measure of all m-layer cells below `node` (Theorem 3.2).
+  /// O(1) when the node stores a measure, otherwise a subtree walk.
+  Isb SubtreeMeasure(const HTreeNode* node) const;
+
+  /// Value of attribute `attr_pos` on `node`'s root path.
+  /// Pre: attr_pos <= node->attr_index (checked).
+  ValueId PathValue(const HTreeNode* node, int attr_pos) const;
+
+  /// All m-layer cells as tuples (read back from the leaves).
+  std::vector<MLayerTuple> MLayerCells() const;
+
+  /// Analytic footprint: nodes, stored measures, header tables (DESIGN.md
+  /// §4.4 — this is what the benchmarks charge to "H-tree").
+  std::int64_t MemoryBytes() const;
+
+  std::string ToString() const;
+
+ private:
+  HTree() = default;
+
+  HTreeNode* NewNode();
+  Isb SubtreeMeasureSlow(const HTreeNode* node) const;
+  void ComputeNonLeafMeasures(HTreeNode* node);
+
+  std::deque<HTreeNode> pool_;  // stable addresses
+  HTreeNode* root_ = nullptr;
+  std::vector<Attribute> attrs_;
+  std::vector<HeaderTable> headers_;
+  std::unordered_map<std::int64_t, int> attr_position_;  // dim*64+level -> pos
+  std::int64_t num_leaves_ = 0;
+  bool store_nonleaf_ = false;
+  TimeInterval interval_;
+};
+
+/// Attribute order for m/o H-cubing: every lattice attribute sorted by
+/// ascending cardinality (Example 5: "this ordering makes the tree compact
+/// since there are likely more sharings at higher level nodes"), with
+/// (dim, level) as the tie-break.
+std::vector<Attribute> CardinalityAscendingOrder(const CubeSchema& schema);
+
+/// Reverse of the above (worst-case sharing); used by the A1 ablation.
+std::vector<Attribute> CardinalityDescendingOrder(const CubeSchema& schema);
+
+/// Attribute order for popular-path cubing: the order attributes are
+/// introduced along the drill path (o-layer attributes first, then each
+/// step's refined attribute). Pre: path valid (checked).
+std::vector<Attribute> PathIntroductionOrder(const CuboidLattice& lattice,
+                                             const DrillPath& path);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_HTREE_HTREE_H_

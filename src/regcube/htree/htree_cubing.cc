@@ -1,0 +1,180 @@
+#include "regcube/htree/htree_cubing.h"
+
+#include <algorithm>
+
+#include "regcube/common/logging.h"
+#include "regcube/regression/aggregate.h"
+
+namespace regcube {
+
+std::int64_t CellMapMemoryBytes(const CellMap& cells) {
+  constexpr std::int64_t kEntryOverhead = 16;  // hash node + bucket share
+  return static_cast<std::int64_t>(cells.size()) *
+         (static_cast<std::int64_t>(sizeof(CellKey)) +
+          static_cast<std::int64_t>(sizeof(Isb)) + kEntryOverhead);
+}
+
+namespace {
+
+/// Positions in the tree order of each attribute of `cuboid`, and the index
+/// (into that vector) of the deepest one.
+struct CuboidAttrs {
+  std::vector<Attribute> attrs;
+  std::vector<int> positions;
+  int deepest = -1;  // index into positions; -1 if the cuboid has none
+};
+
+CuboidAttrs ResolveAttrs(const HTree& tree, const CuboidLattice& lattice,
+                         CuboidId cuboid) {
+  CuboidAttrs out;
+  out.attrs = lattice.AttributesOf(cuboid);
+  out.positions.reserve(out.attrs.size());
+  int best_pos = -1;
+  for (size_t i = 0; i < out.attrs.size(); ++i) {
+    const int pos = tree.AttributePosition(out.attrs[i].dim,
+                                           out.attrs[i].level);
+    RC_CHECK_GE(pos, 0) << "cuboid attribute missing from the tree order";
+    out.positions.push_back(pos);
+    if (pos > best_pos) {
+      best_pos = pos;
+      out.deepest = static_cast<int>(i);
+    }
+  }
+  return out;
+}
+
+/// Builds the cell key of `node` for the attribute set: the deepest
+/// attribute takes the node's own value, the rest are read off the path.
+CellKey KeyFromPath(const HTree& tree, const HTreeNode* node,
+                    const CuboidAttrs& ca, int num_dims) {
+  CellKey key(num_dims);
+  for (size_t i = 0; i < ca.attrs.size(); ++i) {
+    const ValueId v = (static_cast<int>(i) == ca.deepest)
+                          ? node->value
+                          : tree.PathValue(node, ca.positions[i]);
+    key.set(ca.attrs[i].dim, v);
+  }
+  return key;
+}
+
+}  // namespace
+
+CellMap ComputeCuboidCells(const HTree& tree, const CuboidLattice& lattice,
+                           CuboidId cuboid) {
+  const int num_dims = lattice.schema().num_dims();
+  CellMap cells;
+  const CuboidAttrs ca = ResolveAttrs(tree, lattice, cuboid);
+
+  if (ca.attrs.empty()) {
+    // Apex: one all-star cell aggregating the whole tree.
+    cells.emplace(CellKey(num_dims), tree.SubtreeMeasure(tree.root()));
+    return cells;
+  }
+
+  const int deep_pos = ca.positions[static_cast<size_t>(ca.deepest)];
+  const HeaderTable& header = tree.header(deep_pos);
+  for (const auto& [value, entry] : header.entries()) {
+    for (const HTreeNode* n = entry.head; n != nullptr; n = n->next_link) {
+      CellKey key = KeyFromPath(tree, n, ca, num_dims);
+      Isb& acc = cells.try_emplace(key).first->second;
+      AccumulateStandardDim(acc, tree.SubtreeMeasure(n));
+    }
+  }
+  return cells;
+}
+
+CellMap ComputeDrillChildren(const HTree& tree, const CuboidLattice& lattice,
+                             CuboidId parent_cuboid,
+                             const CellMap& parent_cells,
+                             CuboidId child_cuboid) {
+  RC_CHECK(tree.store_nonleaf_measures())
+      << "drilling requires the popular-path tree configuration";
+  RC_CHECK(lattice.IsAncestorOrEqual(parent_cuboid, child_cuboid));
+  const int num_dims = lattice.schema().num_dims();
+
+  CellMap out;
+  if (parent_cells.empty()) return out;
+
+  const CuboidAttrs child_ca = ResolveAttrs(tree, lattice, child_cuboid);
+  RC_CHECK(!child_ca.attrs.empty())
+      << "a drill child always has at least one attribute";
+  const CuboidAttrs parent_ca = ResolveAttrs(tree, lattice, parent_cuboid);
+  const int deep_pos = child_ca.positions[static_cast<size_t>(child_ca.deepest)];
+
+  // Every parent attribute sits at or above the child's deepest position:
+  // a roll-up parent only removes detail (checked here because path keys
+  // are read off the node's root path).
+  for (int pos : parent_ca.positions) RC_CHECK_LE(pos, deep_pos);
+
+  const HeaderTable& header = tree.header(deep_pos);
+  for (const auto& [value, entry] : header.entries()) {
+    for (const HTreeNode* n = entry.head; n != nullptr; n = n->next_link) {
+      // Parent key off the path; only descendants of drilled cells count.
+      CellKey parent_key(num_dims);
+      for (size_t i = 0; i < parent_ca.attrs.size(); ++i) {
+        const int pos = parent_ca.positions[i];
+        const ValueId v = (pos == deep_pos) ? n->value
+                                            : tree.PathValue(n, pos);
+        parent_key.set(parent_ca.attrs[i].dim, v);
+      }
+      if (parent_cells.find(parent_key) == parent_cells.end()) continue;
+
+      CellKey child_key = KeyFromPath(tree, n, child_ca, num_dims);
+      Isb& acc = out.try_emplace(child_key).first->second;
+      AccumulateStandardDim(acc, tree.SubtreeMeasure(n));
+    }
+  }
+  return out;
+}
+
+CellMap ReadPrefixCuboidCells(const HTree& tree, const CuboidLattice& lattice,
+                              CuboidId cuboid, int depth) {
+  RC_CHECK(tree.store_nonleaf_measures());
+  const int num_dims = lattice.schema().num_dims();
+  CellMap cells;
+
+  if (depth == 0) {
+    cells.emplace(CellKey(num_dims), tree.SubtreeMeasure(tree.root()));
+    return cells;
+  }
+  RC_CHECK_LE(depth, tree.num_attributes());
+
+  // Sanity: the cuboid's attributes are exactly the deepest introduced
+  // level per dimension among the first `depth` tree attributes.
+  {
+    std::vector<int> deepest(static_cast<size_t>(num_dims), 0);
+    for (int pos = 0; pos < depth; ++pos) {
+      const Attribute& a = tree.attribute(pos);
+      deepest[static_cast<size_t>(a.dim)] =
+          std::max(deepest[static_cast<size_t>(a.dim)], a.level);
+    }
+    const LayerSpec& spec = lattice.spec(cuboid);
+    for (int d = 0; d < num_dims; ++d) {
+      RC_CHECK_EQ(spec[static_cast<size_t>(d)], deepest[static_cast<size_t>(d)])
+          << "cuboid is not the prefix cuboid of depth " << depth;
+    }
+  }
+
+  const CuboidAttrs ca = ResolveAttrs(tree, lattice, cuboid);
+  // Nodes at `depth` are exactly the chains of attribute depth-1.
+  const HeaderTable& header = tree.header(depth - 1);
+  for (const auto& [value, entry] : header.entries()) {
+    for (const HTreeNode* n = entry.head; n != nullptr; n = n->next_link) {
+      CellKey key(num_dims);
+      for (size_t i = 0; i < ca.attrs.size(); ++i) {
+        const int pos = ca.positions[i];
+        const ValueId v =
+            (pos == n->attr_index) ? n->value : tree.PathValue(n, pos);
+        key.set(ca.attrs[i].dim, v);
+      }
+      RC_DCHECK(n->has_measure);
+      // Distinct prefix nodes are distinct cells of a prefix cuboid.
+      const bool inserted = cells.emplace(key, n->measure).second;
+      RC_DCHECK(inserted) << "prefix node collision at " << key.ToString();
+      (void)inserted;
+    }
+  }
+  return cells;
+}
+
+}  // namespace regcube

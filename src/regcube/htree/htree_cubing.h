@@ -1,0 +1,57 @@
+#ifndef REGCUBE_HTREE_HTREE_CUBING_H_
+#define REGCUBE_HTREE_HTREE_CUBING_H_
+
+#include <unordered_map>
+
+#include "regcube/cube/cell.h"
+#include "regcube/cube/cuboid.h"
+#include "regcube/htree/htree.h"
+#include "regcube/regression/isb.h"
+
+namespace regcube {
+
+/// Cells of one cuboid: key -> aggregated regression measure. This plays the
+/// role of the paper's (local) header table holding "the aggregated value
+/// for (b21, a21), (b21, a22), etc."
+using CellMap = std::unordered_map<CellKey, Isb, CellKeyHash>;
+
+/// Analytic footprint of a cell map (key + measure + hash-node overhead per
+/// entry), used by the algorithms' memory accounting.
+std::int64_t CellMapMemoryBytes(const CellMap& cells);
+
+/// Computes every cell of `cuboid` by H-cubing: pick the cuboid attribute
+/// deepest in the tree order, traverse its header-table node-link chains,
+/// read the remaining attribute values off each node's root path, and
+/// aggregate subtree measures with Theorem 3.2. The all-star cuboid (no
+/// attributes) yields the single apex cell.
+///
+/// Works on both tree configurations: with stored non-leaf measures each
+/// chain node contributes in O(1); without, the node's subtree is walked
+/// (the m/o configuration — compute everything, store only at leaves).
+CellMap ComputeCuboidCells(const HTree& tree, const CuboidLattice& lattice,
+                           CuboidId cuboid);
+
+/// Popular-path drilling kernel: computes the cells of `child_cuboid` that
+/// lie under any of the `parent_cells` keys of `parent_cuboid` (the
+/// exception cells being drilled). One batched chain scan of the child's
+/// deepest attribute serves every parent cell at once; each chain node's
+/// parent-cuboid key is read off its path and filtered against
+/// `parent_cells`. Pre: parent_cuboid is an ancestor of child_cuboid and
+/// the tree stores non-leaf measures (checked).
+CellMap ComputeDrillChildren(const HTree& tree, const CuboidLattice& lattice,
+                             CuboidId parent_cuboid,
+                             const CellMap& parent_cells,
+                             CuboidId child_cuboid);
+
+/// Cells of a tree-prefix cuboid read directly from the nodes at its depth
+/// (popular-path Step 2: "aggregated regression points stored in the
+/// nonleaf nodes"). `depth` is the number of attributes consumed; the
+/// cuboid's attributes must be exactly the deepest level of each dimension
+/// introduced in the first `depth` tree attributes (checked).
+/// Pre: the tree stores non-leaf measures (checked).
+CellMap ReadPrefixCuboidCells(const HTree& tree, const CuboidLattice& lattice,
+                              CuboidId cuboid, int depth);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_HTREE_HTREE_CUBING_H_

@@ -1,0 +1,43 @@
+#ifndef REGCUBE_IO_CUBE_IO_H_
+#define REGCUBE_IO_CUBE_IO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/core/regression_cube.h"
+#include "regcube/htree/htree.h"
+#include "regcube/time/tilt_frame.h"
+
+namespace regcube {
+
+/// Binary encodings for the library's persistent artifacts (the paper's
+/// abstract: minimize "the amount of data to be retained in memory or
+/// stored on disks"). All formats are little-endian, versioned by a magic
+/// word, and decode with full validation — truncated or mismatched input
+/// yields a Status, never UB.
+///
+/// Encoded artifacts:
+///  * m-layer tuple sets  — a computed analysis window (4 numbers/cell);
+///  * regression cubes    — both critical layers + exception cells;
+///  * tilt-frame states   — per-cell stream checkpoints (restart recovery).
+
+/// m-layer tuples ("RGT1").
+std::string EncodeMLayerTuples(const std::vector<MLayerTuple>& tuples);
+Result<std::vector<MLayerTuple>> DecodeMLayerTuples(std::string_view data);
+
+/// Materialized cube ("RGC1"). The schema is not serialized; the caller
+/// supplies it at decode time and the dimension count is validated.
+std::string EncodeRegressionCube(const RegressionCube& cube);
+Result<RegressionCube> DecodeRegressionCube(
+    std::shared_ptr<const CubeSchema> schema, std::string_view data);
+
+/// Tilt-frame checkpoint ("RGF1").
+std::string EncodeTiltFrameState(const TiltFrameState& state);
+Result<TiltFrameState> DecodeTiltFrameState(std::string_view data);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_IO_CUBE_IO_H_

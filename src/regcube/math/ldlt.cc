@@ -1,0 +1,71 @@
+#include "regcube/math/ldlt.h"
+
+#include <cmath>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+
+namespace regcube {
+
+Result<LdltFactorization> LdltFactorization::Factor(const SymmetricMatrix& a,
+                                                    double pivot_tolerance) {
+  const std::size_t n = a.size();
+  LdltFactorization f;
+  f.l_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) f.l_[i].assign(i, 0.0);
+  f.d_.assign(n, 0.0);
+
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_diag = std::max(max_diag, std::fabs(a(i, i)));
+  }
+  const double threshold = pivot_tolerance * std::max(max_diag, 1.0);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) {
+      dj -= f.l_[j][k] * f.l_[j][k] * f.d_[k];
+    }
+    if (std::fabs(dj) < threshold) {
+      return Status::FailedPrecondition(StrPrintf(
+          "LDLT pivot %zu is %.3e (below tolerance %.3e); matrix is singular",
+          j, dj, threshold));
+    }
+    f.d_[j] = dj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double lij = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        lij -= f.l_[i][k] * f.l_[j][k] * f.d_[k];
+      }
+      f.l_[i][j] = lij / dj;
+    }
+  }
+  return f;
+}
+
+std::vector<double> LdltFactorization::Solve(
+    const std::vector<double>& b) const {
+  const std::size_t n = d_.size();
+  RC_CHECK_EQ(b.size(), n);
+  // Forward solve L z = b.
+  std::vector<double> x = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) x[i] -= l_[i][j] * x[j];
+  }
+  // Diagonal solve D w = z.
+  for (std::size_t i = 0; i < n; ++i) x[i] /= d_[i];
+  // Backward solve L' x = w.
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = i + 1; j < n; ++j) x[i] -= l_[j][i] * x[j];
+  }
+  return x;
+}
+
+Result<std::vector<double>> SolveSymmetric(const SymmetricMatrix& a,
+                                           const std::vector<double>& b) {
+  auto factor = LdltFactorization::Factor(a);
+  if (!factor.ok()) return factor.status();
+  return factor->Solve(b);
+}
+
+}  // namespace regcube

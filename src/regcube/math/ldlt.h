@@ -1,0 +1,45 @@
+#ifndef REGCUBE_MATH_LDLT_H_
+#define REGCUBE_MATH_LDLT_H_
+
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/math/symmetric_matrix.h"
+
+namespace regcube {
+
+/// LDL' (square-root-free Cholesky) factorization of a symmetric
+/// positive-(semi)definite matrix. Used to solve the normal equations
+/// (X'X) theta = X'y of the multiple-regression measure without forming an
+/// inverse. Semidefinite systems (collinear bases, intervals shorter than
+/// the parameter count) are reported as FailedPrecondition rather than
+/// producing garbage.
+class LdltFactorization {
+ public:
+  /// Factors `a`. Returns FailedPrecondition if a pivot falls below
+  /// `pivot_tolerance` times the largest diagonal magnitude (matrix is
+  /// numerically singular).
+  static Result<LdltFactorization> Factor(const SymmetricMatrix& a,
+                                          double pivot_tolerance = 1e-12);
+
+  /// Solves A x = b for x. `b.size()` must equal the factored size (checked).
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Dimension of the factored matrix.
+  std::size_t size() const { return l_.size(); }
+
+ private:
+  LdltFactorization() = default;
+
+  // l_[i][j] for j<i holds L(i,j); d_[i] holds D(i,i).
+  std::vector<std::vector<double>> l_;
+  std::vector<double> d_;
+};
+
+/// Convenience wrapper: solves a * x = b in one call.
+Result<std::vector<double>> SolveSymmetric(const SymmetricMatrix& a,
+                                           const std::vector<double>& b);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_MATH_LDLT_H_

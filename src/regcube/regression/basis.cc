@@ -1,0 +1,139 @@
+#include "regcube/regression/basis.h"
+
+#include <cmath>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+
+namespace regcube {
+namespace {
+
+class PolynomialTimeBasis : public RegressionBasis {
+ public:
+  explicit PolynomialTimeBasis(int degree) : degree_(degree) {
+    RC_CHECK_GE(degree, 1);
+  }
+
+  std::size_t num_variables() const override { return 1; }
+  std::size_t num_features() const override {
+    return static_cast<std::size_t>(degree_) + 1;
+  }
+
+  void Eval(const std::vector<double>& x,
+            std::vector<double>* out) const override {
+    RC_CHECK_EQ(x.size(), 1u);
+    out->resize(num_features());
+    double p = 1.0;
+    for (int d = 0; d <= degree_; ++d) {
+      (*out)[static_cast<std::size_t>(d)] = p;
+      p *= x[0];
+    }
+  }
+
+  std::string name() const override {
+    return degree_ == 1 ? "linear(t)" : StrPrintf("poly(t, degree=%d)", degree_);
+  }
+
+ private:
+  int degree_;
+};
+
+class LogTimeBasis : public RegressionBasis {
+ public:
+  std::size_t num_variables() const override { return 1; }
+  std::size_t num_features() const override { return 2; }
+
+  void Eval(const std::vector<double>& x,
+            std::vector<double>* out) const override {
+    RC_CHECK_EQ(x.size(), 1u);
+    RC_CHECK_GE(x[0], 0.0) << "log basis needs t >= 0";
+    out->assign({1.0, std::log1p(x[0])});
+  }
+
+  std::string name() const override { return "log(t)"; }
+};
+
+class MultiLinearBasis : public RegressionBasis {
+ public:
+  explicit MultiLinearBasis(std::size_t k) : k_(k) { RC_CHECK_GE(k, 1u); }
+
+  std::size_t num_variables() const override { return k_; }
+  std::size_t num_features() const override { return k_ + 1; }
+
+  void Eval(const std::vector<double>& x,
+            std::vector<double>* out) const override {
+    RC_CHECK_EQ(x.size(), k_);
+    out->resize(k_ + 1);
+    (*out)[0] = 1.0;
+    for (std::size_t i = 0; i < k_; ++i) (*out)[i + 1] = x[i];
+  }
+
+  std::string name() const override {
+    return StrPrintf("multilinear(k=%zu)", k_);
+  }
+
+ private:
+  std::size_t k_;
+};
+
+class CustomBasis : public RegressionBasis {
+ public:
+  CustomBasis(
+      std::string name, std::size_t num_variables, bool include_intercept,
+      std::vector<std::function<double(const std::vector<double>&)>> features)
+      : name_(std::move(name)),
+        num_variables_(num_variables),
+        include_intercept_(include_intercept),
+        features_(std::move(features)) {
+    RC_CHECK(!features_.empty() || include_intercept_);
+  }
+
+  std::size_t num_variables() const override { return num_variables_; }
+  std::size_t num_features() const override {
+    return features_.size() + (include_intercept_ ? 1 : 0);
+  }
+
+  void Eval(const std::vector<double>& x,
+            std::vector<double>* out) const override {
+    RC_CHECK_EQ(x.size(), num_variables_);
+    out->clear();
+    out->reserve(num_features());
+    if (include_intercept_) out->push_back(1.0);
+    for (const auto& f : features_) out->push_back(f(x));
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t num_variables_;
+  bool include_intercept_;
+  std::vector<std::function<double(const std::vector<double>&)>> features_;
+};
+
+}  // namespace
+
+std::unique_ptr<RegressionBasis> MakeLinearTimeBasis() {
+  return std::make_unique<PolynomialTimeBasis>(1);
+}
+
+std::unique_ptr<RegressionBasis> MakePolynomialTimeBasis(int degree) {
+  return std::make_unique<PolynomialTimeBasis>(degree);
+}
+
+std::unique_ptr<RegressionBasis> MakeLogTimeBasis() {
+  return std::make_unique<LogTimeBasis>();
+}
+
+std::unique_ptr<RegressionBasis> MakeMultiLinearBasis(std::size_t k) {
+  return std::make_unique<MultiLinearBasis>(k);
+}
+
+std::unique_ptr<RegressionBasis> MakeCustomBasis(
+    std::string name, std::size_t num_variables, bool include_intercept,
+    std::vector<std::function<double(const std::vector<double>&)>> features) {
+  return std::make_unique<CustomBasis>(std::move(name), num_variables,
+                                       include_intercept, std::move(features));
+}
+
+}  // namespace regcube

@@ -1,0 +1,61 @@
+#ifndef REGCUBE_REGRESSION_BASIS_H_
+#define REGCUBE_REGRESSION_BASIS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "regcube/common/status.h"
+
+namespace regcube {
+
+/// A linear-in-parameters regression basis φ: maps a raw regressor vector x
+/// (time, spatial coordinates, ...) to a feature vector φ(x) of fixed arity.
+/// The model fit is ŷ = θ'φ(x). This is the generalization of §6.2: the
+/// same compressible-aggregation machinery covers multiple regression
+/// variables and nonlinear transforms (log, polynomial, exponential) as long
+/// as the model stays linear in θ.
+class RegressionBasis {
+ public:
+  virtual ~RegressionBasis() = default;
+
+  /// Number of raw regressor variables expected in `x`.
+  virtual std::size_t num_variables() const = 0;
+
+  /// Number of features produced (the arity of θ).
+  virtual std::size_t num_features() const = 0;
+
+  /// Evaluates φ(x) into `out` (resized to num_features()).
+  /// Pre: x.size() == num_variables() (checked by implementations).
+  virtual void Eval(const std::vector<double>& x,
+                    std::vector<double>* out) const = 0;
+
+  /// Human-readable description, e.g. "poly(t, degree=2)".
+  virtual std::string name() const = 0;
+};
+
+/// φ(t) = (1, t): ordinary linear regression on time. NCR over this basis is
+/// the 5-number superset of the ISB representation (adds Σy² for RSS).
+std::unique_ptr<RegressionBasis> MakeLinearTimeBasis();
+
+/// φ(t) = (1, t, t², ..., t^degree). Pre: degree >= 1.
+std::unique_ptr<RegressionBasis> MakePolynomialTimeBasis(int degree);
+
+/// φ(t) = (1, log(1 + t)) for t >= 0: logarithmic trend model (§6.2 mentions
+/// the log function explicitly).
+std::unique_ptr<RegressionBasis> MakeLogTimeBasis();
+
+/// φ(x₁..x_k) = (1, x₁, ..., x_k): multiple linear regression over k raw
+/// variables (e.g. time plus three spatial sensor coordinates, §6.2).
+std::unique_ptr<RegressionBasis> MakeMultiLinearBasis(std::size_t k);
+
+/// Wraps arbitrary user feature functions. Each function maps the raw vector
+/// to one feature; an implicit leading intercept feature can be requested.
+std::unique_ptr<RegressionBasis> MakeCustomBasis(
+    std::string name, std::size_t num_variables, bool include_intercept,
+    std::vector<std::function<double(const std::vector<double>&)>> features);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_REGRESSION_BASIS_H_

@@ -1,0 +1,104 @@
+#include "regcube/regression/fold.h"
+
+#include <algorithm>
+
+#include "regcube/common/str.h"
+
+namespace regcube {
+
+const char* FoldOpName(FoldOp op) {
+  switch (op) {
+    case FoldOp::kSum:
+      return "SUM";
+    case FoldOp::kAvg:
+      return "AVG";
+    case FoldOp::kMin:
+      return "MIN";
+    case FoldOp::kMax:
+      return "MAX";
+    case FoldOp::kLast:
+      return "LAST";
+  }
+  return "?";
+}
+
+Result<TimeSeries> FoldSeries(const TimeSeries& series,
+                              std::int64_t bucket_width, FoldOp op) {
+  if (bucket_width <= 0) {
+    return Status::InvalidArgument("bucket_width must be positive");
+  }
+  if (series.empty()) {
+    return Status::InvalidArgument("cannot fold an empty series");
+  }
+  std::vector<double> folded;
+  const std::vector<double>& v = series.values();
+  for (size_t start = 0; start < v.size();
+       start += static_cast<size_t>(bucket_width)) {
+    size_t end = std::min(v.size(), start + static_cast<size_t>(bucket_width));
+    double acc = v[start];
+    for (size_t i = start + 1; i < end; ++i) {
+      switch (op) {
+        case FoldOp::kSum:
+        case FoldOp::kAvg:
+          acc += v[i];
+          break;
+        case FoldOp::kMin:
+          acc = std::min(acc, v[i]);
+          break;
+        case FoldOp::kMax:
+          acc = std::max(acc, v[i]);
+          break;
+        case FoldOp::kLast:
+          acc = v[i];
+          break;
+      }
+    }
+    if (op == FoldOp::kAvg) acc /= static_cast<double>(end - start);
+    folded.push_back(acc);
+  }
+  return TimeSeries(0, std::move(folded));
+}
+
+Result<TimeSeries> FoldSummaries(const std::vector<Isb>& units,
+                                 std::int64_t units_per_bucket, FoldOp op) {
+  if (units_per_bucket <= 0) {
+    return Status::InvalidArgument("units_per_bucket must be positive");
+  }
+  if (units.empty()) {
+    return Status::InvalidArgument("no units to fold");
+  }
+  if (op == FoldOp::kMin || op == FoldOp::kMax) {
+    return Status::Unimplemented(
+        StrPrintf("%s folding requires raw data, not ISB summaries "
+                  "(use FoldSeries at the stream boundary)",
+                  FoldOpName(op)));
+  }
+  std::vector<double> folded;
+  for (size_t start = 0; start < units.size();
+       start += static_cast<size_t>(units_per_bucket)) {
+    size_t end =
+        std::min(units.size(), start + static_cast<size_t>(units_per_bucket));
+    double acc = 0.0;
+    std::int64_t ticks = 0;
+    for (size_t i = start; i < end; ++i) {
+      switch (op) {
+        case FoldOp::kSum:
+        case FoldOp::kAvg:
+          acc += units[i].SeriesSum();
+          ticks += units[i].interval.length();
+          break;
+        case FoldOp::kLast:
+          acc = units[i].Evaluate(units[i].interval.te);
+          break;
+        case FoldOp::kMin:
+        case FoldOp::kMax:
+          break;  // rejected above
+      }
+    }
+    if (op == FoldOp::kAvg && ticks > 0) acc /= static_cast<double>(ticks);
+    folded.push_back(acc);
+  }
+  return TimeSeries(0, std::move(folded));
+}
+
+}  // namespace regcube

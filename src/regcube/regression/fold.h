@@ -1,0 +1,44 @@
+#ifndef REGCUBE_REGRESSION_FOLD_H_
+#define REGCUBE_REGRESSION_FOLD_H_
+
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/regression/isb.h"
+#include "regcube/regression/time_series.h"
+
+namespace regcube {
+
+/// The third aggregation type sketched in §6.2: *folding* small time units
+/// at a lower level of the time hierarchy into one value per larger unit
+/// (e.g. 365 daily readings -> 12 monthly values) using a SQL aggregate,
+/// after which the folded series is fit/aggregated as usual.
+enum class FoldOp {
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kLast,  // e.g. stock closing value
+};
+
+const char* FoldOpName(FoldOp op);
+
+/// Folds a raw series into buckets of `bucket_width` ticks (the last bucket
+/// may be partial, mirroring the paper's footnote 5 on partial intervals).
+/// The folded series has one value per bucket, re-indexed at consecutive
+/// ticks starting from 0. All FoldOps are available on raw data.
+Result<TimeSeries> FoldSeries(const TimeSeries& series,
+                              std::int64_t bucket_width, FoldOp op);
+
+/// Folds *compressed* data: each ISB summarizes one already-closed time unit
+/// (e.g. one day), and each output value covers `units_per_bucket`
+/// consecutive ISBs (e.g. 31 days -> 1 month). SUM and AVG are lossless
+/// because Σz is exactly recoverable from an ISB; LAST uses the fitted value
+/// at the unit's end tick (documented approximation); MIN/MAX require raw
+/// data and return Unimplemented.
+Result<TimeSeries> FoldSummaries(const std::vector<Isb>& units,
+                                 std::int64_t units_per_bucket, FoldOp op);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_REGRESSION_FOLD_H_

@@ -1,0 +1,93 @@
+#include "regcube/regression/isb.h"
+
+#include <cmath>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+
+namespace regcube {
+
+std::string Isb::ToString() const {
+  return StrPrintf("ISB(%s, base=%.6g, slope=%.6g)",
+                   interval.ToString().c_str(), base, slope);
+}
+
+std::string IntVal::ToString() const {
+  return StrPrintf("IntVal(%s, zb=%.6g, ze=%.6g)",
+                   interval.ToString().c_str(), zb, ze);
+}
+
+IntVal ToIntVal(const Isb& isb) {
+  IntVal iv;
+  iv.interval = isb.interval;
+  iv.zb = isb.Evaluate(isb.interval.tb);
+  iv.ze = isb.Evaluate(isb.interval.te);
+  return iv;
+}
+
+Isb FromIntVal(const IntVal& iv) {
+  Isb isb;
+  isb.interval = iv.interval;
+  const std::int64_t n = iv.interval.length();
+  RC_CHECK_GE(n, 1);
+  if (n == 1) {
+    RC_CHECK(iv.zb == iv.ze) << "degenerate IntVal with zb != ze";
+    isb.slope = 0.0;
+    isb.base = iv.zb;
+    return isb;
+  }
+  isb.slope = (iv.ze - iv.zb) /
+              static_cast<double>(iv.interval.te - iv.interval.tb);
+  isb.base = iv.zb - isb.slope * static_cast<double>(iv.interval.tb);
+  return isb;
+}
+
+void MomentSums::MergeDisjoint(const MomentSums& other) {
+  if (other.interval.empty()) return;
+  if (interval.empty()) {
+    *this = other;
+    return;
+  }
+  interval.tb = std::min(interval.tb, other.interval.tb);
+  interval.te = std::max(interval.te, other.interval.te);
+  sum_z += other.sum_z;
+  sum_tz += other.sum_tz;
+}
+
+std::string MomentSums::ToString() const {
+  return StrPrintf("Moments(%s, sum_z=%.6g, sum_tz=%.6g)",
+                   interval.ToString().c_str(), sum_z, sum_tz);
+}
+
+MomentSums ToMoments(const Isb& isb) {
+  MomentSums m;
+  m.interval = isb.interval;
+  // z̄ = α + β t̄  =>  Σz = n z̄.
+  m.sum_z = isb.SeriesSum();
+  // β SVS = Σ (t - t̄) z  =>  Σ t z = β SVS + t̄ Σz.
+  m.sum_tz = isb.slope * isb.interval.sum_var_squares() +
+             isb.interval.mean() * m.sum_z;
+  return m;
+}
+
+Isb FitFromMoments(const MomentSums& m) {
+  RC_CHECK(!m.interval.empty()) << "cannot fit an empty interval";
+  Isb isb;
+  isb.interval = m.interval;
+  const double n = static_cast<double>(m.interval.length());
+  const double t_mean = m.interval.mean();
+  const double z_mean = m.sum_z / n;
+  const double svs = m.interval.sum_var_squares();
+  if (svs == 0.0) {
+    // Single tick: any slope minimizes RSS; 0 is the canonical choice.
+    isb.slope = 0.0;
+    isb.base = z_mean;
+    return isb;
+  }
+  // Lemma 3.1: β̂ = Σ (t - t̄) z / SVS = (Σ t z - t̄ Σ z) / SVS.
+  isb.slope = (m.sum_tz - t_mean * m.sum_z) / svs;
+  isb.base = z_mean - isb.slope * t_mean;
+  return isb;
+}
+
+}  // namespace regcube

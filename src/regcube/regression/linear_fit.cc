@@ -1,0 +1,59 @@
+#include "regcube/regression/linear_fit.h"
+
+#include <cmath>
+
+namespace regcube {
+
+Result<LinearFitResult> FitLeastSquares(const TimeSeries& series) {
+  if (series.empty()) {
+    return Status::InvalidArgument("cannot fit an empty time series");
+  }
+  const TimeInterval& iv = series.interval();
+  const double n = static_cast<double>(iv.length());
+  const double t_mean = iv.mean();
+
+  // Centered accumulation: subtracting t̄ before multiplying keeps the
+  // cross-moment small even for intervals far from the origin.
+  double z_sum = 0.0;
+  for (double z : series.values()) z_sum += z;
+  const double z_mean = z_sum / n;
+
+  double cross = 0.0;  // Σ (t - t̄)(z - z̄)
+  double tss = 0.0;    // Σ (z - z̄)^2
+  TimeTick t = iv.tb;
+  for (double z : series.values()) {
+    cross += (static_cast<double>(t) - t_mean) * (z - z_mean);
+    tss += (z - z_mean) * (z - z_mean);
+    ++t;
+  }
+
+  LinearFitResult out;
+  out.isb.interval = iv;
+  out.mean = z_mean;
+  const double svs = iv.sum_var_squares();
+  out.isb.slope = (svs == 0.0) ? 0.0 : cross / svs;
+  out.isb.base = z_mean - out.isb.slope * t_mean;
+  out.rss = ResidualSumOfSquares(series, out.isb.base, out.isb.slope);
+  out.r_squared = (tss == 0.0) ? 1.0 : 1.0 - out.rss / tss;
+  return out;
+}
+
+Result<Isb> FitIsb(const TimeSeries& series) {
+  auto fit = FitLeastSquares(series);
+  if (!fit.ok()) return fit.status();
+  return fit->isb;
+}
+
+double ResidualSumOfSquares(const TimeSeries& series, double base,
+                            double slope) {
+  double rss = 0.0;
+  TimeTick t = series.interval().tb;
+  for (double z : series.values()) {
+    double r = z - (base + slope * static_cast<double>(t));
+    rss += r * r;
+    ++t;
+  }
+  return rss;
+}
+
+}  // namespace regcube

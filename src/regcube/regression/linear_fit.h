@@ -1,0 +1,34 @@
+#ifndef REGCUBE_REGRESSION_LINEAR_FIT_H_
+#define REGCUBE_REGRESSION_LINEAR_FIT_H_
+
+#include "regcube/common/status.h"
+#include "regcube/regression/isb.h"
+#include "regcube/regression/time_series.h"
+
+namespace regcube {
+
+/// Full least-squares diagnostics for a linear fit of one time series
+/// (Definition 1 / Lemma 3.1). The cube itself stores only the Isb; the rest
+/// is for analysis output and tests.
+struct LinearFitResult {
+  Isb isb;
+  double rss = 0.0;       // residual sum of squares at the optimum
+  double r_squared = 0.0; // 1 - RSS / TSS; defined as 1 when TSS == 0
+  double mean = 0.0;      // z̄
+};
+
+/// Fits the LSE line of `series` directly from the raw data (Lemma 3.1).
+/// Pre: series non-empty. Returns InvalidArgument for an empty series.
+Result<LinearFitResult> FitLeastSquares(const TimeSeries& series);
+
+/// Convenience: fit and return just the ISB.
+Result<Isb> FitIsb(const TimeSeries& series);
+
+/// Residual sum of squares of an arbitrary candidate line on a series
+/// (used by tests to verify that the fitted line is the minimizer).
+double ResidualSumOfSquares(const TimeSeries& series, double base,
+                            double slope);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_REGRESSION_LINEAR_FIT_H_

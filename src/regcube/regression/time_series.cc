@@ -1,0 +1,105 @@
+#include "regcube/regression/time_series.h"
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+
+namespace regcube {
+
+double TimeInterval::sum_var_squares() const {
+  double n = static_cast<double>(length());
+  return (n * n * n - n) / 12.0;
+}
+
+std::string TimeInterval::ToString() const {
+  return StrPrintf("[%lld,%lld]", static_cast<long long>(tb),
+                   static_cast<long long>(te));
+}
+
+Status ValidatePartition(const TimeInterval& whole,
+                         const std::vector<TimeInterval>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("partition must have at least one part");
+  }
+  if (parts.front().tb != whole.tb) {
+    return Status::InvalidArgument(
+        StrPrintf("partition starts at %lld, interval starts at %lld",
+                  static_cast<long long>(parts.front().tb),
+                  static_cast<long long>(whole.tb)));
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].empty()) {
+      return Status::InvalidArgument(StrPrintf("part %zu is empty", i));
+    }
+    if (i > 0 && parts[i].tb != parts[i - 1].te + 1) {
+      return Status::InvalidArgument(
+          StrPrintf("parts %zu and %zu are not contiguous", i - 1, i));
+    }
+  }
+  if (parts.back().te != whole.te) {
+    return Status::InvalidArgument(
+        StrPrintf("partition ends at %lld, interval ends at %lld",
+                  static_cast<long long>(parts.back().te),
+                  static_cast<long long>(whole.te)));
+  }
+  return Status::OK();
+}
+
+TimeSeries::TimeSeries(TimeTick tb, std::vector<double> values)
+    : values_(std::move(values)) {
+  interval_.tb = tb;
+  interval_.te = tb + static_cast<TimeTick>(values_.size()) - 1;
+}
+
+double TimeSeries::at(TimeTick t) const {
+  RC_CHECK(interval_.Contains(t)) << "tick " << t << " outside "
+                                  << interval_.ToString();
+  return values_[static_cast<size_t>(t - interval_.tb)];
+}
+
+void TimeSeries::Append(double value) {
+  values_.push_back(value);
+  interval_.te = interval_.tb + static_cast<TimeTick>(values_.size()) - 1;
+}
+
+Result<TimeSeries> TimeSeries::Add(const TimeSeries& a, const TimeSeries& b) {
+  if (!(a.interval() == b.interval())) {
+    return Status::InvalidArgument(
+        "standard-dimension sum requires identical intervals: " +
+        a.interval().ToString() + " vs " + b.interval().ToString());
+  }
+  std::vector<double> sum(a.values_.size());
+  for (size_t i = 0; i < sum.size(); ++i) sum[i] = a.values_[i] + b.values_[i];
+  return TimeSeries(a.interval().tb, std::move(sum));
+}
+
+Result<TimeSeries> TimeSeries::Concat(const TimeSeries& a,
+                                      const TimeSeries& b) {
+  if (b.interval().tb != a.interval().te + 1) {
+    return Status::InvalidArgument(
+        "time-dimension concat requires contiguous intervals: " +
+        a.interval().ToString() + " then " + b.interval().ToString());
+  }
+  std::vector<double> joined = a.values_;
+  joined.insert(joined.end(), b.values_.begin(), b.values_.end());
+  return TimeSeries(a.interval().tb, std::move(joined));
+}
+
+Result<TimeSeries> TimeSeries::Slice(TimeTick tb, TimeTick te) const {
+  if (tb > te || !interval_.Contains(tb) || !interval_.Contains(te)) {
+    return Status::OutOfRange(StrPrintf(
+        "slice [%lld,%lld] outside series %s", static_cast<long long>(tb),
+        static_cast<long long>(te), interval_.ToString().c_str()));
+  }
+  std::vector<double> vals(values_.begin() + (tb - interval_.tb),
+                           values_.begin() + (te - interval_.tb + 1));
+  return TimeSeries(tb, std::move(vals));
+}
+
+std::string TimeSeries::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (double v : values_) parts.push_back(FormatDouble(v, 4));
+  return interval_.ToString() + ": " + StrJoin(parts, ", ");
+}
+
+}  // namespace regcube

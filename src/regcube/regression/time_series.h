@@ -1,0 +1,90 @@
+#ifndef REGCUBE_REGRESSION_TIME_SERIES_H_
+#define REGCUBE_REGRESSION_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "regcube/common/status.h"
+
+namespace regcube {
+
+/// Discrete time tick. The paper's time dimension is a sequence of integers
+/// [tb, te]; one tick is the primitive granularity of the stream (e.g. one
+/// minute in the power-grid example).
+using TimeTick = std::int64_t;
+
+/// Closed integer interval [tb, te] on the time dimension.
+struct TimeInterval {
+  TimeTick tb = 0;
+  TimeTick te = -1;  // default-constructed interval is empty
+
+  /// Number of ticks; 0 if the interval is empty.
+  std::int64_t length() const { return te >= tb ? te - tb + 1 : 0; }
+
+  bool empty() const { return te < tb; }
+
+  /// Mean tick value (tb+te)/2 — exact in double for any int64 interval that
+  /// fits the library's supported range (|t| < 2^52).
+  double mean() const { return 0.5 * (static_cast<double>(tb) + te); }
+
+  /// Sum of squared deviations of t from mean over the interval:
+  /// SVS = (n^3 - n) / 12 (Lemma 3.2).
+  double sum_var_squares() const;
+
+  bool Contains(TimeTick t) const { return t >= tb && t <= te; }
+
+  friend bool operator==(const TimeInterval&, const TimeInterval&) = default;
+
+  std::string ToString() const;
+};
+
+/// Returns OK iff `parts` is a contiguous, ordered partition of `whole`
+/// (the precondition of time-dimension aggregation, §3.4).
+Status ValidatePartition(const TimeInterval& whole,
+                         const std::vector<TimeInterval>& parts);
+
+/// A time series z(t): one numerical value per tick of an interval.
+/// This is the *uncompressed* representation; the library's cells store the
+/// compressed ISB form, and TimeSeries appears only at the stream boundary
+/// and in tests/benchmarks that verify compression is lossless.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Series over [tb, tb + values.size() - 1].
+  TimeSeries(TimeTick tb, std::vector<double> values);
+
+  const TimeInterval& interval() const { return interval_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+
+  /// Value at absolute tick `t`. Pre: interval().Contains(t) (checked).
+  double at(TimeTick t) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+  /// Appends one value, extending the interval by one tick.
+  void Append(double value);
+
+  /// Element-wise sum of two series over the same interval (the standard-
+  /// dimension aggregation semantics of §3.3). Intervals must match.
+  static Result<TimeSeries> Add(const TimeSeries& a, const TimeSeries& b);
+
+  /// Concatenation of contiguous series (time-dimension aggregation
+  /// semantics of §3.4): `b` must start at a.te + 1.
+  static Result<TimeSeries> Concat(const TimeSeries& a, const TimeSeries& b);
+
+  /// Sub-series over [tb, te] ⊆ interval().
+  Result<TimeSeries> Slice(TimeTick tb, TimeTick te) const;
+
+  std::string ToString() const;
+
+ private:
+  TimeInterval interval_;
+  std::vector<double> values_;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_REGRESSION_TIME_SERIES_H_

@@ -1,0 +1,66 @@
+#include "regcube/time/calendar.h"
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+
+namespace regcube {
+namespace {
+
+constexpr int kDaysPerMonth[12] = {31, 28, 31, 30, 31, 30,
+                                   31, 31, 30, 31, 30, 31};
+
+}  // namespace
+
+std::string CivilTime::ToString() const {
+  return StrPrintf("y%d-m%02d-d%02d %02d:%02d", year, month + 1, day + 1, hour,
+                   quarter * 15);
+}
+
+int QuarterHourCalendar::DaysInMonth(int month) {
+  RC_CHECK(month >= 0 && month < 12);
+  return kDaysPerMonth[month];
+}
+
+CivilTime QuarterHourCalendar::FromTick(TimeTick t) {
+  RC_CHECK_GE(t, 0);
+  CivilTime c;
+  std::int64_t day_index = t / kTicksPerDay;
+  int tick_in_day = static_cast<int>(t % kTicksPerDay);
+  c.hour = tick_in_day / kTicksPerHour;
+  c.quarter = tick_in_day % kTicksPerHour;
+  c.year = static_cast<int>(day_index / kDaysPerYear);
+  int day_of_year = static_cast<int>(day_index % kDaysPerYear);
+  c.month = 0;
+  while (day_of_year >= kDaysPerMonth[c.month]) {
+    day_of_year -= kDaysPerMonth[c.month];
+    ++c.month;
+  }
+  c.day = day_of_year;
+  return c;
+}
+
+TimeTick QuarterHourCalendar::ToTick(const CivilTime& civil) {
+  RC_CHECK(civil.month >= 0 && civil.month < 12);
+  RC_CHECK(civil.day >= 0 && civil.day < kDaysPerMonth[civil.month]);
+  std::int64_t day_index =
+      static_cast<std::int64_t>(civil.year) * kDaysPerYear;
+  for (int m = 0; m < civil.month; ++m) day_index += kDaysPerMonth[m];
+  day_index += civil.day;
+  return day_index * kTicksPerDay + civil.hour * kTicksPerHour + civil.quarter;
+}
+
+bool QuarterHourCalendar::IsHourEnd(TimeTick t) {
+  return (t + 1) % kTicksPerHour == 0;
+}
+
+bool QuarterHourCalendar::IsDayEnd(TimeTick t) {
+  return (t + 1) % kTicksPerDay == 0;
+}
+
+bool QuarterHourCalendar::IsMonthEnd(TimeTick t) {
+  if (!IsDayEnd(t)) return false;
+  CivilTime c = FromTick(t);
+  return c.day == kDaysPerMonth[c.month] - 1;
+}
+
+}  // namespace regcube

@@ -1,0 +1,53 @@
+#ifndef REGCUBE_TIME_CALENDAR_H_
+#define REGCUBE_TIME_CALENDAR_H_
+
+#include <string>
+
+#include "regcube/regression/time_series.h"
+
+namespace regcube {
+
+/// Civil breakdown of a quarter-hour tick: Example 3's time axis, aligned
+/// with natural calendar time (footnote 5 of the paper).
+struct CivilTime {
+  int year = 0;     // years since tick 0
+  int month = 0;    // 0..11
+  int day = 0;      // 0-based day of month
+  int hour = 0;     // 0..23
+  int quarter = 0;  // 0..3 quarter of hour
+
+  std::string ToString() const;
+};
+
+/// Calendar over quarter-hour base ticks (the granularity of the paper's
+/// power-grid running example: 4 quarters/hour, 24 hours/day, calendar
+/// months, non-leap 365-day years). Tick 0 is 00:00 on January 1 of year 0.
+///
+/// Deliberately leap-free: experiments need deterministic boundary
+/// arithmetic, and the paper's 366×24×4 illustration is approximate anyway.
+class QuarterHourCalendar {
+ public:
+  static constexpr int kTicksPerHour = 4;
+  static constexpr int kTicksPerDay = kTicksPerHour * 24;
+  static constexpr int kDaysPerYear = 365;
+  static constexpr std::int64_t kTicksPerYear =
+      static_cast<std::int64_t>(kTicksPerDay) * kDaysPerYear;
+
+  /// Days in month m (0..11), non-leap.
+  static int DaysInMonth(int month);
+
+  /// Civil breakdown of tick `t`. Pre: t >= 0 (checked).
+  static CivilTime FromTick(TimeTick t);
+
+  /// First tick of the given civil time's quarter (inverse of FromTick).
+  static TimeTick ToTick(const CivilTime& civil);
+
+  /// True iff tick `t` is the last quarter of an hour / day / month.
+  static bool IsHourEnd(TimeTick t);
+  static bool IsDayEnd(TimeTick t);
+  static bool IsMonthEnd(TimeTick t);
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_TIME_CALENDAR_H_

@@ -1,0 +1,239 @@
+#include "regcube/time/tilt_frame.h"
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+#include "regcube/regression/aggregate.h"
+
+namespace regcube {
+
+TiltTimeFrame::TiltTimeFrame(std::shared_ptr<const TiltPolicy> policy,
+                             TimeTick start_tick)
+    : policy_(std::move(policy)), start_tick_(start_tick),
+      next_tick_(start_tick) {
+  RC_CHECK(policy_ != nullptr);
+  levels_.resize(static_cast<size_t>(policy_->num_levels()));
+  for (auto& level : levels_) {
+    level.pending_start = start_tick_;
+  }
+}
+
+void TiltTimeFrame::Accumulate(TimeTick t, double z) {
+  for (auto& level : levels_) {
+    level.pending.Add(t, z);
+    level.pending_active = true;
+  }
+}
+
+void TiltTimeFrame::SealBoundaries(TimeTick t) {
+  for (int li = 0; li < policy_->num_levels(); ++li) {
+    if (!policy_->IsUnitEnd(li, t)) continue;
+    LevelState& level = levels_[static_cast<size_t>(li)];
+    MomentSums slot = level.pending;
+    // The sealed unit covers its full interval; ticks without observations
+    // contributed zero (additive stream semantics).
+    slot.interval.tb = level.pending_start;
+    slot.interval.te = t;
+    level.slots.push_back(slot);
+    const int capacity = policy_->level(li).capacity;
+    while (static_cast<int>(level.slots.size()) > capacity) {
+      level.slots.pop_front();
+    }
+    level.pending = MomentSums();
+    level.pending_active = false;
+    level.pending_start = t + 1;
+  }
+}
+
+Status TiltTimeFrame::Add(TimeTick t, double z) {
+  if (t < start_tick_) {
+    return Status::OutOfRange(StrPrintf(
+        "tick %lld precedes frame start %lld", static_cast<long long>(t),
+        static_cast<long long>(start_tick_)));
+  }
+  if (t < next_tick_) {
+    return Status::OutOfRange(StrPrintf(
+        "tick %lld already sealed (next open tick is %lld)",
+        static_cast<long long>(t), static_cast<long long>(next_tick_)));
+  }
+  for (TimeTick s = next_tick_; s < t; ++s) SealBoundaries(s);
+  next_tick_ = t;
+  Accumulate(t, z);
+  return Status::OK();
+}
+
+Status TiltTimeFrame::AdvanceTo(TimeTick t) {
+  if (t <= next_tick_) return Status::OK();
+  for (TimeTick s = next_tick_; s < t; ++s) SealBoundaries(s);
+  next_tick_ = t;
+  return Status::OK();
+}
+
+std::vector<Isb> TiltTimeFrame::Slots(int level) const {
+  RC_CHECK(level >= 0 && level < policy_->num_levels());
+  const LevelState& state = levels_[static_cast<size_t>(level)];
+  std::vector<Isb> out;
+  out.reserve(state.slots.size());
+  for (const MomentSums& m : state.slots) out.push_back(FitFromMoments(m));
+  return out;
+}
+
+const std::deque<MomentSums>& TiltTimeFrame::RawSlots(int level) const {
+  RC_CHECK(level >= 0 && level < policy_->num_levels());
+  return levels_[static_cast<size_t>(level)].slots;
+}
+
+Result<Isb> TiltTimeFrame::PendingSlot(int level) const {
+  RC_CHECK(level >= 0 && level < policy_->num_levels());
+  const LevelState& state = levels_[static_cast<size_t>(level)];
+  if (state.pending_start > next_tick_ ||
+      (state.pending_start == next_tick_ && !state.pending_active)) {
+    return Status::NotFound(
+        StrPrintf("no partial unit at level %d", level));
+  }
+  MomentSums m = state.pending;
+  m.interval.tb = state.pending_start;
+  m.interval.te = next_tick_;
+  return FitFromMoments(m);
+}
+
+Result<Isb> TiltTimeFrame::RegressLastSlots(int level, int k) const {
+  RC_CHECK(level >= 0 && level < policy_->num_levels());
+  const LevelState& state = levels_[static_cast<size_t>(level)];
+  if (k < 1 || k > static_cast<int>(state.slots.size())) {
+    return Status::OutOfRange(
+        StrPrintf("requested %d slots, level %d has %zu sealed", k, level,
+                  state.slots.size()));
+  }
+  std::vector<Isb> children;
+  children.reserve(static_cast<size_t>(k));
+  for (size_t i = state.slots.size() - static_cast<size_t>(k);
+       i < state.slots.size(); ++i) {
+    children.push_back(FitFromMoments(state.slots[i]));
+  }
+  return AggregateTimeDim(children);
+}
+
+Result<TimeSeries> TiltTimeFrame::FoldSlots(int level,
+                                            std::int64_t units_per_bucket,
+                                            FoldOp op) const {
+  RC_CHECK(level >= 0 && level < policy_->num_levels());
+  return FoldSummaries(Slots(level), units_per_bucket, op);
+}
+
+std::int64_t TiltTimeFrame::RetainedSlots() const {
+  std::int64_t total = 0;
+  for (const auto& level : levels_) {
+    total += static_cast<std::int64_t>(level.slots.size());
+  }
+  return total;
+}
+
+std::int64_t TiltTimeFrame::TicksSeen() const {
+  return next_tick_ - start_tick_;  // ticks strictly before the open tick
+}
+
+std::int64_t TiltTimeFrame::MemoryBytes() const {
+  std::int64_t bytes = static_cast<std::int64_t>(sizeof(TiltTimeFrame));
+  for (const auto& level : levels_) {
+    bytes += static_cast<std::int64_t>(level.slots.size() *
+                                       sizeof(MomentSums));
+  }
+  return bytes;
+}
+
+Status TiltTimeFrame::MergeStandardDim(const TiltTimeFrame& other) {
+  if (policy_->num_levels() != other.policy_->num_levels() ||
+      policy_->name() != other.policy_->name()) {
+    return Status::InvalidArgument("tilt policies differ");
+  }
+  if (next_tick_ != other.next_tick_ || start_tick_ != other.start_tick_) {
+    return Status::InvalidArgument(StrPrintf(
+        "frames not aligned: [%lld,%lld) vs [%lld,%lld)",
+        static_cast<long long>(start_tick_),
+        static_cast<long long>(next_tick_),
+        static_cast<long long>(other.start_tick_),
+        static_cast<long long>(other.next_tick_)));
+  }
+  for (size_t li = 0; li < levels_.size(); ++li) {
+    LevelState& mine = levels_[li];
+    const LevelState& theirs = other.levels_[li];
+    if (mine.slots.size() != theirs.slots.size()) {
+      return Status::InvalidArgument(
+          StrPrintf("level %zu slot counts differ: %zu vs %zu", li,
+                    mine.slots.size(), theirs.slots.size()));
+    }
+    for (size_t s = 0; s < mine.slots.size(); ++s) {
+      if (!(mine.slots[s].interval == theirs.slots[s].interval)) {
+        return Status::InvalidArgument(
+            StrPrintf("level %zu slot %zu intervals differ", li, s));
+      }
+      mine.slots[s].sum_z += theirs.slots[s].sum_z;
+      mine.slots[s].sum_tz += theirs.slots[s].sum_tz;
+    }
+    mine.pending.sum_z += theirs.pending.sum_z;
+    mine.pending.sum_tz += theirs.pending.sum_tz;
+    mine.pending_active = mine.pending_active || theirs.pending_active;
+  }
+  return Status::OK();
+}
+
+TiltFrameState TiltTimeFrame::Snapshot() const {
+  TiltFrameState state;
+  state.start_tick = start_tick_;
+  state.next_tick = next_tick_;
+  state.levels.reserve(levels_.size());
+  for (const LevelState& level : levels_) {
+    TiltFrameState::Level out;
+    out.slots.assign(level.slots.begin(), level.slots.end());
+    out.pending = level.pending;
+    out.pending_active = level.pending_active;
+    out.pending_start = level.pending_start;
+    state.levels.push_back(std::move(out));
+  }
+  return state;
+}
+
+Result<TiltTimeFrame> TiltTimeFrame::FromSnapshot(
+    std::shared_ptr<const TiltPolicy> policy, const TiltFrameState& state) {
+  RC_CHECK(policy != nullptr);
+  if (static_cast<int>(state.levels.size()) != policy->num_levels()) {
+    return Status::InvalidArgument(StrPrintf(
+        "snapshot has %zu levels, policy %s has %d", state.levels.size(),
+        policy->name().c_str(), policy->num_levels()));
+  }
+  if (state.next_tick < state.start_tick) {
+    return Status::InvalidArgument("snapshot clock precedes its start tick");
+  }
+  TiltTimeFrame frame(std::move(policy), state.start_tick);
+  frame.next_tick_ = state.next_tick;
+  for (size_t li = 0; li < state.levels.size(); ++li) {
+    const TiltFrameState::Level& in = state.levels[li];
+    const int capacity = frame.policy_->level(static_cast<int>(li)).capacity;
+    if (static_cast<int>(in.slots.size()) > capacity) {
+      return Status::InvalidArgument(StrPrintf(
+          "snapshot level %zu holds %zu slots, capacity is %d", li,
+          in.slots.size(), capacity));
+    }
+    LevelState& out = frame.levels_[li];
+    out.slots.assign(in.slots.begin(), in.slots.end());
+    out.pending = in.pending;
+    out.pending_active = in.pending_active;
+    out.pending_start = in.pending_start;
+  }
+  return frame;
+}
+
+std::string TiltTimeFrame::ToString() const {
+  std::string out = StrPrintf("TiltTimeFrame(policy=%s, next_tick=%lld)\n",
+                              policy_->name().c_str(),
+                              static_cast<long long>(next_tick_));
+  for (int li = 0; li < policy_->num_levels(); ++li) {
+    const LevelState& level = levels_[static_cast<size_t>(li)];
+    out += StrPrintf("  %-10s %zu/%d slots\n",
+                     policy_->level(li).name.c_str(), level.slots.size(),
+                     policy_->level(li).capacity);
+  }
+  return out;
+}
+
+}  // namespace regcube

@@ -1,0 +1,138 @@
+#include "regcube/time/tilt_policy.h"
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+#include "regcube/time/calendar.h"
+
+namespace regcube {
+
+std::int64_t TiltPolicy::TotalCapacity() const {
+  std::int64_t total = 0;
+  for (int i = 0; i < num_levels(); ++i) total += level(i).capacity;
+  return total;
+}
+
+namespace {
+
+class UniformTiltPolicy : public TiltPolicy {
+ public:
+  UniformTiltPolicy(std::vector<TiltLevelSpec> levels,
+                    std::vector<std::int64_t> widths)
+      : levels_(std::move(levels)), widths_(std::move(widths)) {
+    RC_CHECK_EQ(levels_.size(), widths_.size());
+    RC_CHECK(!levels_.empty());
+    for (size_t i = 0; i < widths_.size(); ++i) {
+      RC_CHECK_GT(widths_[i], 0);
+      RC_CHECK_GT(levels_[i].capacity, 0);
+      if (i > 0) {
+        RC_CHECK_EQ(widths_[i] % widths_[i - 1], 0)
+            << "level " << i << " width must be a multiple of level " << i - 1;
+      }
+    }
+  }
+
+  int num_levels() const override {
+    return static_cast<int>(levels_.size());
+  }
+
+  const TiltLevelSpec& level(int level) const override {
+    RC_CHECK(level >= 0 && level < num_levels());
+    return levels_[static_cast<size_t>(level)];
+  }
+
+  bool IsUnitEnd(int level, TimeTick t) const override {
+    RC_CHECK(level >= 0 && level < num_levels());
+    return (t + 1) % widths_[static_cast<size_t>(level)] == 0;
+  }
+
+  std::int64_t NominalUnitTicks(int level) const override {
+    RC_CHECK(level >= 0 && level < num_levels());
+    return widths_[static_cast<size_t>(level)];
+  }
+
+  std::string name() const override { return "uniform"; }
+
+ private:
+  std::vector<TiltLevelSpec> levels_;
+  std::vector<std::int64_t> widths_;
+};
+
+class NaturalCalendarTiltPolicy : public TiltPolicy {
+ public:
+  NaturalCalendarTiltPolicy()
+      : levels_{{"quarter", 4}, {"hour", 24}, {"day", 31}, {"month", 12}} {}
+
+  int num_levels() const override { return 4; }
+
+  const TiltLevelSpec& level(int level) const override {
+    RC_CHECK(level >= 0 && level < 4);
+    return levels_[static_cast<size_t>(level)];
+  }
+
+  bool IsUnitEnd(int level, TimeTick t) const override {
+    switch (level) {
+      case 0:
+        return true;  // every tick is a quarter
+      case 1:
+        return QuarterHourCalendar::IsHourEnd(t);
+      case 2:
+        return QuarterHourCalendar::IsDayEnd(t);
+      case 3:
+        return QuarterHourCalendar::IsMonthEnd(t);
+      default:
+        RC_CHECK(false) << "bad level " << level;
+        return false;
+    }
+  }
+
+  std::int64_t NominalUnitTicks(int level) const override {
+    switch (level) {
+      case 0:
+        return 1;
+      case 1:
+        return QuarterHourCalendar::kTicksPerHour;
+      case 2:
+        return QuarterHourCalendar::kTicksPerDay;
+      case 3:
+        return QuarterHourCalendar::kTicksPerDay * 30;  // nominal
+      default:
+        RC_CHECK(false) << "bad level " << level;
+        return 0;
+    }
+  }
+
+  std::string name() const override { return "natural-calendar"; }
+
+ private:
+  TiltLevelSpec levels_[4];
+};
+
+}  // namespace
+
+std::unique_ptr<TiltPolicy> MakeUniformTiltPolicy(
+    std::vector<TiltLevelSpec> levels, std::vector<std::int64_t> widths) {
+  return std::make_unique<UniformTiltPolicy>(std::move(levels),
+                                             std::move(widths));
+}
+
+std::unique_ptr<TiltPolicy> MakeNaturalCalendarTiltPolicy() {
+  return std::make_unique<NaturalCalendarTiltPolicy>();
+}
+
+std::unique_ptr<TiltPolicy> MakeLogarithmicTiltPolicy(int num_levels,
+                                                      int capacity_per_level) {
+  RC_CHECK_GT(num_levels, 0);
+  RC_CHECK_GT(capacity_per_level, 0);
+  std::vector<TiltLevelSpec> levels;
+  std::vector<std::int64_t> widths;
+  std::int64_t width = 1;
+  for (int i = 0; i < num_levels; ++i) {
+    levels.push_back({StrPrintf("2^%d-ticks", i), capacity_per_level});
+    widths.push_back(width);
+    width *= 2;
+  }
+  return std::make_unique<UniformTiltPolicy>(std::move(levels),
+                                             std::move(widths));
+}
+
+}  // namespace regcube

@@ -1,0 +1,93 @@
+#include "regcube/time/calendar.h"
+
+#include "gtest/gtest.h"
+
+namespace regcube {
+namespace {
+
+TEST(CalendarTest, TickZeroIsYearStart) {
+  CivilTime c = QuarterHourCalendar::FromTick(0);
+  EXPECT_EQ(c.year, 0);
+  EXPECT_EQ(c.month, 0);
+  EXPECT_EQ(c.day, 0);
+  EXPECT_EQ(c.hour, 0);
+  EXPECT_EQ(c.quarter, 0);
+}
+
+TEST(CalendarTest, QuarterAndHourProgression) {
+  CivilTime c = QuarterHourCalendar::FromTick(5);  // 01:15
+  EXPECT_EQ(c.hour, 1);
+  EXPECT_EQ(c.quarter, 1);
+  c = QuarterHourCalendar::FromTick(95);  // 23:45
+  EXPECT_EQ(c.hour, 23);
+  EXPECT_EQ(c.quarter, 3);
+  c = QuarterHourCalendar::FromTick(96);  // next day
+  EXPECT_EQ(c.day, 1);
+  EXPECT_EQ(c.hour, 0);
+}
+
+TEST(CalendarTest, MonthLengths) {
+  int total = 0;
+  for (int m = 0; m < 12; ++m) total += QuarterHourCalendar::DaysInMonth(m);
+  EXPECT_EQ(total, 365);
+  EXPECT_EQ(QuarterHourCalendar::DaysInMonth(1), 28);  // non-leap February
+  EXPECT_EQ(QuarterHourCalendar::DaysInMonth(0), 31);
+}
+
+TEST(CalendarTest, JanuaryToFebruaryBoundary) {
+  // Last tick of Jan 31 = tick 31*96 - 1.
+  const TimeTick last_jan = 31 * QuarterHourCalendar::kTicksPerDay - 1;
+  CivilTime c = QuarterHourCalendar::FromTick(last_jan);
+  EXPECT_EQ(c.month, 0);
+  EXPECT_EQ(c.day, 30);
+  EXPECT_TRUE(QuarterHourCalendar::IsMonthEnd(last_jan));
+  c = QuarterHourCalendar::FromTick(last_jan + 1);
+  EXPECT_EQ(c.month, 1);
+  EXPECT_EQ(c.day, 0);
+}
+
+TEST(CalendarTest, YearRollsOver) {
+  CivilTime c =
+      QuarterHourCalendar::FromTick(QuarterHourCalendar::kTicksPerYear);
+  EXPECT_EQ(c.year, 1);
+  EXPECT_EQ(c.month, 0);
+  EXPECT_EQ(c.day, 0);
+}
+
+TEST(CalendarTest, RoundTripProperty) {
+  // FromTick and ToTick are inverse over a spread of ticks.
+  for (TimeTick t : {TimeTick{0}, TimeTick{1}, TimeTick{95}, TimeTick{96},
+                     TimeTick{2975}, TimeTick{2976}, TimeTick{50000},
+                     QuarterHourCalendar::kTicksPerYear - 1,
+                     QuarterHourCalendar::kTicksPerYear + 12345}) {
+    CivilTime c = QuarterHourCalendar::FromTick(t);
+    EXPECT_EQ(QuarterHourCalendar::ToTick(c), t) << c.ToString();
+  }
+}
+
+TEST(CalendarTest, BoundaryPredicates) {
+  EXPECT_TRUE(QuarterHourCalendar::IsHourEnd(3));
+  EXPECT_FALSE(QuarterHourCalendar::IsHourEnd(4));
+  EXPECT_TRUE(QuarterHourCalendar::IsDayEnd(95));
+  EXPECT_FALSE(QuarterHourCalendar::IsDayEnd(96));
+  // Every day end is an hour end; every month end is a day end.
+  for (TimeTick t = 0; t < 96 * 62; ++t) {
+    if (QuarterHourCalendar::IsDayEnd(t)) {
+      EXPECT_TRUE(QuarterHourCalendar::IsHourEnd(t));
+    }
+    if (QuarterHourCalendar::IsMonthEnd(t)) {
+      EXPECT_TRUE(QuarterHourCalendar::IsDayEnd(t));
+    }
+  }
+}
+
+TEST(CalendarTest, TwelveMonthEndsPerYear) {
+  int month_ends = 0;
+  for (TimeTick t = 0; t < QuarterHourCalendar::kTicksPerYear; ++t) {
+    if (QuarterHourCalendar::IsMonthEnd(t)) ++month_ends;
+  }
+  EXPECT_EQ(month_ends, 12);
+}
+
+}  // namespace
+}  // namespace regcube

@@ -1,0 +1,196 @@
+#include "regcube/cube/cuboid.h"
+
+#include <memory>
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace regcube {
+namespace {
+
+std::shared_ptr<const CubeSchema> Example5Schema() {
+  auto h = std::make_shared<FanoutHierarchy>(2, 3);
+  std::vector<Dimension> dims = {Dimension("A", h), Dimension("B", h),
+                                 Dimension("C", h)};
+  auto schema = CubeSchema::Create(std::move(dims), {2, 2, 2}, {1, 0, 1});
+  EXPECT_TRUE(schema.ok());
+  return std::make_shared<CubeSchema>(std::move(schema).value());
+}
+
+TEST(CuboidLatticeTest, EnumeratesTwelveCuboids) {
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  EXPECT_EQ(lattice.num_cuboids(), 12);
+  // Every spec in range, all distinct.
+  std::set<LayerSpec> seen;
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    const LayerSpec& s = lattice.spec(c);
+    EXPECT_GE(s[0], 1);
+    EXPECT_LE(s[0], 2);
+    EXPECT_GE(s[1], 0);
+    EXPECT_LE(s[1], 2);
+    EXPECT_GE(s[2], 1);
+    EXPECT_LE(s[2], 2);
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(CuboidLatticeTest, IdsRoundTrip) {
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    EXPECT_EQ(lattice.id(lattice.spec(c)), c);
+  }
+  EXPECT_EQ(lattice.spec(lattice.o_layer_id()), (LayerSpec{1, 0, 1}));
+  EXPECT_EQ(lattice.spec(lattice.m_layer_id()), (LayerSpec{2, 2, 2}));
+}
+
+TEST(CuboidLatticeTest, DrillChildrenAndRollupParents) {
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  const CuboidId o = lattice.o_layer_id();
+  auto children = lattice.DrillChildren(o);
+  ASSERT_EQ(children.size(), 3u);  // refine A, B, or C
+  std::set<LayerSpec> specs;
+  for (CuboidId c : children) specs.insert(lattice.spec(c));
+  EXPECT_TRUE(specs.count({2, 0, 1}));
+  EXPECT_TRUE(specs.count({1, 1, 1}));
+  EXPECT_TRUE(specs.count({1, 0, 2}));
+
+  EXPECT_TRUE(lattice.DrillChildren(lattice.m_layer_id()).empty());
+  EXPECT_TRUE(lattice.RollupParents(o).empty());
+
+  // Parent/child are mutually inverse.
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    for (CuboidId child : lattice.DrillChildren(c)) {
+      auto parents = lattice.RollupParents(child);
+      EXPECT_NE(std::find(parents.begin(), parents.end(), c), parents.end());
+    }
+  }
+}
+
+TEST(CuboidLatticeTest, AncestorPartialOrder) {
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  const CuboidId o = lattice.o_layer_id();
+  const CuboidId m = lattice.m_layer_id();
+  EXPECT_TRUE(lattice.IsAncestorOrEqual(o, m));
+  EXPECT_FALSE(lattice.IsAncestorOrEqual(m, o));
+  EXPECT_TRUE(lattice.IsAncestorOrEqual(o, o));
+  // (2,0,1) and (1,1,1) are incomparable.
+  const CuboidId a = lattice.id({2, 0, 1});
+  const CuboidId b = lattice.id({1, 1, 1});
+  EXPECT_FALSE(lattice.IsAncestorOrEqual(a, b));
+  EXPECT_FALSE(lattice.IsAncestorOrEqual(b, a));
+}
+
+TEST(CuboidLatticeTest, AttributesSkipStars) {
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  auto attrs = lattice.AttributesOf(lattice.o_layer_id());
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].dim, 0);
+  EXPECT_EQ(attrs[0].level, 1);
+  EXPECT_EQ(attrs[1].dim, 2);
+  EXPECT_EQ(attrs[1].level, 1);
+}
+
+TEST(CuboidLatticeTest, ProjectMLayerKey) {
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  CellKey m_key(3);
+  m_key.set(0, 7);  // level-2 value, parent = 7/3 = 2
+  m_key.set(1, 5);  // parent 1
+  m_key.set(2, 8);  // parent 2
+  CellKey o_key = lattice.ProjectMLayerKey(m_key, lattice.o_layer_id());
+  EXPECT_EQ(o_key[0], 2u);
+  EXPECT_EQ(o_key[1], kStarValue);
+  EXPECT_EQ(o_key[2], 2u);
+}
+
+TEST(CuboidLatticeTest, ProjectKeyBetweenCuboids) {
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  const CuboidId from = lattice.id({2, 1, 1});
+  const CuboidId to = lattice.id({1, 0, 1});
+  CellKey key(3);
+  key.set(0, 7);
+  key.set(1, 1);
+  key.set(2, 2);
+  CellKey projected = lattice.ProjectKey(key, from, to);
+  EXPECT_EQ(projected[0], 2u);
+  EXPECT_EQ(projected[1], kStarValue);
+  EXPECT_EQ(projected[2], 2u);
+}
+
+TEST(CuboidLatticeTest, KeyIsDescendant) {
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  const CuboidId child = lattice.id({2, 0, 1});
+  const CuboidId parent = lattice.o_layer_id();  // (1,0,1)
+  CellKey child_key(3);
+  child_key.set(0, 7);
+  child_key.set(2, 1);
+  CellKey parent_key(3);
+  parent_key.set(0, 2);
+  parent_key.set(2, 1);
+  EXPECT_TRUE(lattice.KeyIsDescendant(child_key, child, parent_key, parent));
+  parent_key.set(0, 1);
+  EXPECT_FALSE(lattice.KeyIsDescendant(child_key, child, parent_key, parent));
+}
+
+TEST(CuboidLatticeTest, CuboidNamesReadable) {
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  EXPECT_EQ(lattice.CuboidName(lattice.o_layer_id()), "(A.L1, *, C.L1)");
+}
+
+TEST(DrillPathTest, DefaultPathIsValid) {
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  DrillPath path = DrillPath::MakeDefault(lattice);
+  EXPECT_TRUE(DrillPath::Validate(lattice, path).ok());
+  // o->m needs (2-1) + (2-0) + (2-1) = 4 refinements -> 5 cuboids.
+  EXPECT_EQ(path.steps.size(), 5u);
+}
+
+TEST(DrillPathTest, Figure6PathViaDimOrder) {
+  // The dark-line path of Fig 6: (A1,C1) -> B1 -> B2 -> A2 -> C2,
+  // i.e. dim order {B, A, C}.
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  auto path = DrillPath::MakeDimOrderPath(lattice, {1, 0, 2});
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->steps.size(), 5u);
+  EXPECT_EQ(lattice.spec(path->steps[0]), (LayerSpec{1, 0, 1}));
+  EXPECT_EQ(lattice.spec(path->steps[1]), (LayerSpec{1, 1, 1}));
+  EXPECT_EQ(lattice.spec(path->steps[2]), (LayerSpec{1, 2, 1}));
+  EXPECT_EQ(lattice.spec(path->steps[3]), (LayerSpec{2, 2, 1}));
+  EXPECT_EQ(lattice.spec(path->steps[4]), (LayerSpec{2, 2, 2}));
+}
+
+TEST(DrillPathTest, ValidationCatchesBadPaths) {
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  DrillPath empty;
+  EXPECT_FALSE(DrillPath::Validate(lattice, empty).ok());
+
+  DrillPath wrong_start;
+  wrong_start.steps = {lattice.id({2, 0, 1}), lattice.m_layer_id()};
+  EXPECT_FALSE(DrillPath::Validate(lattice, wrong_start).ok());
+
+  DrillPath skips;
+  skips.steps = {lattice.o_layer_id(), lattice.id({2, 1, 1}),
+                 lattice.m_layer_id()};
+  EXPECT_FALSE(DrillPath::Validate(lattice, skips).ok());
+}
+
+TEST(DrillPathTest, DimOrderMustBePermutation) {
+  auto schema = Example5Schema();
+  CuboidLattice lattice(*schema);
+  EXPECT_FALSE(DrillPath::MakeDimOrderPath(lattice, {0, 0, 1}).ok());
+}
+
+}  // namespace
+}  // namespace regcube

@@ -1,0 +1,96 @@
+#include "regcube/cube/dimension.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+
+namespace regcube {
+namespace {
+
+TEST(FanoutHierarchyTest, CardinalityGrowsGeometrically) {
+  FanoutHierarchy h(3, 10);
+  EXPECT_EQ(h.num_levels(), 3);
+  EXPECT_EQ(h.Cardinality(1), 10);
+  EXPECT_EQ(h.Cardinality(2), 100);
+  EXPECT_EQ(h.Cardinality(3), 1000);
+}
+
+TEST(FanoutHierarchyTest, ParentIsDivision) {
+  FanoutHierarchy h(3, 10);
+  EXPECT_EQ(h.Parent(3, 987), 98u);
+  EXPECT_EQ(h.Parent(2, 98), 9u);
+}
+
+TEST(FanoutHierarchyTest, AncestorComposesParents) {
+  FanoutHierarchy h(4, 5);
+  EXPECT_EQ(h.Ancestor(4, 624, 4), 624u);
+  EXPECT_EQ(h.Ancestor(4, 624, 3), 124u);
+  EXPECT_EQ(h.Ancestor(4, 624, 1), 4u);
+}
+
+TEST(FanoutHierarchyTest, FanoutOne) {
+  FanoutHierarchy h(3, 1);
+  EXPECT_EQ(h.Cardinality(3), 1);
+  EXPECT_EQ(h.Ancestor(3, 0, 1), 0u);
+}
+
+TEST(ExplicitHierarchyTest, CreateValidatesParentIds) {
+  // Level 1: 2 cities; level 2: 3 districts.
+  auto ok = ExplicitHierarchy::Create(2, {{0, 0, 1}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_levels(), 2);
+  EXPECT_EQ(ok->Cardinality(1), 2);
+  EXPECT_EQ(ok->Cardinality(2), 3);
+  EXPECT_EQ(ok->Parent(2, 2), 1u);
+
+  auto bad = ExplicitHierarchy::Create(2, {{0, 2}});  // parent 2 >= 2
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(ExplicitHierarchy::Create(0, {}).ok());
+  EXPECT_FALSE(ExplicitHierarchy::Create(2, {{}}).ok());  // empty level
+}
+
+TEST(ExplicitHierarchyTest, ThreeLevelAncestors) {
+  // 2 cities; 3 districts (0,0 -> city0, 1 -> city1); 5 blocks.
+  auto h = ExplicitHierarchy::Create(2, {{0, 0, 1}, {0, 1, 1, 2, 2}});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->Ancestor(3, 4, 2), 2u);
+  EXPECT_EQ(h->Ancestor(3, 4, 1), 1u);
+  EXPECT_EQ(h->Ancestor(3, 0, 1), 0u);
+}
+
+TEST(ExplicitHierarchyTest, LabelsUsedWhenProvided) {
+  auto h = ExplicitHierarchy::Create(
+      2, {{0, 1}}, {{"north", "south"}, {"n-block", "s-block"}});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->Label(1, 0), "north");
+  EXPECT_EQ(h->Label(2, 1), "s-block");
+}
+
+TEST(ExplicitHierarchyTest, DefaultLabelFallback) {
+  auto h = ExplicitHierarchy::Create(2, {{0, 1}});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->Label(1, 0), "L1:0");
+}
+
+TEST(ExplicitHierarchyTest, LabelCountMustMatchLevels) {
+  EXPECT_FALSE(ExplicitHierarchy::Create(2, {{0, 1}}, {{"a", "b"}}).ok());
+}
+
+TEST(DimensionTest, AutoLevelNames) {
+  Dimension dim("loc", std::make_shared<FanoutHierarchy>(2, 3));
+  EXPECT_EQ(dim.name(), "loc");
+  EXPECT_EQ(dim.num_levels(), 2);
+  EXPECT_EQ(dim.level_name(0), "*");
+  EXPECT_EQ(dim.level_name(1), "loc.L1");
+  EXPECT_EQ(dim.level_name(2), "loc.L2");
+}
+
+TEST(DimensionTest, ExplicitLevelNames) {
+  Dimension dim("location", std::make_shared<FanoutHierarchy>(3, 4),
+                {"city", "district", "street-block"});
+  EXPECT_EQ(dim.level_name(1), "city");
+  EXPECT_EQ(dim.level_name(3), "street-block");
+}
+
+}  // namespace
+}  // namespace regcube

@@ -1,0 +1,110 @@
+#include "regcube/cube/exception_policy.h"
+
+#include "gtest/gtest.h"
+#include "regcube/core/exception_store.h"
+
+namespace regcube {
+namespace {
+
+Isb WithSlope(double slope) { return Isb{{0, 9}, 0.0, slope}; }
+
+TEST(ExceptionPolicyTest, AbsoluteSlopeMode) {
+  ExceptionPolicy policy(0.5);
+  EXPECT_TRUE(policy.IsException(WithSlope(0.5), 0, 1));
+  EXPECT_TRUE(policy.IsException(WithSlope(-0.7), 0, 1));
+  EXPECT_FALSE(policy.IsException(WithSlope(0.49), 0, 1));
+  EXPECT_FALSE(policy.IsException(WithSlope(-0.49), 0, 1));
+}
+
+TEST(ExceptionPolicyTest, PositiveAndNegativeModes) {
+  ExceptionPolicy rising(0.5, ExceptionMode::kPositiveSlope);
+  EXPECT_TRUE(rising.IsException(WithSlope(0.6), 0, 1));
+  EXPECT_FALSE(rising.IsException(WithSlope(-0.6), 0, 1));
+
+  ExceptionPolicy falling(0.5, ExceptionMode::kNegativeSlope);
+  EXPECT_TRUE(falling.IsException(WithSlope(-0.6), 0, 1));
+  EXPECT_FALSE(falling.IsException(WithSlope(0.6), 0, 1));
+}
+
+TEST(ExceptionPolicyTest, ResolutionOrderCuboidThenDepthThenGlobal) {
+  ExceptionPolicy policy(1.0);
+  policy.SetDepthThreshold(3, 0.5);
+  policy.SetCuboidThreshold(7, 0.1);
+  // Cuboid 7 (even at depth 3) uses the cuboid override.
+  EXPECT_DOUBLE_EQ(policy.ThresholdFor(7, 3), 0.1);
+  // Other cuboids at depth 3 use the depth override.
+  EXPECT_DOUBLE_EQ(policy.ThresholdFor(8, 3), 0.5);
+  // Everything else: global.
+  EXPECT_DOUBLE_EQ(policy.ThresholdFor(8, 2), 1.0);
+}
+
+TEST(ExceptionPolicyTest, ModeNamesAndToString) {
+  EXPECT_STREQ(ExceptionModeName(ExceptionMode::kAbsoluteSlope), "abs-slope");
+  ExceptionPolicy policy(0.25);
+  policy.SetDepthThreshold(2, 0.1);
+  std::string s = policy.ToString();
+  EXPECT_NE(s.find("abs-slope"), std::string::npos);
+  EXPECT_NE(s.find("0.25"), std::string::npos);
+}
+
+TEST(ExceptionPolicyDeathTest, NegativeThresholdsRejected) {
+  EXPECT_DEATH(ExceptionPolicy(-1.0), "global_threshold");
+  ExceptionPolicy policy(1.0);
+  EXPECT_DEATH(policy.SetCuboidThreshold(0, -0.5), "threshold");
+  EXPECT_DEATH(policy.SetDepthThreshold(0, -0.5), "threshold");
+}
+
+TEST(SpecDepthTest, SumsLevels) {
+  EXPECT_EQ(SpecDepth({0, 0, 0}), 0);
+  EXPECT_EQ(SpecDepth({1, 0, 2}), 3);
+  EXPECT_EQ(SpecDepth({3, 3, 3}), 9);
+}
+
+CellKey Key2(ValueId a, ValueId b) {
+  CellKey k(2);
+  k.set(0, a);
+  k.set(1, b);
+  return k;
+}
+
+TEST(ExceptionStoreTest, InsertLookupAndCounts) {
+  ExceptionStore store;
+  EXPECT_EQ(store.total_cells(), 0);
+  store.Insert(3, Key2(1, 2), WithSlope(0.9));
+  store.Insert(3, Key2(1, 3), WithSlope(0.8));
+  store.Insert(5, Key2(0, 0), WithSlope(-0.7));
+  EXPECT_EQ(store.total_cells(), 3);
+  EXPECT_TRUE(store.Contains(3, Key2(1, 2)));
+  EXPECT_FALSE(store.Contains(3, Key2(9, 9)));
+  EXPECT_FALSE(store.Contains(4, Key2(1, 2)));
+  EXPECT_EQ(store.Cuboids(), (std::vector<CuboidId>{3, 5}));
+}
+
+TEST(ExceptionStoreTest, ReinsertOverwritesWithoutDoubleCount) {
+  ExceptionStore store;
+  store.Insert(1, Key2(0, 0), WithSlope(0.5));
+  store.Insert(1, Key2(0, 0), WithSlope(0.9));
+  EXPECT_EQ(store.total_cells(), 1);
+  const CellMap* cells = store.CellsOf(1);
+  ASSERT_NE(cells, nullptr);
+  EXPECT_DOUBLE_EQ(cells->at(Key2(0, 0)).slope, 0.9);
+}
+
+TEST(ExceptionStoreTest, InsertAllBulkLoads) {
+  CellMap cells;
+  cells.emplace(Key2(0, 1), WithSlope(0.6));
+  cells.emplace(Key2(2, 3), WithSlope(0.7));
+  ExceptionStore store;
+  store.InsertAll(4, cells);
+  EXPECT_EQ(store.total_cells(), 2);
+  EXPECT_GT(store.MemoryBytes(), 0);
+}
+
+TEST(ExceptionStoreTest, CellsOfMissingCuboidIsNull) {
+  ExceptionStore store;
+  EXPECT_EQ(store.CellsOf(42), nullptr);
+  EXPECT_TRUE(store.Cuboids().empty());
+}
+
+}  // namespace
+}  // namespace regcube

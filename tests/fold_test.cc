@@ -1,0 +1,134 @@
+#include "regcube/regression/fold.h"
+
+#include "gtest/gtest.h"
+#include "regcube/common/pcg_random.h"
+#include "regcube/regression/linear_fit.h"
+#include "test_util.h"
+
+namespace regcube {
+namespace {
+
+using testing_util::MustFit;
+using testing_util::RandomSeries;
+
+TEST(FoldSeriesTest, SumAvgMinMaxLast) {
+  TimeSeries s(0, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  auto sum = FoldSeries(s, 3, FoldOp::kSum);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->size(), 2);
+  EXPECT_DOUBLE_EQ(sum->at(0), 6.0);
+  EXPECT_DOUBLE_EQ(sum->at(1), 15.0);
+
+  auto avg = FoldSeries(s, 3, FoldOp::kAvg);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->at(0), 2.0);
+  EXPECT_DOUBLE_EQ(avg->at(1), 5.0);
+
+  auto min = FoldSeries(s, 3, FoldOp::kMin);
+  ASSERT_TRUE(min.ok());
+  EXPECT_DOUBLE_EQ(min->at(0), 1.0);
+  EXPECT_DOUBLE_EQ(min->at(1), 4.0);
+
+  auto max = FoldSeries(s, 3, FoldOp::kMax);
+  ASSERT_TRUE(max.ok());
+  EXPECT_DOUBLE_EQ(max->at(0), 3.0);
+  EXPECT_DOUBLE_EQ(max->at(1), 6.0);
+
+  auto last = FoldSeries(s, 3, FoldOp::kLast);
+  ASSERT_TRUE(last.ok());
+  EXPECT_DOUBLE_EQ(last->at(0), 3.0);
+  EXPECT_DOUBLE_EQ(last->at(1), 6.0);
+}
+
+TEST(FoldSeriesTest, PartialTailBucket) {
+  // Footnote 5: a partial interval at the end is allowed.
+  TimeSeries s(0, {2.0, 4.0, 6.0, 8.0, 10.0});
+  auto sum = FoldSeries(s, 2, FoldOp::kSum);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->size(), 3);
+  EXPECT_DOUBLE_EQ(sum->at(2), 10.0);  // lone tail element
+
+  auto avg = FoldSeries(s, 2, FoldOp::kAvg);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->at(2), 10.0);
+}
+
+TEST(FoldSeriesTest, RejectsBadArguments) {
+  TimeSeries s(0, {1.0});
+  EXPECT_FALSE(FoldSeries(s, 0, FoldOp::kSum).ok());
+  EXPECT_FALSE(FoldSeries(TimeSeries(), 2, FoldOp::kSum).ok());
+}
+
+TEST(FoldSummariesTest, SumAndAvgAreLosslessFromIsbs) {
+  // Fold 4 "days" of raw data into 2 "months" two ways: from the raw
+  // series and from the per-day ISBs. SUM/AVG must agree exactly.
+  Pcg32 rng(88);
+  std::vector<TimeSeries> days;
+  std::vector<Isb> day_isbs;
+  TimeTick tb = 0;
+  for (int i = 0; i < 4; ++i) {
+    days.push_back(RandomSeries(rng, tb, 10));
+    day_isbs.push_back(MustFit(days.back()));
+    tb += 10;
+  }
+  TimeSeries all = days[0];
+  for (int i = 1; i < 4; ++i) {
+    all = *TimeSeries::Concat(all, days[static_cast<size_t>(i)]);
+  }
+
+  auto from_raw = FoldSeries(all, 20, FoldOp::kSum);      // 2 buckets
+  auto from_isb = FoldSummaries(day_isbs, 2, FoldOp::kSum);  // 2 days each
+  ASSERT_TRUE(from_raw.ok());
+  ASSERT_TRUE(from_isb.ok());
+  ASSERT_EQ(from_raw->size(), from_isb->size());
+  for (TimeTick t = 0; t < from_raw->size(); ++t) {
+    EXPECT_NEAR(from_raw->at(t), from_isb->at(t), 1e-8);
+  }
+
+  auto avg_raw = FoldSeries(all, 20, FoldOp::kAvg);
+  auto avg_isb = FoldSummaries(day_isbs, 2, FoldOp::kAvg);
+  ASSERT_TRUE(avg_raw.ok());
+  ASSERT_TRUE(avg_isb.ok());
+  for (TimeTick t = 0; t < avg_raw->size(); ++t) {
+    EXPECT_NEAR(avg_raw->at(t), avg_isb->at(t), 1e-8);
+  }
+}
+
+TEST(FoldSummariesTest, LastUsesFittedEndValue) {
+  Isb unit1{{0, 9}, 0.0, 1.0};   // fitted value at 9 is 9
+  Isb unit2{{10, 19}, 5.0, 0.0}; // fitted value at 19 is 5
+  auto folded = FoldSummaries({unit1, unit2}, 1, FoldOp::kLast);
+  ASSERT_TRUE(folded.ok());
+  EXPECT_DOUBLE_EQ(folded->at(0), 9.0);
+  EXPECT_DOUBLE_EQ(folded->at(1), 5.0);
+}
+
+TEST(FoldSummariesTest, MinMaxRequireRawData) {
+  Isb unit{{0, 9}, 0.0, 1.0};
+  EXPECT_EQ(FoldSummaries({unit}, 1, FoldOp::kMin).status().code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(FoldSummaries({unit}, 1, FoldOp::kMax).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(FoldSummariesTest, RejectsBadArguments) {
+  Isb unit{{0, 9}, 0.0, 1.0};
+  EXPECT_FALSE(FoldSummaries({}, 1, FoldOp::kSum).ok());
+  EXPECT_FALSE(FoldSummaries({unit}, 0, FoldOp::kSum).ok());
+}
+
+TEST(FoldTest, FoldedSeriesSupportsRegression) {
+  // The use case of 6.2: fold 365 daily values to 12 monthly values, then
+  // fit the folded series. Verify the pipeline composes.
+  std::vector<double> daily;
+  for (int t = 0; t < 365; ++t) daily.push_back(10.0 + 0.1 * t);
+  auto monthly = FoldSeries(TimeSeries(0, std::move(daily)), 31, FoldOp::kAvg);
+  ASSERT_TRUE(monthly.ok());
+  EXPECT_EQ(monthly->size(), 12);
+  Isb trend = MustFit(*monthly);
+  // Average over 31-day buckets of slope 0.1/day -> slope ~3.1/bucket.
+  EXPECT_NEAR(trend.slope, 3.1, 0.2);
+}
+
+}  // namespace
+}  // namespace regcube

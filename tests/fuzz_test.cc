@@ -1,0 +1,232 @@
+// Randomized differential tests: each case derives its entire input from a
+// seed (PCG32), so failures reproduce exactly. Three targets:
+//   1. decoder robustness — every truncation point and random byte flips of
+//      valid encodings must return Status, never crash or hang;
+//   2. engine-vs-batch — streams with random gaps, duplicate ticks and
+//      late-starting cells must produce the same cube as batch computation;
+//   3. cross-algorithm — random workloads, thresholds and paths keep the
+//      two algorithms' outputs in their proven relationship.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "regcube/core/mo_cubing.h"
+#include "regcube/core/popular_path.h"
+#include "regcube/core/stream_engine.h"
+#include "regcube/io/cube_io.h"
+#include "test_util.h"
+
+namespace regcube {
+namespace {
+
+using testing_util::ExpectCellMapsEqual;
+using testing_util::ExpectIsbNear;
+using testing_util::MakeSmallWorkload;
+using testing_util::MustFit;
+using testing_util::SmallWorkload;
+
+TEST(DecoderFuzzTest, EveryTruncationPointFailsCleanly) {
+  SmallWorkload w = MakeSmallWorkload(3, 2, 3, 20, 401);
+  const std::string encoded = EncodeMLayerTuples(w.tuples);
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    auto decoded = DecodeMLayerTuples(std::string_view(encoded).substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(DecoderFuzzTest, RandomByteFlipsNeverCrash) {
+  SmallWorkload w = MakeSmallWorkload(2, 2, 3, 30, 403);
+  MoCubingOptions mo;
+  mo.policy = ExceptionPolicy(0.02);
+  auto cube = ComputeMoCubing(w.schema, w.tuples, mo);
+  ASSERT_TRUE(cube.ok());
+  const std::string encoded = EncodeRegressionCube(*cube);
+
+  Pcg32 rng(403);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupted = encoded;
+    const int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.Uniform(static_cast<std::uint32_t>(
+          corrupted.size()));
+      corrupted[pos] =
+          static_cast<char>(corrupted[pos] ^ (1 << rng.Uniform(8)));
+    }
+    // Must either decode (flip hit a measure payload double) or fail with
+    // a Status — anything else (crash, UB) fails the test by construction.
+    auto decoded = DecodeRegressionCube(w.schema, corrupted);
+    if (decoded.ok()) {
+      EXPECT_EQ(decoded->m_layer().size(), cube->m_layer().size());
+    }
+  }
+}
+
+TEST(DecoderFuzzTest, TiltFrameStateTruncations) {
+  auto policy = std::shared_ptr<const TiltPolicy>(
+      MakeUniformTiltPolicy({{"q", 4}, {"h", 6}}, {1, 4}));
+  TiltTimeFrame frame(policy, 0);
+  for (TimeTick t = 0; t < 30; ++t) {
+    ASSERT_TRUE(frame.Add(t, static_cast<double>(t)).ok());
+  }
+  const std::string encoded = EncodeTiltFrameState(frame.Snapshot());
+  for (size_t cut = 0; cut < encoded.size(); cut += 3) {
+    EXPECT_FALSE(
+        DecodeTiltFrameState(std::string_view(encoded).substr(0, cut)).ok());
+  }
+}
+
+struct EngineFuzzCase {
+  int seed;
+};
+
+class EngineFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzzTest, GappyStreamsMatchBatchComputation) {
+  // Random stream: each cell gets a random subset of ticks (gaps = zeros),
+  // random duplicate observations at a tick, cells starting late. The
+  // engine's window must equal a directly-constructed batch of the same
+  // effective (zero-filled, summed) series.
+  Pcg32 rng(static_cast<std::uint64_t>(GetParam()) + 7000);
+  const int num_cells = 4 + static_cast<int>(rng.Uniform(8));
+  const TimeTick total = 32;
+
+  auto h = std::make_shared<FanoutHierarchy>(2, 3);
+  auto schema_result = CubeSchema::Create(
+      {Dimension("A", h), Dimension("B", h)}, {2, 2}, {1, 1});
+  ASSERT_TRUE(schema_result.ok());
+  auto schema = std::make_shared<CubeSchema>(std::move(schema_result).value());
+
+  StreamCubeEngine::Options options;
+  options.tilt_policy =
+      MakeUniformTiltPolicy({{"q", 8}, {"h", 4}}, {4, 16});
+  options.policy = ExceptionPolicy(0.01);
+  StreamCubeEngine engine(schema, options);
+
+  // Effective dense series per cell (what the engine semantics define).
+  std::unordered_map<CellKey, std::vector<double>, CellKeyHash> dense;
+  std::vector<CellKey> keys;
+  for (int c = 0; c < num_cells; ++c) {
+    CellKey key(2);
+    key.set(0, rng.Uniform(9));
+    key.set(1, rng.Uniform(9));
+    if (dense.count(key)) continue;
+    dense.emplace(key, std::vector<double>(total, 0.0));
+    keys.push_back(key);
+  }
+
+  for (TimeTick t = 0; t < total; ++t) {
+    for (const CellKey& key : keys) {
+      // 70% chance of 1 observation, 15% of 2, 15% of none.
+      const double dice = rng.NextDouble();
+      const int obs = dice < 0.15 ? 0 : (dice < 0.30 ? 2 : 1);
+      for (int i = 0; i < obs; ++i) {
+        const double v = rng.NextDouble() * 4.0 - 1.0;
+        dense[key][static_cast<size_t>(t)] += v;
+        ASSERT_TRUE(engine.Ingest({key, t, v}).ok());
+      }
+    }
+  }
+  ASSERT_TRUE(engine.SealThrough(total - 1).ok());
+
+  // Batch reference from the dense series.
+  std::vector<MLayerTuple> reference;
+  for (const CellKey& key : keys) {
+    reference.push_back(
+        MLayerTuple{key, MustFit(TimeSeries(0, dense[key]))});
+  }
+
+  auto window = engine.SnapshotWindow(/*level=*/0, /*k=*/8);
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  ASSERT_EQ(window->size(), reference.size());
+  CellMap expected;
+  for (const auto& t : reference) expected.emplace(t.key, t.measure);
+  for (const auto& t : *window) {
+    auto it = expected.find(t.key);
+    ASSERT_NE(it, expected.end());
+    ExpectIsbNear(it->second, t.measure, 1e-8);
+  }
+
+  // And the cube over that window matches the batch cube.
+  auto engine_cube = engine.ComputeCube(0, 8);
+  MoCubingOptions mo;
+  mo.policy = ExceptionPolicy(0.01);
+  auto batch_cube = ComputeMoCubing(schema, reference, mo);
+  ASSERT_TRUE(engine_cube.ok());
+  ASSERT_TRUE(batch_cube.ok());
+  ExpectCellMapsEqual(batch_cube->o_layer(), engine_cube->o_layer(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest, ::testing::Range(0, 12));
+
+class AlgorithmFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgorithmFuzzTest, RandomWorkloadsKeepInvariants) {
+  Pcg32 rng(static_cast<std::uint64_t>(GetParam()) + 9000);
+  const int dims = 1 + static_cast<int>(rng.Uniform(3));
+  const int levels = 2 + static_cast<int>(rng.Uniform(2));
+  const int fanout = 2 + static_cast<int>(rng.Uniform(3));
+  // Clamp the tuple count to the m-layer key space (tiny for D1/fanout 2).
+  double space = 1.0;
+  for (int d = 0; d < dims; ++d) {
+    space *= std::pow(static_cast<double>(fanout), levels);
+  }
+  const int tuples = std::min(20 + static_cast<int>(rng.Uniform(120)),
+                              static_cast<int>(space));
+  const double threshold = rng.NextDouble() * 0.1;
+  SmallWorkload w = MakeSmallWorkload(
+      dims, levels, fanout, tuples,
+      static_cast<std::uint64_t>(GetParam()) + 9500);
+
+  MoCubingOptions mo;
+  mo.policy = ExceptionPolicy(threshold);
+  auto cube1 = ComputeMoCubing(w.schema, w.tuples, mo);
+  ASSERT_TRUE(cube1.ok());
+
+  // Random drill path.
+  CuboidLattice lattice(*w.schema);
+  std::vector<int> order(static_cast<size_t>(dims));
+  for (int d = 0; d < dims; ++d) order[static_cast<size_t>(d)] = d;
+  for (int d = dims - 1; d > 0; --d) {
+    std::swap(order[static_cast<size_t>(d)],
+              order[rng.Uniform(static_cast<std::uint32_t>(d + 1))]);
+  }
+  auto path = DrillPath::MakeDimOrderPath(lattice, order);
+  ASSERT_TRUE(path.ok());
+
+  PopularPathOptions pp;
+  pp.policy = ExceptionPolicy(threshold);
+  pp.path = *path;
+  auto cube2 = ComputePopularPathCubing(w.schema, w.tuples, pp);
+  ASSERT_TRUE(cube2.ok());
+
+  // Invariants: identical critical layers; Algorithm 2's exceptions are a
+  // measure-identical subset of Algorithm 1's.
+  ExpectCellMapsEqual(cube1->o_layer(), cube2->o_layer(), 1e-8);
+  ExpectCellMapsEqual(cube1->m_layer(), cube2->m_layer(), 1e-8);
+  EXPECT_LE(cube2->exceptions().total_cells(),
+            cube1->exceptions().total_cells());
+  for (CuboidId c : cube2->exceptions().Cuboids()) {
+    const CellMap* sub = cube2->exceptions().CellsOf(c);
+    const CellMap* super = cube1->exceptions().CellsOf(c);
+    ASSERT_NE(super, nullptr);
+    for (const auto& [key, isb] : *sub) {
+      auto it = super->find(key);
+      ASSERT_NE(it, super->end());
+      ExpectIsbNear(it->second, isb, 1e-8);
+    }
+  }
+
+  // Serialization survives a round trip for both cubes.
+  for (const RegressionCube* cube : {&*cube1, &*cube2}) {
+    auto decoded =
+        DecodeRegressionCube(w.schema, EncodeRegressionCube(*cube));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->exceptions().total_cells(),
+              cube->exceptions().total_cells());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgorithmFuzzTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace regcube

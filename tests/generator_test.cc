@@ -1,0 +1,214 @@
+#include "regcube/gen/stream_generator.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace regcube {
+namespace {
+
+using testing_util::ExpectIsbNear;
+using testing_util::MustFit;
+
+TEST(WorkloadSpecTest, NameMatchesPaperConvention) {
+  WorkloadSpec spec;
+  spec.num_dims = 3;
+  spec.num_levels = 3;
+  spec.fanout = 10;
+  spec.num_tuples = 100'000;
+  EXPECT_EQ(spec.Name(), "D3L3C10T100K");
+  spec.num_tuples = 2'000'000;
+  EXPECT_EQ(spec.Name(), "D3L3C10T2M");
+  spec.num_tuples = 1234;
+  EXPECT_EQ(spec.Name(), "D3L3C10T1234");
+}
+
+TEST(WorkloadSpecTest, ParseRoundTrips) {
+  for (const char* name :
+       {"D3L3C10T100K", "D2L4C10T10K", "D1L2C3T500", "D4L2C5T1M"}) {
+    auto spec = WorkloadSpec::Parse(name);
+    ASSERT_TRUE(spec.ok()) << name << ": " << spec.status().ToString();
+    EXPECT_EQ(spec->Name(), name);
+  }
+}
+
+TEST(WorkloadSpecTest, ParseRejectsMalformedNames) {
+  for (const char* name :
+       {"", "D3", "D3L3", "D3L3C10", "X3L3C10T1K", "D3L3C10T", "D3L3C10T1KX",
+        "D0L3C10T1K", "D99L3C10T1K"}) {
+    EXPECT_FALSE(WorkloadSpec::Parse(name).ok()) << name;
+  }
+}
+
+TEST(WorkloadSchemaTest, LayersSpanTheNamedLevels) {
+  auto spec = WorkloadSpec::Parse("D3L3C10T1K");
+  ASSERT_TRUE(spec.ok());
+  auto schema = MakeWorkloadSchema(*spec);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_dims(), 3);
+  // L3 means 3 levels from o to m inclusive -> 3^3 = 27 cuboids.
+  EXPECT_EQ(schema->NumLatticeCuboids(), 27);
+  EXPECT_EQ(schema->dim(0).hierarchy().Cardinality(3), 1000);
+}
+
+TEST(GeneratorTest, DeterministicAcrossInstances) {
+  WorkloadSpec spec;
+  spec.num_dims = 2;
+  spec.num_levels = 2;
+  spec.fanout = 4;
+  spec.num_tuples = 50;
+  spec.seed = 99;
+  StreamGenerator a(spec), b(spec);
+  auto ta = a.GenerateMLayerTuples();
+  auto tb = b.GenerateMLayerTuples();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].key, tb[i].key);
+    ExpectIsbNear(ta[i].measure, tb[i].measure, 0.0);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  WorkloadSpec spec;
+  spec.num_dims = 2;
+  spec.num_levels = 2;
+  spec.fanout = 4;
+  spec.num_tuples = 50;
+  spec.seed = 1;
+  StreamGenerator a(spec);
+  spec.seed = 2;
+  StreamGenerator b(spec);
+  auto ta = a.GenerateMLayerTuples();
+  auto tb = b.GenerateMLayerTuples();
+  int diffs = 0;
+  for (size_t i = 0; i < ta.size(); ++i) {
+    if (!(ta[i].key == tb[i].key)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(GeneratorTest, KeysAreDistinctAndInRange) {
+  WorkloadSpec spec;
+  spec.num_dims = 3;
+  spec.num_levels = 2;
+  spec.fanout = 5;  // card 25 per dim, space 15625
+  spec.num_tuples = 500;
+  StreamGenerator gen(spec);
+  auto tuples = gen.GenerateMLayerTuples();
+  std::unordered_set<CellKey, CellKeyHash> seen;
+  for (const auto& t : tuples) {
+    EXPECT_TRUE(seen.insert(t.key).second) << "duplicate " << t.key.ToString();
+    for (int d = 0; d < 3; ++d) EXPECT_LT(t.key[d], 25u);
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(GeneratorTest, DenseSmallSpaceEnumerates) {
+  WorkloadSpec spec;
+  spec.num_dims = 2;
+  spec.num_levels = 1;
+  spec.fanout = 4;  // space = 16
+  spec.num_tuples = 16;
+  StreamGenerator gen(spec);
+  auto tuples = gen.GenerateMLayerTuples();
+  std::unordered_set<CellKey, CellKeyHash> seen;
+  for (const auto& t : tuples) seen.insert(t.key);
+  EXPECT_EQ(seen.size(), 16u);  // the whole space, each exactly once
+}
+
+TEST(GeneratorTest, AnomalyFractionApproximatelyRespected) {
+  WorkloadSpec spec;
+  spec.num_dims = 2;
+  spec.num_levels = 3;
+  spec.fanout = 5;
+  spec.num_tuples = 2000;
+  spec.anomaly_fraction = 0.2;
+  StreamGenerator gen(spec);
+  int anomalous = 0;
+  for (const auto& cell : gen.cells()) {
+    if (cell.anomalous) ++anomalous;
+  }
+  EXPECT_NEAR(static_cast<double>(anomalous) / 2000.0, 0.2, 0.03);
+}
+
+TEST(GeneratorTest, AnomalousSlopesAreLarger) {
+  WorkloadSpec spec;
+  spec.num_dims = 2;
+  spec.num_levels = 3;
+  spec.fanout = 5;
+  spec.num_tuples = 1000;
+  spec.anomaly_fraction = 0.3;
+  StreamGenerator gen(spec);
+  for (const auto& cell : gen.cells()) {
+    if (cell.anomalous) {
+      EXPECT_GE(std::fabs(cell.slope), spec.anomaly_slope_min);
+      EXPECT_LE(std::fabs(cell.slope), spec.anomaly_slope_max);
+    }
+  }
+}
+
+TEST(GeneratorTest, MeasuresAreFitsOfTheSeries) {
+  WorkloadSpec spec;
+  spec.num_dims = 2;
+  spec.num_levels = 2;
+  spec.fanout = 4;
+  spec.num_tuples = 20;
+  spec.series_length = 24;
+  StreamGenerator gen(spec);
+  auto tuples = gen.GenerateMLayerTuples();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    ExpectIsbNear(MustFit(gen.SeriesFor(i)), tuples[i].measure, 1e-12);
+    EXPECT_EQ(tuples[i].measure.interval.tb, 0);
+    EXPECT_EQ(tuples[i].measure.interval.te, 23);
+  }
+}
+
+TEST(GeneratorTest, StreamAgreesWithSeries) {
+  WorkloadSpec spec;
+  spec.num_dims = 2;
+  spec.num_levels = 2;
+  spec.fanout = 4;
+  spec.num_tuples = 10;
+  spec.series_length = 8;
+  StreamGenerator gen(spec);
+  auto stream = gen.GenerateStream();
+  ASSERT_EQ(stream.size(), 80u);
+  // Tick-major ordering.
+  for (size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_LE(stream[i - 1].tick, stream[i].tick);
+  }
+  // Values match SeriesFor.
+  for (const auto& tuple : stream) {
+    bool found = false;
+    for (size_t i = 0; i < gen.cells().size(); ++i) {
+      if (gen.cells()[i].key == tuple.key) {
+        EXPECT_DOUBLE_EQ(gen.SeriesFor(i).at(tuple.tick), tuple.value);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(GeneratorTest, FittedSlopeTracksGroundTruth) {
+  // With modest noise the fitted slope should be close to the injected one.
+  WorkloadSpec spec;
+  spec.num_dims = 2;
+  spec.num_levels = 2;
+  spec.fanout = 4;
+  spec.num_tuples = 30;
+  spec.series_length = 64;
+  spec.noise_sigma = 0.05;
+  spec.seasonal_amplitude = 0.0;
+  StreamGenerator gen(spec);
+  auto tuples = gen.GenerateMLayerTuples();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_NEAR(tuples[i].measure.slope, gen.cells()[i].slope, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace regcube

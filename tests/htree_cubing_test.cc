@@ -1,0 +1,166 @@
+#include "regcube/htree/htree_cubing.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace regcube {
+namespace {
+
+using testing_util::ExpectCellMapsEqual;
+using testing_util::MakeSmallWorkload;
+using testing_util::SmallWorkload;
+
+struct WorkloadCase {
+  int dims;
+  int levels;
+  int fanout;
+  int tuples;
+  int seed;
+};
+
+class CubingKernelTest : public ::testing::TestWithParam<WorkloadCase> {};
+
+TEST_P(CubingKernelTest, ChainComputationMatchesBruteForceEverywhere) {
+  // Property: for every cuboid of the lattice, H-cubing over node-link
+  // chains produces exactly the brute-force aggregation of the tuples —
+  // on both tree configurations.
+  const WorkloadCase& p = GetParam();
+  SmallWorkload w = MakeSmallWorkload(p.dims, p.levels, p.fanout, p.tuples,
+                                      static_cast<std::uint64_t>(p.seed));
+  CuboidLattice lattice(*w.schema);
+
+  for (bool store_nonleaf : {false, true}) {
+    HTree::Options options;
+    options.attribute_order = CardinalityAscendingOrder(*w.schema);
+    options.store_nonleaf_measures = store_nonleaf;
+    auto tree = HTree::Build(*w.schema, w.tuples, options);
+    ASSERT_TRUE(tree.ok());
+    for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+      CellMap expected = ComputeCuboidBruteForce(lattice, w.tuples, c);
+      CellMap actual = ComputeCuboidCells(*tree, lattice, c);
+      ExpectCellMapsEqual(expected, actual, 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, CubingKernelTest,
+    ::testing::Values(WorkloadCase{2, 2, 3, 40, 1}, WorkloadCase{2, 3, 3, 60, 2},
+                      WorkloadCase{3, 2, 4, 120, 3},
+                      WorkloadCase{3, 3, 3, 200, 4},
+                      WorkloadCase{4, 2, 3, 150, 5},
+                      WorkloadCase{1, 4, 3, 30, 6}));
+
+TEST(CubingKernelTest, PrefixCuboidsMatchBruteForce) {
+  SmallWorkload w = MakeSmallWorkload(3, 2, 3, 80, 9);
+  CuboidLattice lattice(*w.schema);
+  DrillPath path = DrillPath::MakeDefault(lattice);
+
+  HTree::Options options;
+  options.attribute_order = PathIntroductionOrder(lattice, path);
+  options.store_nonleaf_measures = true;
+  auto tree = HTree::Build(*w.schema, w.tuples, options);
+  ASSERT_TRUE(tree.ok());
+
+  const int base_depth =
+      static_cast<int>(lattice.AttributesOf(path.steps.front()).size());
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    CellMap expected =
+        ComputeCuboidBruteForce(lattice, w.tuples, path.steps[i]);
+    CellMap actual = ReadPrefixCuboidCells(*tree, lattice, path.steps[i],
+                                           base_depth + static_cast<int>(i));
+    ExpectCellMapsEqual(expected, actual, 1e-8);
+  }
+}
+
+TEST(CubingKernelTest, DrillChildrenComputesExactlyDescendants) {
+  SmallWorkload w = MakeSmallWorkload(3, 2, 3, 100, 11);
+  CuboidLattice lattice(*w.schema);
+  DrillPath path = DrillPath::MakeDefault(lattice);
+
+  HTree::Options options;
+  options.attribute_order = PathIntroductionOrder(lattice, path);
+  options.store_nonleaf_measures = true;
+  auto tree = HTree::Build(*w.schema, w.tuples, options);
+  ASSERT_TRUE(tree.ok());
+
+  // Parent: o-layer; child: refine dim 1 (off the default path's first leg
+  // order doesn't matter for the kernel).
+  const CuboidId parent = lattice.o_layer_id();
+  CellMap parent_cells = ComputeCuboidBruteForce(lattice, w.tuples, parent);
+  // Drill only a subset: take ~half the parent cells.
+  CellMap drilled_parents;
+  bool take = true;
+  for (const auto& [key, isb] : parent_cells) {
+    if (take) drilled_parents.emplace(key, isb);
+    take = !take;
+  }
+
+  for (CuboidId child : lattice.DrillChildren(parent)) {
+    CellMap actual =
+        ComputeDrillChildren(*tree, lattice, parent, drilled_parents, child);
+    // Expected: brute-force child cells whose parent projection is drilled.
+    CellMap expected;
+    for (const auto& [key, isb] :
+         ComputeCuboidBruteForce(lattice, w.tuples, child)) {
+      CellKey pkey = lattice.ProjectKey(key, child, parent);
+      if (drilled_parents.count(pkey) > 0) expected.emplace(key, isb);
+    }
+    ExpectCellMapsEqual(expected, actual, 1e-8);
+  }
+}
+
+TEST(CubingKernelTest, DrillChildrenWithNoParentsIsEmpty) {
+  SmallWorkload w = MakeSmallWorkload(2, 2, 3, 20, 13);
+  CuboidLattice lattice(*w.schema);
+  DrillPath path = DrillPath::MakeDefault(lattice);
+  HTree::Options options;
+  options.attribute_order = PathIntroductionOrder(lattice, path);
+  options.store_nonleaf_measures = true;
+  auto tree = HTree::Build(*w.schema, w.tuples, options);
+  ASSERT_TRUE(tree.ok());
+  const CuboidId parent = lattice.o_layer_id();
+  const CuboidId child = lattice.DrillChildren(parent)[0];
+  EXPECT_TRUE(
+      ComputeDrillChildren(*tree, lattice, parent, {}, child).empty());
+}
+
+TEST(CubingKernelTest, CellMapMemoryBytesScalesWithSize) {
+  CellMap empty;
+  EXPECT_EQ(CellMapMemoryBytes(empty), 0);
+  CellMap one;
+  CellKey k(2);
+  one.emplace(k, Isb{});
+  EXPECT_GT(CellMapMemoryBytes(one), 0);
+  CellMap two = one;
+  CellKey k2(2);
+  k2.set(0, 1);
+  two.emplace(k2, Isb{});
+  EXPECT_EQ(CellMapMemoryBytes(two), 2 * CellMapMemoryBytes(one));
+}
+
+TEST(CubingKernelTest, ApexCuboidWhenOLayerIsAllStar) {
+  // Schema with o-layer (*, *): the o-layer computation reduces to the apex
+  // cell.
+  auto h = std::make_shared<FanoutHierarchy>(2, 3);
+  auto schema_result = CubeSchema::Create(
+      {Dimension("A", h), Dimension("B", h)}, {2, 2}, {0, 0});
+  ASSERT_TRUE(schema_result.ok());
+  auto schema = std::make_shared<CubeSchema>(std::move(schema_result).value());
+  SmallWorkload base = MakeSmallWorkload(2, 2, 3, 30, 17);
+  CuboidLattice lattice(*schema);
+
+  HTree::Options options;
+  options.attribute_order = CardinalityAscendingOrder(*schema);
+  auto tree = HTree::Build(*schema, base.tuples, options);
+  ASSERT_TRUE(tree.ok());
+
+  CellMap apex = ComputeCuboidCells(*tree, lattice, lattice.o_layer_id());
+  ASSERT_EQ(apex.size(), 1u);
+  CellMap expected =
+      ComputeCuboidBruteForce(lattice, base.tuples, lattice.o_layer_id());
+  ExpectCellMapsEqual(expected, apex, 1e-8);
+}
+
+}  // namespace
+}  // namespace regcube

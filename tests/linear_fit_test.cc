@@ -1,0 +1,135 @@
+#include "regcube/regression/linear_fit.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "regcube/common/pcg_random.h"
+#include "test_util.h"
+
+namespace regcube {
+namespace {
+
+using testing_util::RandomSeries;
+
+TEST(LinearFitTest, ExactLineIsRecovered) {
+  // z(t) = 2 + 0.5 t fits exactly: RSS 0, R^2 1.
+  std::vector<double> values;
+  for (TimeTick t = 0; t < 12; ++t) values.push_back(2.0 + 0.5 * t);
+  auto fit = FitLeastSquares(TimeSeries(0, std::move(values)));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->isb.base, 2.0, 1e-12);
+  EXPECT_NEAR(fit->isb.slope, 0.5, 1e-12);
+  EXPECT_NEAR(fit->rss, 0.0, 1e-18);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, PaperExample2Series) {
+  // The 10-point series of Example 2 / Figure 1.
+  TimeSeries z(0, {0.62, 0.24, 1.03, 0.57, 0.59, 0.57, 0.87, 1.10, 0.71,
+                   0.56});
+  auto fit = FitLeastSquares(z);
+  ASSERT_TRUE(fit.ok());
+  // Mean is 0.686; slope from the closed form.
+  EXPECT_NEAR(fit->mean, 0.686, 1e-12);
+  EXPECT_NEAR(fit->isb.base + fit->isb.slope * 4.5, 0.686, 1e-12);
+  // Residuals at the optimum are orthogonal to t and 1.
+  double r_sum = 0.0, rt_sum = 0.0;
+  for (TimeTick t = 0; t <= 9; ++t) {
+    double r = z.at(t) - fit->isb.Evaluate(t);
+    r_sum += r;
+    rt_sum += r * static_cast<double>(t);
+  }
+  EXPECT_NEAR(r_sum, 0.0, 1e-12);
+  EXPECT_NEAR(rt_sum, 0.0, 1e-12);
+}
+
+TEST(LinearFitTest, ConstantSeriesHasZeroSlopeAndFullR2) {
+  auto fit = FitLeastSquares(TimeSeries(3, {4.0, 4.0, 4.0, 4.0}));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->isb.slope, 0.0, 1e-15);
+  EXPECT_NEAR(fit->isb.base, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit->r_squared, 1.0);  // TSS == 0 convention
+}
+
+TEST(LinearFitTest, SinglePointSeries) {
+  auto fit = FitLeastSquares(TimeSeries(7, {2.5}));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ(fit->isb.slope, 0.0);
+  EXPECT_NEAR(fit->isb.Evaluate(7), 2.5, 1e-12);
+}
+
+TEST(LinearFitTest, EmptySeriesRejected) {
+  EXPECT_FALSE(FitLeastSquares(TimeSeries()).ok());
+  EXPECT_FALSE(FitIsb(TimeSeries()).ok());
+}
+
+TEST(LinearFitTest, IntervalFarFromOriginIsStable) {
+  // The fit must be exact even when t is ~1e9 (centered accumulation).
+  const TimeTick tb = 1'000'000'000;
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) {
+    values.push_back(1.0 + 1e-3 * static_cast<double>(tb + i));
+  }
+  auto fit = FitLeastSquares(TimeSeries(tb, std::move(values)));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->isb.slope, 1e-3, 1e-9);
+  EXPECT_NEAR(fit->isb.Evaluate(tb), 1.0 + 1e-3 * static_cast<double>(tb),
+              1e-4);
+}
+
+class LseMinimalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LseMinimalityTest, FittedLineMinimizesRss) {
+  // Property (Definition 1): perturbing (base, slope) in any direction
+  // never lowers the RSS.
+  Pcg32 rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  TimeSeries series = RandomSeries(rng, rng.Uniform(50), 2 + rng.Uniform(40));
+  auto fit = FitLeastSquares(series);
+  ASSERT_TRUE(fit.ok());
+  const double best = fit->rss;
+  for (double db : {-0.1, 0.0, 0.1}) {
+    for (double ds : {-0.01, 0.0, 0.01}) {
+      const double perturbed = ResidualSumOfSquares(
+          series, fit->isb.base + db, fit->isb.slope + ds);
+      EXPECT_GE(perturbed, best - 1e-9)
+          << "db=" << db << " ds=" << ds;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeriesSweep, LseMinimalityTest,
+                         ::testing::Range(0, 20));
+
+class LemmaFormulaTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LemmaFormulaTest, ClosedFormMatchesNormalEquations) {
+  // Lemma 3.1: beta = sum((t - tbar) z) / SVS; verify against a direct
+  // normal-equation solve on the same data.
+  Pcg32 rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  TimeSeries series = RandomSeries(rng, 10, 3 + rng.Uniform(30));
+  auto fit = FitLeastSquares(series);
+  ASSERT_TRUE(fit.ok());
+
+  // Normal equations: [n, St; St, Stt] [a; b] = [Sz; Stz].
+  double n = 0, st = 0, stt = 0, sz = 0, stz = 0;
+  TimeTick t = series.interval().tb;
+  for (double z : series.values()) {
+    n += 1;
+    st += static_cast<double>(t);
+    stt += static_cast<double>(t) * static_cast<double>(t);
+    sz += z;
+    stz += static_cast<double>(t) * z;
+    ++t;
+  }
+  const double det = n * stt - st * st;
+  const double a = (stt * sz - st * stz) / det;
+  const double b = (n * stz - st * sz) / det;
+  EXPECT_NEAR(fit->isb.base, a, 1e-8);
+  EXPECT_NEAR(fit->isb.slope, b, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeriesSweep, LemmaFormulaTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace regcube

@@ -1,0 +1,131 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "regcube/common/pcg_random.h"
+#include "regcube/math/ldlt.h"
+#include "regcube/math/symmetric_matrix.h"
+
+namespace regcube {
+namespace {
+
+TEST(SymmetricMatrixTest, PackedStorageSize) {
+  SymmetricMatrix m(4);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.packed_size(), 10u);
+}
+
+TEST(SymmetricMatrixTest, SymmetricAccess) {
+  SymmetricMatrix m(3);
+  m(0, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(2, 0), 5.0);
+  m(2, 1) = -1.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -1.0);
+}
+
+TEST(SymmetricMatrixTest, AdditionIsElementwise) {
+  SymmetricMatrix a(2), b(2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  b(0, 0) = 3.0;
+  b(1, 1) = 4.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 4.0);
+}
+
+TEST(SymmetricMatrixTest, OuterProductAccumulates) {
+  SymmetricMatrix m(2);
+  m.AddOuterProduct({1.0, 2.0});       // [[1,2],[2,4]]
+  m.AddOuterProduct({3.0, 0.0}, 2.0);  // + [[18,0],[0,0]]
+  EXPECT_DOUBLE_EQ(m(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(SymmetricMatrixTest, MatVec) {
+  SymmetricMatrix m(2);
+  m(0, 0) = 2.0;
+  m(1, 0) = 1.0;
+  m(1, 1) = 3.0;
+  std::vector<double> y = m.MatVec({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 4.0);   // 2*1 + 1*2
+  EXPECT_DOUBLE_EQ(y[1], 7.0);   // 1*1 + 3*2
+}
+
+TEST(SymmetricMatrixTest, MaxAbsDiff) {
+  SymmetricMatrix a(2), b(2);
+  a(1, 1) = 1.0;
+  b(1, 1) = 3.5;
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 2.5);
+}
+
+TEST(LdltTest, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  SymmetricMatrix a(2);
+  a(0, 0) = 4.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 3.0;
+  auto solution = SolveSymmetric(a, {10.0, 9.0});
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR((*solution)[0], 1.5, 1e-12);
+  EXPECT_NEAR((*solution)[1], 2.0, 1e-12);
+}
+
+TEST(LdltTest, RejectsSingularMatrix) {
+  SymmetricMatrix a(2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 1.0;  // rank 1
+  auto factor = LdltFactorization::Factor(a);
+  EXPECT_FALSE(factor.ok());
+  EXPECT_EQ(factor.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LdltTest, RejectsZeroMatrix) {
+  SymmetricMatrix a(3);
+  EXPECT_FALSE(LdltFactorization::Factor(a).ok());
+}
+
+TEST(LdltTest, HandlesIndefiniteButNonsingular) {
+  // LDL' with nonzero pivots also factors indefinite matrices.
+  SymmetricMatrix a(2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  auto solution = SolveSymmetric(a, {2.0, 3.0});
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR((*solution)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*solution)[1], -3.0, 1e-12);
+}
+
+class LdltRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LdltRandomTest, SolveReconstructsRhs) {
+  // Property: for random SPD A (built as B'B + I) and random x,
+  // Solve(A, A x) == x.
+  Pcg32 rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 1 + rng.Uniform(6);
+  SymmetricMatrix a(n);
+  for (std::size_t k = 0; k < n + 3; ++k) {
+    std::vector<double> row(n);
+    for (auto& v : row) v = rng.NextDouble() * 4.0 - 2.0;
+    a.AddOuterProduct(row);
+  }
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.NextDouble() * 10.0 - 5.0;
+  std::vector<double> b = a.MatVec(x);
+
+  auto solved = SolveSymmetric(a, b);
+  ASSERT_TRUE(solved.ok()) << solved.status().ToString();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR((*solved)[i], x[i], 1e-8) << "component " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems, LdltRandomTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace regcube

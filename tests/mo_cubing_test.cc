@@ -1,0 +1,170 @@
+#include "regcube/core/mo_cubing.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace regcube {
+namespace {
+
+using testing_util::ExpectCellMapsEqual;
+using testing_util::FullCubeBruteForce;
+using testing_util::MakeSmallWorkload;
+using testing_util::SmallWorkload;
+
+TEST(MoCubingTest, CriticalLayersMatchBruteForce) {
+  SmallWorkload w = MakeSmallWorkload(3, 2, 3, 120, 21);
+  MoCubingOptions options;
+  options.policy = ExceptionPolicy(0.05);
+  auto cube = ComputeMoCubing(w.schema, w.tuples, options);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+
+  const CuboidLattice& lattice = cube->lattice();
+  ExpectCellMapsEqual(
+      ComputeCuboidBruteForce(lattice, w.tuples, lattice.o_layer_id()),
+      cube->o_layer(), 1e-8);
+  ExpectCellMapsEqual(
+      ComputeCuboidBruteForce(lattice, w.tuples, lattice.m_layer_id()),
+      cube->m_layer(), 1e-8);
+}
+
+class MoCubingThresholdTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MoCubingThresholdTest, ExceptionsAreExactlyThresholdedCells) {
+  // Algorithm 1 retains ALL exception cells of every intermediate cuboid
+  // (footnote 7) — no more, no less.
+  const double threshold = GetParam();
+  SmallWorkload w = MakeSmallWorkload(2, 3, 3, 80, 23);
+  MoCubingOptions options;
+  options.policy = ExceptionPolicy(threshold);
+  auto cube = ComputeMoCubing(w.schema, w.tuples, options);
+  ASSERT_TRUE(cube.ok());
+
+  const CuboidLattice& lattice = cube->lattice();
+  auto full = FullCubeBruteForce(lattice, w.tuples);
+  std::int64_t expected_exceptions = 0;
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    if (c == lattice.m_layer_id() || c == lattice.o_layer_id()) continue;
+    const CellMap* stored = cube->exceptions().CellsOf(c);
+    for (const auto& [key, isb] : full[static_cast<size_t>(c)]) {
+      const bool is_exception = std::fabs(isb.slope) >= threshold;
+      const bool retained = stored != nullptr && stored->count(key) > 0;
+      EXPECT_EQ(is_exception, retained)
+          << lattice.CuboidName(c) << " " << key.ToString() << " slope "
+          << isb.slope;
+      if (is_exception) ++expected_exceptions;
+    }
+    if (stored != nullptr) {
+      // No spurious cells either.
+      for (const auto& [key, isb] : *stored) {
+        EXPECT_TRUE(full[static_cast<size_t>(c)].count(key) > 0);
+      }
+    }
+  }
+  EXPECT_EQ(cube->stats().exception_cells, expected_exceptions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, MoCubingThresholdTest,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.2, 1e9));
+
+TEST(MoCubingTest, ZeroThresholdRetainsEverything) {
+  SmallWorkload w = MakeSmallWorkload(2, 2, 3, 40, 29);
+  MoCubingOptions options;
+  options.policy = ExceptionPolicy(0.0);
+  auto cube = ComputeMoCubing(w.schema, w.tuples, options);
+  ASSERT_TRUE(cube.ok());
+  const CuboidLattice& lattice = cube->lattice();
+  auto full = FullCubeBruteForce(lattice, w.tuples);
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    if (c == lattice.m_layer_id() || c == lattice.o_layer_id()) continue;
+    const CellMap* stored = cube->exceptions().CellsOf(c);
+    ASSERT_NE(stored, nullptr) << lattice.CuboidName(c);
+    ExpectCellMapsEqual(full[static_cast<size_t>(c)], *stored, 1e-8);
+  }
+}
+
+TEST(MoCubingTest, InfiniteThresholdRetainsNothing) {
+  SmallWorkload w = MakeSmallWorkload(2, 2, 3, 40, 31);
+  MoCubingOptions options;
+  options.policy = ExceptionPolicy(1e30);
+  auto cube = ComputeMoCubing(w.schema, w.tuples, options);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->stats().exception_cells, 0);
+  EXPECT_EQ(cube->exceptions().total_cells(), 0);
+  // Critical layers still fully present.
+  EXPECT_FALSE(cube->o_layer().empty());
+  EXPECT_FALSE(cube->m_layer().empty());
+}
+
+TEST(MoCubingTest, StatsAreCoherent) {
+  SmallWorkload w = MakeSmallWorkload(3, 2, 3, 100, 37);
+  MoCubingOptions options;
+  options.policy = ExceptionPolicy(0.05);
+  MemoryTracker tracker;
+  options.tracker = &tracker;
+  auto cube = ComputeMoCubing(w.schema, w.tuples, options);
+  ASSERT_TRUE(cube.ok());
+  const CubingStats& stats = cube->stats();
+  EXPECT_GT(stats.htree_nodes, 0);
+  EXPECT_GT(stats.htree_bytes, 0);
+  EXPECT_GT(stats.cells_computed, 0);
+  EXPECT_GE(stats.peak_memory_bytes, stats.htree_bytes);
+  EXPECT_GT(stats.retained_memory_bytes, 0);
+  EXPECT_GE(stats.build_tree_seconds, 0.0);
+  EXPECT_GE(stats.compute_seconds, 0.0);
+  EXPECT_EQ(tracker.peak_bytes(), stats.peak_memory_bytes);
+  // Cells computed covers every cuboid except the m-layer (read off tree).
+  const CuboidLattice& lattice = cube->lattice();
+  auto full = FullCubeBruteForce(lattice, w.tuples);
+  std::int64_t expected = 0;
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    if (c == lattice.m_layer_id()) continue;
+    expected += static_cast<std::int64_t>(full[static_cast<size_t>(c)].size());
+  }
+  EXPECT_EQ(stats.cells_computed, expected);
+}
+
+TEST(MoCubingTest, CustomAttributeOrderStillCorrect) {
+  SmallWorkload w = MakeSmallWorkload(2, 2, 3, 50, 41);
+  MoCubingOptions options;
+  options.policy = ExceptionPolicy(0.0);
+  options.attribute_order = CardinalityDescendingOrder(*w.schema);
+  auto cube = ComputeMoCubing(w.schema, w.tuples, options);
+  ASSERT_TRUE(cube.ok());
+  const CuboidLattice& lattice = cube->lattice();
+  ExpectCellMapsEqual(
+      ComputeCuboidBruteForce(lattice, w.tuples, lattice.o_layer_id()),
+      cube->o_layer(), 1e-8);
+}
+
+TEST(MoCubingTest, EmptyInputRejected) {
+  SmallWorkload w = MakeSmallWorkload(2, 2, 3, 10, 43);
+  MoCubingOptions options;
+  EXPECT_FALSE(ComputeMoCubing(w.schema, {}, options).ok());
+}
+
+TEST(MoCubingTest, PerDepthThresholdOverrides) {
+  SmallWorkload w = MakeSmallWorkload(2, 3, 3, 60, 47);
+  CuboidLattice lattice(*w.schema);
+  // Make one intermediate depth retain everything, the rest nothing.
+  MoCubingOptions options;
+  options.policy = ExceptionPolicy(1e30);
+  const int open_depth = 3;  // e.g. levels (1,2) or (2,1)
+  options.policy.SetDepthThreshold(open_depth, 0.0);
+  auto cube = ComputeMoCubing(w.schema, w.tuples, options);
+  ASSERT_TRUE(cube.ok());
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    if (c == lattice.m_layer_id() || c == lattice.o_layer_id()) continue;
+    const CellMap* stored = cube->exceptions().CellsOf(c);
+    if (SpecDepth(lattice.spec(c)) == open_depth) {
+      ASSERT_NE(stored, nullptr);
+      EXPECT_FALSE(stored->empty());
+    } else {
+      EXPECT_TRUE(stored == nullptr || stored->empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace regcube

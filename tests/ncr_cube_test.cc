@@ -1,0 +1,212 @@
+#include "regcube/core/ncr_cube.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "regcube/core/mo_cubing.h"
+#include "regcube/regression/linear_fit.h"
+#include "test_util.h"
+
+namespace regcube {
+namespace {
+
+using testing_util::MakeSmallWorkload;
+using testing_util::RandomSeries;
+using testing_util::SmallWorkload;
+
+/// NCR tuples mirroring a SmallWorkload's ISB tuples: same keys, measures
+/// built from the same series under the linear-time basis.
+std::vector<NcrTuple> LinearNcrTuples(SmallWorkload& w, std::uint64_t seed) {
+  auto basis = MakeLinearTimeBasis();
+  StreamGenerator gen(w.spec);
+  (void)seed;
+  std::vector<NcrTuple> tuples;
+  for (size_t i = 0; i < gen.cells().size(); ++i) {
+    NcrTuple t;
+    t.key = gen.cells()[i].key;
+    t.measure = NcrFromTimeSeries(*basis, gen.SeriesFor(i));
+    tuples.push_back(std::move(t));
+  }
+  return tuples;
+}
+
+TEST(NcrCubeTest, SumResponsesMatchesIsbPipeline) {
+  // With the linear-time basis and sum-responses roll-up, every solved NCR
+  // cell must equal the ISB pipeline's (base, slope) for the same cell —
+  // the two compressions describe the same cube.
+  SmallWorkload w = MakeSmallWorkload(2, 3, 3, 80, 301);
+  std::vector<NcrTuple> ncr_tuples = LinearNcrTuples(w, 301);
+
+  NcrCubeOptions options;
+  options.rollup = NcrRollup::kSumResponses;
+  options.threshold = 0.0;
+  auto ncr_cube = ComputeNcrCube(w.schema, ncr_tuples, options);
+  ASSERT_TRUE(ncr_cube.ok()) << ncr_cube.status().ToString();
+
+  MoCubingOptions mo;
+  mo.policy = ExceptionPolicy(0.0);
+  auto isb_cube = ComputeMoCubing(w.schema, w.tuples, mo);
+  ASSERT_TRUE(isb_cube.ok());
+
+  // o-layer, cell by cell.
+  ASSERT_EQ(ncr_cube->o_layer().size(), isb_cube->o_layer().size());
+  for (const auto& [key, measure] : ncr_cube->o_layer()) {
+    auto fit = measure.Solve();
+    ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+    auto it = isb_cube->o_layer().find(key);
+    ASSERT_NE(it, isb_cube->o_layer().end());
+    EXPECT_NEAR(fit->theta[0], it->second.base, 1e-6);
+    EXPECT_NEAR(fit->theta[1], it->second.slope, 1e-8);
+  }
+}
+
+TEST(NcrCubeTest, PoolObservationsEqualsDirectPooledFit) {
+  // Pooled roll-up: a cuboid cell's model equals fitting all descendant
+  // observations at once. Verified against a hand-built pooled measure.
+  auto h = std::make_shared<FanoutHierarchy>(2, 2);
+  auto schema_result = CubeSchema::Create(
+      {Dimension("region", h)}, {2}, {1});
+  ASSERT_TRUE(schema_result.ok());
+  auto schema = std::make_shared<CubeSchema>(std::move(schema_result).value());
+  CuboidLattice lattice(*schema);
+
+  auto basis = MakeMultiLinearBasis(2);  // (1, t, x)
+  Pcg32 rng(5);
+  std::vector<NcrTuple> tuples;
+  std::vector<std::pair<std::vector<double>, double>> all_obs[2];  // by parent
+  for (ValueId leaf = 0; leaf < 4; ++leaf) {
+    NcrTuple t;
+    t.key = CellKey(1);
+    t.key.set(0, leaf);
+    t.measure = NcrMeasure(basis->num_features());
+    for (int i = 0; i < 30; ++i) {
+      std::vector<double> x = {static_cast<double>(i),
+                               rng.NextDouble() * 3.0 + leaf};
+      double y = 1.0 + 0.2 * x[0] - 0.5 * x[1] + 0.1 * rng.NextGaussian();
+      t.measure.AddObservation(*basis, x, y);
+      all_obs[leaf / 2].emplace_back(x, y);
+    }
+    tuples.push_back(std::move(t));
+  }
+
+  auto cells = ComputeNcrCuboid(lattice, tuples, lattice.o_layer_id(),
+                                NcrRollup::kPoolObservations);
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells->size(), 2u);
+  for (ValueId parent = 0; parent < 2; ++parent) {
+    CellKey key(1);
+    key.set(0, parent);
+    auto it = cells->find(key);
+    ASSERT_NE(it, cells->end());
+    NcrMeasure direct(basis->num_features());
+    for (const auto& [x, y] : all_obs[parent]) {
+      direct.AddObservation(*basis, x, y);
+    }
+    auto pooled_fit = it->second.Solve();
+    auto direct_fit = direct.Solve();
+    ASSERT_TRUE(pooled_fit.ok());
+    ASSERT_TRUE(direct_fit.ok());
+    for (size_t i = 0; i < direct_fit->theta.size(); ++i) {
+      EXPECT_NEAR(pooled_fit->theta[i], direct_fit->theta[i], 1e-9);
+    }
+    EXPECT_TRUE(pooled_fit->rss_available);  // pooled merges keep RSS
+    EXPECT_NEAR(pooled_fit->rss, direct_fit->rss, 1e-7);
+  }
+}
+
+TEST(NcrCubeTest, ExceptionsFollowWatchCoefficient) {
+  SmallWorkload w = MakeSmallWorkload(2, 2, 3, 40, 307);
+  std::vector<NcrTuple> tuples = LinearNcrTuples(w, 307);
+
+  NcrCubeOptions options;
+  options.rollup = NcrRollup::kSumResponses;
+  options.watch_coefficient = 1;  // the time slope
+  options.threshold = 0.05;
+  auto cube = ComputeNcrCube(w.schema, tuples, options);
+  ASSERT_TRUE(cube.ok());
+
+  // Reference via brute-force ISB (same threshold on |slope|).
+  CuboidLattice lattice(*w.schema);
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    if (c == lattice.m_layer_id() || c == lattice.o_layer_id()) continue;
+    CellMap reference = ComputeCuboidBruteForce(lattice, w.tuples, c);
+    auto it = cube->exceptions().find(c);
+    for (const auto& [key, isb] : reference) {
+      const bool expect_exception = std::fabs(isb.slope) >= 0.05;
+      const bool stored =
+          it != cube->exceptions().end() && it->second.count(key) > 0;
+      EXPECT_EQ(expect_exception, stored)
+          << lattice.CuboidName(c) << key.ToString();
+    }
+  }
+}
+
+TEST(NcrCubeTest, RejectsMixedBasesAndEmptyInput) {
+  SmallWorkload w = MakeSmallWorkload(2, 2, 3, 10, 311);
+  std::vector<NcrTuple> tuples = LinearNcrTuples(w, 311);
+  NcrCubeOptions options;
+  EXPECT_FALSE(ComputeNcrCube(w.schema, {}, options).ok());
+  tuples[0].measure = NcrMeasure(5);  // different arity
+  EXPECT_FALSE(ComputeNcrCube(w.schema, tuples, options).ok());
+}
+
+TEST(NcrCubeTest, SumResponsesRejectsMismatchedDesigns) {
+  // Two m-cells with different observation counts cannot sum-merge.
+  auto h = std::make_shared<FanoutHierarchy>(2, 2);
+  auto schema_result = CubeSchema::Create({Dimension("d", h)}, {2}, {1});
+  ASSERT_TRUE(schema_result.ok());
+  auto schema = std::make_shared<CubeSchema>(std::move(schema_result).value());
+
+  auto basis = MakeLinearTimeBasis();
+  Pcg32 rng(6);
+  std::vector<NcrTuple> tuples;
+  for (ValueId leaf = 0; leaf < 2; ++leaf) {
+    NcrTuple t;
+    t.key = CellKey(1);
+    t.key.set(0, leaf);
+    // leaf 0 covers [0,9], leaf 1 covers [0,14]: designs differ.
+    t.measure =
+        NcrFromTimeSeries(*basis, RandomSeries(rng, 0, 10 + 5 * leaf));
+    tuples.push_back(std::move(t));
+  }
+  NcrCubeOptions options;
+  options.rollup = NcrRollup::kSumResponses;
+  EXPECT_FALSE(ComputeNcrCube(schema, tuples, options).ok());
+  // The same tuples pool fine.
+  options.rollup = NcrRollup::kPoolObservations;
+  EXPECT_TRUE(ComputeNcrCube(schema, tuples, options).ok());
+}
+
+TEST(NcrCubeTest, SingularCellsPolicy) {
+  // One-observation cells are underdetermined for a 2-parameter model.
+  auto h = std::make_shared<FanoutHierarchy>(2, 2);
+  auto schema_result = CubeSchema::Create({Dimension("d", h)}, {2}, {1});
+  ASSERT_TRUE(schema_result.ok());
+  auto schema = std::make_shared<CubeSchema>(std::move(schema_result).value());
+
+  auto basis = MakeLinearTimeBasis();
+  std::vector<NcrTuple> tuples;
+  for (ValueId leaf = 0; leaf < 4; ++leaf) {
+    NcrTuple t;
+    t.key = CellKey(1);
+    t.key.set(0, leaf);
+    t.measure = NcrMeasure(basis->num_features());
+    t.measure.AddObservation(*basis, {0.0}, 1.0);  // single point
+    tuples.push_back(std::move(t));
+  }
+  // With a single-cuboid lattice there are no intermediate cells, so use a
+  // 2-level schema: intermediate == none, but o-layer cells pool 2 obs at
+  // the same t -> still singular. Default: tolerated (not exceptional).
+  NcrCubeOptions lenient;
+  lenient.rollup = NcrRollup::kPoolObservations;
+  EXPECT_TRUE(ComputeNcrCube(schema, tuples, lenient).ok());
+}
+
+TEST(NcrCubeTest, RollupNames) {
+  EXPECT_STREQ(NcrRollupName(NcrRollup::kSumResponses), "sum-responses");
+  EXPECT_STREQ(NcrRollupName(NcrRollup::kPoolObservations),
+               "pool-observations");
+}
+
+}  // namespace
+}  // namespace regcube

@@ -1,0 +1,247 @@
+#include "regcube/core/popular_path.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "regcube/core/mo_cubing.h"
+#include "test_util.h"
+
+namespace regcube {
+namespace {
+
+using testing_util::ExpectCellMapsEqual;
+using testing_util::ExpectIsbNear;
+using testing_util::FullCubeBruteForce;
+using testing_util::MakeSmallWorkload;
+using testing_util::SmallWorkload;
+
+/// Reference implementation of Algorithm 2's output contract: path-cuboid
+/// exceptions plus the recursive exception closure drilled from computed
+/// cuboids (paper Step 3 + footnote 7), computed entirely by brute force.
+std::map<CuboidId, CellMap> ReferencePopularPathExceptions(
+    const CuboidLattice& lattice, const std::vector<MLayerTuple>& tuples,
+    const DrillPath& path, double threshold) {
+  auto full = FullCubeBruteForce(lattice, tuples);
+  std::unordered_set<CuboidId> on_path(path.steps.begin(), path.steps.end());
+
+  // Cells known per cuboid: all for path cuboids; drilled cells otherwise.
+  std::map<CuboidId, CellMap> known;
+  for (CuboidId c : path.steps) known[c] = full[static_cast<size_t>(c)];
+
+  std::vector<CuboidId> order;
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) order.push_back(c);
+  std::sort(order.begin(), order.end(), [&](CuboidId a, CuboidId b) {
+    int da = SpecDepth(lattice.spec(a)), db = SpecDepth(lattice.spec(b));
+    return da != db ? da < db : a < b;
+  });
+
+  std::map<CuboidId, CellMap> exceptions;
+  for (CuboidId x : order) {
+    auto it = known.find(x);
+    if (it == known.end()) continue;
+    CellMap exc;
+    for (const auto& [key, isb] : it->second) {
+      if (std::fabs(isb.slope) >= threshold) exc.emplace(key, isb);
+    }
+    if (x != lattice.o_layer_id() && x != lattice.m_layer_id()) {
+      exceptions[x] = exc;
+    }
+    if (exc.empty() || x == lattice.m_layer_id()) continue;
+    for (CuboidId y : lattice.DrillChildren(x)) {
+      if (on_path.count(y) > 0) continue;
+      CellMap& dest = known[y];
+      for (const auto& [child_key, child_isb] : full[static_cast<size_t>(y)]) {
+        if (exc.count(lattice.ProjectKey(child_key, y, x)) > 0) {
+          dest.emplace(child_key, child_isb);
+        }
+      }
+    }
+  }
+  // Drop empty cuboids for comparison symmetry.
+  for (auto it = exceptions.begin(); it != exceptions.end();) {
+    it = it->second.empty() ? exceptions.erase(it) : std::next(it);
+  }
+  return exceptions;
+}
+
+TEST(PopularPathTest, CriticalLayersMatchBruteForce) {
+  SmallWorkload w = MakeSmallWorkload(3, 2, 3, 120, 51);
+  PopularPathOptions options;
+  options.policy = ExceptionPolicy(0.05);
+  auto cube = ComputePopularPathCubing(w.schema, w.tuples, options);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  const CuboidLattice& lattice = cube->lattice();
+  ExpectCellMapsEqual(
+      ComputeCuboidBruteForce(lattice, w.tuples, lattice.o_layer_id()),
+      cube->o_layer(), 1e-8);
+  ExpectCellMapsEqual(
+      ComputeCuboidBruteForce(lattice, w.tuples, lattice.m_layer_id()),
+      cube->m_layer(), 1e-8);
+}
+
+struct PathCase {
+  int dims;
+  int levels;
+  int fanout;
+  int tuples;
+  int seed;
+  double threshold;
+};
+
+class PopularPathClosureTest : public ::testing::TestWithParam<PathCase> {};
+
+TEST_P(PopularPathClosureTest, ExceptionsMatchReferenceClosure) {
+  const PathCase& p = GetParam();
+  SmallWorkload w = MakeSmallWorkload(p.dims, p.levels, p.fanout, p.tuples,
+                                      static_cast<std::uint64_t>(p.seed));
+  CuboidLattice lattice(*w.schema);
+  DrillPath path = DrillPath::MakeDefault(lattice);
+
+  PopularPathOptions options;
+  options.policy = ExceptionPolicy(p.threshold);
+  options.path = path;
+  auto cube = ComputePopularPathCubing(w.schema, w.tuples, options);
+  ASSERT_TRUE(cube.ok());
+
+  auto reference =
+      ReferencePopularPathExceptions(lattice, w.tuples, path, p.threshold);
+
+  // Same set of cuboids with exceptions.
+  std::vector<CuboidId> got = cube->exceptions().Cuboids();
+  std::vector<CuboidId> want;
+  for (const auto& [c, cells] : reference) want.push_back(c);
+  EXPECT_EQ(got, want);
+
+  for (const auto& [c, cells] : reference) {
+    const CellMap* stored = cube->exceptions().CellsOf(c);
+    ASSERT_NE(stored, nullptr) << lattice.CuboidName(c);
+    ExpectCellMapsEqual(cells, *stored, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PopularPathClosureTest,
+    ::testing::Values(PathCase{2, 2, 3, 40, 61, 0.02},
+                      PathCase{2, 3, 3, 80, 62, 0.05},
+                      PathCase{3, 2, 4, 120, 63, 0.02},
+                      PathCase{3, 3, 3, 150, 64, 0.05},
+                      PathCase{3, 2, 4, 120, 65, 0.0},
+                      PathCase{2, 2, 3, 40, 66, 1e30}));
+
+TEST(PopularPathTest, ExceptionSetIsSubsetOfMoCubing) {
+  // Footnote 7: Algorithm 1 computes more exception cells than Algorithm 2.
+  SmallWorkload w = MakeSmallWorkload(3, 2, 3, 150, 71);
+  const double threshold = 0.03;
+
+  MoCubingOptions mo;
+  mo.policy = ExceptionPolicy(threshold);
+  auto cube1 = ComputeMoCubing(w.schema, w.tuples, mo);
+  ASSERT_TRUE(cube1.ok());
+
+  PopularPathOptions pp;
+  pp.policy = ExceptionPolicy(threshold);
+  auto cube2 = ComputePopularPathCubing(w.schema, w.tuples, pp);
+  ASSERT_TRUE(cube2.ok());
+
+  EXPECT_LE(cube2->exceptions().total_cells(),
+            cube1->exceptions().total_cells());
+  for (CuboidId c : cube2->exceptions().Cuboids()) {
+    const CellMap* sub = cube2->exceptions().CellsOf(c);
+    const CellMap* super = cube1->exceptions().CellsOf(c);
+    ASSERT_NE(super, nullptr);
+    for (const auto& [key, isb] : *sub) {
+      auto it = super->find(key);
+      ASSERT_NE(it, super->end());
+      ExpectIsbNear(it->second, isb, 1e-8);
+    }
+  }
+}
+
+TEST(PopularPathTest, AgreesWithMoCubingOnLayers) {
+  SmallWorkload w = MakeSmallWorkload(3, 3, 3, 150, 73);
+  MoCubingOptions mo;
+  mo.policy = ExceptionPolicy(0.05);
+  PopularPathOptions pp;
+  pp.policy = ExceptionPolicy(0.05);
+  auto cube1 = ComputeMoCubing(w.schema, w.tuples, mo);
+  auto cube2 = ComputePopularPathCubing(w.schema, w.tuples, pp);
+  ASSERT_TRUE(cube1.ok());
+  ASSERT_TRUE(cube2.ok());
+  ExpectCellMapsEqual(cube1->o_layer(), cube2->o_layer(), 1e-8);
+  ExpectCellMapsEqual(cube1->m_layer(), cube2->m_layer(), 1e-8);
+}
+
+TEST(PopularPathTest, DifferentPathsSameLayers) {
+  SmallWorkload w = MakeSmallWorkload(3, 2, 3, 100, 79);
+  CuboidLattice lattice(*w.schema);
+  CellMap reference_o;
+  bool first = true;
+  for (const std::vector<int>& order :
+       {std::vector<int>{0, 1, 2}, std::vector<int>{2, 1, 0},
+        std::vector<int>{1, 0, 2}}) {
+    auto path = DrillPath::MakeDimOrderPath(lattice, order);
+    ASSERT_TRUE(path.ok());
+    PopularPathOptions options;
+    options.policy = ExceptionPolicy(0.05);
+    options.path = *path;
+    auto cube = ComputePopularPathCubing(w.schema, w.tuples, options);
+    ASSERT_TRUE(cube.ok());
+    if (first) {
+      reference_o = cube->o_layer();
+      first = false;
+    } else {
+      ExpectCellMapsEqual(reference_o, cube->o_layer(), 1e-8);
+    }
+  }
+}
+
+TEST(PopularPathTest, InvalidPathRejected) {
+  SmallWorkload w = MakeSmallWorkload(2, 2, 3, 20, 83);
+  CuboidLattice lattice(*w.schema);
+  PopularPathOptions options;
+  DrillPath bad;
+  bad.steps = {lattice.m_layer_id()};  // does not start at the o-layer
+  options.path = bad;
+  EXPECT_FALSE(ComputePopularPathCubing(w.schema, w.tuples, options).ok());
+}
+
+TEST(PopularPathTest, EmptyInputRejected) {
+  SmallWorkload w = MakeSmallWorkload(2, 2, 3, 10, 89);
+  PopularPathOptions options;
+  EXPECT_FALSE(ComputePopularPathCubing(w.schema, {}, options).ok());
+}
+
+TEST(PopularPathTest, StatsAreCoherent) {
+  SmallWorkload w = MakeSmallWorkload(3, 2, 3, 100, 97);
+  PopularPathOptions options;
+  options.policy = ExceptionPolicy(0.02);
+  MemoryTracker tracker;
+  options.tracker = &tracker;
+  auto cube = ComputePopularPathCubing(w.schema, w.tuples, options);
+  ASSERT_TRUE(cube.ok());
+  const CubingStats& stats = cube->stats();
+  EXPECT_GT(stats.htree_nodes, 0);
+  EXPECT_GT(stats.cells_computed, 0);
+  EXPECT_GE(stats.peak_memory_bytes, stats.htree_bytes);
+  EXPECT_EQ(tracker.peak_bytes(), stats.peak_memory_bytes);
+}
+
+TEST(PopularPathTest, SingleCuboidLattice) {
+  // o-layer == m-layer: the path is one cuboid; no drilling happens.
+  auto h = std::make_shared<FanoutHierarchy>(2, 3);
+  auto schema_result = CubeSchema::Create(
+      {Dimension("A", h), Dimension("B", h)}, {2, 2}, {2, 2});
+  ASSERT_TRUE(schema_result.ok());
+  auto schema = std::make_shared<CubeSchema>(std::move(schema_result).value());
+  SmallWorkload base = MakeSmallWorkload(2, 2, 3, 30, 101);
+  PopularPathOptions options;
+  options.policy = ExceptionPolicy(0.05);
+  auto cube = ComputePopularPathCubing(schema, base.tuples, options);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->o_layer().size(), cube->m_layer().size());
+  EXPECT_EQ(cube->exceptions().total_cells(), 0);
+}
+
+}  // namespace
+}  // namespace regcube

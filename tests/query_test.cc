@@ -1,0 +1,146 @@
+#include "regcube/core/query.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "regcube/core/mo_cubing.h"
+#include "test_util.h"
+
+namespace regcube {
+namespace {
+
+using testing_util::ExpectIsbNear;
+using testing_util::MakeSmallWorkload;
+using testing_util::SmallWorkload;
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload_ = MakeSmallWorkload(2, 3, 3, 120, 111);
+    policy_ = std::make_unique<ExceptionPolicy>(0.02);
+    MoCubingOptions options;
+    options.policy = *policy_;
+    auto cube = ComputeMoCubing(workload_.schema, workload_.tuples, options);
+    ASSERT_TRUE(cube.ok());
+    cube_ = std::make_unique<RegressionCube>(std::move(cube).value());
+    view_ = std::make_unique<CubeView>(*cube_, *policy_);
+  }
+
+  SmallWorkload workload_;
+  std::unique_ptr<ExceptionPolicy> policy_;
+  std::unique_ptr<RegressionCube> cube_;
+  std::unique_ptr<CubeView> view_;
+};
+
+TEST_F(QueryTest, GetCellFindsRetainedLayers) {
+  const CuboidLattice& lattice = cube_->lattice();
+  ASSERT_FALSE(cube_->o_layer().empty());
+  const auto& [o_key, o_isb] = *cube_->o_layer().begin();
+  auto got = view_->GetCell(lattice.o_layer_id(), o_key);
+  ASSERT_TRUE(got.ok());
+  ExpectIsbNear(o_isb, *got);
+
+  const auto& [m_key, m_isb] = *cube_->m_layer().begin();
+  got = view_->GetCell(lattice.m_layer_id(), m_key);
+  ASSERT_TRUE(got.ok());
+  ExpectIsbNear(m_isb, *got);
+}
+
+TEST_F(QueryTest, GetCellMissReturnsNotFound) {
+  const CuboidLattice& lattice = cube_->lattice();
+  CellKey bogus(2);
+  bogus.set(0, 9999);
+  bogus.set(1, 9999);
+  EXPECT_EQ(view_->GetCell(lattice.o_layer_id(), bogus).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(QueryTest, OnTheFlyMatchesBruteForce) {
+  const CuboidLattice& lattice = cube_->lattice();
+  // Pick an intermediate cuboid and compare every cell.
+  CuboidId mid = -1;
+  for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
+    if (c != lattice.o_layer_id() && c != lattice.m_layer_id()) {
+      mid = c;
+      break;
+    }
+  }
+  ASSERT_GE(mid, 0);
+  CellMap expected = ComputeCuboidBruteForce(lattice, workload_.tuples, mid);
+  for (const auto& [key, isb] : expected) {
+    auto got = view_->ComputeCellOnTheFly(mid, key);
+    ASSERT_TRUE(got.ok());
+    ExpectIsbNear(isb, *got, 1e-8);
+  }
+  CellKey bogus(2);
+  bogus.set(0, 8);
+  bogus.set(1, 8);
+  EXPECT_FALSE(view_->ComputeCellOnTheFly(mid, bogus).ok());
+}
+
+TEST_F(QueryTest, ExceptionsAtMatchesPolicy) {
+  const CuboidLattice& lattice = cube_->lattice();
+  for (CuboidId c : cube_->exceptions().Cuboids()) {
+    auto list = view_->ExceptionsAt(c);
+    const CellMap* stored = cube_->exceptions().CellsOf(c);
+    ASSERT_NE(stored, nullptr);
+    EXPECT_EQ(list.size(), stored->size());
+    for (const CellResult& cell : list) {
+      EXPECT_TRUE(cell.is_exception);
+      EXPECT_GE(std::fabs(cell.isb.slope), 0.02);
+      EXPECT_EQ(cell.cuboid, c);
+    }
+  }
+  (void)lattice;
+}
+
+TEST_F(QueryTest, DrillDownReturnsOnlyExceptionDescendants) {
+  const CuboidLattice& lattice = cube_->lattice();
+  // Drill from each o-layer exception.
+  for (const auto& [key, isb] : cube_->o_layer()) {
+    if (std::fabs(isb.slope) < 0.02) continue;
+    for (const CellResult& child :
+         view_->DrillDown(lattice.o_layer_id(), key)) {
+      EXPECT_TRUE(lattice.KeyIsDescendant(child.key, child.cuboid, key,
+                                          lattice.o_layer_id()));
+      EXPECT_GE(std::fabs(child.isb.slope), 0.02);
+    }
+  }
+}
+
+TEST_F(QueryTest, SupportersAreClosedUnderDrilling) {
+  const CuboidLattice& lattice = cube_->lattice();
+  // Strongest o-layer exception must have a supporters tree that includes
+  // everything DrillDown finds at the first level.
+  const CellKey* best_key = nullptr;
+  double best = -1.0;
+  for (const auto& [key, isb] : cube_->o_layer()) {
+    if (std::fabs(isb.slope) > best) {
+      best = std::fabs(isb.slope);
+      best_key = &key;
+    }
+  }
+  ASSERT_NE(best_key, nullptr);
+  auto direct = view_->DrillDown(lattice.o_layer_id(), *best_key);
+  auto closure = view_->ExceptionSupporters(lattice.o_layer_id(), *best_key);
+  EXPECT_GE(closure.size(), direct.size());
+}
+
+TEST_F(QueryTest, TopExceptionsSortedBySlopeMagnitude) {
+  auto top = view_->TopExceptions(10);
+  EXPECT_LE(top.size(), 10u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(std::fabs(top[i - 1].isb.slope), std::fabs(top[i].isb.slope));
+  }
+}
+
+TEST_F(QueryTest, RenderCellIsHumanReadable) {
+  auto top = view_->TopExceptions(1);
+  ASSERT_FALSE(top.empty());
+  std::string rendered = view_->RenderCell(top[0]);
+  EXPECT_NE(rendered.find("slope="), std::string::npos);
+  EXPECT_NE(rendered.find("EXCEPTION"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace regcube

@@ -1,0 +1,96 @@
+#include "regcube/cube/schema.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "regcube/cube/cell.h"
+
+namespace regcube {
+namespace {
+
+std::vector<Dimension> ThreeDims() {
+  auto h = std::make_shared<FanoutHierarchy>(3, 10);
+  return {Dimension("A", h), Dimension("B", h), Dimension("C", h)};
+}
+
+TEST(SchemaTest, Example5Lattice) {
+  // m-layer (A2, B2, C2), o-layer (A1, *, C1): 2*3*2 = 12 cuboids.
+  auto schema = CubeSchema::Create(ThreeDims(), {2, 2, 2}, {1, 0, 1});
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->NumLatticeCuboids(), 12);
+  EXPECT_EQ(schema->num_dims(), 3);
+}
+
+TEST(SchemaTest, RollUpUsesHierarchy) {
+  auto schema = CubeSchema::Create(ThreeDims(), {3, 3, 3}, {1, 1, 1});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->RollUp(0, 987, 3), 987u);
+  EXPECT_EQ(schema->RollUp(0, 987, 2), 98u);
+  EXPECT_EQ(schema->RollUp(0, 987, 1), 9u);
+  EXPECT_EQ(schema->RollUp(0, 987, 0), 0u);  // "*"
+}
+
+TEST(SchemaTest, RejectsBadLayers) {
+  // m-layer above hierarchy depth.
+  EXPECT_FALSE(CubeSchema::Create(ThreeDims(), {4, 2, 2}, {1, 1, 1}).ok());
+  // m-layer of 0 (the m-layer must be materialized).
+  EXPECT_FALSE(CubeSchema::Create(ThreeDims(), {0, 2, 2}, {0, 1, 1}).ok());
+  // o-layer deeper than m-layer.
+  EXPECT_FALSE(CubeSchema::Create(ThreeDims(), {2, 2, 2}, {3, 1, 1}).ok());
+  // Wrong arity.
+  EXPECT_FALSE(CubeSchema::Create(ThreeDims(), {2, 2}, {1, 1}).ok());
+  // No dimensions.
+  EXPECT_FALSE(CubeSchema::Create({}, {}, {}).ok());
+}
+
+TEST(SchemaTest, OLayerMayEqualMLayer) {
+  auto schema = CubeSchema::Create(ThreeDims(), {2, 2, 2}, {2, 2, 2});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->NumLatticeCuboids(), 1);
+}
+
+TEST(SchemaTest, ToStringMentionsLayers) {
+  auto schema = CubeSchema::Create(ThreeDims(), {2, 2, 2}, {1, 0, 1});
+  ASSERT_TRUE(schema.ok());
+  std::string s = schema->ToString();
+  EXPECT_NE(s.find("m-layer"), std::string::npos);
+  EXPECT_NE(s.find("o-layer"), std::string::npos);
+  EXPECT_NE(s.find("*"), std::string::npos);
+}
+
+TEST(CellKeyTest, EqualityAndHash) {
+  CellKey a(3), b(3);
+  a.set(0, 1);
+  a.set(1, 2);
+  a.set(2, 3);
+  b.set(0, 1);
+  b.set(1, 2);
+  b.set(2, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.set(2, 4);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CellKeyTest, StarValuesRender) {
+  CellKey k(3);
+  k.set(0, 7);
+  k.set(2, 9);
+  EXPECT_EQ(k.ToString(), "(7, *, 9)");
+}
+
+TEST(CellKeyTest, DifferentWidthsNeverEqual) {
+  CellKey a(2), b(3);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CellRefTest, ToStringIncludesCuboid) {
+  CellRef ref;
+  ref.cuboid = 5;
+  ref.key = CellKey(2);
+  ref.key.set(0, 1);
+  EXPECT_EQ(ref.ToString(), "cuboid#5(1, *)");
+}
+
+}  // namespace
+}  // namespace regcube

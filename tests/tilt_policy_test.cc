@@ -1,0 +1,76 @@
+#include "regcube/time/tilt_policy.h"
+
+#include "gtest/gtest.h"
+#include "regcube/time/calendar.h"
+
+namespace regcube {
+namespace {
+
+TEST(UniformPolicyTest, BoundariesAtMultiples) {
+  auto policy = MakeUniformTiltPolicy(
+      {{"q", 4}, {"h", 24}, {"d", 31}}, {1, 4, 96});
+  EXPECT_EQ(policy->num_levels(), 3);
+  EXPECT_TRUE(policy->IsUnitEnd(0, 0));
+  EXPECT_TRUE(policy->IsUnitEnd(1, 3));
+  EXPECT_FALSE(policy->IsUnitEnd(1, 4));
+  EXPECT_TRUE(policy->IsUnitEnd(2, 95));
+  EXPECT_FALSE(policy->IsUnitEnd(2, 96));
+  EXPECT_EQ(policy->NominalUnitTicks(2), 96);
+  EXPECT_EQ(policy->TotalCapacity(), 4 + 24 + 31);
+}
+
+TEST(UniformPolicyTest, LevelNamesAndCapacities) {
+  auto policy = MakeUniformTiltPolicy({{"fine", 8}, {"coarse", 2}}, {2, 8});
+  EXPECT_EQ(policy->level(0).name, "fine");
+  EXPECT_EQ(policy->level(1).capacity, 2);
+  EXPECT_EQ(policy->name(), "uniform");
+}
+
+TEST(UniformPolicyDeathTest, RejectsNonMultipleWidths) {
+  EXPECT_DEATH(MakeUniformTiltPolicy({{"a", 1}, {"b", 1}}, {2, 5}),
+               "multiple");
+}
+
+TEST(NaturalCalendarPolicyTest, MatchesFigure4) {
+  auto policy = MakeNaturalCalendarTiltPolicy();
+  EXPECT_EQ(policy->num_levels(), 4);
+  EXPECT_EQ(policy->level(0).name, "quarter");
+  EXPECT_EQ(policy->level(1).name, "hour");
+  EXPECT_EQ(policy->level(2).name, "day");
+  EXPECT_EQ(policy->level(3).name, "month");
+  // Example 3: 4 + 24 + 31 + 12 = 71 units.
+  EXPECT_EQ(policy->TotalCapacity(), 71);
+}
+
+TEST(NaturalCalendarPolicyTest, BoundariesFollowTheCalendar) {
+  auto policy = MakeNaturalCalendarTiltPolicy();
+  EXPECT_TRUE(policy->IsUnitEnd(0, 17));  // every tick ends a quarter
+  EXPECT_TRUE(policy->IsUnitEnd(1, 3));
+  EXPECT_FALSE(policy->IsUnitEnd(1, 2));
+  EXPECT_TRUE(policy->IsUnitEnd(2, 95));
+  const TimeTick jan_end = 31 * QuarterHourCalendar::kTicksPerDay - 1;
+  EXPECT_TRUE(policy->IsUnitEnd(3, jan_end));
+  EXPECT_FALSE(policy->IsUnitEnd(3, jan_end - 96));  // Jan 30 is not
+}
+
+TEST(LogarithmicPolicyTest, PowersOfTwoWidths) {
+  auto policy = MakeLogarithmicTiltPolicy(5, 2);
+  EXPECT_EQ(policy->num_levels(), 5);
+  EXPECT_EQ(policy->NominalUnitTicks(0), 1);
+  EXPECT_EQ(policy->NominalUnitTicks(4), 16);
+  EXPECT_TRUE(policy->IsUnitEnd(3, 7));
+  EXPECT_FALSE(policy->IsUnitEnd(3, 8));
+  EXPECT_EQ(policy->TotalCapacity(), 10);
+}
+
+TEST(TiltPolicyTest, CompressionRatioOfExample3) {
+  // One year of quarter-hour ticks vs what the frame retains: the paper
+  // reports 35,136 vs 71 units, "a saving of about 495 times".
+  auto policy = MakeNaturalCalendarTiltPolicy();
+  const double year_units = 366.0 * 24.0 * 4.0;
+  const double ratio = year_units / static_cast<double>(policy->TotalCapacity());
+  EXPECT_NEAR(ratio, 494.87, 0.1);
+}
+
+}  // namespace
+}  // namespace regcube

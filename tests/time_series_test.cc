@@ -1,0 +1,117 @@
+#include "regcube/regression/time_series.h"
+
+#include "gtest/gtest.h"
+
+namespace regcube {
+namespace {
+
+TEST(TimeIntervalTest, LengthAndEmptiness) {
+  TimeInterval iv{0, 9};
+  EXPECT_EQ(iv.length(), 10);
+  EXPECT_FALSE(iv.empty());
+  TimeInterval empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.length(), 0);
+}
+
+TEST(TimeIntervalTest, MeanIsMidpoint) {
+  EXPECT_DOUBLE_EQ((TimeInterval{0, 9}.mean()), 4.5);
+  EXPECT_DOUBLE_EQ((TimeInterval{10, 19}.mean()), 14.5);
+  EXPECT_DOUBLE_EQ((TimeInterval{5, 5}.mean()), 5.0);
+}
+
+TEST(TimeIntervalTest, SumVarSquaresMatchesLemma32) {
+  // Lemma 3.2: sum (j - mean)^2 over n consecutive ints = (n^3 - n)/12,
+  // independent of the start point.
+  for (TimeTick tb : {0, 7, -3, 1000}) {
+    for (std::int64_t n : {1, 2, 3, 10, 31}) {
+      TimeInterval iv{tb, tb + n - 1};
+      double direct = 0.0;
+      for (TimeTick t = iv.tb; t <= iv.te; ++t) {
+        double d = static_cast<double>(t) - iv.mean();
+        direct += d * d;
+      }
+      EXPECT_NEAR(iv.sum_var_squares(), direct, 1e-9)
+          << "tb=" << tb << " n=" << n;
+      EXPECT_NEAR(iv.sum_var_squares(),
+                  (static_cast<double>(n) * n * n - n) / 12.0, 1e-9);
+    }
+  }
+}
+
+TEST(TimeIntervalTest, Contains) {
+  TimeInterval iv{3, 7};
+  EXPECT_TRUE(iv.Contains(3));
+  EXPECT_TRUE(iv.Contains(7));
+  EXPECT_FALSE(iv.Contains(2));
+  EXPECT_FALSE(iv.Contains(8));
+}
+
+TEST(ValidatePartitionTest, AcceptsContiguousOrderedParts) {
+  TimeInterval whole{0, 19};
+  EXPECT_TRUE(ValidatePartition(whole, {{0, 9}, {10, 19}}).ok());
+  EXPECT_TRUE(ValidatePartition(whole, {{0, 19}}).ok());
+  EXPECT_TRUE(ValidatePartition(whole, {{0, 0}, {1, 5}, {6, 19}}).ok());
+}
+
+TEST(ValidatePartitionTest, RejectsGapsOverlapsAndMisalignment) {
+  TimeInterval whole{0, 19};
+  EXPECT_FALSE(ValidatePartition(whole, {}).ok());
+  EXPECT_FALSE(ValidatePartition(whole, {{0, 9}, {11, 19}}).ok());  // gap
+  EXPECT_FALSE(ValidatePartition(whole, {{0, 10}, {10, 19}}).ok());  // overlap
+  EXPECT_FALSE(ValidatePartition(whole, {{1, 19}}).ok());  // wrong start
+  EXPECT_FALSE(ValidatePartition(whole, {{0, 18}}).ok());  // wrong end
+}
+
+TEST(TimeSeriesTest, ConstructionAndAccess) {
+  TimeSeries s(5, {1.0, 2.0, 3.0});
+  EXPECT_EQ(s.interval().tb, 5);
+  EXPECT_EQ(s.interval().te, 7);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_DOUBLE_EQ(s.at(5), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(7), 3.0);
+}
+
+TEST(TimeSeriesTest, AppendExtendsInterval) {
+  TimeSeries s(0, {1.0});
+  s.Append(2.0);
+  EXPECT_EQ(s.interval().te, 1);
+  EXPECT_DOUBLE_EQ(s.at(1), 2.0);
+}
+
+TEST(TimeSeriesTest, AddRequiresSameInterval) {
+  TimeSeries a(0, {1.0, 2.0});
+  TimeSeries b(0, {10.0, 20.0});
+  auto sum = TimeSeries::Add(a, b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum->at(0), 11.0);
+  EXPECT_DOUBLE_EQ(sum->at(1), 22.0);
+
+  TimeSeries c(1, {5.0, 6.0});
+  EXPECT_FALSE(TimeSeries::Add(a, c).ok());
+}
+
+TEST(TimeSeriesTest, ConcatRequiresContiguity) {
+  TimeSeries a(0, {1.0, 2.0});
+  TimeSeries b(2, {3.0});
+  auto joined = TimeSeries::Concat(a, b);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->interval().te, 2);
+  EXPECT_DOUBLE_EQ(joined->at(2), 3.0);
+
+  TimeSeries gap(4, {9.0});
+  EXPECT_FALSE(TimeSeries::Concat(a, gap).ok());
+}
+
+TEST(TimeSeriesTest, SliceBoundsChecked) {
+  TimeSeries s(0, {0.0, 1.0, 2.0, 3.0});
+  auto mid = s.Slice(1, 2);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->interval().tb, 1);
+  EXPECT_DOUBLE_EQ(mid->at(2), 2.0);
+  EXPECT_FALSE(s.Slice(2, 1).ok());
+  EXPECT_FALSE(s.Slice(0, 4).ok());
+}
+
+}  // namespace
+}  // namespace regcube

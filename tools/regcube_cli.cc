@@ -1,0 +1,309 @@
+// regcube_cli — command-line front end for the regression-cube library.
+//
+//   regcube_cli generate --workload D3L3C10T10K [--seed N] --out tuples.bin
+//   regcube_cli cube     --workload D3L3C10T10K --in tuples.bin
+//                        [--algorithm mo|pp] [--rate 0.01 | --threshold X]
+//                        [--out cube.bin]
+//   regcube_cli report   --workload D3L3C10T10K --in cube.bin
+//                        --threshold X [--top N]
+//   regcube_cli selftest [--dir PATH]   (generate -> cube -> report round
+//                                        trip in a scratch directory)
+//
+// The workload name doubles as the schema description (the cube format does
+// not embed schemas), so `cube` and `report` must receive the same
+// --workload used by `generate`.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "regcube/common/stopwatch.h"
+#include "regcube/common/str.h"
+#include "regcube/core/mo_cubing.h"
+#include "regcube/core/popular_path.h"
+#include "regcube/core/query.h"
+#include "regcube/gen/stream_generator.h"
+#include "regcube/io/binary_io.h"
+#include "regcube/io/cube_io.h"
+
+namespace regcube {
+namespace {
+
+/// Minimal --flag value parser: flags are "--name value"; anything else is
+/// an error. Returns the positional command (argv[1]).
+class Args {
+ public:
+  static Result<Args> Parse(int argc, char** argv) {
+    if (argc < 2) {
+      return Status::InvalidArgument("missing command");
+    }
+    Args args;
+    args.command_ = argv[1];
+    for (int i = 2; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        return Status::InvalidArgument(
+            StrPrintf("expected --flag, got \"%s\"", argv[i]));
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(
+            StrPrintf("flag %s needs a value", argv[i]));
+      }
+      args.values_[argv[i] + 2] = argv[i + 1];
+      ++i;
+    }
+    return args;
+  }
+
+  const std::string& command() const { return command_; }
+
+  Result<std::string> GetString(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      return Status::InvalidArgument("missing required flag --" + name);
+    }
+    return it->second;
+  }
+
+  std::string GetStringOr(const std::string& name,
+                          const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDoubleOr(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  std::int64_t GetIntOr(const std::string& name, std::int64_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+};
+
+Result<std::shared_ptr<const CubeSchema>> SchemaFor(const Args& args) {
+  RC_ASSIGN_OR_RETURN(std::string name, args.GetString("workload"));
+  auto spec = WorkloadSpec::Parse(name);
+  if (!spec.ok()) return spec.status();
+  return MakeWorkloadSchemaPtr(*spec);
+}
+
+Status RunGenerate(const Args& args) {
+  RC_ASSIGN_OR_RETURN(std::string name, args.GetString("workload"));
+  RC_ASSIGN_OR_RETURN(std::string out, args.GetString("out"));
+  auto spec = WorkloadSpec::Parse(name);
+  if (!spec.ok()) return spec.status();
+  spec->seed = static_cast<std::uint64_t>(args.GetIntOr("seed", 42));
+  spec->series_length = args.GetIntOr("ticks", 32);
+
+  Stopwatch timer;
+  StreamGenerator gen(*spec);
+  std::vector<MLayerTuple> tuples = gen.GenerateMLayerTuples();
+  RC_RETURN_IF_ERROR(WriteFile(out, EncodeMLayerTuples(tuples)));
+  std::printf("generated %zu m-layer streams (%s, seed %llu) in %.2f s -> %s\n",
+              tuples.size(), spec->Name().c_str(),
+              static_cast<unsigned long long>(spec->seed),
+              timer.ElapsedSeconds(), out.c_str());
+  return Status::OK();
+}
+
+Status RunCube(const Args& args) {
+  RC_ASSIGN_OR_RETURN(std::shared_ptr<const CubeSchema> schema,
+                      SchemaFor(args));
+  RC_ASSIGN_OR_RETURN(std::string in, args.GetString("in"));
+  RC_ASSIGN_OR_RETURN(std::string data, ReadFile(in));
+  RC_ASSIGN_OR_RETURN(std::vector<MLayerTuple> tuples,
+                      DecodeMLayerTuples(data));
+
+  double threshold = args.GetDoubleOr("threshold", -1.0);
+  if (args.Has("rate")) {
+    CuboidLattice lattice(*schema);
+    Stopwatch calib;
+    threshold = CalibrateExceptionThreshold(lattice, tuples,
+                                            args.GetDoubleOr("rate", 0.01));
+    std::printf("calibrated threshold %.6g for rate %.3g (%.2f s)\n",
+                threshold, args.GetDoubleOr("rate", 0.01),
+                calib.ElapsedSeconds());
+  }
+  if (threshold < 0.0) {
+    return Status::InvalidArgument("provide --threshold or --rate");
+  }
+
+  const std::string algorithm = args.GetStringOr("algorithm", "mo");
+  Stopwatch timer;
+  Result<RegressionCube> cube = Status::Internal("unset");
+  if (algorithm == "mo") {
+    MoCubingOptions options;
+    options.policy = ExceptionPolicy(threshold);
+    cube = ComputeMoCubing(schema, tuples, options);
+  } else if (algorithm == "pp") {
+    PopularPathOptions options;
+    options.policy = ExceptionPolicy(threshold);
+    cube = ComputePopularPathCubing(schema, tuples, options);
+  } else {
+    return Status::InvalidArgument(
+        StrPrintf("unknown --algorithm \"%s\" (mo|pp)", algorithm.c_str()));
+  }
+  if (!cube.ok()) return cube.status();
+  std::printf("%s cubing: %.2f s\n", algorithm.c_str(),
+              timer.ElapsedSeconds());
+  std::printf("  %s\n", cube->ToString().c_str());
+  std::printf("  %s\n", cube->stats().ToString().c_str());
+
+  if (args.Has("out")) {
+    RC_ASSIGN_OR_RETURN(std::string out, args.GetString("out"));
+    RC_RETURN_IF_ERROR(WriteFile(out, EncodeRegressionCube(*cube)));
+    std::printf("cube saved -> %s\n", out.c_str());
+  }
+  return Status::OK();
+}
+
+Status RunReport(const Args& args) {
+  RC_ASSIGN_OR_RETURN(std::shared_ptr<const CubeSchema> schema,
+                      SchemaFor(args));
+  RC_ASSIGN_OR_RETURN(std::string in, args.GetString("in"));
+  RC_ASSIGN_OR_RETURN(std::string data, ReadFile(in));
+  RC_ASSIGN_OR_RETURN(RegressionCube cube,
+                      DecodeRegressionCube(schema, data));
+  const double threshold = args.GetDoubleOr("threshold", 0.0);
+  const std::size_t top = static_cast<std::size_t>(args.GetIntOr("top", 10));
+
+  std::printf("%s\n", cube.ToString().c_str());
+  ExceptionPolicy policy(threshold);
+  CubeView view(cube, policy);
+
+  std::printf("\ntop %zu exception cells:\n", top);
+  for (const CellResult& cell : view.TopExceptions(top)) {
+    std::printf("  %s  [%s]\n", view.RenderCell(cell).c_str(),
+                cube.lattice().CuboidName(cell.cuboid).c_str());
+  }
+
+  std::printf("\no-layer exceptions and their supporters:\n");
+  int shown = 0;
+  for (const auto& [key, isb] : cube.o_layer()) {
+    if (!policy.IsException(isb, cube.lattice().o_layer_id(),
+                            SpecDepth(cube.lattice().spec(
+                                cube.lattice().o_layer_id())))) {
+      continue;
+    }
+    CellResult root{cube.lattice().o_layer_id(), key, isb, true};
+    std::printf("  %s\n", view.RenderCell(root).c_str());
+    auto supporters = view.ExceptionSupporters(root.cuboid, root.key);
+    std::printf("    %zu exceptional descendants\n", supporters.size());
+    if (++shown == 5) break;
+  }
+  return Status::OK();
+}
+
+Status RunSelfTest(const Args& args) {
+  const std::string dir = args.GetStringOr("dir", "/tmp");
+  const std::string tuples_path = dir + "/regcube_cli_selftest_tuples.bin";
+  const std::string cube_path = dir + "/regcube_cli_selftest_cube.bin";
+
+  // generate
+  {
+    WorkloadSpec spec;
+    spec.num_dims = 2;
+    spec.num_levels = 2;
+    spec.fanout = 4;
+    spec.num_tuples = 200;
+    spec.series_length = 24;
+    StreamGenerator gen(spec);
+    RC_RETURN_IF_ERROR(
+        WriteFile(tuples_path, EncodeMLayerTuples(gen.GenerateMLayerTuples())));
+  }
+  // cube (both algorithms agree on the o-layer)
+  RC_ASSIGN_OR_RETURN(std::string data, ReadFile(tuples_path));
+  RC_ASSIGN_OR_RETURN(std::vector<MLayerTuple> tuples,
+                      DecodeMLayerTuples(data));
+  WorkloadSpec spec;
+  spec.num_dims = 2;
+  spec.num_levels = 2;
+  spec.fanout = 4;
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  if (!schema.ok()) return schema.status();
+
+  MoCubingOptions mo;
+  mo.policy = ExceptionPolicy(0.05);
+  auto cube1 = ComputeMoCubing(*schema, tuples, mo);
+  if (!cube1.ok()) return cube1.status();
+  PopularPathOptions pp;
+  pp.policy = ExceptionPolicy(0.05);
+  auto cube2 = ComputePopularPathCubing(*schema, tuples, pp);
+  if (!cube2.ok()) return cube2.status();
+  if (cube1->o_layer().size() != cube2->o_layer().size()) {
+    return Status::Internal("algorithms disagree on the o-layer");
+  }
+  RC_RETURN_IF_ERROR(WriteFile(cube_path, EncodeRegressionCube(*cube1)));
+
+  // report (round trip)
+  RC_ASSIGN_OR_RETURN(std::string cube_data, ReadFile(cube_path));
+  RC_ASSIGN_OR_RETURN(RegressionCube restored,
+                      DecodeRegressionCube(*schema, cube_data));
+  if (restored.exceptions().total_cells() !=
+      cube1->exceptions().total_cells()) {
+    return Status::Internal("cube round trip lost exception cells");
+  }
+  std::remove(tuples_path.c_str());
+  std::remove(cube_path.c_str());
+  std::printf("selftest OK: %zu streams, %zu o-layer cells, %lld exception "
+              "cells, round trip exact\n",
+              tuples.size(), cube1->o_layer().size(),
+              static_cast<long long>(cube1->exceptions().total_cells()));
+  return Status::OK();
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: regcube_cli <command> [--flag value ...]\n"
+      "commands:\n"
+      "  generate --workload D3L3C10T10K --out tuples.bin [--seed N] "
+      "[--ticks N]\n"
+      "  cube     --workload NAME --in tuples.bin [--algorithm mo|pp]\n"
+      "           [--rate R | --threshold X] [--out cube.bin]\n"
+      "  report   --workload NAME --in cube.bin --threshold X [--top N]\n"
+      "  selftest [--dir PATH]\n");
+}
+
+int Main(int argc, char** argv) {
+  auto args = Args::Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  Status status;
+  if (args->command() == "generate") {
+    status = RunGenerate(*args);
+  } else if (args->command() == "cube") {
+    status = RunCube(*args);
+  } else if (args->command() == "report") {
+    status = RunReport(*args);
+  } else if (args->command() == "selftest") {
+    status = RunSelfTest(*args);
+  } else {
+    std::fprintf(stderr, "error: unknown command \"%s\"\n",
+                 args->command().c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace regcube
+
+int main(int argc, char** argv) { return regcube::Main(argc, argv); }
