@@ -8,7 +8,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "regcube/core/stream_engine.h"
 
 namespace regcube {
 namespace {
@@ -31,15 +30,18 @@ void Run(int argc, char** argv) {
   StreamGenerator gen(spec);
   std::vector<StreamTuple> stream = gen.GenerateStream();
 
-  auto make_options = [] {
-    StreamCubeEngine::Options options;
-    options.tilt_policy = MakeUniformTiltPolicy(
-        {{"quarter", 8}, {"hour", 8}}, {4, 16});
-    options.policy = ExceptionPolicy(0.05);
-    return options;
+  auto make_engine = [&schema] {
+    auto engine = EngineBuilder()
+                      .SetSchema(*schema)
+                      .SetTiltPolicy(MakeUniformTiltPolicy(
+                          {{"quarter", 8}, {"hour", 8}}, {4, 16}))
+                      .SetExceptionPolicy(ExceptionPolicy(0.05))
+                      .Build();
+    RC_CHECK(engine.ok()) << engine.status().ToString();
+    return std::move(engine).value();
   };
 
-  StreamCubeEngine incremental(*schema, make_options());
+  Engine incremental = make_engine();
   const int kBatches = 8;
   const size_t batch_size = stream.size() / kBatches;
 
@@ -70,7 +72,7 @@ void Run(int argc, char** argv) {
 
     // From scratch: replay the entire history, then compute.
     Stopwatch scratch_timer;
-    StreamCubeEngine scratch(*schema, make_options());
+    Engine scratch = make_engine();
     for (size_t i = 0; i < end; ++i) {
       RC_CHECK(scratch.Ingest(stream[i]).ok());
     }

@@ -1,0 +1,107 @@
+// E9 — the first concurrency figure: multi-threaded ingest throughput of
+// the sharded facade engine as the shard count grows. T writer threads
+// each own a disjoint slice of the m-layer cells (the collector-per-source
+// shape of real deployments) and ingest the same total stream; shards turn
+// the engine's one logical frame table into N independently locked
+// partitions, so writers stop serializing on one mutex. The cube computed
+// afterwards is identical for every shard count (merged reads are
+// canonically ordered) — the run checks that, too.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace regcube {
+namespace {
+
+std::vector<StreamTuple> SliceByCell(const std::vector<StreamTuple>& stream,
+                                     int thread_index, int num_threads) {
+  std::vector<StreamTuple> slice;
+  slice.reserve(stream.size() / static_cast<size_t>(num_threads) + 1);
+  for (const StreamTuple& t : stream) {
+    if (t.key.Hash() % static_cast<std::uint64_t>(num_threads) ==
+        static_cast<std::uint64_t>(thread_index)) {
+      slice.push_back(t);
+    }
+  }
+  return slice;
+}
+
+void Run(int argc, char** argv) {
+  WorkloadSpec spec;
+  spec.num_dims = 3;
+  spec.num_levels = 2;
+  spec.fanout = 10;
+  spec.num_tuples = bench::ArgInt(argc, argv, "tuples", 20'000);
+  spec.series_length = bench::ArgInt(argc, argv, "ticks", 64);
+  spec.seed = 13;
+  const int threads = static_cast<int>(bench::ArgInt(argc, argv, "threads", 4));
+
+  bench::PrintHeader(StrPrintf(
+      "Sharded ingest scaling (%s, %d writer threads)", spec.Name().c_str(),
+      threads));
+
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  RC_CHECK(schema.ok());
+  StreamGenerator gen(spec);
+  const std::vector<StreamTuple> stream = gen.GenerateStream();
+  std::vector<std::vector<StreamTuple>> slices;
+  slices.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    slices.push_back(SliceByCell(stream, i, threads));
+  }
+
+  bench::PrintRow({"shards", "ingest(s)", "tuples/s", "cube(s)",
+                   "o-cells"});
+  std::size_t reference_o_cells = 0;
+  for (int shards : {1, 2, 4, 8}) {
+    auto engine_result =
+        EngineBuilder()
+            .SetSchema(*schema)
+            .SetTiltPolicy(MakeUniformTiltPolicy(
+                {{"quarter", 8}, {"hour", 8}}, {4, 16}))
+            .SetExceptionPolicy(ExceptionPolicy(0.05))
+            .SetShardCount(shards)
+            .Build();
+    RC_CHECK(engine_result.ok()) << engine_result.status().ToString();
+    Engine engine = std::move(engine_result).value();
+
+    Stopwatch ingest_timer;
+    std::vector<std::thread> writers;
+    writers.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      writers.emplace_back([&engine, &slices, i] {
+        Status s = engine.IngestBatch(slices[static_cast<size_t>(i)]);
+        RC_CHECK(s.ok()) << s.ToString();
+      });
+    }
+    for (std::thread& w : writers) w.join();
+    RC_CHECK(engine.SealThrough(spec.series_length - 1).ok());
+    const double ingest_s = ingest_timer.ElapsedSeconds();
+
+    Stopwatch cube_timer;
+    auto cube = engine.ComputeCube(0, 8);
+    RC_CHECK(cube.ok()) << cube.status().ToString();
+    const double cube_s = cube_timer.ElapsedSeconds();
+
+    const std::size_t o_cells = cube->o_layer().size();
+    if (reference_o_cells == 0) reference_o_cells = o_cells;
+    RC_CHECK(o_cells == reference_o_cells)
+        << "shard count changed the cube: " << o_cells << " vs "
+        << reference_o_cells;
+    bench::PrintRow(
+        {StrPrintf("%d", shards), StrPrintf("%.3f", ingest_s),
+         StrPrintf("%.0f", static_cast<double>(stream.size()) / ingest_s),
+         StrPrintf("%.3f", cube_s), StrPrintf("%zu", o_cells)});
+  }
+}
+
+}  // namespace
+}  // namespace regcube
+
+int main(int argc, char** argv) {
+  regcube::Run(argc, argv);
+  return 0;
+}

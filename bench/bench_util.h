@@ -12,13 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "regcube/api/regcube.h"
 #include "regcube/common/logging.h"
 #include "regcube/common/stopwatch.h"
 #include "regcube/common/str.h"
-#include "regcube/core/mo_cubing.h"
-#include "regcube/core/popular_path.h"
-#include "regcube/gen/stream_generator.h"
-#include "regcube/gen/workload.h"
 
 namespace regcube {
 namespace bench {

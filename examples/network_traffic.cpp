@@ -1,16 +1,20 @@
 // Network-operations scenario (one of the stream sources the paper's intro
 // motivates): per-second byte counts arriving as (protocol, subnet) streams.
 // Uses the popular-path algorithm — the NOC's habitual drill order is
-// protocol first, then subnet — and a logarithmic tilt frame for long
-// lookback. A DDoS-like ramp is injected into one subnet.
+// protocol first, then subnet — a logarithmic tilt frame for long lookback,
+// and four shards: a NOC ingests from many collector threads, and the
+// facade engine is thread-safe out of the box. A DDoS-like ramp is
+// injected into one subnet.
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <thread>
+#include <vector>
 
+#include "regcube/api/regcube.h"
 #include "regcube/common/pcg_random.h"
 #include "regcube/common/str.h"
-#include "regcube/core/query.h"
-#include "regcube/core/stream_engine.h"
 
 int main() {
   using namespace regcube;
@@ -43,51 +47,88 @@ int main() {
 
   // Second ticks; logarithmic tilt frame: recent seconds exact, older
   // traffic at coarsening power-of-two windows (10 levels x 4 slots).
-  StreamCubeEngine::Options options;
-  options.tilt_policy = MakeLogarithmicTiltPolicy(10, 4);
-  options.policy = ExceptionPolicy(0.5);
-  options.algorithm = StreamCubeEngine::Algorithm::kPopularPath;
-  StreamCubeEngine engine(schema, options);
+  auto engine_result =
+      EngineBuilder()
+          .SetSchema(schema)
+          .SetTiltPolicy(MakeLogarithmicTiltPolicy(10, 4))
+          .SetExceptionPolicy(ExceptionPolicy(0.5))
+          .SetAlgorithm(Engine::Algorithm::kPopularPath)
+          .SetShardCount(4)
+          .Build();
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "%s\n", engine_result.status().ToString().c_str());
+    return 1;
+  }
+  Engine engine = std::move(engine_result).value();
 
   // 1024 seconds of traffic; https on 10.3.3/24 (subnet id 15) ramps hard
-  // in the last 5 minutes.
-  Pcg32 rng(3);
+  // in the last 5 minutes. One collector thread per protocol pair feeds
+  // the engine concurrently — each m-cell's ticks stay ordered within its
+  // thread, which is all the engine requires.
   const TimeTick seconds = 1024;
-  for (TimeTick t = 0; t < seconds; ++t) {
-    for (ValueId proto = 0; proto < 6; ++proto) {
-      for (ValueId net = 0; net < 16; ++net) {
-        CellKey key(2);
-        key.set(0, proto);
-        key.set(1, net);
-        double kbytes = 20.0 + 3.0 * proto + 2.0 * rng.NextDouble();
-        if (proto == 1 && net == 15 && t >= seconds - 300) {
-          kbytes += 2.0 * static_cast<double>(t - (seconds - 300));
+  std::atomic<bool> ingest_failed{false};
+  auto collect = [&engine, &ingest_failed, seconds](ValueId first_proto,
+                                                    ValueId last_proto) {
+    Pcg32 rng(3 + first_proto);
+    std::vector<StreamTuple> batch;
+    batch.reserve(1024);
+    for (TimeTick t = 0; t < seconds; ++t) {
+      for (ValueId proto = first_proto; proto <= last_proto; ++proto) {
+        for (ValueId net = 0; net < 16; ++net) {
+          CellKey key(2);
+          key.set(0, proto);
+          key.set(1, net);
+          double kbytes = 20.0 + 3.0 * proto + 2.0 * rng.NextDouble();
+          if (proto == 1 && net == 15 && t >= seconds - 300) {
+            kbytes += 2.0 * static_cast<double>(t - (seconds - 300));
+          }
+          batch.push_back({key, t, kbytes});
         }
-        if (!engine.Ingest({key, t, kbytes}).ok()) return 1;
+      }
+      if (batch.size() >= 1024) {
+        if (!engine.IngestBatch(batch).ok()) {
+          ingest_failed = true;
+          return;
+        }
+        batch.clear();
       }
     }
+    if (!batch.empty() && !engine.IngestBatch(batch).ok()) {
+      ingest_failed = true;
+    }
+  };
+  std::vector<std::thread> collectors;
+  for (ValueId proto = 0; proto < 6; proto += 2) {
+    collectors.emplace_back(collect, proto, proto + 1);
   }
+  for (std::thread& t : collectors) t.join();
+  if (ingest_failed) {
+    std::fprintf(stderr, "ingest failed on a collector thread\n");
+    return 1;
+  }
+
   if (!engine.SealThrough(seconds - 1).ok()) return 1;
-  std::printf("ingested %lld s of traffic, %lld streams, frames use %s\n",
+  std::printf("ingested %lld s of traffic, %lld streams, %d shards, "
+              "frames use %s\n",
               static_cast<long long>(seconds),
               static_cast<long long>(engine.num_cells()),
+              engine.num_shards(),
               FormatBytes(engine.MemoryBytes()).c_str());
 
-  // Cube over the last 4 sealed 128-second windows (level 7 = 2^7 ticks).
+  // Cube over the last 4 sealed 128-second windows (level 7 = 2^7 ticks);
+  // read the o-layer through per-cell queries.
+  std::printf("\no-layer (class x /16) slopes:\n");
   auto cube = engine.ComputeCube(/*level=*/7, /*k=*/4);
   if (!cube.ok()) {
     std::fprintf(stderr, "%s\n", cube.status().ToString().c_str());
     return 1;
   }
   std::printf("cube: %s\n", cube->ToString().c_str());
-
-  ExceptionPolicy policy(0.5);
-  CubeView view(*cube, policy);
-  std::printf("\no-layer (class x /16) slopes:\n");
+  const ExceptionPolicy& policy = engine.exception_policy();
   for (const auto& [key, isb] : cube->o_layer()) {
     std::printf("  %s%s\n",
-                view.RenderCell({cube->lattice().o_layer_id(), key, isb,
-                                 false})
+                engine.RenderCell({cube->lattice().o_layer_id(), key, isb,
+                                   false})
                     .c_str(),
                 policy.IsException(isb, cube->lattice().o_layer_id(), 2)
                     ? "  <- ALERT"
@@ -95,9 +136,11 @@ int main() {
   }
 
   std::printf("\nexception localization (strongest first):\n");
-  for (const CellResult& cell : view.TopExceptions(5)) {
-    std::printf("  %s  [%s]\n", view.RenderCell(cell).c_str(),
-                cube->lattice().CuboidName(cell.cuboid).c_str());
+  auto top = engine.Query(QuerySpec::TopExceptions(5, /*level=*/7, /*k=*/4));
+  if (!top.ok()) return 1;
+  for (const CellResult& cell : top->cells()) {
+    std::printf("  %s  [%s]\n", engine.RenderCell(cell).c_str(),
+                engine.lattice().CuboidName(cell.cuboid).c_str());
   }
 
   // Confirm the culprit m-layer stream via the retained base layer.

@@ -6,15 +6,15 @@
 //
 // A demand surge is injected into one street block in the second half of
 // the run; the example shows it surfacing on the observation deck and being
-// localized through exception-guided drilling.
+// localized through exception-guided drilling — all through the facade's
+// EngineBuilder + Query() surface.
 
 #include <cstdio>
 #include <memory>
 
+#include "regcube/api/regcube.h"
 #include "regcube/common/pcg_random.h"
 #include "regcube/common/str.h"
-#include "regcube/core/query.h"
-#include "regcube/core/stream_engine.h"
 
 int main() {
   using namespace regcube;
@@ -49,11 +49,18 @@ int main() {
   std::printf("schema: %s\n", schema->ToString().c_str());
 
   // Minute ticks; tilt frame of 4 quarters (15 min) and 24 hours.
-  StreamCubeEngine::Options options;
-  options.tilt_policy = MakeUniformTiltPolicy(
-      {{"quarter", 4}, {"hour", 24}}, {15, 60});
-  options.policy = ExceptionPolicy(0.004);
-  StreamCubeEngine engine(schema, options);
+  auto engine_result =
+      EngineBuilder()
+          .SetSchema(schema)
+          .SetTiltPolicy(MakeUniformTiltPolicy(
+              {{"quarter", 4}, {"hour", 24}}, {15, 60}))
+          .SetExceptionPolicy(ExceptionPolicy(0.004))
+          .Build();
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "%s\n", engine_result.status().ToString().c_str());
+    return 1;
+  }
+  Engine engine = std::move(engine_result).value();
 
   // Simulate 6 hours of per-minute usage for 3 groups x 8 blocks. Block
   // "SH-w-blk1" (id 7) goes rogue after hour 3: industrial demand ramps.
@@ -82,10 +89,10 @@ int main() {
               FormatBytes(engine.MemoryBytes()).c_str());
 
   // Observation deck: hourly regression per city.
-  auto deck = engine.ObservationDeck(/*level=*/1);
+  auto deck = engine.Query(QuerySpec::ObservationDeck(/*level=*/1));
   if (!deck.ok()) return 1;
   std::printf("\nobservation deck (per-city hourly slopes):\n");
-  for (const auto& [key, series] : *deck) {
+  for (const auto& [key, series] : deck->deck()) {
     std::printf("  city %-12s:",
                 location->Label(1, key[1]).c_str());
     for (const Isb& hour : series) std::printf(" %+7.4f", hour.slope);
@@ -93,33 +100,35 @@ int main() {
   }
 
   // Trend-change alarm between the last two hours.
-  auto changes = engine.DetectTrendChanges(/*level=*/1, /*threshold=*/0.01);
+  auto changes =
+      engine.Query(QuerySpec::TrendChanges(/*level=*/1, /*threshold=*/0.01));
   if (!changes.ok()) return 1;
   std::printf("\ntrend changes (last hour vs previous, threshold 0.01):\n");
-  for (const auto& change : *changes) {
+  for (const auto& change : changes->trend_changes()) {
     std::printf("  city %s: slope %+0.4f -> %+0.4f (delta %.4f)\n",
                 location->Label(1, change.key[1]).c_str(),
                 change.previous.slope, change.current.slope,
                 change.slope_delta);
   }
 
-  // Drill down: compute the cube over the last 4 sealed hours and follow
-  // the exception cells to the offending block.
-  auto cube = engine.ComputeCube(/*level=*/1, /*k=*/4);
-  if (!cube.ok()) {
-    std::fprintf(stderr, "%s\n", cube.status().ToString().c_str());
+  // Drill down: cube over the last 4 sealed hours, then follow the
+  // exception cells to the offending block. The cube is materialized once
+  // by the first cube-side query and cached for the drills.
+  auto o_exceptions = engine.Query(
+      QuerySpec::ExceptionsAt(engine.lattice().o_layer_id(), /*level=*/1,
+                              /*k=*/4));
+  if (!o_exceptions.ok()) {
+    std::fprintf(stderr, "%s\n", o_exceptions.status().ToString().c_str());
     return 1;
   }
-  ExceptionPolicy policy(0.004);
-  CubeView view(*cube, policy);
   std::printf("\nexception drill-down from the o-layer:\n");
-  for (const auto& [key, isb] : cube->o_layer()) {
-    if (!policy.IsException(isb, cube->lattice().o_layer_id(), 1)) continue;
-    CellResult root{cube->lattice().o_layer_id(), key, isb, true};
-    std::printf("  EXCEPTION %s\n", view.RenderCell(root).c_str());
-    for (const CellResult& supporter :
-         view.ExceptionSupporters(root.cuboid, root.key)) {
-      std::printf("    <- %s\n", view.RenderCell(supporter).c_str());
+  for (const CellResult& root : o_exceptions->cells()) {
+    std::printf("  EXCEPTION %s\n", engine.RenderCell(root).c_str());
+    auto supporters = engine.Query(
+        QuerySpec::Supporters(root.cuboid, root.key, /*level=*/1, /*k=*/4));
+    if (!supporters.ok()) return 1;
+    for (const CellResult& supporter : supporters->cells()) {
+      std::printf("    <- %s\n", engine.RenderCell(supporter).c_str());
     }
   }
   return 0;

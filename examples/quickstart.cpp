@@ -1,18 +1,15 @@
-// Quickstart: build a regression cube over synthetic streams and explore
-// the exceptions.
+// Quickstart: the on-line analysis loop through the facade, in four steps.
 //
 //   1. Describe the multi-dimensional space (schema with m-/o-layers).
-//   2. Get m-layer regression tuples (here from the bundled generator;
-//      in production from a StreamCubeEngine window).
-//   3. Run a cubing algorithm to materialize the two critical layers and
-//      the exception cells in between.
-//   4. Query: observation deck, top exceptions, exception-guided drilling.
+//   2. Build an Engine: EngineBuilder collects the tilt frame, exception
+//      policy and shard count, and validates the lot at Build().
+//   3. Ingest the stream and seal the analysis window.
+//   4. Ask questions through the one Query() entry point: observation
+//      deck, top exceptions, exception-guided drilling.
 
 #include <cstdio>
 
-#include "regcube/core/mo_cubing.h"
-#include "regcube/core/query.h"
-#include "regcube/gen/stream_generator.h"
+#include "regcube/api/regcube.h"
 
 int main() {
   using namespace regcube;
@@ -35,45 +32,63 @@ int main() {
   }
   std::printf("schema: %s\n", (*schema)->ToString().c_str());
 
-  // 2. m-layer tuples: one compressed ISB measure per merged stream.
-  StreamGenerator generator(spec);
-  std::vector<MLayerTuple> tuples = generator.GenerateMLayerTuples();
-  std::printf("streams: %zu, each compressed to 4 numbers (ISB)\n",
-              tuples.size());
-
-  // 3. Algorithm 1 (m/o H-cubing) with a slope threshold of 0.1.
-  MoCubingOptions options;
-  options.policy = ExceptionPolicy(0.1);
-  auto cube = ComputeMoCubing(*schema, tuples, options);
-  if (!cube.ok()) {
-    std::fprintf(stderr, "cubing: %s\n", cube.status().ToString().c_str());
+  // 2. The engine: quarter-tick tilt frame, slope threshold 0.1, two
+  //    shards (any thread may ingest concurrently).
+  auto engine_result =
+      EngineBuilder()
+          .SetSchema(*schema)
+          .SetTiltPolicy(MakeUniformTiltPolicy({{"quarter", 12}}, {4}))
+          .SetExceptionPolicy(ExceptionPolicy(0.1))
+          .SetShardCount(2)
+          .Build();
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "build: %s\n",
+                 engine_result.status().ToString().c_str());
     return 1;
   }
-  std::printf("cube: %s\n", cube->ToString().c_str());
-  std::printf("stats: %s\n", cube->stats().ToString().c_str());
+  Engine engine = std::move(engine_result).value();
+
+  // 3. Ingest the generated stream, then declare the window complete.
+  StreamGenerator generator(spec);
+  if (!engine.IngestBatch(generator.GenerateStream()).ok()) return 1;
+  if (!engine.SealThrough(spec.series_length - 1).ok()) return 1;
+  std::printf("streams: %lld, each held as a compressed tilt frame\n",
+              static_cast<long long>(engine.num_cells()));
 
   // 4a. The observation layer: every cell an analyst watches.
+  auto deck = engine.Query(QuerySpec::ObservationDeck(/*level=*/0));
+  if (!deck.ok()) {
+    std::fprintf(stderr, "deck: %s\n", deck.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\no-layer (observation deck), first 5 cells:\n");
   int shown = 0;
-  for (const auto& [key, isb] : cube->o_layer()) {
+  for (const auto& [key, series] : deck->deck()) {
     std::printf("  %s -> %s\n", key.ToString().c_str(),
-                isb.ToString().c_str());
+                series.back().ToString().c_str());
     if (++shown == 5) break;
   }
 
   // 4b. Strongest exceptions between the layers, then drill for their
-  //     lower-level "supporters" (Framework 4.1).
-  ExceptionPolicy policy(0.1);
-  CubeView view(*cube, policy);
+  //     lower-level "supporters" (Framework 4.1). The cube over the
+  //     last 12 quarters is materialized once and cached across queries.
+  auto top = engine.Query(QuerySpec::TopExceptions(3, /*level=*/0, /*k=*/12));
+  if (!top.ok()) {
+    std::fprintf(stderr, "query: %s\n", top.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\ntop exceptions:\n");
-  for (const CellResult& cell : view.TopExceptions(3)) {
-    std::printf("  %s  [%s]\n", view.RenderCell(cell).c_str(),
-                cube->lattice().CuboidName(cell.cuboid).c_str());
-    auto supporters = view.ExceptionSupporters(cell.cuboid, cell.key);
+  for (const CellResult& cell : top->cells()) {
+    std::printf("  %s  [%s]\n", engine.RenderCell(cell).c_str(),
+                engine.lattice().CuboidName(cell.cuboid).c_str());
+    auto supporters = engine.Query(
+        QuerySpec::Supporters(cell.cuboid, cell.key, /*level=*/0, /*k=*/12));
+    if (!supporters.ok()) return 1;
     std::printf("    %zu exceptional descendants, e.g.:\n",
-                supporters.size());
-    for (size_t i = 0; i < supporters.size() && i < 2; ++i) {
-      std::printf("      %s\n", view.RenderCell(supporters[i]).c_str());
+                supporters->cells().size());
+    for (size_t i = 0; i < supporters->cells().size() && i < 2; ++i) {
+      std::printf("      %s\n",
+                  engine.RenderCell(supporters->cells()[i]).c_str());
     }
   }
   return 0;

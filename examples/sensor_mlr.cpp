@@ -9,9 +9,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "regcube/api/regcube.h"
 #include "regcube/common/pcg_random.h"
-#include "regcube/core/ncr_cube.h"
-#include "regcube/regression/ncr.h"
 
 int main() {
   using namespace regcube;

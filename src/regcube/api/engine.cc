@@ -1,0 +1,161 @@
+#include "regcube/api/engine.h"
+
+#include "regcube/common/str.h"
+
+namespace regcube {
+
+Engine::Engine(std::shared_ptr<const CubeSchema> schema,
+               ExceptionPolicy policy, StreamCubeEngine::Options options,
+               int num_shards)
+    : schema_(std::move(schema)),
+      policy_(std::move(policy)),
+      sharded_(std::make_unique<ShardedStreamEngine>(schema_,
+                                                     std::move(options),
+                                                     num_shards)),
+      cache_(std::make_unique<CubeCache>()) {}
+
+Status Engine::Ingest(const StreamTuple& tuple) {
+  return sharded_->Ingest(tuple);
+}
+
+Status Engine::IngestBatch(const std::vector<StreamTuple>& tuples) {
+  return sharded_->IngestBatch(tuples);
+}
+
+Status Engine::SealThrough(TimeTick t) { return sharded_->SealThrough(t); }
+
+Result<RegressionCube> Engine::ComputeCube(int level, int k) {
+  return sharded_->ComputeCube(level, k);
+}
+
+Result<std::shared_ptr<const RegressionCube>> Engine::CubeFor(int level,
+                                                              int k) {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  const std::uint64_t revision = sharded_->revision();
+  if (cache_->valid && cache_->level == level && cache_->k == k &&
+      cache_->revision == revision) {
+    return cache_->cube;
+  }
+  auto cube = sharded_->ComputeCube(level, k);
+  if (!cube.ok()) return cube.status();
+  cache_->cube = std::make_shared<const RegressionCube>(std::move(*cube));
+  cache_->level = level;
+  cache_->k = k;
+  cache_->revision = revision;
+  cache_->valid = true;
+  return cache_->cube;
+}
+
+Result<QueryResult> Engine::Query(const QuerySpec& spec) {
+  switch (spec.kind) {
+    case QueryKind::kCell: {
+      auto isb = sharded_->QueryCell(spec.cuboid, spec.key, spec.level,
+                                     spec.k);
+      if (!isb.ok()) return isb.status();
+      return QueryResult(spec.kind, *isb);
+    }
+    case QueryKind::kCellSeries: {
+      auto series = sharded_->QueryCellSeries(spec.cuboid, spec.key,
+                                              spec.level);
+      if (!series.ok()) return series.status();
+      return QueryResult(spec.kind, std::move(*series));
+    }
+    case QueryKind::kObservationDeck: {
+      auto deck = sharded_->ObservationDeck(spec.level);
+      if (!deck.ok()) return deck.status();
+      return QueryResult(spec.kind, std::move(*deck));
+    }
+    case QueryKind::kTrendChanges: {
+      auto changes = sharded_->DetectTrendChanges(spec.level, spec.threshold);
+      if (!changes.ok()) return changes.status();
+      return QueryResult(spec.kind, std::move(*changes));
+    }
+    case QueryKind::kCubeCell:
+    case QueryKind::kExceptionsAt:
+    case QueryKind::kDrillDown:
+    case QueryKind::kSupporters:
+    case QueryKind::kTopExceptions: {
+      auto cube = CubeFor(spec.level, spec.k);
+      if (!cube.ok()) return cube.status();
+      return regcube::Query(**cube, policy_, spec);
+    }
+  }
+  return Status::Internal("unhandled query kind");
+}
+
+std::string Engine::RenderCell(const CellResult& cell) const {
+  return RenderCellWith(schema(), lattice(), cell);
+}
+
+EngineBuilder::EngineBuilder() : policy_(0.0) {}
+
+EngineBuilder& EngineBuilder::SetSchema(
+    std::shared_ptr<const CubeSchema> schema) {
+  schema_ = std::move(schema);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::SetTiltPolicy(
+    std::shared_ptr<const TiltPolicy> policy) {
+  options_.tilt_policy = std::move(policy);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::SetStartTick(TimeTick tick) {
+  options_.start_tick = tick;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::SetAlgorithm(Engine::Algorithm algorithm) {
+  options_.algorithm = algorithm;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::SetExceptionPolicy(ExceptionPolicy policy) {
+  policy_ = std::move(policy);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::SetDrillPath(DrillPath path) {
+  options_.path = std::move(path);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::SetKeyMapper(
+    std::function<CellKey(const CellKey&)> mapper) {
+  options_.key_mapper = std::move(mapper);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::SetShardCount(int shards) {
+  shards_ = shards;
+  return *this;
+}
+
+Result<Engine> EngineBuilder::Build() const {
+  if (schema_ == nullptr) {
+    return Status::InvalidArgument("EngineBuilder: SetSchema is required");
+  }
+  if (options_.tilt_policy == nullptr) {
+    return Status::InvalidArgument(
+        "EngineBuilder: SetTiltPolicy is required");
+  }
+  if (shards_ < 1 || shards_ > 4096) {
+    return Status::InvalidArgument(StrPrintf(
+        "EngineBuilder: shard count %d outside [1, 4096]", shards_));
+  }
+  if (options_.path.has_value()) {
+    if (options_.algorithm != Engine::Algorithm::kPopularPath) {
+      return Status::InvalidArgument(
+          "EngineBuilder: a drill path requires "
+          "SetAlgorithm(Algorithm::kPopularPath)");
+    }
+    CuboidLattice lattice(*schema_);
+    RC_RETURN_IF_ERROR(DrillPath::Validate(lattice, *options_.path));
+  }
+  StreamCubeEngine::Options options = options_;
+  options.policy = policy_;
+  return Engine(schema_, policy_, std::move(options), shards_);
+}
+
+}  // namespace regcube

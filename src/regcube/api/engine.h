@@ -1,0 +1,148 @@
+#ifndef REGCUBE_API_ENGINE_H_
+#define REGCUBE_API_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "regcube/api/query_spec.h"
+#include "regcube/common/status.h"
+#include "regcube/core/sharded_engine.h"
+
+namespace regcube {
+
+/// The facade engine: one object that owns the whole on-line analysis loop
+/// of §4.5 — ingest -> seal -> cube -> exception drill — behind a sharded,
+/// thread-safe core. Built exclusively through EngineBuilder; all reads go
+/// through the one Query() entry point (plus ComputeCube for callers that
+/// want the raw materialized cube, e.g. to persist it).
+class Engine {
+ public:
+  using Algorithm = StreamCubeEngine::Algorithm;
+
+  Engine(Engine&&) noexcept = default;
+  Engine& operator=(Engine&&) noexcept = default;
+
+  /// Absorbs one observation. Thread-safe; locks only the owning shard.
+  Status Ingest(const StreamTuple& tuple);
+
+  /// Absorbs a batch, partitioned across shards. Thread-safe.
+  Status IngestBatch(const std::vector<StreamTuple>& tuples);
+
+  /// Declares that no data with tick <= `t` remains in flight; barrier
+  /// across all shards.
+  Status SealThrough(TimeTick t);
+
+  /// The one read entry point: serves every QueryKind. Stream kinds read
+  /// the live tilt frames; cube kinds materialize (and cache) the cube
+  /// over the spec's (level, k) window first, so repeated drilling into
+  /// one window pays for cubing once.
+  Result<QueryResult> Query(const QuerySpec& spec);
+
+  /// Recomputes the partially materialized cube over the most recent `k`
+  /// sealed slots of tilt `level` — for callers that persist or hand the
+  /// cube elsewhere. Query() is the right door for reading it.
+  Result<RegressionCube> ComputeCube(int level, int k);
+
+  TimeTick now() const { return sharded_->now(); }
+  std::int64_t num_cells() const { return sharded_->num_cells(); }
+  std::int64_t MemoryBytes() const { return sharded_->MemoryBytes(); }
+  int num_shards() const { return sharded_->num_shards(); }
+
+  const CubeSchema& schema() const { return sharded_->schema(); }
+  const CuboidLattice& lattice() const { return sharded_->lattice(); }
+  const ExceptionPolicy& exception_policy() const { return policy_; }
+
+  /// Human-readable rendering of a queried cell, using dimension level
+  /// names.
+  std::string RenderCell(const CellResult& cell) const;
+
+ private:
+  friend class EngineBuilder;
+
+  Engine(std::shared_ptr<const CubeSchema> schema, ExceptionPolicy policy,
+         StreamCubeEngine::Options options, int num_shards);
+
+  /// Cube memoized by (level, k, engine revision); invalidated by any
+  /// write. Heap-allocated so Engine stays movable despite the mutex.
+  struct CubeCache {
+    std::mutex mu;
+    bool valid = false;
+    int level = 0;
+    int k = 0;
+    std::uint64_t revision = 0;
+    std::shared_ptr<const RegressionCube> cube;
+  };
+
+  /// Returns the cached cube for (level, k) or computes and caches it.
+  Result<std::shared_ptr<const RegressionCube>> CubeFor(int level, int k);
+
+  std::shared_ptr<const CubeSchema> schema_;
+  ExceptionPolicy policy_;
+  std::unique_ptr<ShardedStreamEngine> sharded_;
+  std::unique_ptr<CubeCache> cache_;
+};
+
+/// Fluent construction of an Engine; the only way to get one. Collects the
+/// schema, tilt policy, algorithm, exception policy, key mapper and shard
+/// count, and validates the whole configuration at Build():
+///
+///   auto engine = EngineBuilder()
+///                     .SetSchema(schema)
+///                     .SetTiltPolicy(MakeNaturalCalendarTiltPolicy())
+///                     .SetExceptionPolicy(ExceptionPolicy(0.1))
+///                     .SetAlgorithm(Engine::Algorithm::kPopularPath)
+///                     .SetShardCount(8)
+///                     .Build();
+///   if (!engine.ok()) { ... }
+///
+/// Build() is const and repeatable: one configured builder can stamp out
+/// several engines.
+class EngineBuilder {
+ public:
+  EngineBuilder();
+
+  /// Required: the multi-dimensional space with its m-/o-layers.
+  EngineBuilder& SetSchema(std::shared_ptr<const CubeSchema> schema);
+
+  /// Required: the tilt time frame structure shared by every cell.
+  EngineBuilder& SetTiltPolicy(std::shared_ptr<const TiltPolicy> policy);
+
+  /// First tick of the stream (default 0).
+  EngineBuilder& SetStartTick(TimeTick tick);
+
+  /// Cubing algorithm for ComputeCube / cube-side queries (default
+  /// m/o H-cubing).
+  EngineBuilder& SetAlgorithm(Engine::Algorithm algorithm);
+
+  /// Exception predicate for cubing and cube-side queries (default:
+  /// threshold 0, everything exceptional).
+  EngineBuilder& SetExceptionPolicy(ExceptionPolicy policy);
+
+  /// Popular drilling path; requires SetAlgorithm(kPopularPath).
+  EngineBuilder& SetDrillPath(DrillPath path);
+
+  /// Maps incoming primitive-layer keys to m-layer keys (identity if
+  /// unset). Applied before shard hashing.
+  EngineBuilder& SetKeyMapper(std::function<CellKey(const CellKey&)> mapper);
+
+  /// Number of hash-partitioned shards, >= 1 (default 1).
+  EngineBuilder& SetShardCount(int shards);
+
+  /// Validates the configuration; InvalidArgument describes the first
+  /// problem found (missing schema or tilt policy, bad shard count, drill
+  /// path without the popular-path algorithm or not a valid o->m chain).
+  Result<Engine> Build() const;
+
+ private:
+  std::shared_ptr<const CubeSchema> schema_;
+  StreamCubeEngine::Options options_;
+  ExceptionPolicy policy_;
+  int shards_ = 1;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_API_ENGINE_H_

@@ -1,0 +1,202 @@
+#include "regcube/api/query_spec.h"
+
+#include <utility>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+
+namespace regcube {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kCell:
+      return "Cell";
+    case QueryKind::kCellSeries:
+      return "CellSeries";
+    case QueryKind::kObservationDeck:
+      return "ObservationDeck";
+    case QueryKind::kTrendChanges:
+      return "TrendChanges";
+    case QueryKind::kCubeCell:
+      return "CubeCell";
+    case QueryKind::kExceptionsAt:
+      return "ExceptionsAt";
+    case QueryKind::kDrillDown:
+      return "DrillDown";
+    case QueryKind::kSupporters:
+      return "Supporters";
+    case QueryKind::kTopExceptions:
+      return "TopExceptions";
+  }
+  return "Unknown";
+}
+
+QuerySpec QuerySpec::Cell(CuboidId cuboid, const CellKey& key, int level,
+                          int k) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kCell;
+  spec.cuboid = cuboid;
+  spec.key = key;
+  spec.level = level;
+  spec.k = k;
+  return spec;
+}
+
+QuerySpec QuerySpec::CellSeries(CuboidId cuboid, const CellKey& key,
+                                int level) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kCellSeries;
+  spec.cuboid = cuboid;
+  spec.key = key;
+  spec.level = level;
+  return spec;
+}
+
+QuerySpec QuerySpec::ObservationDeck(int level) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kObservationDeck;
+  spec.level = level;
+  return spec;
+}
+
+QuerySpec QuerySpec::TrendChanges(int level, double threshold) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kTrendChanges;
+  spec.level = level;
+  spec.threshold = threshold;
+  return spec;
+}
+
+QuerySpec QuerySpec::CubeCell(CuboidId cuboid, const CellKey& key, int level,
+                              int k, bool on_the_fly) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kCubeCell;
+  spec.cuboid = cuboid;
+  spec.key = key;
+  spec.level = level;
+  spec.k = k;
+  spec.on_the_fly = on_the_fly;
+  return spec;
+}
+
+QuerySpec QuerySpec::ExceptionsAt(CuboidId cuboid, int level, int k) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kExceptionsAt;
+  spec.cuboid = cuboid;
+  spec.level = level;
+  spec.k = k;
+  return spec;
+}
+
+QuerySpec QuerySpec::DrillDown(CuboidId cuboid, const CellKey& key, int level,
+                               int k) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kDrillDown;
+  spec.cuboid = cuboid;
+  spec.key = key;
+  spec.level = level;
+  spec.k = k;
+  return spec;
+}
+
+QuerySpec QuerySpec::Supporters(CuboidId cuboid, const CellKey& key,
+                                int level, int k) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kSupporters;
+  spec.cuboid = cuboid;
+  spec.key = key;
+  spec.level = level;
+  spec.k = k;
+  return spec;
+}
+
+QuerySpec QuerySpec::TopExceptions(std::size_t n, int level, int k) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kTopExceptions;
+  spec.top_n = n;
+  spec.level = level;
+  spec.k = k;
+  return spec;
+}
+
+QueryResult::QueryResult(QueryKind kind, Payload payload)
+    : kind_(kind), payload_(std::move(payload)) {}
+
+const Isb& QueryResult::cell() const {
+  RC_CHECK(std::holds_alternative<Isb>(payload_))
+      << "QueryResult(" << QueryKindName(kind_) << ") holds no single cell";
+  return std::get<Isb>(payload_);
+}
+
+const std::vector<Isb>& QueryResult::series() const {
+  RC_CHECK(std::holds_alternative<std::vector<Isb>>(payload_))
+      << "QueryResult(" << QueryKindName(kind_) << ") holds no series";
+  return std::get<std::vector<Isb>>(payload_);
+}
+
+const QueryResult::DeckSeries& QueryResult::deck() const {
+  RC_CHECK(std::holds_alternative<DeckSeries>(payload_))
+      << "QueryResult(" << QueryKindName(kind_) << ") holds no deck";
+  return std::get<DeckSeries>(payload_);
+}
+
+const std::vector<QueryResult::TrendChange>& QueryResult::trend_changes()
+    const {
+  RC_CHECK(std::holds_alternative<std::vector<TrendChange>>(payload_))
+      << "QueryResult(" << QueryKindName(kind_) << ") holds no trend changes";
+  return std::get<std::vector<TrendChange>>(payload_);
+}
+
+const std::vector<CellResult>& QueryResult::cells() const {
+  RC_CHECK(std::holds_alternative<std::vector<CellResult>>(payload_))
+      << "QueryResult(" << QueryKindName(kind_) << ") holds no cell list";
+  return std::get<std::vector<CellResult>>(payload_);
+}
+
+Result<QueryResult> Query(const RegressionCube& cube,
+                          const ExceptionPolicy& policy,
+                          const QuerySpec& spec) {
+  const CuboidLattice& lattice = cube.lattice();
+  auto check_cuboid = [&]() -> Status {
+    if (spec.cuboid < 0 || spec.cuboid >= lattice.num_cuboids()) {
+      return Status::InvalidArgument(
+          StrPrintf("cuboid id %d outside the lattice", spec.cuboid));
+    }
+    return Status::OK();
+  };
+  CubeView view(cube, policy);
+  switch (spec.kind) {
+    case QueryKind::kCubeCell: {
+      RC_RETURN_IF_ERROR(check_cuboid());
+      auto isb = view.GetCell(spec.cuboid, spec.key);
+      if (!isb.ok() && isb.status().code() == StatusCode::kNotFound &&
+          spec.on_the_fly) {
+        isb = view.ComputeCellOnTheFly(spec.cuboid, spec.key);
+      }
+      if (!isb.ok()) return isb.status();
+      return QueryResult(spec.kind, *isb);
+    }
+    case QueryKind::kExceptionsAt:
+      RC_RETURN_IF_ERROR(check_cuboid());
+      return QueryResult(spec.kind, view.ExceptionsAt(spec.cuboid));
+    case QueryKind::kDrillDown:
+      RC_RETURN_IF_ERROR(check_cuboid());
+      return QueryResult(spec.kind, view.DrillDown(spec.cuboid, spec.key));
+    case QueryKind::kSupporters:
+      RC_RETURN_IF_ERROR(check_cuboid());
+      return QueryResult(spec.kind,
+                         view.ExceptionSupporters(spec.cuboid, spec.key));
+    case QueryKind::kTopExceptions:
+      return QueryResult(spec.kind, view.TopExceptions(spec.top_n));
+    case QueryKind::kCell:
+    case QueryKind::kCellSeries:
+    case QueryKind::kObservationDeck:
+    case QueryKind::kTrendChanges:
+      return Status::InvalidArgument(
+          StrPrintf("%s is a stream query; run it through Engine::Query",
+                    QueryKindName(spec.kind)));
+  }
+  return Status::Internal("unhandled query kind");
+}
+
+}  // namespace regcube

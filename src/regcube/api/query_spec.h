@@ -1,0 +1,114 @@
+#ifndef REGCUBE_API_QUERY_SPEC_H_
+#define REGCUBE_API_QUERY_SPEC_H_
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/core/query.h"
+#include "regcube/core/stream_engine.h"
+
+namespace regcube {
+
+/// Every question the system answers, as one closed enum. The first four
+/// kinds read the live tilt frames (stream side); the rest read a
+/// materialized RegressionCube (cube side). Engine::Query serves both —
+/// for cube kinds it materializes (and caches) the cube over the spec's
+/// window first. The free Query(cube, policy, spec) overload serves cube
+/// kinds against an already-computed cube (e.g. one loaded from disk).
+enum class QueryKind {
+  // ---- stream side -----------------------------------------------------
+  kCell,             // one cell of any cuboid over the last k slots
+  kCellSeries,       // one cell's whole sealed slot series
+  kObservationDeck,  // every o-layer cell's slot series (§4.2)
+  kTrendChanges,     // o-layer slope breaks between the last two slots
+  // ---- cube side -------------------------------------------------------
+  kCubeCell,        // retained cell lookup (optionally computed on the fly)
+  kExceptionsAt,    // all retained exception cells of one cuboid
+  kDrillDown,       // exception children one drill step below a cell
+  kSupporters,      // full recursive exception-supporters tree (BFS)
+  kTopExceptions,   // strongest n retained exceptions across the lattice
+};
+
+/// Stable name ("Cell", "TopExceptions", ...) for diagnostics.
+const char* QueryKindName(QueryKind kind);
+
+/// One query against the engine (or a cube). Build specs through the
+/// factory functions — they set exactly the fields their kind reads:
+///
+///   engine.Query(QuerySpec::Cell(cuboid, key, level, k))
+///   engine.Query(QuerySpec::TopExceptions(10, level, k))
+///
+/// `level`/`k` select the tilt window: level is the tilt-frame granularity,
+/// k the number of most recent sealed slots (cube kinds use them to choose
+/// the cube window; kCellSeries and the deck read all retained slots of
+/// `level`).
+struct QuerySpec {
+  QueryKind kind = QueryKind::kCell;
+  CuboidId cuboid = -1;
+  CellKey key;
+  int level = 0;
+  int k = 1;
+  double threshold = 0.0;   // kTrendChanges
+  std::size_t top_n = 10;   // kTopExceptions
+  bool on_the_fly = false;  // kCubeCell: aggregate pruned cells from m-layer
+
+  static QuerySpec Cell(CuboidId cuboid, const CellKey& key, int level,
+                        int k);
+  static QuerySpec CellSeries(CuboidId cuboid, const CellKey& key, int level);
+  static QuerySpec ObservationDeck(int level);
+  static QuerySpec TrendChanges(int level, double threshold);
+  static QuerySpec CubeCell(CuboidId cuboid, const CellKey& key, int level,
+                            int k, bool on_the_fly = false);
+  static QuerySpec ExceptionsAt(CuboidId cuboid, int level, int k);
+  static QuerySpec DrillDown(CuboidId cuboid, const CellKey& key, int level,
+                             int k);
+  static QuerySpec Supporters(CuboidId cuboid, const CellKey& key, int level,
+                              int k);
+  static QuerySpec TopExceptions(std::size_t n, int level, int k);
+};
+
+/// Typed answer to a QuerySpec: which kind ran, plus the payload in the
+/// alternative that kind produces. Accessors check the active alternative.
+class QueryResult {
+ public:
+  using DeckSeries = StreamCubeEngine::DeckSeries;
+  using TrendChange = StreamCubeEngine::TrendChange;
+  using Payload = std::variant<Isb,                       // kCell, kCubeCell
+                               std::vector<Isb>,          // kCellSeries
+                               DeckSeries,                // kObservationDeck
+                               std::vector<TrendChange>,  // kTrendChanges
+                               std::vector<CellResult>>;  // remaining kinds
+
+  QueryResult(QueryKind kind, Payload payload);
+
+  QueryKind kind() const { return kind_; }
+
+  /// kCell / kCubeCell.
+  const Isb& cell() const;
+  /// kCellSeries.
+  const std::vector<Isb>& series() const;
+  /// kObservationDeck.
+  const DeckSeries& deck() const;
+  /// kTrendChanges.
+  const std::vector<TrendChange>& trend_changes() const;
+  /// kExceptionsAt / kDrillDown / kSupporters / kTopExceptions.
+  const std::vector<CellResult>& cells() const;
+
+ private:
+  QueryKind kind_;
+  Payload payload_;
+};
+
+/// Runs a cube-side QuerySpec against an already materialized cube (the
+/// batch path: cubes loaded from disk or computed by the batch
+/// algorithms). Stream kinds return InvalidArgument — they need an Engine.
+Result<QueryResult> Query(const RegressionCube& cube,
+                          const ExceptionPolicy& policy,
+                          const QuerySpec& spec);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_API_QUERY_SPEC_H_

@@ -115,9 +115,10 @@ std::vector<CellResult> CubeView::TopExceptions(std::size_t n) const {
   return all;
 }
 
-std::string CubeView::RenderCell(const CellResult& cell) const {
-  const CubeSchema& schema = cube_->schema();
-  const LayerSpec& spec = cube_->lattice().spec(cell.cuboid);
+std::string RenderCellWith(const CubeSchema& schema,
+                           const CuboidLattice& lattice,
+                           const CellResult& cell) {
+  const LayerSpec& spec = lattice.spec(cell.cuboid);
   std::vector<std::string> parts;
   for (int d = 0; d < schema.num_dims(); ++d) {
     const int level = spec[static_cast<size_t>(d)];
@@ -130,6 +131,10 @@ std::string CubeView::RenderCell(const CellResult& cell) const {
   return StrPrintf("[%s] slope=%+.5f base=%.4f%s",
                    StrJoin(parts, ", ").c_str(), cell.isb.slope,
                    cell.isb.base, cell.is_exception ? "  (EXCEPTION)" : "");
+}
+
+std::string CubeView::RenderCell(const CellResult& cell) const {
+  return RenderCellWith(cube_->schema(), cube_->lattice(), cell);
 }
 
 }  // namespace regcube

@@ -18,6 +18,14 @@ struct CellResult {
   bool is_exception = false;
 };
 
+/// Human-readable rendering of a cell against any schema/lattice pair
+/// ("[web, 10.3/16] slope=+1.23456 base=0.5 (EXCEPTION)"). Shared by
+/// CubeView::RenderCell and the facade's Engine::RenderCell, which has no
+/// materialized cube at hand.
+std::string RenderCellWith(const CubeSchema& schema,
+                           const CuboidLattice& lattice,
+                           const CellResult& cell);
+
 /// Read-side API over a computed RegressionCube: point lookups, exception
 /// listings, and the exception-guided drill-down of Framework 4.1 ("drill
 /// on the exception cells down to lower layers to find their corresponding

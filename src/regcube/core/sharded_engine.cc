@@ -1,0 +1,317 @@
+#include "regcube/core/sharded_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+#include "regcube/regression/aggregate.h"
+
+namespace regcube {
+namespace {
+
+/// Canonical total order on cell keys: merged rows are always reduced in
+/// this order, which is what makes results shard-count invariant.
+bool KeyLess(const CellKey& a, const CellKey& b) {
+  if (a.num_dims() != b.num_dims()) return a.num_dims() < b.num_dims();
+  for (int d = 0; d < a.num_dims(); ++d) {
+    if (a[d] != b[d]) return a[d] < b[d];
+  }
+  return false;
+}
+
+}  // namespace
+
+ShardedStreamEngine::ShardedStreamEngine(
+    std::shared_ptr<const CubeSchema> schema, Options options, int num_shards)
+    : schema_(std::move(schema)),
+      lattice_(*schema_),
+      options_(std::move(options)),
+      mapper_(std::move(options_.key_mapper)),
+      clock_(options_.start_tick) {
+  RC_CHECK(schema_ != nullptr);
+  RC_CHECK(options_.tilt_policy != nullptr);
+  RC_CHECK(num_shards >= 1) << "num_shards must be >= 1, got " << num_shards;
+  options_.key_mapper = nullptr;  // applied here, before shard hashing
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(schema_, options_));
+  }
+}
+
+int ShardedStreamEngine::ShardIndex(const CellKey& mapped_key) const {
+  return static_cast<int>(mapped_key.Hash() % shards_.size());
+}
+
+void ShardedStreamEngine::BumpClock(TimeTick t) {
+  TimeTick cur = clock_.load(std::memory_order_relaxed);
+  while (cur < t &&
+         !clock_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+  }
+}
+
+Status ShardedStreamEngine::Ingest(const StreamTuple& tuple) {
+  const CellKey key = mapper_ ? mapper_(tuple.key) : tuple.key;
+  Shard& shard = *shards_[static_cast<size_t>(ShardIndex(key))];
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    status = shard.engine.Ingest({key, tuple.tick, tuple.value});
+  }
+  if (status.ok()) {
+    BumpClock(tuple.tick);
+  }
+  // A rejected tuple can still have created the cell's frame; move the
+  // revision unconditionally so cube caches never serve stale state.
+  revision_.fetch_add(1, std::memory_order_release);
+  return status;
+}
+
+Status ShardedStreamEngine::IngestBatch(const std::vector<StreamTuple>& tuples) {
+  std::vector<std::vector<StreamTuple>> partitions(shards_.size());
+  TimeTick max_tick = clock_.load(std::memory_order_relaxed);
+  for (const StreamTuple& t : tuples) {
+    const CellKey key = mapper_ ? mapper_(t.key) : t.key;
+    partitions[static_cast<size_t>(ShardIndex(key))].push_back(
+        {key, t.tick, t.value});
+    max_tick = std::max(max_tick, t.tick);
+  }
+  Status status;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (partitions[i].empty()) continue;
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    status = shard.engine.IngestBatch(partitions[i]);
+    if (!status.ok()) break;
+  }
+  if (status.ok()) {
+    BumpClock(max_tick);
+  }
+  // Earlier shards keep their prefix even on error, so the state changed
+  // either way: the revision must move or cube caches go stale. (The clock
+  // self-corrects in AlignLocked, which maxes over shard clocks.)
+  revision_.fetch_add(1, std::memory_order_release);
+  return status;
+}
+
+std::vector<std::unique_lock<std::mutex>> ShardedStreamEngine::LockAll()
+    const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mu);
+  }
+  return locks;
+}
+
+Status ShardedStreamEngine::AlignLocked() {
+  // The global clock must dominate every shard's local view before the
+  // shards are driven to it (a writer may have raced ahead of clock_).
+  TimeTick target = clock_.load(std::memory_order_acquire);
+  for (const auto& shard : shards_) {
+    target = std::max(target, shard->engine.now());
+  }
+  BumpClock(target);
+  for (auto& shard : shards_) {
+    if (shard->engine.now() < target) {
+      RC_RETURN_IF_ERROR(shard->engine.SealThrough(target - 1));
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedStreamEngine::SealThrough(TimeTick t) {
+  auto locks = LockAll();
+  BumpClock(t + 1);
+  RC_RETURN_IF_ERROR(AlignLocked());
+  revision_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<std::vector<MLayerTuple>> ShardedStreamEngine::SnapshotWindow(int level,
+                                                                     int k) {
+  auto locks = LockAll();
+  RC_RETURN_IF_ERROR(AlignLocked());
+  std::int64_t cells = 0;
+  for (const auto& shard : shards_) cells += shard->engine.num_cells();
+  if (cells == 0) {
+    return Status::FailedPrecondition("no stream data ingested yet");
+  }
+  std::vector<MLayerTuple> merged;
+  merged.reserve(static_cast<size_t>(cells));
+  for (auto& shard : shards_) {
+    if (shard->engine.num_cells() == 0) continue;
+    auto window = shard->engine.SnapshotWindow(level, k);
+    if (!window.ok()) return window.status();
+    merged.insert(merged.end(), window->begin(), window->end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const MLayerTuple& a, const MLayerTuple& b) {
+              return KeyLess(a.key, b.key);
+            });
+  return merged;
+}
+
+Result<RegressionCube> ShardedStreamEngine::ComputeCube(int level, int k) {
+  auto tuples = SnapshotWindow(level, k);
+  if (!tuples.ok()) return tuples.status();
+  return ComputeCubeFromWindow(schema_, *tuples, options_);
+}
+
+Result<std::vector<StreamCubeEngine::MLayerSeries>>
+ShardedStreamEngine::MergedSeriesLocked(int level) {
+  if (level < 0 || level >= options_.tilt_policy->num_levels()) {
+    return Status::InvalidArgument(
+        StrPrintf("tilt level %d outside [0, %d)", level,
+                  options_.tilt_policy->num_levels()));
+  }
+  std::vector<StreamCubeEngine::MLayerSeries> merged;
+  for (auto& shard : shards_) {
+    auto rows = shard->engine.SnapshotSeries(level);
+    merged.insert(merged.end(), std::make_move_iterator(rows.begin()),
+                  std::make_move_iterator(rows.end()));
+  }
+  if (merged.empty()) {
+    return Status::FailedPrecondition("no stream data ingested yet");
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const StreamCubeEngine::MLayerSeries& a,
+               const StreamCubeEngine::MLayerSeries& b) {
+              return KeyLess(a.key, b.key);
+            });
+  return merged;
+}
+
+Result<ShardedStreamEngine::DeckSeries> ShardedStreamEngine::ObservationDeck(
+    int level) {
+  auto locks = LockAll();
+  RC_RETURN_IF_ERROR(AlignLocked());
+  auto rows = MergedSeriesLocked(level);
+  if (!rows.ok()) return rows.status();
+  DeckSeries deck;
+  const CuboidId o_id = lattice_.o_layer_id();
+  for (const auto& row : *rows) {
+    const CellKey o_key = lattice_.ProjectMLayerKey(row.key, o_id);
+    auto& dest = deck[o_key];
+    if (dest.size() < row.slots.size()) dest.resize(row.slots.size());
+    for (size_t i = 0; i < row.slots.size(); ++i) {
+      AccumulateStandardDim(dest[i], row.slots[i]);
+    }
+  }
+  return deck;
+}
+
+Result<std::vector<ShardedStreamEngine::TrendChange>>
+ShardedStreamEngine::DetectTrendChanges(int level, double threshold) {
+  auto deck = ObservationDeck(level);
+  if (!deck.ok()) return deck.status();
+  std::vector<TrendChange> changes;
+  for (const auto& [key, series] : *deck) {
+    if (series.size() < 2) continue;
+    const Isb& prev = series[series.size() - 2];
+    const Isb& cur = series[series.size() - 1];
+    const double delta = std::abs(cur.slope - prev.slope);
+    if (delta >= threshold) {
+      changes.push_back(TrendChange{key, prev, cur, delta});
+    }
+  }
+  std::sort(changes.begin(), changes.end(),
+            [](const TrendChange& a, const TrendChange& b) {
+              if (a.slope_delta != b.slope_delta) {
+                return a.slope_delta > b.slope_delta;
+              }
+              return KeyLess(a.key, b.key);  // deterministic tie order
+            });
+  return changes;
+}
+
+Result<std::vector<std::pair<CellKey, ShardedStreamEngine::Shard*>>>
+ShardedStreamEngine::MemberCellsLocked(CuboidId cuboid, const CellKey& key) {
+  std::vector<std::pair<CellKey, Shard*>> members;
+  bool any_cells = false;
+  for (auto& shard : shards_) {
+    for (const CellKey& m_key : shard->engine.MLayerKeys()) {
+      any_cells = true;
+      if (lattice_.ProjectMLayerKey(m_key, cuboid) == key) {
+        members.emplace_back(m_key, shard.get());
+      }
+    }
+  }
+  if (!any_cells) {
+    return Status::FailedPrecondition("no stream data ingested yet");
+  }
+  if (members.empty()) {
+    return Status::NotFound(
+        StrPrintf("no m-layer cell rolls up into %s of cuboid %s",
+                  key.ToString().c_str(),
+                  lattice_.CuboidName(cuboid).c_str()));
+  }
+  std::sort(members.begin(), members.end(),
+            [](const auto& a, const auto& b) {
+              return KeyLess(a.first, b.first);
+            });
+  return members;
+}
+
+Result<Isb> ShardedStreamEngine::QueryCell(CuboidId cuboid, const CellKey& key,
+                                           int level, int k) {
+  if (cuboid < 0 || cuboid >= lattice_.num_cuboids()) {
+    return Status::InvalidArgument(
+        StrPrintf("cuboid id %d outside the lattice", cuboid));
+  }
+  auto locks = LockAll();
+  RC_RETURN_IF_ERROR(AlignLocked());
+  auto members = MemberCellsLocked(cuboid, key);
+  if (!members.ok()) return members.status();
+  Isb acc;
+  for (auto& [m_key, shard] : *members) {
+    auto isb = shard->engine.RegressMLayerCell(m_key, level, k);
+    if (!isb.ok()) return isb.status();
+    AccumulateStandardDim(acc, *isb);
+  }
+  return acc;
+}
+
+Result<std::vector<Isb>> ShardedStreamEngine::QueryCellSeries(
+    CuboidId cuboid, const CellKey& key, int level) {
+  if (cuboid < 0 || cuboid >= lattice_.num_cuboids()) {
+    return Status::InvalidArgument(
+        StrPrintf("cuboid id %d outside the lattice", cuboid));
+  }
+  if (level < 0 || level >= options_.tilt_policy->num_levels()) {
+    return Status::InvalidArgument(
+        StrPrintf("tilt level %d outside [0, %d)", level,
+                  options_.tilt_policy->num_levels()));
+  }
+  auto locks = LockAll();
+  RC_RETURN_IF_ERROR(AlignLocked());
+  auto members = MemberCellsLocked(cuboid, key);
+  if (!members.ok()) return members.status();
+  std::vector<Isb> acc;
+  for (auto& [m_key, shard] : *members) {
+    auto slots = shard->engine.MLayerCellSeries(m_key, level);
+    if (!slots.ok()) return slots.status();
+    if (acc.size() < slots->size()) acc.resize(slots->size());
+    for (size_t i = 0; i < slots->size(); ++i) {
+      AccumulateStandardDim(acc[i], (*slots)[i]);
+    }
+  }
+  return acc;
+}
+
+std::int64_t ShardedStreamEngine::num_cells() const {
+  auto locks = LockAll();
+  std::int64_t cells = 0;
+  for (const auto& shard : shards_) cells += shard->engine.num_cells();
+  return cells;
+}
+
+std::int64_t ShardedStreamEngine::MemoryBytes() const {
+  auto locks = LockAll();
+  std::int64_t bytes = 0;
+  for (const auto& shard : shards_) bytes += shard->engine.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace regcube

@@ -1,0 +1,153 @@
+#ifndef REGCUBE_CORE_SHARDED_ENGINE_H_
+#define REGCUBE_CORE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/core/stream_engine.h"
+
+namespace regcube {
+
+/// Thread-safe scale-out layer over StreamCubeEngine: m-layer cells are
+/// hash-partitioned across N single-threaded shards, each guarded by its
+/// own mutex. Writers touch exactly one shard per tuple, so ingest from
+/// many threads proceeds in parallel; SealThrough is a barrier that locks
+/// every shard and drives all of them to one global clock.
+///
+/// Read operations merge per-shard state into results that are
+/// *bit-identical for every shard count*: merged per-cell rows are sorted
+/// into a canonical key order before any aggregation, so the floating-point
+/// reduction order never depends on how cells happened to be partitioned.
+///
+/// The key mapper (primitive key -> m-layer key) is applied here, before
+/// shard hashing, so every observation of one m-layer cell lands on the
+/// same shard; the inner engines run mapper-free.
+class ShardedStreamEngine {
+ public:
+  using Options = StreamCubeEngine::Options;
+  using Algorithm = StreamCubeEngine::Algorithm;
+  using DeckSeries = StreamCubeEngine::DeckSeries;
+  using TrendChange = StreamCubeEngine::TrendChange;
+
+  /// `num_shards` must be >= 1 (checked).
+  ShardedStreamEngine(std::shared_ptr<const CubeSchema> schema,
+                      Options options, int num_shards);
+
+  // ---- write side (safe from many threads concurrently) ----------------
+
+  /// Absorbs one observation (locks only the owning shard).
+  Status Ingest(const StreamTuple& tuple);
+
+  /// Partitions the batch by shard and feeds each shard under its lock.
+  /// Per-cell tick order within the batch is preserved; on error the
+  /// already-fed shards keep their prefix (same spirit as the
+  /// single-engine "stops at the first error" contract).
+  Status IngestBatch(const std::vector<StreamTuple>& tuples);
+
+  /// Barrier: locks every shard, seals all of them through `t` and aligns
+  /// them to one global clock, so subsequent reads see one consistent
+  /// slot structure.
+  Status SealThrough(TimeTick t);
+
+  // ---- read side (each call locks all shards for its duration) ---------
+
+  /// Merged m-layer window over the most recent `k` sealed slots of tilt
+  /// `level`, in canonical key order.
+  Result<std::vector<MLayerTuple>> SnapshotWindow(int level, int k);
+
+  /// Recomputes the partially materialized cube over that window with the
+  /// configured algorithm, from the merged (canonically ordered) window.
+  Result<RegressionCube> ComputeCube(int level, int k);
+
+  /// Observation deck merged across shards (§4.2 semantics of the single
+  /// engine).
+  Result<DeckSeries> ObservationDeck(int level);
+
+  /// O-layer cells whose slope moved by >= `threshold` between the last
+  /// two sealed slots of `level`, strongest change first.
+  Result<std::vector<TrendChange>> DetectTrendChanges(int level,
+                                                      double threshold);
+
+  /// On-the-fly regression of one cell of any lattice cuboid, aggregated
+  /// from member cells across all shards.
+  Result<Isb> QueryCell(CuboidId cuboid, const CellKey& key, int level,
+                        int k);
+
+  /// The cell's whole sealed slot series at `level`.
+  Result<std::vector<Isb>> QueryCellSeries(CuboidId cuboid,
+                                           const CellKey& key, int level);
+
+  // ---- bookkeeping -----------------------------------------------------
+
+  /// Global engine clock: max ingested tick / sealed boundary seen.
+  TimeTick now() const { return clock_.load(std::memory_order_acquire); }
+
+  /// Distinct m-layer cells across all shards.
+  std::int64_t num_cells() const;
+
+  /// Total bytes retained by every shard's tilt frames.
+  std::int64_t MemoryBytes() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Monotonic counter bumped by every successful write; lets callers
+  /// (e.g. the facade's cube cache) detect staleness cheaply.
+  std::uint64_t revision() const {
+    return revision_.load(std::memory_order_acquire);
+  }
+
+  const CubeSchema& schema() const { return *schema_; }
+  const CuboidLattice& lattice() const { return lattice_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    StreamCubeEngine engine;
+
+    explicit Shard(std::shared_ptr<const CubeSchema> schema, Options options)
+        : engine(std::move(schema), std::move(options)) {}
+  };
+
+  int ShardIndex(const CellKey& mapped_key) const;
+
+  /// Raises the global clock to at least `t` (lock-free fetch-max).
+  void BumpClock(TimeTick t);
+
+  /// Locks every shard in index order (the one lock order, so concurrent
+  /// barriers never deadlock).
+  std::vector<std::unique_lock<std::mutex>> LockAll() const;
+
+  /// Pre: all shard locks held. Drives every shard's clock (and frame
+  /// alignment) to the global clock, so per-shard slot structures agree.
+  Status AlignLocked();
+
+  /// Pre: all shard locks held, shards aligned. Per-cell slot-series rows
+  /// merged across shards in canonical key order.
+  Result<std::vector<StreamCubeEngine::MLayerSeries>> MergedSeriesLocked(
+      int level);
+
+  /// Pre: all shard locks held, shards aligned. The m-layer cells (with
+  /// their owning shards) that roll up into `key` of `cuboid`, in
+  /// canonical key order — the point-query path touches only these.
+  /// FailedPrecondition with no data, NotFound with no members.
+  Result<std::vector<std::pair<CellKey, Shard*>>> MemberCellsLocked(
+      CuboidId cuboid, const CellKey& key);
+
+  std::shared_ptr<const CubeSchema> schema_;
+  CuboidLattice lattice_;
+  Options options_;  // shard options; key_mapper lives in mapper_ instead
+  std::function<CellKey(const CellKey&)> mapper_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<TimeTick> clock_;
+  std::atomic<std::uint64_t> revision_{0};
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CORE_SHARDED_ENGINE_H_

@@ -74,15 +74,22 @@ Result<std::vector<MLayerTuple>> StreamCubeEngine::SnapshotWindow(int level,
 Result<RegressionCube> StreamCubeEngine::ComputeCube(int level, int k) {
   auto tuples = SnapshotWindow(level, k);
   if (!tuples.ok()) return tuples.status();
-  if (options_.algorithm == Algorithm::kMoCubing) {
+  return ComputeCubeFromWindow(schema_, *tuples, options_);
+}
+
+Result<RegressionCube> ComputeCubeFromWindow(
+    std::shared_ptr<const CubeSchema> schema,
+    const std::vector<MLayerTuple>& tuples,
+    const StreamCubeEngine::Options& options) {
+  if (options.algorithm == StreamCubeEngine::Algorithm::kMoCubing) {
     MoCubingOptions mo;
-    mo.policy = options_.policy;
-    return ComputeMoCubing(schema_, *tuples, mo);
+    mo.policy = options.policy;
+    return ComputeMoCubing(std::move(schema), tuples, mo);
   }
   PopularPathOptions pp;
-  pp.policy = options_.policy;
-  pp.path = options_.path;
-  return ComputePopularPathCubing(schema_, *tuples, pp);
+  pp.policy = options.policy;
+  pp.path = options.path;
+  return ComputePopularPathCubing(std::move(schema), tuples, pp);
 }
 
 Result<StreamCubeEngine::DeckSeries> StreamCubeEngine::ObservationDeck(
@@ -199,6 +206,55 @@ Result<std::vector<Isb>> StreamCubeEngine::QueryCellSeries(
   std::vector<Isb> series;
   series.reserve(acc.size());
   for (const MomentSums& m : acc) series.push_back(FitFromMoments(m));
+  return series;
+}
+
+std::vector<CellKey> StreamCubeEngine::MLayerKeys() const {
+  std::vector<CellKey> keys;
+  keys.reserve(frames_.size());
+  for (const auto& [key, frame] : frames_) keys.push_back(key);
+  return keys;
+}
+
+std::vector<StreamCubeEngine::MLayerSeries> StreamCubeEngine::SnapshotSeries(
+    int level) {
+  AlignFrames();
+  std::vector<MLayerSeries> rows;
+  rows.reserve(frames_.size());
+  for (auto& [key, frame] : frames_) {
+    const auto& slots = frame.RawSlots(level);
+    MLayerSeries row;
+    row.key = key;
+    row.slots.reserve(slots.size());
+    for (const MomentSums& m : slots) row.slots.push_back(FitFromMoments(m));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<Isb> StreamCubeEngine::RegressMLayerCell(const CellKey& m_key,
+                                                int level, int k) {
+  auto it = frames_.find(m_key);
+  if (it == frames_.end()) {
+    return Status::NotFound(
+        StrPrintf("m-layer cell %s was never seen", m_key.ToString().c_str()));
+  }
+  AlignFrames();
+  return it->second.RegressLastSlots(level, k);
+}
+
+Result<std::vector<Isb>> StreamCubeEngine::MLayerCellSeries(
+    const CellKey& m_key, int level) {
+  auto it = frames_.find(m_key);
+  if (it == frames_.end()) {
+    return Status::NotFound(
+        StrPrintf("m-layer cell %s was never seen", m_key.ToString().c_str()));
+  }
+  AlignFrames();
+  const auto& slots = it->second.RawSlots(level);
+  std::vector<Isb> series;
+  series.reserve(slots.size());
+  for (const MomentSums& m : slots) series.push_back(FitFromMoments(m));
   return series;
 }
 

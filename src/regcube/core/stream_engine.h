@@ -122,6 +122,28 @@ class StreamCubeEngine {
   Result<std::vector<Isb>> QueryCellSeries(CuboidId cuboid,
                                            const CellKey& key, int level);
 
+  /// Keys of every distinct m-layer cell seen, in unspecified order.
+  std::vector<CellKey> MLayerKeys() const;
+
+  /// One m-layer cell's sealed slot series: the per-frame row the
+  /// observation deck (and the sharded engine's merged reads) aggregate.
+  struct MLayerSeries {
+    CellKey key;
+    std::vector<Isb> slots;
+  };
+
+  /// Per-cell sealed slot series at tilt `level`, aligned to the engine
+  /// clock first. Empty (not an error) when nothing has been ingested.
+  std::vector<MLayerSeries> SnapshotSeries(int level);
+
+  /// Window regression of one m-layer frame — the O(1)-lookup point read
+  /// backing cross-shard cell queries. NotFound if the cell was never
+  /// seen.
+  Result<Isb> RegressMLayerCell(const CellKey& m_key, int level, int k);
+
+  /// Sealed slot series of one m-layer frame. NotFound if never seen.
+  Result<std::vector<Isb>> MLayerCellSeries(const CellKey& m_key, int level);
+
   /// Total bytes retained by the per-cell tilt frames.
   std::int64_t MemoryBytes() const;
 
@@ -140,6 +162,14 @@ class StreamCubeEngine {
   std::unordered_map<CellKey, TiltTimeFrame, CellKeyHash> frames_;
   TimeTick now_;
 };
+
+/// Runs the options' configured cubing algorithm over one m-layer window —
+/// the single dispatch point shared by StreamCubeEngine::ComputeCube and
+/// ShardedStreamEngine::ComputeCube.
+Result<RegressionCube> ComputeCubeFromWindow(
+    std::shared_ptr<const CubeSchema> schema,
+    const std::vector<MLayerTuple>& tuples,
+    const StreamCubeEngine::Options& options);
 
 }  // namespace regcube
 

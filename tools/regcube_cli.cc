@@ -6,27 +6,30 @@
 //                        [--out cube.bin]
 //   regcube_cli report   --workload D3L3C10T10K --in cube.bin
 //                        --threshold X [--top N]
+//   regcube_cli stream   --workload D2L2C4T500 [--ticks N] [--shards N]
+//                        [--algorithm mo|pp] [--threshold X] [--window K]
+//                        [--top N] [--seed N]   (on-line path: ingest a
+//                        generated stream, seal, drill the exceptions)
 //   regcube_cli selftest [--dir PATH]   (generate -> cube -> report round
 //                                        trip in a scratch directory)
 //
 // The workload name doubles as the schema description (the cube format does
 // not embed schemas), so `cube` and `report` must receive the same
 // --workload used by `generate`.
+//
+// Everything below speaks the facade: regcube/api/regcube.h plus common/
+// utilities only.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "regcube/api/regcube.h"
 #include "regcube/common/stopwatch.h"
 #include "regcube/common/str.h"
-#include "regcube/core/mo_cubing.h"
-#include "regcube/core/popular_path.h"
-#include "regcube/core/query.h"
-#include "regcube/gen/stream_generator.h"
-#include "regcube/io/binary_io.h"
-#include "regcube/io/cube_io.h"
 
 namespace regcube {
 namespace {
@@ -178,27 +181,105 @@ Status RunReport(const Args& args) {
 
   std::printf("%s\n", cube.ToString().c_str());
   ExceptionPolicy policy(threshold);
-  CubeView view(cube, policy);
 
   std::printf("\ntop %zu exception cells:\n", top);
-  for (const CellResult& cell : view.TopExceptions(top)) {
-    std::printf("  %s  [%s]\n", view.RenderCell(cell).c_str(),
+  RC_ASSIGN_OR_RETURN(
+      QueryResult top_cells,
+      Query(cube, policy, QuerySpec::TopExceptions(top, 0, 1)));
+  for (const CellResult& cell : top_cells.cells()) {
+    std::printf("  %s  [%s]\n",
+                RenderCellWith(*schema, cube.lattice(), cell).c_str(),
                 cube.lattice().CuboidName(cell.cuboid).c_str());
   }
 
   std::printf("\no-layer exceptions and their supporters:\n");
+  const CuboidId o_id = cube.lattice().o_layer_id();
+  RC_ASSIGN_OR_RETURN(QueryResult o_exceptions,
+                      Query(cube, policy, QuerySpec::ExceptionsAt(o_id, 0, 1)));
   int shown = 0;
-  for (const auto& [key, isb] : cube.o_layer()) {
-    if (!policy.IsException(isb, cube.lattice().o_layer_id(),
-                            SpecDepth(cube.lattice().spec(
-                                cube.lattice().o_layer_id())))) {
-      continue;
-    }
-    CellResult root{cube.lattice().o_layer_id(), key, isb, true};
-    std::printf("  %s\n", view.RenderCell(root).c_str());
-    auto supporters = view.ExceptionSupporters(root.cuboid, root.key);
-    std::printf("    %zu exceptional descendants\n", supporters.size());
+  for (const CellResult& root : o_exceptions.cells()) {
+    std::printf("  %s\n",
+                RenderCellWith(*schema, cube.lattice(), root).c_str());
+    RC_ASSIGN_OR_RETURN(
+        QueryResult supporters,
+        Query(cube, policy, QuerySpec::Supporters(root.cuboid, root.key, 0, 1)));
+    std::printf("    %zu exceptional descendants\n",
+                supporters.cells().size());
     if (++shown == 5) break;
+  }
+  return Status::OK();
+}
+
+Status RunStream(const Args& args) {
+  RC_ASSIGN_OR_RETURN(std::string name, args.GetString("workload"));
+  auto spec = WorkloadSpec::Parse(name);
+  if (!spec.ok()) return spec.status();
+  spec->seed = static_cast<std::uint64_t>(args.GetIntOr("seed", 42));
+  spec->series_length = args.GetIntOr("ticks", 64);
+  RC_ASSIGN_OR_RETURN(std::shared_ptr<const CubeSchema> schema,
+                      MakeWorkloadSchemaPtr(*spec));
+
+  const double threshold = args.GetDoubleOr("threshold", 0.05);
+  const int shards = static_cast<int>(args.GetIntOr("shards", 4));
+  const std::string algorithm = args.GetStringOr("algorithm", "mo");
+
+  EngineBuilder builder;
+  builder.SetSchema(schema)
+      .SetTiltPolicy(MakeUniformTiltPolicy({{"quarter", 16}, {"hour", 16}},
+                                           {4, 16}))
+      .SetExceptionPolicy(ExceptionPolicy(threshold))
+      .SetShardCount(shards);
+  if (algorithm == "pp") {
+    builder.SetAlgorithm(Engine::Algorithm::kPopularPath);
+  } else if (algorithm != "mo") {
+    return Status::InvalidArgument(
+        StrPrintf("unknown --algorithm \"%s\" (mo|pp)", algorithm.c_str()));
+  }
+  RC_ASSIGN_OR_RETURN(Engine engine, builder.Build());
+
+  StreamGenerator gen(*spec);
+  Stopwatch timer;
+  RC_RETURN_IF_ERROR(engine.IngestBatch(gen.GenerateStream()));
+  RC_RETURN_IF_ERROR(engine.SealThrough(spec->series_length - 1));
+  std::printf("ingested %lld ticks x %lld streams across %d shards in "
+              "%.2f s (%s of tilt frames)\n",
+              static_cast<long long>(spec->series_length),
+              static_cast<long long>(engine.num_cells()), engine.num_shards(),
+              timer.ElapsedSeconds(),
+              FormatBytes(engine.MemoryBytes()).c_str());
+
+  const int sealed_quarters =
+      static_cast<int>(std::min<std::int64_t>(spec->series_length / 4, 16));
+  const int window =
+      static_cast<int>(args.GetIntOr("window", std::min(sealed_quarters, 8)));
+  const std::size_t top = static_cast<std::size_t>(args.GetIntOr("top", 10));
+
+  RC_ASSIGN_OR_RETURN(QueryResult changes,
+                      engine.Query(QuerySpec::TrendChanges(0, threshold)));
+  std::printf("\ntrend changes at the o-layer (last quarter vs previous): "
+              "%zu\n", changes.trend_changes().size());
+  for (size_t i = 0; i < changes.trend_changes().size() && i < 5; ++i) {
+    const auto& change = changes.trend_changes()[i];
+    std::printf("  %s: slope %+0.4f -> %+0.4f (delta %.4f)\n",
+                change.key.ToString().c_str(), change.previous.slope,
+                change.current.slope, change.slope_delta);
+  }
+
+  std::printf("\ntop %zu exception cells over the last %d quarters:\n", top,
+              window);
+  RC_ASSIGN_OR_RETURN(QueryResult top_cells,
+                      engine.Query(QuerySpec::TopExceptions(top, 0, window)));
+  for (const CellResult& cell : top_cells.cells()) {
+    std::printf("  %s  [%s]\n", engine.RenderCell(cell).c_str(),
+                engine.lattice().CuboidName(cell.cuboid).c_str());
+    RC_ASSIGN_OR_RETURN(
+        QueryResult supporters,
+        engine.Query(QuerySpec::Supporters(cell.cuboid, cell.key, 0, window)));
+    if (!supporters.cells().empty()) {
+      std::printf("    %zu exceptional descendants, strongest: %s\n",
+                  supporters.cells().size(),
+                  engine.RenderCell(supporters.cells().front()).c_str());
+    }
   }
   return Status::OK();
 }
@@ -271,6 +352,8 @@ void PrintUsage() {
       "  cube     --workload NAME --in tuples.bin [--algorithm mo|pp]\n"
       "           [--rate R | --threshold X] [--out cube.bin]\n"
       "  report   --workload NAME --in cube.bin --threshold X [--top N]\n"
+      "  stream   --workload NAME [--ticks N] [--shards N]\n"
+      "           [--algorithm mo|pp] [--threshold X] [--window K] [--top N]\n"
       "  selftest [--dir PATH]\n");
 }
 
@@ -288,6 +371,8 @@ int Main(int argc, char** argv) {
     status = RunCube(*args);
   } else if (args->command() == "report") {
     status = RunReport(*args);
+  } else if (args->command() == "stream") {
+    status = RunStream(*args);
   } else if (args->command() == "selftest") {
     status = RunSelfTest(*args);
   } else {
