@@ -55,6 +55,7 @@ void Run(int argc, char** argv) {
 
   bench::PrintRow({"shards", "ingest(s)", "tuples/s", "cube(s)",
                    "o-cells"});
+  bench::JsonWriter json("sharded_scaling");
   std::size_t reference_o_cells = 0;
   for (int shards : {1, 2, 4, 8}) {
     auto engine_result =
@@ -73,8 +74,9 @@ void Run(int argc, char** argv) {
     writers.reserve(static_cast<size_t>(threads));
     for (int i = 0; i < threads; ++i) {
       writers.emplace_back([&engine, &slices, i] {
-        Status s = engine.IngestBatch(slices[static_cast<size_t>(i)]);
-        RC_CHECK(s.ok()) << s.ToString();
+        IngestReport r = engine.IngestBatch(slices[static_cast<size_t>(i)]);
+        RC_CHECK(r.ok()) << r.status.ToString() << " after " << r.absorbed
+                         << "/" << r.attempted << " tuples";
       });
     }
     for (std::thread& w : writers) w.join();
@@ -95,7 +97,16 @@ void Run(int argc, char** argv) {
         {StrPrintf("%d", shards), StrPrintf("%.3f", ingest_s),
          StrPrintf("%.0f", static_cast<double>(stream.size()) / ingest_s),
          StrPrintf("%.3f", cube_s), StrPrintf("%zu", o_cells)});
+    json.Row({{"shards", StrPrintf("%d", shards)},
+              {"threads", StrPrintf("%d", threads)},
+              {"ingest_s", StrPrintf("%.6f", ingest_s)},
+              {"tuples_per_s",
+               StrPrintf("%.1f", static_cast<double>(stream.size()) /
+                                     ingest_s)},
+              {"cube_s", StrPrintf("%.6f", cube_s)},
+              {"o_cells", StrPrintf("%zu", o_cells)}});
   }
+  json.Write();
 }
 
 }  // namespace

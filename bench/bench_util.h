@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "regcube/api/regcube.h"
@@ -43,6 +44,44 @@ inline void PrintRow(const std::vector<std::string>& cells) {
   }
   std::printf("\n");
 }
+
+/// Machine-readable bench output: accumulates rows of numeric (or string)
+/// fields and writes them as BENCH_<name>.json next to the binary's cwd,
+/// so CI can track the perf trajectory across commits. The human-readable
+/// table stays on stdout; this is the parseable twin.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string name) : name_(std::move(name)) {}
+
+  /// Adds one row; values must already be valid JSON literals
+  /// (StrPrintf("%d", ...), "%.6f", or a quoted string).
+  void Row(std::vector<std::pair<std::string, std::string>> fields) {
+    rows_.push_back(std::move(fields));
+  }
+
+  /// Writes BENCH_<name>.json; prints the path so logs link the artifact.
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    RC_CHECK(f != nullptr) << "cannot write " << path;
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", name_.c_str());
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, r == 0 ? "\n  {" : ",\n  {");
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     rows_[r][i].first.c_str(), rows_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 /// One measured cubing run.
 struct RunResult {

@@ -4,10 +4,13 @@
 //   2. Build an Engine: EngineBuilder collects the tilt frame, exception
 //      policy and shard count, and validates the lot at Build().
 //   3. Ingest the stream and seal the analysis window.
-//   4. Ask questions through the one Query() entry point: observation
-//      deck, top exceptions, exception-guided drilling.
+//   4. Take an immutable snapshot and ask questions through its Query()
+//      entry point: observation deck, top exceptions, exception-guided
+//      drilling. The snapshot is lock-free — in a live deployment, ingest
+//      keeps flowing while the analysis below runs.
 
 #include <cstdio>
+#include <memory>
 
 #include "regcube/api/regcube.h"
 
@@ -55,8 +58,16 @@ int main() {
   std::printf("streams: %lld, each held as a compressed tilt frame\n",
               static_cast<long long>(engine.num_cells()));
 
+  // 4. Freeze a snapshot: per-shard state is copied under briefly-held
+  //    locks, and everything below reads the frozen view without ever
+  //    blocking (or being blocked by) writers.
+  std::shared_ptr<const CubeSnapshot> snapshot = engine.TakeSnapshot();
+  std::printf("snapshot: revision %llu, %lld cells\n",
+              static_cast<unsigned long long>(snapshot->revision()),
+              static_cast<long long>(snapshot->num_cells()));
+
   // 4a. The observation layer: every cell an analyst watches.
-  auto deck = engine.Query(QuerySpec::ObservationDeck(/*level=*/0));
+  auto deck = snapshot->Query(QuerySpec::ObservationDeck(/*level=*/0));
   if (!deck.ok()) {
     std::fprintf(stderr, "deck: %s\n", deck.status().ToString().c_str());
     return 1;
@@ -71,8 +82,10 @@ int main() {
 
   // 4b. Strongest exceptions between the layers, then drill for their
   //     lower-level "supporters" (Framework 4.1). The cube over the
-  //     last 12 quarters is materialized once and cached across queries.
-  auto top = engine.Query(QuerySpec::TopExceptions(3, /*level=*/0, /*k=*/12));
+  //     last 12 quarters is materialized once and memoized inside the
+  //     snapshot, so every drill below shares it.
+  auto top =
+      snapshot->Query(QuerySpec::TopExceptions(3, /*level=*/0, /*k=*/12));
   if (!top.ok()) {
     std::fprintf(stderr, "query: %s\n", top.status().ToString().c_str());
     return 1;
@@ -81,7 +94,7 @@ int main() {
   for (const CellResult& cell : top->cells()) {
     std::printf("  %s  [%s]\n", engine.RenderCell(cell).c_str(),
                 engine.lattice().CuboidName(cell.cuboid).c_str());
-    auto supporters = engine.Query(
+    auto supporters = snapshot->Query(
         QuerySpec::Supporters(cell.cuboid, cell.key, /*level=*/0, /*k=*/12));
     if (!supporters.ok()) return 1;
     std::printf("    %zu exceptional descendants, e.g.:\n",

@@ -6,81 +6,59 @@ namespace regcube {
 
 Engine::Engine(std::shared_ptr<const CubeSchema> schema,
                ExceptionPolicy policy, StreamCubeEngine::Options options,
-               int num_shards)
+               int num_shards, int read_threads)
     : schema_(std::move(schema)),
       policy_(std::move(policy)),
+      pool_(read_threads == 1 ? nullptr
+                              : std::make_shared<ThreadPool>(read_threads)),
       sharded_(std::make_unique<ShardedStreamEngine>(schema_,
                                                      std::move(options),
-                                                     num_shards)),
-      cache_(std::make_unique<CubeCache>()) {}
+                                                     num_shards, pool_)),
+      cache_(std::make_unique<SnapshotCache>()) {}
 
 Status Engine::Ingest(const StreamTuple& tuple) {
   return sharded_->Ingest(tuple);
 }
 
-Status Engine::IngestBatch(const std::vector<StreamTuple>& tuples) {
+IngestReport Engine::IngestBatch(const std::vector<StreamTuple>& tuples) {
   return sharded_->IngestBatch(tuples);
 }
 
 Status Engine::SealThrough(TimeTick t) { return sharded_->SealThrough(t); }
 
-Result<RegressionCube> Engine::ComputeCube(int level, int k) {
-  return sharded_->ComputeCube(level, k);
+std::shared_ptr<const CubeSnapshot> Engine::TakeSnapshot() {
+  const std::uint64_t revision = sharded_->revision();
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    if (cache_->snapshot != nullptr &&
+        cache_->snapshot->revision() == revision) {
+      return cache_->snapshot;
+    }
+  }
+  // Gather outside the cache lock: a snapshot in progress must not block
+  // readers that can still be served from the cached one.
+  auto fresh = std::shared_ptr<const CubeSnapshot>(
+      new CubeSnapshot(schema_, policy_, sharded_->options(), pool_,
+                       sharded_->GatherAlignedCells()));
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    // Install only if strictly newer: a slow gather must not clobber a
+    // racer's fresher snapshot (revisions are monotonic, so an older
+    // entry could never match again and every read would re-gather).
+    if (cache_->snapshot == nullptr ||
+        cache_->snapshot->revision() < fresh->revision()) {
+      cache_->snapshot = fresh;
+    }
+  }
+  return fresh;
 }
 
-Result<std::shared_ptr<const RegressionCube>> Engine::CubeFor(int level,
-                                                              int k) {
-  std::lock_guard<std::mutex> lock(cache_->mu);
-  const std::uint64_t revision = sharded_->revision();
-  if (cache_->valid && cache_->level == level && cache_->k == k &&
-      cache_->revision == revision) {
-    return cache_->cube;
-  }
-  auto cube = sharded_->ComputeCube(level, k);
-  if (!cube.ok()) return cube.status();
-  cache_->cube = std::make_shared<const RegressionCube>(std::move(*cube));
-  cache_->level = level;
-  cache_->k = k;
-  cache_->revision = revision;
-  cache_->valid = true;
-  return cache_->cube;
+Result<RegressionCube> Engine::ComputeCube(int level, int k) {
+  return TakeSnapshot()->ComputeCube(level, k);
 }
 
 Result<QueryResult> Engine::Query(const QuerySpec& spec) {
-  switch (spec.kind) {
-    case QueryKind::kCell: {
-      auto isb = sharded_->QueryCell(spec.cuboid, spec.key, spec.level,
-                                     spec.k);
-      if (!isb.ok()) return isb.status();
-      return QueryResult(spec.kind, *isb);
-    }
-    case QueryKind::kCellSeries: {
-      auto series = sharded_->QueryCellSeries(spec.cuboid, spec.key,
-                                              spec.level);
-      if (!series.ok()) return series.status();
-      return QueryResult(spec.kind, std::move(*series));
-    }
-    case QueryKind::kObservationDeck: {
-      auto deck = sharded_->ObservationDeck(spec.level);
-      if (!deck.ok()) return deck.status();
-      return QueryResult(spec.kind, std::move(*deck));
-    }
-    case QueryKind::kTrendChanges: {
-      auto changes = sharded_->DetectTrendChanges(spec.level, spec.threshold);
-      if (!changes.ok()) return changes.status();
-      return QueryResult(spec.kind, std::move(*changes));
-    }
-    case QueryKind::kCubeCell:
-    case QueryKind::kExceptionsAt:
-    case QueryKind::kDrillDown:
-    case QueryKind::kSupporters:
-    case QueryKind::kTopExceptions: {
-      auto cube = CubeFor(spec.level, spec.k);
-      if (!cube.ok()) return cube.status();
-      return regcube::Query(**cube, policy_, spec);
-    }
-  }
-  return Status::Internal("unhandled query kind");
+  return TakeSnapshot()->Query(spec);
 }
 
 std::string Engine::RenderCell(const CellResult& cell) const {
@@ -132,6 +110,11 @@ EngineBuilder& EngineBuilder::SetShardCount(int shards) {
   return *this;
 }
 
+EngineBuilder& EngineBuilder::SetReadThreads(int threads) {
+  read_threads_ = threads;
+  return *this;
+}
+
 Result<Engine> EngineBuilder::Build() const {
   if (schema_ == nullptr) {
     return Status::InvalidArgument("EngineBuilder: SetSchema is required");
@@ -144,6 +127,11 @@ Result<Engine> EngineBuilder::Build() const {
     return Status::InvalidArgument(StrPrintf(
         "EngineBuilder: shard count %d outside [1, 4096]", shards_));
   }
+  if (read_threads_ < 0 || read_threads_ > 1024) {
+    return Status::InvalidArgument(StrPrintf(
+        "EngineBuilder: read thread count %d outside [0, 1024]",
+        read_threads_));
+  }
   if (options_.path.has_value()) {
     if (options_.algorithm != Engine::Algorithm::kPopularPath) {
       return Status::InvalidArgument(
@@ -155,7 +143,8 @@ Result<Engine> EngineBuilder::Build() const {
   }
   StreamCubeEngine::Options options = options_;
   options.policy = policy_;
-  return Engine(schema_, policy_, std::move(options), shards_);
+  return Engine(schema_, policy_, std::move(options), shards_,
+                read_threads_);
 }
 
 }  // namespace regcube

@@ -8,16 +8,24 @@
 #include <utility>
 
 #include "regcube/api/query_spec.h"
+#include "regcube/api/snapshot.h"
 #include "regcube/common/status.h"
+#include "regcube/common/thread_pool.h"
 #include "regcube/core/sharded_engine.h"
 
 namespace regcube {
 
 /// The facade engine: one object that owns the whole on-line analysis loop
 /// of §4.5 — ingest -> seal -> cube -> exception drill — behind a sharded,
-/// thread-safe core. Built exclusively through EngineBuilder; all reads go
-/// through the one Query() entry point (plus ComputeCube for callers that
-/// want the raw materialized cube, e.g. to persist it).
+/// thread-safe core. Built exclusively through EngineBuilder.
+///
+/// Reads are snapshot-based. TakeSnapshot() briefly locks each shard only
+/// to copy its cells (gathered in parallel on the read pool) and returns
+/// an immutable CubeSnapshot; every query then runs lock-free against it,
+/// so a large ComputeCube never stalls concurrent ingest. Query() is
+/// sugar: it serves the spec from the revision-cached snapshot, so
+/// repeated drilling between writes shares one snapshot and one
+/// materialized cube.
 class Engine {
  public:
   using Algorithm = StreamCubeEngine::Algorithm;
@@ -28,15 +36,25 @@ class Engine {
   /// Absorbs one observation. Thread-safe; locks only the owning shard.
   Status Ingest(const StreamTuple& tuple);
 
-  /// Absorbs a batch, partitioned across shards. Thread-safe.
-  Status IngestBatch(const std::vector<StreamTuple>& tuples);
+  /// Absorbs a batch, partitioned across shards. Thread-safe. The report
+  /// says how many tuples were absorbed before the first error (the whole
+  /// batch iff report.ok()).
+  IngestReport IngestBatch(const std::vector<StreamTuple>& tuples);
 
   /// Declares that no data with tick <= `t` remains in flight; barrier
   /// across all shards.
   Status SealThrough(TimeTick t);
 
-  /// The one read entry point: serves every QueryKind. Stream kinds read
-  /// the live tilt frames; cube kinds materialize (and cache) the cube
+  /// Freezes the current state as an immutable snapshot: per-shard cells
+  /// are gathered under briefly-held per-shard locks, then all queries on
+  /// the snapshot are lock-free. Memoized by engine revision — until the
+  /// next write, every caller shares one snapshot (take → query many →
+  /// drop).
+  std::shared_ptr<const CubeSnapshot> TakeSnapshot();
+
+  /// The one read entry point: serves every QueryKind against the
+  /// revision-cached snapshot. Stream kinds read the frozen tilt frames;
+  /// cube kinds materialize (and memoize, inside the snapshot) the cube
   /// over the spec's (level, k) window first, so repeated drilling into
   /// one window pays for cubing once.
   Result<QueryResult> Query(const QuerySpec& spec);
@@ -63,31 +81,27 @@ class Engine {
   friend class EngineBuilder;
 
   Engine(std::shared_ptr<const CubeSchema> schema, ExceptionPolicy policy,
-         StreamCubeEngine::Options options, int num_shards);
+         StreamCubeEngine::Options options, int num_shards, int read_threads);
 
-  /// Cube memoized by (level, k, engine revision); invalidated by any
-  /// write. Heap-allocated so Engine stays movable despite the mutex.
-  struct CubeCache {
+  /// Snapshot memoized by engine revision; replaced (never mutated) when
+  /// a write has moved the revision. Heap-allocated so Engine stays
+  /// movable despite the mutex.
+  struct SnapshotCache {
     std::mutex mu;
-    bool valid = false;
-    int level = 0;
-    int k = 0;
-    std::uint64_t revision = 0;
-    std::shared_ptr<const RegressionCube> cube;
+    std::shared_ptr<const CubeSnapshot> snapshot;
   };
-
-  /// Returns the cached cube for (level, k) or computes and caches it.
-  Result<std::shared_ptr<const RegressionCube>> CubeFor(int level, int k);
 
   std::shared_ptr<const CubeSchema> schema_;
   ExceptionPolicy policy_;
+  std::shared_ptr<ThreadPool> pool_;
   std::unique_ptr<ShardedStreamEngine> sharded_;
-  std::unique_ptr<CubeCache> cache_;
+  std::unique_ptr<SnapshotCache> cache_;
 };
 
 /// Fluent construction of an Engine; the only way to get one. Collects the
-/// schema, tilt policy, algorithm, exception policy, key mapper and shard
-/// count, and validates the whole configuration at Build():
+/// schema, tilt policy, algorithm, exception policy, key mapper, shard
+/// count and read-pool width, and validates the whole configuration at
+/// Build():
 ///
 ///   auto engine = EngineBuilder()
 ///                     .SetSchema(schema)
@@ -131,9 +145,16 @@ class EngineBuilder {
   /// Number of hash-partitioned shards, >= 1 (default 1).
   EngineBuilder& SetShardCount(int shards);
 
+  /// Width of the read pool that parallelizes snapshot gathering and
+  /// per-cuboid cubing. 0 (default) selects the hardware concurrency;
+  /// 1 keeps reads fully serial (no pool). Results are identical for
+  /// every width.
+  EngineBuilder& SetReadThreads(int threads);
+
   /// Validates the configuration; InvalidArgument describes the first
-  /// problem found (missing schema or tilt policy, bad shard count, drill
-  /// path without the popular-path algorithm or not a valid o->m chain).
+  /// problem found (missing schema or tilt policy, bad shard count or
+  /// read-thread count, drill path without the popular-path algorithm or
+  /// not a valid o->m chain).
   Result<Engine> Build() const;
 
  private:
@@ -141,6 +162,7 @@ class EngineBuilder {
   StreamCubeEngine::Options options_;
   ExceptionPolicy policy_;
   int shards_ = 1;
+  int read_threads_ = 0;
 };
 
 }  // namespace regcube

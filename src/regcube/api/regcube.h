@@ -7,7 +7,10 @@
 ///
 ///   * EngineBuilder  — fluent configuration, validated at Build();
 ///   * Engine         — the sharded, thread-safe on-line analysis loop
-///                      (ingest -> seal -> cube -> drill);
+///                      (ingest -> seal -> snapshot -> cube -> drill);
+///   * CubeSnapshot   — an immutable frozen read view (take → query many
+///                      → drop) whose queries are lock-free and never
+///                      stall ingest;
 ///   * QuerySpec      — every read, stream- or cube-side, through one
 ///                      Query() entry point returning a typed QueryResult.
 ///
@@ -19,6 +22,7 @@
 // ---- the facade --------------------------------------------------------
 #include "regcube/api/engine.h"
 #include "regcube/api/query_spec.h"
+#include "regcube/api/snapshot.h"
 
 // ---- building blocks the facade hands out or accepts -------------------
 #include "regcube/common/status.h"

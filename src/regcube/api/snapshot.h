@@ -1,0 +1,126 @@
+#ifndef REGCUBE_API_SNAPSHOT_H_
+#define REGCUBE_API_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "regcube/api/query_spec.h"
+#include "regcube/common/thread_pool.h"
+#include "regcube/core/sharded_engine.h"
+
+namespace regcube {
+
+/// An immutable, self-contained frozen view of the engine's m-layer —
+/// the read side of the public API. Taking one briefly locks each shard
+/// only to copy its cells (Engine::TakeSnapshot); every query afterwards
+/// runs lock-free against the frozen cells, so any number of threads can
+/// drill into one snapshot while ingest keeps flowing on the live engine.
+///
+/// Lifecycle: take → query many → drop.
+///
+///   auto snap = engine.TakeSnapshot();
+///   auto deck = snap->Query(QuerySpec::ObservationDeck(0));
+///   auto top  = snap->Query(QuerySpec::TopExceptions(10, 0, 8));
+///   // snap's results never change, no matter what the engine ingests.
+///
+/// Staleness is explicit: revision() is the engine revision the snapshot
+/// was taken at; compare against Engine (via a fresh TakeSnapshot) to
+/// decide when to refresh. Engine::TakeSnapshot memoizes by revision, so
+/// repeated drilling between writes shares one snapshot (and one cube).
+///
+/// Results are bit-identical to the engine's own reads for every shard
+/// count: the frozen cells are in canonical key order and every
+/// aggregation runs through the same snapshot_reads kernels the engine
+/// uses. Cube-side kinds materialize the cube over the spec's (level, k)
+/// window once and memoize it inside the snapshot (per-cuboid cubing work
+/// is partitioned across the engine's thread pool).
+class CubeSnapshot {
+ public:
+  using DeckSeries = StreamCubeEngine::DeckSeries;
+  using TrendChange = StreamCubeEngine::TrendChange;
+
+  CubeSnapshot(const CubeSnapshot&) = delete;
+  CubeSnapshot& operator=(const CubeSnapshot&) = delete;
+
+  /// Serves every QueryKind against the frozen cells — the same dispatch
+  /// Engine::Query performs, minus the engine.
+  Result<QueryResult> Query(const QuerySpec& spec) const;
+
+  /// Merged m-layer window over the most recent `k` sealed slots of tilt
+  /// `level`, in canonical key order (the cube computation input).
+  Result<std::vector<MLayerTuple>> Window(int level, int k) const;
+
+  /// Recomputes the partially materialized cube over that window with the
+  /// engine's configured algorithm. Unmemoized; Query's cube kinds share
+  /// the memoized cube instead.
+  Result<RegressionCube> ComputeCube(int level, int k) const;
+
+  /// Observation deck (§4.2): per o-layer cell, its sealed slot series.
+  Result<DeckSeries> ObservationDeck(int level) const;
+
+  /// O-layer cells whose slope moved by >= `threshold` between the last
+  /// two sealed slots of `level`, strongest change first.
+  Result<std::vector<TrendChange>> DetectTrendChanges(int level,
+                                                      double threshold) const;
+
+  /// On-the-fly regression of one cell of any lattice cuboid.
+  Result<Isb> QueryCell(CuboidId cuboid, const CellKey& key, int level,
+                        int k) const;
+
+  /// The cell's whole sealed slot series at `level`.
+  Result<std::vector<Isb>> QueryCellSeries(CuboidId cuboid, const CellKey& key,
+                                           int level) const;
+
+  /// Engine revision this snapshot froze; the staleness handle.
+  std::uint64_t revision() const { return revision_; }
+
+  /// The tick every frozen frame is aligned to.
+  TimeTick now() const { return clock_; }
+
+  /// Distinct m-layer cells frozen.
+  std::int64_t num_cells() const {
+    return static_cast<std::int64_t>(cells_.size());
+  }
+
+  const CubeSchema& schema() const { return *schema_; }
+  const CuboidLattice& lattice() const { return lattice_; }
+
+ private:
+  friend class Engine;
+
+  CubeSnapshot(std::shared_ptr<const CubeSchema> schema,
+               ExceptionPolicy policy, StreamCubeEngine::Options options,
+               std::shared_ptr<ThreadPool> pool,
+               ShardedStreamEngine::GatheredCells gathered);
+
+  /// The memoized cube for (level, k): double-checked under the lock,
+  /// computed outside it, published atomically — concurrent cube-side
+  /// queries never serialize behind one cubing run.
+  Result<std::shared_ptr<const RegressionCube>> CubeFor(int level,
+                                                        int k) const;
+
+  struct CubeMemo {
+    std::mutex mu;
+    bool valid = false;
+    int level = 0;
+    int k = 0;
+    std::shared_ptr<const RegressionCube> cube;
+  };
+
+  std::shared_ptr<const CubeSchema> schema_;
+  CuboidLattice lattice_;
+  ExceptionPolicy policy_;
+  StreamCubeEngine::Options options_;  // algorithm/policy/tilt for cubing
+  std::shared_ptr<ThreadPool> pool_;
+  SnapshotCells cells_;  // canonical key order, aligned to clock_
+  TimeTick clock_ = 0;
+  std::uint64_t revision_ = 0;
+  mutable CubeMemo memo_;  // logically immutable: a memo of the derived cube
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_API_SNAPSHOT_H_

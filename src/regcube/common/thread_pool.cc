@@ -1,0 +1,109 @@
+#include "regcube/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace regcube {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  width_ = num_threads;
+}
+
+void ThreadPool::EnsureStarted() {
+  std::call_once(start_once_, [this] {
+    workers_.reserve(static_cast<size_t>(width_));
+    for (int i = 0; i < width_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Run(std::function<void()> task) {
+  EnsureStarted();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::int64_t n,
+                             const std::function<void(std::int64_t)>& body) {
+  if (n <= 0) return;
+  if (n == 1 || width_ <= 1) {
+    for (std::int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  EnsureStarted();
+
+  // Helpers and the caller all claim items from one atomic cursor. The
+  // state is shared so a helper scheduled after the caller has already
+  // finished (and returned) touches only its own copy. `body` is borrowed,
+  // which is safe: the caller cannot return before done == n, and no item
+  // can start after done == n (n completions imply n claims).
+  struct State {
+    std::atomic<std::int64_t> next{0};
+    std::atomic<std::int64_t> done{0};
+    std::int64_t n = 0;
+    const std::function<void(std::int64_t)>* body = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->body = &body;
+
+  auto drain = [](const std::shared_ptr<State>& s) {
+    std::int64_t i;
+    while ((i = s->next.fetch_add(1, std::memory_order_relaxed)) < s->n) {
+      (*s->body)(i);
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  const std::int64_t helpers =
+      std::min<std::int64_t>(static_cast<std::int64_t>(width_), n - 1);
+  for (std::int64_t h = 0; h < helpers; ++h) {
+    Run([state, drain] { drain(state); });
+  }
+  drain(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+}  // namespace regcube

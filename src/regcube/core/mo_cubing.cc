@@ -2,6 +2,7 @@
 
 #include "regcube/common/logging.h"
 #include "regcube/common/stopwatch.h"
+#include "regcube/common/thread_pool.h"
 #include "regcube/htree/htree_cubing.h"
 
 namespace regcube {
@@ -49,29 +50,58 @@ Result<RegressionCube> ComputeMoCubing(
     cube.mutable_o_layer() = cube.m_layer();
     tracker.Add("o-layer", CellMapMemoryBytes(cube.o_layer()));
   }
-  for (CuboidId cuboid = 0; cuboid < lattice.num_cuboids(); ++cuboid) {
-    if (cuboid == lattice.m_layer_id()) continue;
-    CellMap cells = ComputeCuboidCells(tree, lattice, cuboid);
-    stats.cells_computed += static_cast<std::int64_t>(cells.size());
-    const std::int64_t transient_bytes = CellMapMemoryBytes(cells);
-    tracker.Add("transient", transient_bytes);
 
+  // Retains one computed cuboid into the cube (o-layer in full, exception
+  // cells in between). Always runs sequentially so stats accumulate
+  // deterministically, whether the cells were cubed serially or on a pool.
+  auto fold = [&](CuboidId cuboid, CellMap cells) {
+    stats.cells_computed += static_cast<std::int64_t>(cells.size());
     if (cuboid == lattice.o_layer_id()) {
       cube.mutable_o_layer() = std::move(cells);
       tracker.Add("o-layer", CellMapMemoryBytes(cube.o_layer()));
-    } else {
-      const int depth = SpecDepth(lattice.spec(cuboid));
-      CellMap retained;
-      for (const auto& [key, isb] : cells) {
-        if (options.policy.IsException(isb, cuboid, depth)) {
-          retained.emplace(key, isb);
-        }
+      return;
+    }
+    const int depth = SpecDepth(lattice.spec(cuboid));
+    CellMap retained;
+    for (const auto& [key, isb] : cells) {
+      if (options.policy.IsException(isb, cuboid, depth)) {
+        retained.emplace(key, isb);
       }
-      stats.exception_cells += static_cast<std::int64_t>(retained.size());
-      tracker.Add("exceptions", CellMapMemoryBytes(retained));
-      cube.mutable_exceptions().InsertAll(cuboid, retained);
+    }
+    stats.exception_cells += static_cast<std::int64_t>(retained.size());
+    tracker.Add("exceptions", CellMapMemoryBytes(retained));
+    cube.mutable_exceptions().InsertAll(cuboid, retained);
+  };
+
+  std::vector<CuboidId> cuboids;
+  cuboids.reserve(static_cast<size_t>(lattice.num_cuboids()));
+  for (CuboidId cuboid = 0; cuboid < lattice.num_cuboids(); ++cuboid) {
+    if (cuboid != lattice.m_layer_id()) cuboids.push_back(cuboid);
+  }
+
+  // A pool without real parallelism must keep the sequential loop: the
+  // partitioned path holds every cuboid's transient cells alive at once,
+  // a memory multiple worth paying only for a wall-clock return.
+  if (options.pool != nullptr && options.pool->num_threads() > 1) {
+    // Pool-partitioned: all cuboids' transient cells are alive at once, and
+    // the peak accounting says so honestly.
+    std::vector<CellMap> maps =
+        ComputeCuboidCellsPartitioned(tree, lattice, cuboids, options.pool);
+    std::int64_t transient_bytes = 0;
+    for (const CellMap& m : maps) transient_bytes += CellMapMemoryBytes(m);
+    tracker.Add("transient", transient_bytes);
+    for (size_t i = 0; i < cuboids.size(); ++i) {
+      fold(cuboids[i], std::move(maps[i]));
     }
     tracker.Release("transient", transient_bytes);
+  } else {
+    for (CuboidId cuboid : cuboids) {
+      CellMap cells = ComputeCuboidCells(tree, lattice, cuboid);
+      const std::int64_t transient_bytes = CellMapMemoryBytes(cells);
+      tracker.Add("transient", transient_bytes);
+      fold(cuboid, std::move(cells));
+      tracker.Release("transient", transient_bytes);
+    }
   }
   stats.compute_seconds = compute_timer.ElapsedSeconds();
 

@@ -12,6 +12,8 @@
 
 namespace regcube {
 
+class ThreadPool;
+
 /// Options for Algorithm 1.
 struct MoCubingOptions {
   /// Exception predicate for the cuboids between the critical layers.
@@ -24,6 +26,13 @@ struct MoCubingOptions {
   /// Optional external tracker (e.g. shared across benchmark phases).
   /// If null, the run uses an internal tracker.
   MemoryTracker* tracker = nullptr;
+
+  /// Optional pool partitioning the per-cuboid H-cubing across threads
+  /// (the H-tree is read-only during Step 2, so cuboids are independent).
+  /// Null or a pool with a single worker keeps the sequential
+  /// one-cuboid-at-a-time loop, whose transient-memory accounting matches
+  /// the paper's figures. The computed cube is identical either way.
+  ThreadPool* pool = nullptr;
 };
 
 /// Algorithm 1 (m/o H-cubing): builds the H-tree with measures only at the

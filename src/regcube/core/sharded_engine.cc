@@ -1,34 +1,21 @@
 #include "regcube/core/sharded_engine.h"
 
 #include <algorithm>
-#include <cmath>
 #include <utility>
 
 #include "regcube/common/logging.h"
 #include "regcube/common/str.h"
-#include "regcube/regression/aggregate.h"
 
 namespace regcube {
-namespace {
-
-/// Canonical total order on cell keys: merged rows are always reduced in
-/// this order, which is what makes results shard-count invariant.
-bool KeyLess(const CellKey& a, const CellKey& b) {
-  if (a.num_dims() != b.num_dims()) return a.num_dims() < b.num_dims();
-  for (int d = 0; d < a.num_dims(); ++d) {
-    if (a[d] != b[d]) return a[d] < b[d];
-  }
-  return false;
-}
-
-}  // namespace
 
 ShardedStreamEngine::ShardedStreamEngine(
-    std::shared_ptr<const CubeSchema> schema, Options options, int num_shards)
+    std::shared_ptr<const CubeSchema> schema, Options options, int num_shards,
+    std::shared_ptr<ThreadPool> pool)
     : schema_(std::move(schema)),
       lattice_(*schema_),
       options_(std::move(options)),
       mapper_(std::move(options_.key_mapper)),
+      pool_(std::move(pool)),
       clock_(options_.start_tick) {
   RC_CHECK(schema_ != nullptr);
   RC_CHECK(options_.tilt_policy != nullptr);
@@ -63,12 +50,13 @@ Status ShardedStreamEngine::Ingest(const StreamTuple& tuple) {
     BumpClock(tuple.tick);
   }
   // A rejected tuple can still have created the cell's frame; move the
-  // revision unconditionally so cube caches never serve stale state.
+  // revision unconditionally so snapshot caches never serve stale state.
   revision_.fetch_add(1, std::memory_order_release);
   return status;
 }
 
-Status ShardedStreamEngine::IngestBatch(const std::vector<StreamTuple>& tuples) {
+IngestReport ShardedStreamEngine::IngestBatch(
+    const std::vector<StreamTuple>& tuples) {
   std::vector<std::vector<StreamTuple>> partitions(shards_.size());
   TimeTick max_tick = clock_.load(std::memory_order_relaxed);
   for (const StreamTuple& t : tuples) {
@@ -77,22 +65,31 @@ Status ShardedStreamEngine::IngestBatch(const std::vector<StreamTuple>& tuples) 
         {key, t.tick, t.value});
     max_tick = std::max(max_tick, t.tick);
   }
-  Status status;
+  IngestReport report;
+  report.attempted = static_cast<std::int64_t>(tuples.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (partitions[i].empty()) continue;
     Shard& shard = *shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    status = shard.engine.IngestBatch(partitions[i]);
-    if (!status.ok()) break;
+    IngestReport shard_report;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard_report = shard.engine.IngestBatch(partitions[i]);
+    }
+    report.absorbed += shard_report.absorbed;
+    if (!shard_report.ok()) {
+      report.status = std::move(shard_report.status);
+      break;
+    }
   }
-  if (status.ok()) {
+  if (report.ok()) {
     BumpClock(max_tick);
   }
   // Earlier shards keep their prefix even on error, so the state changed
-  // either way: the revision must move or cube caches go stale. (The clock
-  // self-corrects in AlignLocked, which maxes over shard clocks.)
+  // either way: the revision must move or snapshot caches go stale. (The
+  // clock self-corrects in the next gather/seal, which maxes over shard
+  // clocks.)
   revision_.fetch_add(1, std::memory_order_release);
-  return status;
+  return report;
 }
 
 std::vector<std::unique_lock<std::mutex>> ShardedStreamEngine::LockAll()
@@ -129,8 +126,73 @@ Status ShardedStreamEngine::SealThrough(TimeTick t) {
   return Status::OK();
 }
 
+ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherAlignedCells() {
+  GatheredCells out;
+  out.revision = revision_.load(std::memory_order_acquire);
+
+  // Phase 1 — gather: freeze each shard's cells holding only that shard's
+  // lock. With a pool, shards are copied concurrently; either way no lock
+  // spans another shard's copy, so writers on other shards keep flowing.
+  const size_t n = shards_.size();
+  std::vector<std::vector<CellSnapshot>> per_shard(n);
+  std::vector<TimeTick> shard_now(n, 0);
+  auto gather_one = [&](std::int64_t i) {
+    Shard& shard = *shards_[static_cast<size_t>(i)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    per_shard[static_cast<size_t>(i)] = shard.engine.ExportCells();
+    shard_now[static_cast<size_t>(i)] = shard.engine.now();
+  };
+  if (pool_ != nullptr && n > 1) {
+    pool_->ParallelFor(static_cast<std::int64_t>(n), gather_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) gather_one(static_cast<std::int64_t>(i));
+  }
+
+  // Phase 2 — align outside the locks, on the copies: drive every frozen
+  // frame to the max clock seen, so slot structures agree across shards
+  // exactly as the old all-locks alignment produced.
+  TimeTick target = clock_.load(std::memory_order_acquire);
+  for (TimeTick t : shard_now) target = std::max(target, t);
+  out.clock = target;
+
+  size_t total = 0;
+  for (const auto& cells : per_shard) total += cells.size();
+  out.cells.reserve(total);
+  for (auto& cells : per_shard) {
+    out.cells.insert(out.cells.end(),
+                     std::make_move_iterator(cells.begin()),
+                     std::make_move_iterator(cells.end()));
+  }
+  auto align_one = [&](std::int64_t i) {
+    Status s = out.cells[static_cast<size_t>(i)].frame.AdvanceTo(target);
+    RC_CHECK(s.ok()) << s.ToString();
+  };
+  if (pool_ != nullptr && total > 1) {
+    pool_->ParallelFor(static_cast<std::int64_t>(total), align_one);
+  } else {
+    for (size_t i = 0; i < total; ++i) align_one(static_cast<std::int64_t>(i));
+  }
+
+  std::sort(out.cells.begin(), out.cells.end(),
+            [](const CellSnapshot& a, const CellSnapshot& b) {
+              return CanonicalKeyLess(a.key, b.key);
+            });
+  return out;
+}
+
 Result<std::vector<MLayerTuple>> ShardedStreamEngine::SnapshotWindow(int level,
                                                                      int k) {
+  return SnapshotWindowOf(GatherAlignedCells().cells, level, k);
+}
+
+Result<RegressionCube> ShardedStreamEngine::ComputeCube(int level, int k) {
+  GatheredCells gathered = GatherAlignedCells();
+  return SnapshotCubeOf(schema_, gathered.cells, options_, level, k,
+                        pool_.get());
+}
+
+Result<RegressionCube> ShardedStreamEngine::ComputeCubeAllLocks(int level,
+                                                                int k) {
   auto locks = LockAll();
   RC_RETURN_IF_ERROR(AlignLocked());
   std::int64_t cells = 0;
@@ -148,169 +210,52 @@ Result<std::vector<MLayerTuple>> ShardedStreamEngine::SnapshotWindow(int level,
   }
   std::sort(merged.begin(), merged.end(),
             [](const MLayerTuple& a, const MLayerTuple& b) {
-              return KeyLess(a.key, b.key);
+              return CanonicalKeyLess(a.key, b.key);
             });
-  return merged;
-}
-
-Result<RegressionCube> ShardedStreamEngine::ComputeCube(int level, int k) {
-  auto tuples = SnapshotWindow(level, k);
-  if (!tuples.ok()) return tuples.status();
-  return ComputeCubeFromWindow(schema_, *tuples, options_);
-}
-
-Result<std::vector<StreamCubeEngine::MLayerSeries>>
-ShardedStreamEngine::MergedSeriesLocked(int level) {
-  if (level < 0 || level >= options_.tilt_policy->num_levels()) {
-    return Status::InvalidArgument(
-        StrPrintf("tilt level %d outside [0, %d)", level,
-                  options_.tilt_policy->num_levels()));
-  }
-  std::vector<StreamCubeEngine::MLayerSeries> merged;
-  for (auto& shard : shards_) {
-    auto rows = shard->engine.SnapshotSeries(level);
-    merged.insert(merged.end(), std::make_move_iterator(rows.begin()),
-                  std::make_move_iterator(rows.end()));
-  }
-  if (merged.empty()) {
-    return Status::FailedPrecondition("no stream data ingested yet");
-  }
-  std::sort(merged.begin(), merged.end(),
-            [](const StreamCubeEngine::MLayerSeries& a,
-               const StreamCubeEngine::MLayerSeries& b) {
-              return KeyLess(a.key, b.key);
-            });
-  return merged;
+  return ComputeCubeFromWindow(schema_, merged, options_, nullptr);
 }
 
 Result<ShardedStreamEngine::DeckSeries> ShardedStreamEngine::ObservationDeck(
     int level) {
-  auto locks = LockAll();
-  RC_RETURN_IF_ERROR(AlignLocked());
-  auto rows = MergedSeriesLocked(level);
-  if (!rows.ok()) return rows.status();
-  DeckSeries deck;
-  const CuboidId o_id = lattice_.o_layer_id();
-  for (const auto& row : *rows) {
-    const CellKey o_key = lattice_.ProjectMLayerKey(row.key, o_id);
-    auto& dest = deck[o_key];
-    if (dest.size() < row.slots.size()) dest.resize(row.slots.size());
-    for (size_t i = 0; i < row.slots.size(); ++i) {
-      AccumulateStandardDim(dest[i], row.slots[i]);
-    }
-  }
-  return deck;
+  return SnapshotDeckOf(GatherAlignedCells().cells, lattice_,
+                        options_.tilt_policy->num_levels(), level);
 }
 
 Result<std::vector<ShardedStreamEngine::TrendChange>>
 ShardedStreamEngine::DetectTrendChanges(int level, double threshold) {
-  auto deck = ObservationDeck(level);
-  if (!deck.ok()) return deck.status();
-  std::vector<TrendChange> changes;
-  for (const auto& [key, series] : *deck) {
-    if (series.size() < 2) continue;
-    const Isb& prev = series[series.size() - 2];
-    const Isb& cur = series[series.size() - 1];
-    const double delta = std::abs(cur.slope - prev.slope);
-    if (delta >= threshold) {
-      changes.push_back(TrendChange{key, prev, cur, delta});
-    }
-  }
-  std::sort(changes.begin(), changes.end(),
-            [](const TrendChange& a, const TrendChange& b) {
-              if (a.slope_delta != b.slope_delta) {
-                return a.slope_delta > b.slope_delta;
-              }
-              return KeyLess(a.key, b.key);  // deterministic tie order
-            });
-  return changes;
-}
-
-Result<std::vector<std::pair<CellKey, ShardedStreamEngine::Shard*>>>
-ShardedStreamEngine::MemberCellsLocked(CuboidId cuboid, const CellKey& key) {
-  std::vector<std::pair<CellKey, Shard*>> members;
-  bool any_cells = false;
-  for (auto& shard : shards_) {
-    for (const CellKey& m_key : shard->engine.MLayerKeys()) {
-      any_cells = true;
-      if (lattice_.ProjectMLayerKey(m_key, cuboid) == key) {
-        members.emplace_back(m_key, shard.get());
-      }
-    }
-  }
-  if (!any_cells) {
-    return Status::FailedPrecondition("no stream data ingested yet");
-  }
-  if (members.empty()) {
-    return Status::NotFound(
-        StrPrintf("no m-layer cell rolls up into %s of cuboid %s",
-                  key.ToString().c_str(),
-                  lattice_.CuboidName(cuboid).c_str()));
-  }
-  std::sort(members.begin(), members.end(),
-            [](const auto& a, const auto& b) {
-              return KeyLess(a.first, b.first);
-            });
-  return members;
+  return SnapshotTrendChangesOf(GatherAlignedCells().cells, lattice_,
+                                options_.tilt_policy->num_levels(), level,
+                                threshold);
 }
 
 Result<Isb> ShardedStreamEngine::QueryCell(CuboidId cuboid, const CellKey& key,
                                            int level, int k) {
-  if (cuboid < 0 || cuboid >= lattice_.num_cuboids()) {
-    return Status::InvalidArgument(
-        StrPrintf("cuboid id %d outside the lattice", cuboid));
-  }
-  auto locks = LockAll();
-  RC_RETURN_IF_ERROR(AlignLocked());
-  auto members = MemberCellsLocked(cuboid, key);
-  if (!members.ok()) return members.status();
-  Isb acc;
-  for (auto& [m_key, shard] : *members) {
-    auto isb = shard->engine.RegressMLayerCell(m_key, level, k);
-    if (!isb.ok()) return isb.status();
-    AccumulateStandardDim(acc, *isb);
-  }
-  return acc;
+  return SnapshotCellOf(GatherAlignedCells().cells, lattice_, cuboid, key,
+                        level, k);
 }
 
 Result<std::vector<Isb>> ShardedStreamEngine::QueryCellSeries(
     CuboidId cuboid, const CellKey& key, int level) {
-  if (cuboid < 0 || cuboid >= lattice_.num_cuboids()) {
-    return Status::InvalidArgument(
-        StrPrintf("cuboid id %d outside the lattice", cuboid));
-  }
-  if (level < 0 || level >= options_.tilt_policy->num_levels()) {
-    return Status::InvalidArgument(
-        StrPrintf("tilt level %d outside [0, %d)", level,
-                  options_.tilt_policy->num_levels()));
-  }
-  auto locks = LockAll();
-  RC_RETURN_IF_ERROR(AlignLocked());
-  auto members = MemberCellsLocked(cuboid, key);
-  if (!members.ok()) return members.status();
-  std::vector<Isb> acc;
-  for (auto& [m_key, shard] : *members) {
-    auto slots = shard->engine.MLayerCellSeries(m_key, level);
-    if (!slots.ok()) return slots.status();
-    if (acc.size() < slots->size()) acc.resize(slots->size());
-    for (size_t i = 0; i < slots->size(); ++i) {
-      AccumulateStandardDim(acc[i], (*slots)[i]);
-    }
-  }
-  return acc;
+  return SnapshotCellSeriesOf(GatherAlignedCells().cells, lattice_,
+                              options_.tilt_policy->num_levels(), cuboid, key,
+                              level);
 }
 
 std::int64_t ShardedStreamEngine::num_cells() const {
-  auto locks = LockAll();
   std::int64_t cells = 0;
-  for (const auto& shard : shards_) cells += shard->engine.num_cells();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    cells += shard->engine.num_cells();
+  }
   return cells;
 }
 
 std::int64_t ShardedStreamEngine::MemoryBytes() const {
-  auto locks = LockAll();
   std::int64_t bytes = 0;
-  for (const auto& shard : shards_) bytes += shard->engine.MemoryBytes();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    bytes += shard->engine.MemoryBytes();
+  }
   return bytes;
 }
 

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "regcube/common/status.h"
+#include "regcube/common/thread_pool.h"
+#include "regcube/core/snapshot_reads.h"
 #include "regcube/core/stream_engine.h"
 
 namespace regcube {
@@ -20,10 +22,18 @@ namespace regcube {
 /// many threads proceeds in parallel; SealThrough is a barrier that locks
 /// every shard and drives all of them to one global clock.
 ///
-/// Read operations merge per-shard state into results that are
-/// *bit-identical for every shard count*: merged per-cell rows are sorted
-/// into a canonical key order before any aggregation, so the floating-point
-/// reduction order never depends on how cells happened to be partitioned.
+/// Reads are snapshot-based: GatherAlignedCells freezes each shard's cells
+/// while holding only that shard's lock (shards are gathered in parallel on
+/// the pool), aligns the frozen copies to one clock *outside* the locks,
+/// and every aggregation then runs lock-free over the frozen m-layer — a
+/// large ComputeCube no longer stalls ingest. The pre-redesign
+/// hold-every-lock read survives as ComputeCubeAllLocks, kept as the
+/// baseline oracle for benches and bit-identity tests.
+///
+/// Read results are *bit-identical for every shard count*: frozen per-cell
+/// rows are sorted into a canonical key order before any aggregation, so
+/// the floating-point reduction order never depends on how cells happened
+/// to be partitioned.
 ///
 /// The key mapper (primitive key -> m-layer key) is applied here, before
 /// shard hashing, so every observation of one m-layer cell lands on the
@@ -35,9 +45,11 @@ class ShardedStreamEngine {
   using DeckSeries = StreamCubeEngine::DeckSeries;
   using TrendChange = StreamCubeEngine::TrendChange;
 
-  /// `num_shards` must be >= 1 (checked).
+  /// `num_shards` must be >= 1 (checked). A non-null `pool` parallelizes
+  /// shard gathering and per-cuboid cubing; null keeps reads serial.
   ShardedStreamEngine(std::shared_ptr<const CubeSchema> schema,
-                      Options options, int num_shards);
+                      Options options, int num_shards,
+                      std::shared_ptr<ThreadPool> pool = nullptr);
 
   // ---- write side (safe from many threads concurrently) ----------------
 
@@ -45,25 +57,45 @@ class ShardedStreamEngine {
   Status Ingest(const StreamTuple& tuple);
 
   /// Partitions the batch by shard and feeds each shard under its lock.
-  /// Per-cell tick order within the batch is preserved; on error the
-  /// already-fed shards keep their prefix (same spirit as the
-  /// single-engine "stops at the first error" contract).
-  Status IngestBatch(const std::vector<StreamTuple>& tuples);
+  /// Per-cell tick order within the batch is preserved. The report carries
+  /// the partial-failure contract: how many tuples were absorbed before
+  /// the first error (shards are fed in index order, so the absorbed set
+  /// is every earlier shard's full partition plus the failing shard's
+  /// prefix).
+  IngestReport IngestBatch(const std::vector<StreamTuple>& tuples);
 
   /// Barrier: locks every shard, seals all of them through `t` and aligns
   /// them to one global clock, so subsequent reads see one consistent
   /// slot structure.
   Status SealThrough(TimeTick t);
 
-  // ---- read side (each call locks all shards for its duration) ---------
+  // ---- read side (gather briefly under per-shard locks, then lock-free) -
+
+  /// The gather-under-lock phase shared by every read: frozen copies of
+  /// all cells, aligned to one clock, in canonical key order. Each shard's
+  /// lock is held only while its cells are copied; alignment and sorting
+  /// happen outside. The result is immutable and self-contained — the api
+  /// layer wraps it as a CubeSnapshot.
+  struct GatheredCells {
+    SnapshotCells cells;         // canonical key order, aligned
+    TimeTick clock = 0;          // tick the cells are aligned to
+    std::uint64_t revision = 0;  // engine revision when gathering began
+  };
+  GatheredCells GatherAlignedCells();
 
   /// Merged m-layer window over the most recent `k` sealed slots of tilt
   /// `level`, in canonical key order.
   Result<std::vector<MLayerTuple>> SnapshotWindow(int level, int k);
 
   /// Recomputes the partially materialized cube over that window with the
-  /// configured algorithm, from the merged (canonically ordered) window.
+  /// configured algorithm. Gathers first, then cubes lock-free (per-cuboid
+  /// work partitioned across the pool) — concurrent ingest keeps flowing.
   Result<RegressionCube> ComputeCube(int level, int k);
+
+  /// The retired pre-redesign read: holds every shard lock for the whole
+  /// cubing computation. Identical results to ComputeCube; kept only as
+  /// the baseline for bench_snapshot_reads and the bit-identity tests.
+  Result<RegressionCube> ComputeCubeAllLocks(int level, int k);
 
   /// Observation deck merged across shards (§4.2 semantics of the single
   /// engine).
@@ -97,13 +129,18 @@ class ShardedStreamEngine {
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
   /// Monotonic counter bumped by every successful write; lets callers
-  /// (e.g. the facade's cube cache) detect staleness cheaply.
+  /// (e.g. the facade's snapshot cache) detect staleness cheaply.
   std::uint64_t revision() const {
     return revision_.load(std::memory_order_acquire);
   }
 
   const CubeSchema& schema() const { return *schema_; }
   const CuboidLattice& lattice() const { return lattice_; }
+
+  /// The shard configuration with the key mapper stripped (it is applied
+  /// before hashing). The api layer hands this to CubeSnapshot so snapshot
+  /// cubing uses the same algorithm/policy/tilt structure.
+  const Options& options() const { return options_; }
 
  private:
   struct Shard {
@@ -120,29 +157,19 @@ class ShardedStreamEngine {
   void BumpClock(TimeTick t);
 
   /// Locks every shard in index order (the one lock order, so concurrent
-  /// barriers never deadlock).
+  /// barriers never deadlock). Only the write barrier and the AllLocks
+  /// baseline still use this.
   std::vector<std::unique_lock<std::mutex>> LockAll() const;
 
   /// Pre: all shard locks held. Drives every shard's clock (and frame
   /// alignment) to the global clock, so per-shard slot structures agree.
   Status AlignLocked();
 
-  /// Pre: all shard locks held, shards aligned. Per-cell slot-series rows
-  /// merged across shards in canonical key order.
-  Result<std::vector<StreamCubeEngine::MLayerSeries>> MergedSeriesLocked(
-      int level);
-
-  /// Pre: all shard locks held, shards aligned. The m-layer cells (with
-  /// their owning shards) that roll up into `key` of `cuboid`, in
-  /// canonical key order — the point-query path touches only these.
-  /// FailedPrecondition with no data, NotFound with no members.
-  Result<std::vector<std::pair<CellKey, Shard*>>> MemberCellsLocked(
-      CuboidId cuboid, const CellKey& key);
-
   std::shared_ptr<const CubeSchema> schema_;
   CuboidLattice lattice_;
   Options options_;  // shard options; key_mapper lives in mapper_ instead
   std::function<CellKey(const CellKey&)> mapper_;
+  std::shared_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<TimeTick> clock_;
   std::atomic<std::uint64_t> revision_{0};

@@ -1,0 +1,150 @@
+#include "regcube/core/snapshot_reads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "regcube/common/str.h"
+#include "regcube/regression/aggregate.h"
+
+namespace regcube {
+namespace {
+
+Status BadLevel(int level, int num_levels) {
+  return Status::InvalidArgument(
+      StrPrintf("tilt level %d outside [0, %d)", level, num_levels));
+}
+
+Status BadCuboid(CuboidId cuboid) {
+  return Status::InvalidArgument(
+      StrPrintf("cuboid id %d outside the lattice", cuboid));
+}
+
+Status NoData() {
+  return Status::FailedPrecondition("no stream data ingested yet");
+}
+
+Status NoMembers(const CuboidLattice& lattice, CuboidId cuboid,
+                 const CellKey& key) {
+  return Status::NotFound(
+      StrPrintf("no m-layer cell rolls up into %s of cuboid %s",
+                key.ToString().c_str(), lattice.CuboidName(cuboid).c_str()));
+}
+
+}  // namespace
+
+bool CanonicalKeyLess(const CellKey& a, const CellKey& b) {
+  if (a.num_dims() != b.num_dims()) return a.num_dims() < b.num_dims();
+  for (int d = 0; d < a.num_dims(); ++d) {
+    if (a[d] != b[d]) return a[d] < b[d];
+  }
+  return false;
+}
+
+Result<std::vector<MLayerTuple>> SnapshotWindowOf(const SnapshotCells& cells,
+                                                  int level, int k) {
+  if (cells.empty()) return NoData();
+  std::vector<MLayerTuple> merged;
+  merged.reserve(cells.size());
+  for (const CellSnapshot& cell : cells) {
+    auto isb = cell.frame.RegressLastSlots(level, k);
+    if (!isb.ok()) return isb.status();
+    merged.push_back(MLayerTuple{cell.key, *isb});
+  }
+  return merged;
+}
+
+Result<StreamCubeEngine::DeckSeries> SnapshotDeckOf(
+    const SnapshotCells& cells, const CuboidLattice& lattice, int num_levels,
+    int level) {
+  if (level < 0 || level >= num_levels) return BadLevel(level, num_levels);
+  if (cells.empty()) return NoData();
+  StreamCubeEngine::DeckSeries deck;
+  const CuboidId o_id = lattice.o_layer_id();
+  for (const CellSnapshot& cell : cells) {
+    const CellKey o_key = lattice.ProjectMLayerKey(cell.key, o_id);
+    const auto& slots = cell.frame.RawSlots(level);
+    auto& dest = deck[o_key];
+    if (dest.size() < slots.size()) dest.resize(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      AccumulateStandardDim(dest[i], FitFromMoments(slots[i]));
+    }
+  }
+  return deck;
+}
+
+Result<std::vector<StreamCubeEngine::TrendChange>> SnapshotTrendChangesOf(
+    const SnapshotCells& cells, const CuboidLattice& lattice, int num_levels,
+    int level, double threshold) {
+  auto deck = SnapshotDeckOf(cells, lattice, num_levels, level);
+  if (!deck.ok()) return deck.status();
+  std::vector<StreamCubeEngine::TrendChange> changes;
+  for (const auto& [key, series] : *deck) {
+    if (series.size() < 2) continue;
+    const Isb& prev = series[series.size() - 2];
+    const Isb& cur = series[series.size() - 1];
+    const double delta = std::abs(cur.slope - prev.slope);
+    if (delta >= threshold) {
+      changes.push_back(StreamCubeEngine::TrendChange{key, prev, cur, delta});
+    }
+  }
+  std::sort(changes.begin(), changes.end(),
+            [](const StreamCubeEngine::TrendChange& a,
+               const StreamCubeEngine::TrendChange& b) {
+              if (a.slope_delta != b.slope_delta) {
+                return a.slope_delta > b.slope_delta;
+              }
+              return CanonicalKeyLess(a.key, b.key);  // deterministic ties
+            });
+  return changes;
+}
+
+Result<Isb> SnapshotCellOf(const SnapshotCells& cells,
+                           const CuboidLattice& lattice, CuboidId cuboid,
+                           const CellKey& key, int level, int k) {
+  if (cuboid < 0 || cuboid >= lattice.num_cuboids()) return BadCuboid(cuboid);
+  if (cells.empty()) return NoData();
+  Isb acc;
+  bool found = false;
+  for (const CellSnapshot& cell : cells) {
+    if (!(lattice.ProjectMLayerKey(cell.key, cuboid) == key)) continue;
+    auto isb = cell.frame.RegressLastSlots(level, k);
+    if (!isb.ok()) return isb.status();
+    AccumulateStandardDim(acc, *isb);
+    found = true;
+  }
+  if (!found) return NoMembers(lattice, cuboid, key);
+  return acc;
+}
+
+Result<std::vector<Isb>> SnapshotCellSeriesOf(const SnapshotCells& cells,
+                                              const CuboidLattice& lattice,
+                                              int num_levels, CuboidId cuboid,
+                                              const CellKey& key, int level) {
+  if (cuboid < 0 || cuboid >= lattice.num_cuboids()) return BadCuboid(cuboid);
+  if (level < 0 || level >= num_levels) return BadLevel(level, num_levels);
+  if (cells.empty()) return NoData();
+  std::vector<Isb> acc;
+  bool found = false;
+  for (const CellSnapshot& cell : cells) {
+    if (!(lattice.ProjectMLayerKey(cell.key, cuboid) == key)) continue;
+    const auto& slots = cell.frame.RawSlots(level);
+    if (acc.size() < slots.size()) acc.resize(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      AccumulateStandardDim(acc[i], FitFromMoments(slots[i]));
+    }
+    found = true;
+  }
+  if (!found) return NoMembers(lattice, cuboid, key);
+  return acc;
+}
+
+Result<RegressionCube> SnapshotCubeOf(std::shared_ptr<const CubeSchema> schema,
+                                      const SnapshotCells& cells,
+                                      const StreamCubeEngine::Options& options,
+                                      int level, int k, ThreadPool* pool) {
+  auto tuples = SnapshotWindowOf(cells, level, k);
+  if (!tuples.ok()) return tuples.status();
+  return ComputeCubeFromWindow(std::move(schema), *tuples, options, pool);
+}
+
+}  // namespace regcube

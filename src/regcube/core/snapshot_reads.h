@@ -1,0 +1,71 @@
+#ifndef REGCUBE_CORE_SNAPSHOT_READS_H_
+#define REGCUBE_CORE_SNAPSHOT_READS_H_
+
+#include <memory>
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/core/stream_engine.h"
+
+namespace regcube {
+
+class ThreadPool;
+
+/// Lock-free aggregation over a frozen m-layer — the aggregate-outside half
+/// of every snapshot read. Inputs are CellSnapshots in canonical key order,
+/// aligned to one clock (ShardedStreamEngine::GatherAlignedCells produces
+/// exactly that); every function here is pure, so any number of threads may
+/// query one frozen cell set concurrently.
+///
+/// These functions are the single implementation behind both
+/// ShardedStreamEngine's read methods and the facade's CubeSnapshot, which
+/// is what keeps the two bit-identical: same canonical order, same
+/// floating-point reduction order, same error contract as the pre-redesign
+/// locked reads.
+
+/// Canonical total order on cell keys. Merged rows are always reduced in
+/// this order, which is what makes results shard-count invariant.
+bool CanonicalKeyLess(const CellKey& a, const CellKey& b);
+
+/// The frozen m-layer cells a snapshot query runs against.
+using SnapshotCells = std::vector<CellSnapshot>;
+
+/// Merged m-layer window over the most recent `k` sealed slots of tilt
+/// `level`, in canonical key order. FailedPrecondition when no cells.
+Result<std::vector<MLayerTuple>> SnapshotWindowOf(const SnapshotCells& cells,
+                                                  int level, int k);
+
+/// Observation deck (§4.2 semantics): per o-layer cell, its sealed slot
+/// series at `level`. `num_levels` bounds the level check.
+Result<StreamCubeEngine::DeckSeries> SnapshotDeckOf(
+    const SnapshotCells& cells, const CuboidLattice& lattice, int num_levels,
+    int level);
+
+/// O-layer cells whose slope moved by >= `threshold` between the last two
+/// sealed slots of `level`, strongest change first (deterministic ties).
+Result<std::vector<StreamCubeEngine::TrendChange>> SnapshotTrendChangesOf(
+    const SnapshotCells& cells, const CuboidLattice& lattice, int num_levels,
+    int level, double threshold);
+
+/// On-the-fly regression of one cell of any lattice cuboid, aggregated from
+/// its member m-layer cells in canonical order.
+Result<Isb> SnapshotCellOf(const SnapshotCells& cells,
+                           const CuboidLattice& lattice, CuboidId cuboid,
+                           const CellKey& key, int level, int k);
+
+/// The cell's whole sealed slot series at `level`.
+Result<std::vector<Isb>> SnapshotCellSeriesOf(const SnapshotCells& cells,
+                                              const CuboidLattice& lattice,
+                                              int num_levels, CuboidId cuboid,
+                                              const CellKey& key, int level);
+
+/// Partially materialized cube over the window, cubed with the options'
+/// algorithm; a non-null pool partitions the per-cuboid work across it.
+Result<RegressionCube> SnapshotCubeOf(std::shared_ptr<const CubeSchema> schema,
+                                      const SnapshotCells& cells,
+                                      const StreamCubeEngine::Options& options,
+                                      int level, int k, ThreadPool* pool);
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CORE_SNAPSHOT_READS_H_

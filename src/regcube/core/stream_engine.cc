@@ -37,9 +37,19 @@ Status StreamCubeEngine::Ingest(const StreamTuple& tuple) {
   return Status::OK();
 }
 
-Status StreamCubeEngine::IngestBatch(const std::vector<StreamTuple>& tuples) {
-  for (const StreamTuple& t : tuples) RC_RETURN_IF_ERROR(Ingest(t));
-  return Status::OK();
+IngestReport StreamCubeEngine::IngestBatch(
+    const std::vector<StreamTuple>& tuples) {
+  IngestReport report;
+  report.attempted = static_cast<std::int64_t>(tuples.size());
+  for (const StreamTuple& t : tuples) {
+    Status s = Ingest(t);
+    if (!s.ok()) {
+      report.status = std::move(s);
+      return report;
+    }
+    ++report.absorbed;
+  }
+  return report;
 }
 
 Status StreamCubeEngine::SealThrough(TimeTick t) {
@@ -80,10 +90,11 @@ Result<RegressionCube> StreamCubeEngine::ComputeCube(int level, int k) {
 Result<RegressionCube> ComputeCubeFromWindow(
     std::shared_ptr<const CubeSchema> schema,
     const std::vector<MLayerTuple>& tuples,
-    const StreamCubeEngine::Options& options) {
+    const StreamCubeEngine::Options& options, ThreadPool* pool) {
   if (options.algorithm == StreamCubeEngine::Algorithm::kMoCubing) {
     MoCubingOptions mo;
     mo.policy = options.policy;
+    mo.pool = pool;
     return ComputeMoCubing(std::move(schema), tuples, mo);
   }
   PopularPathOptions pp;
@@ -209,53 +220,16 @@ Result<std::vector<Isb>> StreamCubeEngine::QueryCellSeries(
   return series;
 }
 
-std::vector<CellKey> StreamCubeEngine::MLayerKeys() const {
-  std::vector<CellKey> keys;
-  keys.reserve(frames_.size());
-  for (const auto& [key, frame] : frames_) keys.push_back(key);
-  return keys;
-}
-
-std::vector<StreamCubeEngine::MLayerSeries> StreamCubeEngine::SnapshotSeries(
-    int level) {
-  AlignFrames();
-  std::vector<MLayerSeries> rows;
-  rows.reserve(frames_.size());
-  for (auto& [key, frame] : frames_) {
-    const auto& slots = frame.RawSlots(level);
-    MLayerSeries row;
-    row.key = key;
-    row.slots.reserve(slots.size());
-    for (const MomentSums& m : slots) row.slots.push_back(FitFromMoments(m));
-    rows.push_back(std::move(row));
+std::vector<CellSnapshot> StreamCubeEngine::ExportCells() const {
+  std::vector<CellSnapshot> cells;
+  cells.reserve(frames_.size());
+  for (const auto& [key, frame] : frames_) {
+    CellSnapshot cell{key, frame};
+    Status s = cell.frame.AdvanceTo(now_);
+    RC_CHECK(s.ok()) << s.ToString();
+    cells.push_back(std::move(cell));
   }
-  return rows;
-}
-
-Result<Isb> StreamCubeEngine::RegressMLayerCell(const CellKey& m_key,
-                                                int level, int k) {
-  auto it = frames_.find(m_key);
-  if (it == frames_.end()) {
-    return Status::NotFound(
-        StrPrintf("m-layer cell %s was never seen", m_key.ToString().c_str()));
-  }
-  AlignFrames();
-  return it->second.RegressLastSlots(level, k);
-}
-
-Result<std::vector<Isb>> StreamCubeEngine::MLayerCellSeries(
-    const CellKey& m_key, int level) {
-  auto it = frames_.find(m_key);
-  if (it == frames_.end()) {
-    return Status::NotFound(
-        StrPrintf("m-layer cell %s was never seen", m_key.ToString().c_str()));
-  }
-  AlignFrames();
-  const auto& slots = it->second.RawSlots(level);
-  std::vector<Isb> series;
-  series.reserve(slots.size());
-  for (const MomentSums& m : slots) series.push_back(FitFromMoments(m));
-  return series;
+  return cells;
 }
 
 std::int64_t StreamCubeEngine::MemoryBytes() const {

@@ -24,6 +24,30 @@ struct StreamTuple {
   double value = 0.0;
 };
 
+/// Outcome of a batch ingest. `absorbed` counts the tuples applied before
+/// the first error — exactly the prefix the engine kept — so callers can
+/// resume or reconcile a partially failed batch instead of guessing.
+/// `status` is OK iff the whole batch was absorbed (absorbed == attempted).
+/// On the sharded engine the batch is partitioned by shard and shards are
+/// fed in index order, so the absorbed set is the union of fully fed
+/// shards plus the failing shard's prefix (still `absorbed` tuples, but
+/// not a prefix of the caller's original order).
+struct IngestReport {
+  std::int64_t absorbed = 0;
+  std::int64_t attempted = 0;
+  Status status;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// One m-layer cell frozen for lock-free reads: its key plus a deep copy
+/// of its tilt frame. The unit of the snapshot read path — gathered under
+/// a shard lock, queried without any.
+struct CellSnapshot {
+  CellKey key;
+  TiltTimeFrame frame;
+};
+
 /// The on-line analysis engine of §4.5: maintains one tilt time frame per
 /// m-layer cell, continuously absorbing the stream; when a window is
 /// sealed, the partially materialized cube (critical layers + exceptions)
@@ -64,8 +88,9 @@ class StreamCubeEngine {
   /// Absorbs one observation.
   Status Ingest(const StreamTuple& tuple);
 
-  /// Absorbs a batch (stops at the first error).
-  Status IngestBatch(const std::vector<StreamTuple>& tuples);
+  /// Absorbs a batch, stopping at the first error; the report says how
+  /// many tuples were absorbed before it.
+  IngestReport IngestBatch(const std::vector<StreamTuple>& tuples);
 
   /// Declares that no data with tick <= `t` remains in flight: every frame
   /// seals all units ending at or before `t` ("the aggregated data will
@@ -122,27 +147,11 @@ class StreamCubeEngine {
   Result<std::vector<Isb>> QueryCellSeries(CuboidId cuboid,
                                            const CellKey& key, int level);
 
-  /// Keys of every distinct m-layer cell seen, in unspecified order.
-  std::vector<CellKey> MLayerKeys() const;
-
-  /// One m-layer cell's sealed slot series: the per-frame row the
-  /// observation deck (and the sharded engine's merged reads) aggregate.
-  struct MLayerSeries {
-    CellKey key;
-    std::vector<Isb> slots;
-  };
-
-  /// Per-cell sealed slot series at tilt `level`, aligned to the engine
-  /// clock first. Empty (not an error) when nothing has been ingested.
-  std::vector<MLayerSeries> SnapshotSeries(int level);
-
-  /// Window regression of one m-layer frame — the O(1)-lookup point read
-  /// backing cross-shard cell queries. NotFound if the cell was never
-  /// seen.
-  Result<Isb> RegressMLayerCell(const CellKey& m_key, int level, int k);
-
-  /// Sealed slot series of one m-layer frame. NotFound if never seen.
-  Result<std::vector<Isb>> MLayerCellSeries(const CellKey& m_key, int level);
+  /// Frozen copies of every m-layer cell, advanced to the engine clock —
+  /// the gather-under-lock half of the snapshot read path. Const on
+  /// purpose: the live frames are never touched; alignment happens on the
+  /// copies, so a caller holding this engine's lock only pays for the copy.
+  std::vector<CellSnapshot> ExportCells() const;
 
   /// Total bytes retained by the per-cell tilt frames.
   std::int64_t MemoryBytes() const;
@@ -163,13 +172,18 @@ class StreamCubeEngine {
   TimeTick now_;
 };
 
+class ThreadPool;
+
 /// Runs the options' configured cubing algorithm over one m-layer window —
 /// the single dispatch point shared by StreamCubeEngine::ComputeCube and
-/// ShardedStreamEngine::ComputeCube.
+/// the snapshot read path. A non-null `pool` partitions the per-cuboid
+/// cubing work across it (m/o H-cubing only; popular-path drilling is
+/// inherently sequential along the path). Results are identical with or
+/// without a pool.
 Result<RegressionCube> ComputeCubeFromWindow(
     std::shared_ptr<const CubeSchema> schema,
     const std::vector<MLayerTuple>& tuples,
-    const StreamCubeEngine::Options& options);
+    const StreamCubeEngine::Options& options, ThreadPool* pool = nullptr);
 
 }  // namespace regcube
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "regcube/common/logging.h"
+#include "regcube/common/thread_pool.h"
 #include "regcube/regression/aggregate.h"
 
 namespace regcube {
@@ -81,6 +82,23 @@ CellMap ComputeCuboidCells(const HTree& tree, const CuboidLattice& lattice,
     }
   }
   return cells;
+}
+
+std::vector<CellMap> ComputeCuboidCellsPartitioned(
+    const HTree& tree, const CuboidLattice& lattice,
+    const std::vector<CuboidId>& cuboids, ThreadPool* pool) {
+  std::vector<CellMap> maps(cuboids.size());
+  auto compute_one = [&](std::int64_t i) {
+    maps[static_cast<size_t>(i)] =
+        ComputeCuboidCells(tree, lattice, cuboids[static_cast<size_t>(i)]);
+  };
+  const auto n = static_cast<std::int64_t>(cuboids.size());
+  if (pool != nullptr) {
+    pool->ParallelFor(n, compute_one);
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) compute_one(i);
+  }
+  return maps;
 }
 
 CellMap ComputeDrillChildren(const HTree& tree, const CuboidLattice& lattice,

@@ -2,6 +2,7 @@
 #define REGCUBE_HTREE_HTREE_CUBING_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "regcube/cube/cell.h"
 #include "regcube/cube/cuboid.h"
@@ -9,6 +10,8 @@
 #include "regcube/regression/isb.h"
 
 namespace regcube {
+
+class ThreadPool;
 
 /// Cells of one cuboid: key -> aggregated regression measure. This plays the
 /// role of the paper's (local) header table holding "the aggregated value
@@ -30,6 +33,15 @@ std::int64_t CellMapMemoryBytes(const CellMap& cells);
 /// (the m/o configuration — compute everything, store only at leaves).
 CellMap ComputeCuboidCells(const HTree& tree, const CuboidLattice& lattice,
                            CuboidId cuboid);
+
+/// Cuboid-partitioned entry point: computes the cells of every cuboid in
+/// `cuboids`, one pool task per cuboid, returning the maps positionally
+/// aligned with the input. Safe because H-cubing only reads the tree —
+/// nodes, header chains and measures are immutable after Build. Serial
+/// (same results) when `pool` is null.
+std::vector<CellMap> ComputeCuboidCellsPartitioned(
+    const HTree& tree, const CuboidLattice& lattice,
+    const std::vector<CuboidId>& cuboids, ThreadPool* pool);
 
 /// Popular-path drilling kernel: computes the cells of `child_cuboid` that
 /// lie under any of the `parent_cells` keys of `parent_cuboid` (the

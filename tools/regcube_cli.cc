@@ -239,7 +239,14 @@ Status RunStream(const Args& args) {
 
   StreamGenerator gen(*spec);
   Stopwatch timer;
-  RC_RETURN_IF_ERROR(engine.IngestBatch(gen.GenerateStream()));
+  IngestReport ingest = engine.IngestBatch(gen.GenerateStream());
+  if (!ingest.ok()) {
+    std::fprintf(stderr, "ingest failed after %lld/%lld tuples: %s\n",
+                 static_cast<long long>(ingest.absorbed),
+                 static_cast<long long>(ingest.attempted),
+                 ingest.status.ToString().c_str());
+    return ingest.status;
+  }
   RC_RETURN_IF_ERROR(engine.SealThrough(spec->series_length - 1));
   std::printf("ingested %lld ticks x %lld streams across %d shards in "
               "%.2f s (%s of tilt frames)\n",
@@ -254,8 +261,17 @@ Status RunStream(const Args& args) {
       static_cast<int>(args.GetIntOr("window", std::min(sealed_quarters, 8)));
   const std::size_t top = static_cast<std::size_t>(args.GetIntOr("top", 10));
 
+  // Freeze a snapshot once; every drill below queries it lock-free, so a
+  // live deployment could keep ingesting while this analysis runs.
+  std::shared_ptr<const CubeSnapshot> snapshot = engine.TakeSnapshot();
+  std::printf("\nsnapshot @ revision %llu: %lld cells frozen through tick "
+              "%lld\n",
+              static_cast<unsigned long long>(snapshot->revision()),
+              static_cast<long long>(snapshot->num_cells()),
+              static_cast<long long>(snapshot->now()));
+
   RC_ASSIGN_OR_RETURN(QueryResult changes,
-                      engine.Query(QuerySpec::TrendChanges(0, threshold)));
+                      snapshot->Query(QuerySpec::TrendChanges(0, threshold)));
   std::printf("\ntrend changes at the o-layer (last quarter vs previous): "
               "%zu\n", changes.trend_changes().size());
   for (size_t i = 0; i < changes.trend_changes().size() && i < 5; ++i) {
@@ -267,14 +283,15 @@ Status RunStream(const Args& args) {
 
   std::printf("\ntop %zu exception cells over the last %d quarters:\n", top,
               window);
-  RC_ASSIGN_OR_RETURN(QueryResult top_cells,
-                      engine.Query(QuerySpec::TopExceptions(top, 0, window)));
+  RC_ASSIGN_OR_RETURN(
+      QueryResult top_cells,
+      snapshot->Query(QuerySpec::TopExceptions(top, 0, window)));
   for (const CellResult& cell : top_cells.cells()) {
     std::printf("  %s  [%s]\n", engine.RenderCell(cell).c_str(),
                 engine.lattice().CuboidName(cell.cuboid).c_str());
-    RC_ASSIGN_OR_RETURN(
-        QueryResult supporters,
-        engine.Query(QuerySpec::Supporters(cell.cuboid, cell.key, 0, window)));
+    RC_ASSIGN_OR_RETURN(QueryResult supporters,
+                        snapshot->Query(QuerySpec::Supporters(
+                            cell.cuboid, cell.key, 0, window)));
     if (!supporters.cells().empty()) {
       std::printf("    %zu exceptional descendants, strongest: %s\n",
                   supporters.cells().size(),
