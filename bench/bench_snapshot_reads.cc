@@ -9,6 +9,14 @@
 //
 // The run also checks the two paths produce identical cubes (the snapshot
 // redesign is a concurrency change, not a numerics change).
+//
+// Phase 2 — steady-state churn: N cells sealed once, then rounds in which
+// only p% of cells receive new observations before a snapshot is taken.
+// Measures the delta gather (frozen blocks shared for clean cells, copies
+// only for dirty ones) against the copy-everything full gather, in both
+// latency and bytes actually copied, plus the member-only point-query path
+// against a full-snapshot scan. Both comparisons RC_CHECK bit-identity —
+// the delta machinery is a caching change, not a numerics change.
 
 #include <atomic>
 #include <cstdio>
@@ -100,6 +108,133 @@ ModeResult RunMode(bool all_locks, const WorkloadSpec& spec,
   return result;
 }
 
+/// Phase 2: the O(changed-cells) figure. Seeds `num_cells` cells, seals,
+/// then per round dirties `dirty_pct`% of them at the open tick and takes
+/// both a delta and a full gather, checking they agree bit for bit.
+void RunChurn(int argc, char** argv, bench::JsonWriter& json) {
+  const std::int64_t num_cells = bench::ArgInt(argc, argv, "cells", 20'000);
+  const std::int64_t dirty_pct = bench::ArgInt(argc, argv, "dirty", 10);
+  const int rounds =
+      static_cast<int>(bench::ArgInt(argc, argv, "churn_rounds", 5));
+  const int shards =
+      static_cast<int>(bench::ArgInt(argc, argv, "churn_shards", 8));
+
+  WorkloadSpec spec;
+  spec.num_dims = 3;
+  spec.num_levels = 2;
+  spec.fanout = 10;  // key space 10^6 >= any realistic `cells`
+  spec.num_tuples = num_cells;
+  spec.series_length = 8;
+  spec.seed = 31;
+
+  bench::PrintHeader(StrPrintf(
+      "Steady-state churn: delta vs full gather (%lld cells, %lld%% dirty "
+      "per round, %d rounds)",
+      static_cast<long long>(num_cells), static_cast<long long>(dirty_pct),
+      rounds));
+
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  RC_CHECK(schema.ok());
+  StreamCubeEngine::Options options;
+  options.tilt_policy =
+      MakeUniformTiltPolicy({{"quarter", 8}, {"hour", 8}}, {4, 16});
+  options.policy = ExceptionPolicy(0.05);
+  auto pool = std::make_shared<ThreadPool>();
+  ShardedStreamEngine engine(*schema, options, shards, pool);
+
+  StreamGenerator gen(spec);
+  const auto& cells = gen.cells();
+  IngestReport seed = engine.IngestBatch(gen.GenerateStream());
+  RC_CHECK(seed.ok()) << seed.status.ToString();
+  RC_CHECK(engine.SealThrough(spec.series_length - 1).ok());
+  engine.GatherAlignedCells();  // warm the frozen blocks and caches
+
+  const TimeTick open_tick = spec.series_length;  // inside the open quarter
+  const std::int64_t dirty_n = num_cells * dirty_pct / 100;
+  double full_s = 0.0, delta_s = 0.0;
+  double full_bytes = 0.0, delta_bytes = 0.0;
+  // Gather results live across rounds so each timed gather also pays the
+  // release of the previous round's run — the steady-state cost of either
+  // mode, not just its allocation half.
+  ShardedStreamEngine::GatheredCells full, delta;
+  for (int round = 0; round < rounds; ++round) {
+    for (std::int64_t j = 0; j < dirty_n; ++j) {
+      const auto& cell =
+          cells[static_cast<size_t>((round * dirty_n + j) %
+                                    num_cells)];
+      RC_CHECK(engine.Ingest({cell.key, open_tick, 1.0}).ok());
+    }
+    Stopwatch full_timer;
+    full = engine.GatherAlignedCells(ShardedStreamEngine::GatherMode::kFull);
+    full_s += full_timer.ElapsedSeconds();
+    full_bytes += static_cast<double>(full.stats.bytes_copied);
+
+    Stopwatch delta_timer;
+    delta = engine.GatherAlignedCells();
+    delta_s += delta_timer.ElapsedSeconds();
+    delta_bytes += static_cast<double>(delta.stats.bytes_copied);
+    RC_CHECK(delta.stats.materialized <= dirty_n)
+        << "delta gather copied " << delta.stats.materialized
+        << " frames for " << dirty_n << " dirty cells";
+
+    // Bit-identity: the delta gather is a caching strategy, not a new read.
+    auto full_window = SnapshotWindowOf(*full.cells, 0, 2);
+    auto delta_window = SnapshotWindowOf(*delta.cells, 0, 2);
+    RC_CHECK(full_window.ok() && delta_window.ok());
+    RC_CHECK(full_window->size() == delta_window->size());
+    for (size_t i = 0; i < full_window->size(); ++i) {
+      RC_CHECK((*full_window)[i].key == (*delta_window)[i].key &&
+               (*full_window)[i].measure == (*delta_window)[i].measure)
+          << "delta gather diverged at row " << i;
+    }
+  }
+
+  // Point queries: member-only gather vs a scan over a full snapshot.
+  const CuboidId o_id = engine.lattice().o_layer_id();
+  const CellKey o_key =
+      engine.lattice().ProjectMLayerKey(cells[0].key, o_id);
+  Stopwatch member_timer;
+  auto member_series = engine.QueryCellSeries(o_id, o_key, 0);
+  const double member_s = member_timer.ElapsedSeconds();
+  RC_CHECK(member_series.ok()) << member_series.status().ToString();
+  Stopwatch scan_timer;
+  auto scan_gather =
+      engine.GatherAlignedCells(ShardedStreamEngine::GatherMode::kFull);
+  auto scan_series = SnapshotCellSeriesOf(
+      *scan_gather.cells, engine.lattice(),
+      options.tilt_policy->num_levels(), o_id, o_key, 0);
+  const double scan_s = scan_timer.ElapsedSeconds();
+  RC_CHECK(scan_series.ok()) << scan_series.status().ToString();
+  RC_CHECK(*member_series == *scan_series)
+      << "member-only QueryCellSeries diverged from the full-snapshot scan";
+
+  const double gather_speedup = delta_s > 0 ? full_s / delta_s : 0.0;
+  const double series_speedup = member_s > 0 ? scan_s / member_s : 0.0;
+  bench::PrintRow({"mode", "gather(s)", "bytes copied", "speedup"});
+  bench::PrintRow({"full", StrPrintf("%.4f", full_s),
+                   StrPrintf("%.0f", full_bytes), "1.00"});
+  bench::PrintRow({"delta", StrPrintf("%.4f", delta_s),
+                   StrPrintf("%.0f", delta_bytes),
+                   StrPrintf("%.2f", gather_speedup)});
+  std::printf("\nTakeSnapshot: %.2fx faster at %lld%% dirty; "
+              "QueryCellSeries (member-only): %.2fx vs full-snapshot scan\n",
+              gather_speedup, static_cast<long long>(dirty_pct),
+              series_speedup);
+  json.Row({{"phase", "\"churn\""},
+            {"cells", StrPrintf("%lld", static_cast<long long>(num_cells))},
+            {"dirty_pct", StrPrintf("%lld",
+                                    static_cast<long long>(dirty_pct))},
+            {"rounds", StrPrintf("%d", rounds)},
+            {"full_gather_s", StrPrintf("%.6f", full_s)},
+            {"delta_gather_s", StrPrintf("%.6f", delta_s)},
+            {"gather_speedup", StrPrintf("%.3f", gather_speedup)},
+            {"full_bytes_copied", StrPrintf("%.0f", full_bytes)},
+            {"delta_bytes_copied", StrPrintf("%.0f", delta_bytes)},
+            {"series_member_s", StrPrintf("%.6f", member_s)},
+            {"series_full_scan_s", StrPrintf("%.6f", scan_s)},
+            {"series_speedup", StrPrintf("%.3f", series_speedup)}});
+}
+
 void Run(int argc, char** argv) {
   WorkloadSpec spec;
   spec.num_dims = 3;
@@ -157,6 +292,7 @@ void Run(int argc, char** argv) {
                   baseline_rate > 0 ? rate / baseline_rate : 0.0);
     }
   }
+  RunChurn(argc, argv, json);
   json.Write();
 }
 

@@ -11,10 +11,13 @@ Engine::Engine(std::shared_ptr<const CubeSchema> schema,
       policy_(std::move(policy)),
       pool_(read_threads == 1 ? nullptr
                               : std::make_shared<ThreadPool>(read_threads)),
+      tracker_(std::make_unique<MemoryTracker>()),
       sharded_(std::make_unique<ShardedStreamEngine>(schema_,
                                                      std::move(options),
                                                      num_shards, pool_)),
-      cache_(std::make_unique<SnapshotCache>()) {}
+      cache_(std::make_unique<SnapshotCache>()) {
+  sharded_->set_memory_tracker(tracker_.get());
+}
 
 Status Engine::Ingest(const StreamTuple& tuple) {
   return sharded_->Ingest(tuple);
@@ -58,7 +61,47 @@ Result<RegressionCube> Engine::ComputeCube(int level, int k) {
 }
 
 Result<QueryResult> Engine::Query(const QuerySpec& spec) {
-  return TakeSnapshot()->Query(spec);
+  // Point kinds skip taking a full snapshot: if the memoized snapshot is
+  // still current it answers lock-free (cheapest possible), otherwise a
+  // member-only gather projects keys under the shard locks and copies
+  // just the matching cells — asking about one cell never pays a full
+  // O(all cells) gather.
+  switch (spec.kind) {
+    case QueryKind::kCell:
+    case QueryKind::kCellSeries: {
+      if (auto warm = CurrentSnapshotOrNull()) return warm->Query(spec);
+      if (spec.kind == QueryKind::kCell) {
+        auto isb = sharded_->QueryCell(spec.cuboid, spec.key, spec.level,
+                                       spec.k);
+        if (!isb.ok()) return isb.status();
+        return QueryResult(spec.kind, *isb);
+      }
+      auto series = sharded_->QueryCellSeries(spec.cuboid, spec.key,
+                                              spec.level);
+      if (!series.ok()) return series.status();
+      return QueryResult(spec.kind, std::move(*series));
+    }
+    default:
+      return TakeSnapshot()->Query(spec);
+  }
+}
+
+std::shared_ptr<const CubeSnapshot> Engine::CurrentSnapshotOrNull() const {
+  const std::uint64_t revision = sharded_->revision();
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  if (cache_->snapshot != nullptr &&
+      cache_->snapshot->revision() == revision) {
+    return cache_->snapshot;
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Engine::MemoryReport()
+    const {
+  std::vector<std::pair<std::string, std::int64_t>> report;
+  report.emplace_back("stream.tilt_frames", sharded_->MemoryBytes());
+  for (auto& entry : tracker_->Snapshot()) report.push_back(std::move(entry));
+  return report;
 }
 
 std::string Engine::RenderCell(const CellResult& cell) const {

@@ -6,9 +6,11 @@
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "regcube/api/query_spec.h"
 #include "regcube/api/snapshot.h"
+#include "regcube/common/memory_tracker.h"
 #include "regcube/common/status.h"
 #include "regcube/common/thread_pool.h"
 #include "regcube/core/sharded_engine.h"
@@ -52,11 +54,14 @@ class Engine {
   /// drop).
   std::shared_ptr<const CubeSnapshot> TakeSnapshot();
 
-  /// The one read entry point: serves every QueryKind against the
-  /// revision-cached snapshot. Stream kinds read the frozen tilt frames;
-  /// cube kinds materialize (and memoize, inside the snapshot) the cube
-  /// over the spec's (level, k) window first, so repeated drilling into
-  /// one window pays for cubing once.
+  /// The one read entry point. Point kinds (kCell, kCellSeries) take the
+  /// member-only fast path: keys are projected under the shard locks and
+  /// only the m-layer cells that roll up into the queried cell are copied
+  /// — copy cost O(matching members), never a full snapshot. Every other kind is
+  /// served from the revision-cached snapshot; cube kinds materialize (and
+  /// memoize, inside the snapshot) the cube over the spec's (level, k)
+  /// window first, so repeated drilling into one window pays for cubing
+  /// once.
   Result<QueryResult> Query(const QuerySpec& spec);
 
   /// Recomputes the partially materialized cube over the most recent `k`
@@ -68,6 +73,13 @@ class Engine {
   std::int64_t num_cells() const { return sharded_->num_cells(); }
   std::int64_t MemoryBytes() const { return sharded_->MemoryBytes(); }
   int num_shards() const { return sharded_->num_shards(); }
+
+  /// Analytic memory accounting: snapshot-side categories
+  /// ("snapshot.frozen_frames", "snapshot.gather_cache") are maintained by
+  /// the engine as it runs. MemoryReport() prepends the live tilt frames,
+  /// so one call shows where every retained byte sits.
+  const MemoryTracker& memory_tracker() const { return *tracker_; }
+  std::vector<std::pair<std::string, std::int64_t>> MemoryReport() const;
 
   const CubeSchema& schema() const { return sharded_->schema(); }
   const CuboidLattice& lattice() const { return sharded_->lattice(); }
@@ -83,6 +95,10 @@ class Engine {
   Engine(std::shared_ptr<const CubeSchema> schema, ExceptionPolicy policy,
          StreamCubeEngine::Options options, int num_shards, int read_threads);
 
+  /// The memoized snapshot iff it still matches the engine revision —
+  /// the zero-cost answer source for point queries between writes.
+  std::shared_ptr<const CubeSnapshot> CurrentSnapshotOrNull() const;
+
   /// Snapshot memoized by engine revision; replaced (never mutated) when
   /// a write has moved the revision. Heap-allocated so Engine stays
   /// movable despite the mutex.
@@ -94,6 +110,7 @@ class Engine {
   std::shared_ptr<const CubeSchema> schema_;
   ExceptionPolicy policy_;
   std::shared_ptr<ThreadPool> pool_;
+  std::unique_ptr<MemoryTracker> tracker_;  // heap: Engine stays movable
   std::unique_ptr<ShardedStreamEngine> sharded_;
   std::unique_ptr<SnapshotCache> cache_;
 };

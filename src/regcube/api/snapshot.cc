@@ -17,35 +17,35 @@ CubeSnapshot::CubeSnapshot(std::shared_ptr<const CubeSchema> schema,
       revision_(gathered.revision) {}
 
 Result<std::vector<MLayerTuple>> CubeSnapshot::Window(int level, int k) const {
-  return SnapshotWindowOf(cells_, level, k);
+  return SnapshotWindowOf(*cells_, level, k);
 }
 
 Result<RegressionCube> CubeSnapshot::ComputeCube(int level, int k) const {
-  return SnapshotCubeOf(schema_, cells_, options_, level, k, pool_.get());
+  return SnapshotCubeOf(schema_, *cells_, options_, level, k, pool_.get());
 }
 
 Result<CubeSnapshot::DeckSeries> CubeSnapshot::ObservationDeck(
     int level) const {
-  return SnapshotDeckOf(cells_, lattice_, options_.tilt_policy->num_levels(),
+  return SnapshotDeckOf(*cells_, lattice_, options_.tilt_policy->num_levels(),
                         level);
 }
 
 Result<std::vector<CubeSnapshot::TrendChange>>
 CubeSnapshot::DetectTrendChanges(int level, double threshold) const {
-  return SnapshotTrendChangesOf(cells_, lattice_,
+  return SnapshotTrendChangesOf(*cells_, lattice_,
                                 options_.tilt_policy->num_levels(), level,
                                 threshold);
 }
 
 Result<Isb> CubeSnapshot::QueryCell(CuboidId cuboid, const CellKey& key,
                                     int level, int k) const {
-  return SnapshotCellOf(cells_, lattice_, cuboid, key, level, k);
+  return SnapshotCellOf(*cells_, lattice_, cuboid, key, level, k);
 }
 
 Result<std::vector<Isb>> CubeSnapshot::QueryCellSeries(CuboidId cuboid,
                                                        const CellKey& key,
                                                        int level) const {
-  return SnapshotCellSeriesOf(cells_, lattice_,
+  return SnapshotCellSeriesOf(*cells_, lattice_,
                               options_.tilt_policy->num_levels(), cuboid, key,
                               level);
 }

@@ -15,9 +15,18 @@ namespace regcube {
 
 /// An immutable, self-contained frozen view of the engine's m-layer —
 /// the read side of the public API. Taking one briefly locks each shard
-/// only to copy its cells (Engine::TakeSnapshot); every query afterwards
+/// only to export its cells (Engine::TakeSnapshot); every query afterwards
 /// runs lock-free against the frozen cells, so any number of threads can
 /// drill into one snapshot while ingest keeps flowing on the live engine.
+///
+/// Cost model: the frozen cells are refcounted immutable frame blocks
+/// shared with the engine's gather caches, so taking a snapshot deep-
+/// copies only the cells that changed since the last take — O(changed
+/// cells), not O(all cells). QueryCell/QueryCellSeries *on a snapshot*
+/// scan its frozen cells (the snapshot is self-contained and may outlive
+/// the engine); point queries that should skip the snapshot entirely go
+/// through Engine::Query, which routes kCell/kCellSeries to the engine's
+/// member-only gather instead.
 ///
 /// Lifecycle: take → query many → drop.
 ///
@@ -82,7 +91,7 @@ class CubeSnapshot {
 
   /// Distinct m-layer cells frozen.
   std::int64_t num_cells() const {
-    return static_cast<std::int64_t>(cells_.size());
+    return static_cast<std::int64_t>(cells_->size());
   }
 
   const CubeSchema& schema() const { return *schema_; }
@@ -115,7 +124,9 @@ class CubeSnapshot {
   ExceptionPolicy policy_;
   StreamCubeEngine::Options options_;  // algorithm/policy/tilt for cubing
   std::shared_ptr<ThreadPool> pool_;
-  SnapshotCells cells_;  // canonical key order, aligned to clock_
+  // Canonical key order, aligned to clock_; shared with the engine's
+  // gather caches (taking a snapshot is a refcount copy of the run).
+  std::shared_ptr<const SnapshotCells> cells_;
   TimeTick clock_ = 0;
   std::uint64_t revision_ = 0;
   mutable CubeMemo memo_;  // logically immutable: a memo of the derived cube

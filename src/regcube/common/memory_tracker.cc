@@ -8,6 +8,7 @@ namespace regcube {
 
 void MemoryTracker::Add(const std::string& category, std::int64_t bytes) {
   RC_CHECK_GE(bytes, 0);
+  std::lock_guard<std::mutex> lock(mu_);
   by_category_[category] += bytes;
   current_ += bytes;
   peak_ = std::max(peak_, current_);
@@ -15,6 +16,7 @@ void MemoryTracker::Add(const std::string& category, std::int64_t bytes) {
 
 void MemoryTracker::Release(const std::string& category, std::int64_t bytes) {
   RC_CHECK_GE(bytes, 0);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = by_category_.find(category);
   RC_CHECK(it != by_category_.end()) << "unknown category " << category;
   RC_CHECK_GE(it->second, bytes) << "category " << category << " underflow";
@@ -22,13 +24,25 @@ void MemoryTracker::Release(const std::string& category, std::int64_t bytes) {
   current_ -= bytes;
 }
 
+std::int64_t MemoryTracker::current_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::int64_t MemoryTracker::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
 std::int64_t MemoryTracker::category_bytes(const std::string& category) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = by_category_.find(category);
   return it == by_category_.end() ? 0 : it->second;
 }
 
 std::vector<std::pair<std::string, std::int64_t>> MemoryTracker::Snapshot()
     const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, std::int64_t>> out;
   out.reserve(by_category_.size());
   for (const auto& [name, bytes] : by_category_) out.emplace_back(name, bytes);
@@ -36,6 +50,7 @@ std::vector<std::pair<std::string, std::int64_t>> MemoryTracker::Snapshot()
 }
 
 void MemoryTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   by_category_.clear();
   current_ = 0;
   peak_ = 0;

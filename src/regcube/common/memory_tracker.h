@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,12 +12,14 @@ namespace regcube {
 
 /// Analytic accounting of the bytes retained by the data structures a cubing
 /// run keeps alive (H-tree nodes, header tables, materialized cells,
-/// exception cells, tilt-frame slots). This mirrors what the paper's "Memory
-/// Usage" axis measures: peak retained state of the algorithm, independent of
-/// allocator behavior.
+/// exception cells, tilt-frame slots, frozen snapshot blocks). This mirrors
+/// what the paper's "Memory Usage" axis measures: peak retained state of the
+/// algorithm, independent of allocator behavior.
 ///
 /// Components register byte counts under a category name; the tracker keeps
-/// both the current total and the high-water mark.
+/// both the current total and the high-water mark. All methods are
+/// thread-safe: the sharded engine's snapshot path accounts frozen-frame
+/// bytes from whichever thread holds the owning shard's lock.
 class MemoryTracker {
  public:
   MemoryTracker() = default;
@@ -34,10 +37,10 @@ class MemoryTracker {
   void Release(const std::string& category, std::int64_t bytes);
 
   /// Current total bytes across all categories.
-  std::int64_t current_bytes() const { return current_; }
+  std::int64_t current_bytes() const;
 
   /// Highest value `current_bytes()` has reached.
-  std::int64_t peak_bytes() const { return peak_; }
+  std::int64_t peak_bytes() const;
 
   /// Current bytes in one category (0 if never touched).
   std::int64_t category_bytes(const std::string& category) const;
@@ -49,6 +52,7 @@ class MemoryTracker {
   void Reset();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::int64_t> by_category_;
   std::int64_t current_ = 0;
   std::int64_t peak_ = 0;

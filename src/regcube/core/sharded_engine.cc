@@ -4,9 +4,69 @@
 #include <utility>
 
 #include "regcube/common/logging.h"
+#include "regcube/common/memory_tracker.h"
 #include "regcube/common/str.h"
 
 namespace regcube {
+
+namespace {
+// The whole-engine merged gather run, reported through MemoryTracker as
+// the run's own entry footprint. Most frame blocks it points at are
+// shared with the per-cell frozen cache and counted there
+// ("snapshot.frozen_frames"); blocks re-materialized by clock alignment
+// live only in the run (and any snapshots holding it) and are not
+// individually tracked — the accounting is analytic, not exhaustive.
+constexpr char kGatherCacheCategory[] = "snapshot.gather_cache";
+
+std::int64_t SliceBytes(const SnapshotCells& cells) {
+  return static_cast<std::int64_t>(cells.size() * sizeof(CellSnapshot));
+}
+
+/// Re-materializes one frozen block iff a tilt unit ends between its
+/// freeze tick and `target` — otherwise advancing it would seal nothing
+/// and the block is shared as-is. Returns the bytes retained by the new
+/// copy (0 when shared). The single sharing condition every realignment
+/// path goes through.
+std::int64_t RealignCellToClock(CellSnapshot& cell, TimeTick target,
+                                const TiltPolicy& policy) {
+  const TimeTick from = cell.frame->next_tick();
+  if (from >= target || !policy.AnyUnitEndIn(from, target)) return 0;
+  auto advanced = std::make_shared<TiltTimeFrame>(*cell.frame);
+  Status s = advanced->AdvanceTo(target);
+  RC_CHECK(s.ok()) << s.ToString();
+  const std::int64_t bytes = advanced->MemoryBytes();
+  cell.frame = std::move(advanced);
+  return bytes;
+}
+
+/// Aligns every block in `cells` to `target` (copy-on-write per block via
+/// RealignCellToClock). Parallel across `pool` when available — the
+/// O(all cells) half of boundary rounds and the full-gather baseline.
+void AlignRunToClock(std::vector<CellSnapshot>& cells, TimeTick target,
+                     const TiltPolicy& policy, ThreadPool* pool,
+                     GatherStats* stats) {
+  std::atomic<std::int64_t> materialized{0};
+  std::atomic<std::int64_t> bytes{0};
+  auto align_one = [&](std::int64_t idx) {
+    const std::int64_t copied = RealignCellToClock(
+        cells[static_cast<size_t>(idx)], target, policy);
+    if (copied > 0) {
+      materialized.fetch_add(1, std::memory_order_relaxed);
+      bytes.fetch_add(copied, std::memory_order_relaxed);
+    }
+  };
+  const auto total = static_cast<std::int64_t>(cells.size());
+  if (pool != nullptr && total > 1) {
+    pool->ParallelFor(total, align_one);
+  } else {
+    for (std::int64_t i = 0; i < total; ++i) align_one(i);
+  }
+  if (stats != nullptr) {
+    stats->materialized += materialized.load(std::memory_order_relaxed);
+    stats->bytes_copied += bytes.load(std::memory_order_relaxed);
+  }
+}
+}  // namespace
 
 ShardedStreamEngine::ShardedStreamEngine(
     std::shared_ptr<const CubeSchema> schema, Options options, int num_shards,
@@ -38,20 +98,47 @@ void ShardedStreamEngine::BumpClock(TimeTick t) {
   }
 }
 
+void ShardedStreamEngine::set_memory_tracker(MemoryTracker* tracker) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->engine.set_memory_tracker(tracker);
+  }
+  // Move the cached merged run's registration between trackers, so
+  // detach / re-attach keeps every tracker balanced.
+  std::lock_guard<std::mutex> lock(gather_mu_);
+  if (gather_valid_) {
+    const std::int64_t bytes = SliceBytes(*gather_cache_.cells);
+    if (tracker_ != nullptr && bytes > 0) {
+      tracker_->Release(kGatherCacheCategory, bytes);
+    }
+    if (tracker != nullptr && bytes > 0) {
+      tracker->Add(kGatherCacheCategory, bytes);
+    }
+  }
+  tracker_ = tracker;
+}
+
 Status ShardedStreamEngine::Ingest(const StreamTuple& tuple) {
   const CellKey key = mapper_ ? mapper_(tuple.key) : tuple.key;
   Shard& shard = *shards_[static_cast<size_t>(ShardIndex(key))];
   Status status;
+  bool changed;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    const std::uint64_t before = shard.engine.revision();
     status = shard.engine.Ingest({key, tuple.tick, tuple.value});
+    changed = shard.engine.revision() != before;
   }
   if (status.ok()) {
     BumpClock(tuple.tick);
   }
-  // A rejected tuple can still have created the cell's frame; move the
-  // revision unconditionally so snapshot caches never serve stale state.
-  revision_.fetch_add(1, std::memory_order_release);
+  // The shard engine's revision moves exactly when observable state did
+  // (an absorbed tuple, or a rejected one that still created its cell's
+  // frame) — mirror that, so snapshot caches are invalidated precisely
+  // when they must be and never when nothing changed.
+  if (changed) {
+    revision_.fetch_add(1, std::memory_order_release);
+  }
   return status;
 }
 
@@ -67,13 +154,16 @@ IngestReport ShardedStreamEngine::IngestBatch(
   }
   IngestReport report;
   report.attempted = static_cast<std::int64_t>(tuples.size());
+  bool changed = false;
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (partitions[i].empty()) continue;
     Shard& shard = *shards_[i];
     IngestReport shard_report;
     {
       std::lock_guard<std::mutex> lock(shard.mu);
+      const std::uint64_t before = shard.engine.revision();
       shard_report = shard.engine.IngestBatch(partitions[i]);
+      changed = changed || shard.engine.revision() != before;
     }
     report.absorbed += shard_report.absorbed;
     if (!shard_report.ok()) {
@@ -84,11 +174,13 @@ IngestReport ShardedStreamEngine::IngestBatch(
   if (report.ok()) {
     BumpClock(max_tick);
   }
-  // Earlier shards keep their prefix even on error, so the state changed
-  // either way: the revision must move or snapshot caches go stale. (The
-  // clock self-corrects in the next gather/seal, which maxes over shard
-  // clocks.)
-  revision_.fetch_add(1, std::memory_order_release);
+  // Earlier shards keep their prefix even on error, so any absorbed tuple
+  // (or created cell) moved some shard's revision; mirror it globally.
+  // (The clock self-corrects in the next gather/seal, which maxes over
+  // shard clocks.)
+  if (changed) {
+    revision_.fetch_add(1, std::memory_order_release);
+  }
   return report;
 }
 
@@ -118,29 +210,98 @@ Status ShardedStreamEngine::AlignLocked() {
   return Status::OK();
 }
 
+std::uint64_t ShardedStreamEngine::SumShardRevisionsLocked() const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->engine.revision();
+  return sum;
+}
+
 Status ShardedStreamEngine::SealThrough(TimeTick t) {
   auto locks = LockAll();
+  const TimeTick clock_before = clock_.load(std::memory_order_acquire);
   BumpClock(t + 1);
+  const std::uint64_t before = SumShardRevisionsLocked();
   RC_RETURN_IF_ERROR(AlignLocked());
-  revision_.fetch_add(1, std::memory_order_release);
+  // A seal that neither sealed a slot anywhere nor advanced the global
+  // clock changes nothing a read can see — re-sealing an already-aligned
+  // engine keeps every revision-memoized snapshot valid. A clock advance
+  // must move the revision even without a sealed slot, or cached
+  // snapshots would keep reporting the pre-seal now(); the refresh is
+  // cheap (the next gather patches zero cells).
+  if (SumShardRevisionsLocked() != before || t + 1 > clock_before) {
+    revision_.fetch_add(1, std::memory_order_release);
+  }
   return Status::OK();
 }
 
-ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherAlignedCells() {
+ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherAlignedCells(
+    GatherMode mode) {
+  if (mode == GatherMode::kFull) return GatherFull();
+
+  // Phase 0 — whole-engine cache: every read method at one revision shares
+  // one gather, so SnapshotWindow + ObservationDeck + DetectTrendChanges
+  // back to back pay for a single pass (the hit is a refcount copy).
+  {
+    const std::uint64_t rev = revision_.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> lock(gather_mu_);
+    if (gather_valid_ && gather_cache_.revision == rev) {
+      GatheredCells cached = gather_cache_;  // shares the merged run
+      cached.stats = GatherStats{};
+      cached.stats.cells = static_cast<std::int64_t>(cached.cells->size());
+      cached.stats.shards_reused = num_shards();
+      return cached;
+    }
+  }
+
+  // One delta gather at a time: each consumes the shards' dirty lists and
+  // folds them into the cached run, so builders must not interleave.
+  std::lock_guard<std::mutex> work(gather_work_mu_);
+
   GatheredCells out;
   out.revision = revision_.load(std::memory_order_acquire);
 
-  // Phase 1 — gather: freeze each shard's cells holding only that shard's
-  // lock. With a pool, shards are copied concurrently; either way no lock
-  // spans another shard's copy, so writers on other shards keep flowing.
+  // Re-check the cache: the previous holder of the work lock probably
+  // built exactly the run we came for. Also snapshot the base run the
+  // patches will apply to.
+  GatheredCells base;
+  std::vector<std::uint64_t> base_revs;
+  bool has_base = false;
+  {
+    std::lock_guard<std::mutex> lock(gather_mu_);
+    if (gather_valid_ && gather_cache_.revision == out.revision) {
+      GatheredCells cached = gather_cache_;
+      cached.stats = GatherStats{};
+      cached.stats.cells = static_cast<std::int64_t>(cached.cells->size());
+      cached.stats.shards_reused = num_shards();
+      return cached;
+    }
+    if (gather_valid_) {
+      base = gather_cache_;
+      base_revs = gather_shard_revs_;
+      has_base = base_revs.size() == shards_.size();
+    }
+  }
+
+  // Phase 1 — export: each shard hands over its contribution holding only
+  // that shard's lock. A shard whose previous export the base run already
+  // reflects returns just its changed cells, each re-frozen — O(changed
+  // cells); only a shard with no usable base re-exports everything. With a
+  // pool, shards are exported concurrently; either way no lock spans
+  // another shard's export, so writers on other shards keep flowing.
   const size_t n = shards_.size();
-  std::vector<std::vector<CellSnapshot>> per_shard(n);
+  std::vector<StreamCubeEngine::FrozenExport> exports(n);
+  std::vector<GatherStats> stats(n);
   std::vector<TimeTick> shard_now(n, 0);
-  auto gather_one = [&](std::int64_t i) {
-    Shard& shard = *shards_[static_cast<size_t>(i)];
+  std::vector<std::uint64_t> shard_rev(n, 0);
+  auto gather_one = [&](std::int64_t idx) {
+    const size_t i = static_cast<size_t>(idx);
+    Shard& shard = *shards_[i];
     std::lock_guard<std::mutex> lock(shard.mu);
-    per_shard[static_cast<size_t>(i)] = shard.engine.ExportCells();
-    shard_now[static_cast<size_t>(i)] = shard.engine.now();
+    shard_now[i] = shard.engine.now();
+    exports[i] = shard.engine.ExportFrozen(
+        has_base ? base_revs[i] : StreamCubeEngine::kNoBaseRevision,
+        &stats[i]);
+    shard_rev[i] = shard.engine.export_revision();
   };
   if (pool_ != nullptr && n > 1) {
     pool_->ParallelFor(static_cast<std::int64_t>(n), gather_one);
@@ -148,53 +309,220 @@ ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherAlignedCells() {
     for (size_t i = 0; i < n; ++i) gather_one(static_cast<std::int64_t>(i));
   }
 
-  // Phase 2 — align outside the locks, on the copies: drive every frozen
-  // frame to the max clock seen, so slot structures agree across shards
-  // exactly as the old all-locks alignment produced.
+  TimeTick target = clock_.load(std::memory_order_acquire);
+  for (TimeTick t : shard_now) target = std::max(target, t);
+  out.clock = target;
+  const TiltPolicy& policy = *options_.tilt_policy;
+
+  // Phase 2 — fold, outside every lock. Start from a private copy of the
+  // base run (minus any shard that re-exported in full), splice in each
+  // shard's patches, then merge in full slices. Patched blocks are
+  // re-materialized only if a tilt unit ends between their freeze tick and
+  // the target; carried base cells were aligned to base.clock, so they
+  // need a pass only if a unit ends in [base.clock, target) — otherwise
+  // advancing them would seal nothing (see TiltPolicy::AnyUnitEndIn) and
+  // the whole run is shared as-is.
+  bool any_full = false;
+  for (const auto& e : exports) any_full = any_full || !e.patched;
+
+  auto merged = std::make_shared<std::vector<CellSnapshot>>();
+  if (has_base && !any_full) {
+    *merged = *base.cells;
+  } else if (has_base) {
+    merged->reserve(base.cells->size());
+    for (const CellSnapshot& cell : *base.cells) {
+      const size_t owner = static_cast<size_t>(ShardIndex(cell.key));
+      if (exports[owner].patched) merged->push_back(cell);
+    }
+  }
+
+  auto realign = [&](CellSnapshot& cell) {
+    const std::int64_t copied = RealignCellToClock(cell, target, policy);
+    if (copied > 0) {
+      ++out.stats.materialized;
+      out.stats.bytes_copied += copied;
+    }
+  };
+
+  // Combine the shards' patch runs (sorted, disjoint keys) and apply them
+  // in one tandem walk over the base run — sequential accesses, no
+  // per-patch binary search.
+  std::vector<CellSnapshot> all_patches;
+  {
+    size_t total_patches = 0;
+    for (const auto& e : exports) total_patches += e.patches.size();
+    all_patches.reserve(total_patches);
+    for (auto& e : exports) {
+      all_patches.insert(all_patches.end(),
+                         std::make_move_iterator(e.patches.begin()),
+                         std::make_move_iterator(e.patches.end()));
+    }
+    std::sort(all_patches.begin(), all_patches.end(),
+              CellSnapshotCanonicalLess);
+  }
+  std::vector<CellSnapshot> inserts;
+  auto pos = merged->begin();
+  for (CellSnapshot& patch : all_patches) {
+    realign(patch);
+    while (pos != merged->end() && CanonicalKeyLess(pos->key, patch.key)) {
+      ++pos;
+    }
+    if (pos != merged->end() && pos->key == patch.key) {
+      pos->frame = std::move(patch.frame);
+      ++pos;
+    } else {
+      inserts.push_back(std::move(patch));
+    }
+  }
+  auto splice_sorted = [&](std::vector<CellSnapshot> run) {
+    if (run.empty()) return;
+    const auto middle = static_cast<std::ptrdiff_t>(merged->size());
+    merged->insert(merged->end(), std::make_move_iterator(run.begin()),
+                   std::make_move_iterator(run.end()));
+    std::inplace_merge(merged->begin(), merged->begin() + middle,
+                       merged->end(), CellSnapshotCanonicalLess);
+  };
+  std::sort(inserts.begin(), inserts.end(), CellSnapshotCanonicalLess);
+  splice_sorted(std::move(inserts));
+  for (auto& e : exports) {
+    if (e.patched) continue;
+    // Full exports are aligned by the whole-run pass below (any_full).
+    splice_sorted(std::vector<CellSnapshot>(*e.slice));
+  }
+  if (any_full || !has_base ||
+      (base.clock < target && policy.AnyUnitEndIn(base.clock, target))) {
+    AlignRunToClock(*merged, target, policy, pool_.get(), &out.stats);
+  }
+  out.cells = std::move(merged);
+  for (const GatherStats& s : stats) out.stats.Merge(s);
+  out.stats.cells = static_cast<std::int64_t>(out.cells->size());
+
+  // Install as the new base. Builders are serialized, so this entry is
+  // strictly newer than whatever is cached; a racing writer may already
+  // have moved the revision again, in which case the next gather patches
+  // on top of this run.
+  {
+    std::lock_guard<std::mutex> lock(gather_mu_);
+    if (tracker_ != nullptr) {
+      if (gather_valid_) {
+        tracker_->Release(kGatherCacheCategory,
+                          SliceBytes(*gather_cache_.cells));
+      }
+      tracker_->Add(kGatherCacheCategory, SliceBytes(*out.cells));
+    }
+    gather_cache_ = out;  // refcount copy of the shared run
+    gather_shard_revs_ = shard_rev;
+    gather_valid_ = true;
+  }
+  return out;
+}
+
+ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherFull() {
+  GatheredCells out;
+  out.revision = revision_.load(std::memory_order_acquire);
+
+  const size_t n = shards_.size();
+  std::vector<std::vector<CellSnapshot>> slices(n);
+  std::vector<GatherStats> stats(n);
+  std::vector<TimeTick> shard_now(n, 0);
+  auto gather_one = [&](std::int64_t idx) {
+    const size_t i = static_cast<size_t>(idx);
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard_now[i] = shard.engine.now();
+    shard.engine.ExportCellsFull(&slices[i], &stats[i]);
+  };
+  if (pool_ != nullptr && n > 1) {
+    pool_->ParallelFor(static_cast<std::int64_t>(n), gather_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) gather_one(static_cast<std::int64_t>(i));
+  }
+
   TimeTick target = clock_.load(std::memory_order_acquire);
   for (TimeTick t : shard_now) target = std::max(target, t);
   out.clock = target;
 
+  // Align every copy to the target, merge, sort canonically — the
+  // pre-redesign read cost, retained as the bench/tests baseline.
+  const TiltPolicy& policy = *options_.tilt_policy;
+  auto merged = std::make_shared<std::vector<CellSnapshot>>();
   size_t total = 0;
-  for (const auto& cells : per_shard) total += cells.size();
-  out.cells.reserve(total);
-  for (auto& cells : per_shard) {
-    out.cells.insert(out.cells.end(),
-                     std::make_move_iterator(cells.begin()),
-                     std::make_move_iterator(cells.end()));
+  for (const auto& slice : slices) total += slice.size();
+  merged->reserve(total);
+  for (auto& slice : slices) {
+    merged->insert(merged->end(), std::make_move_iterator(slice.begin()),
+                   std::make_move_iterator(slice.end()));
   }
-  auto align_one = [&](std::int64_t i) {
-    Status s = out.cells[static_cast<size_t>(i)].frame.AdvanceTo(target);
-    RC_CHECK(s.ok()) << s.ToString();
+  AlignRunToClock(*merged, target, policy, pool_.get(), &out.stats);
+  std::sort(merged->begin(), merged->end(), CellSnapshotCanonicalLess);
+  out.cells = std::move(merged);
+  for (const GatherStats& s : stats) out.stats.Merge(s);
+  out.stats.cells = static_cast<std::int64_t>(out.cells->size());
+  return out;
+}
+
+ShardedStreamEngine::MemberGather ShardedStreamEngine::GatherCellsMatching(
+    CuboidId cuboid, const CellKey& key) {
+  MemberGather out;
+  const size_t n = shards_.size();
+  std::vector<std::vector<CellSnapshot>> slices(n);
+  std::vector<TimeTick> shard_now(n, 0);
+  std::vector<std::int64_t> totals(n, 0);
+  auto gather_one = [&](std::int64_t idx) {
+    const size_t i = static_cast<size_t>(idx);
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard_now[i] = shard.engine.now();
+    totals[i] = shard.engine.num_cells();
+    shard.engine.ExportMatchingCells(cuboid, key, &slices[i], nullptr);
   };
-  if (pool_ != nullptr && total > 1) {
-    pool_->ParallelFor(static_cast<std::int64_t>(total), align_one);
+  if (pool_ != nullptr && n > 1) {
+    pool_->ParallelFor(static_cast<std::int64_t>(n), gather_one);
   } else {
-    for (size_t i = 0; i < total; ++i) align_one(static_cast<std::int64_t>(i));
+    for (size_t i = 0; i < n; ++i) gather_one(static_cast<std::int64_t>(i));
   }
 
-  std::sort(out.cells.begin(), out.cells.end(),
-            [](const CellSnapshot& a, const CellSnapshot& b) {
-              return CanonicalKeyLess(a.key, b.key);
-            });
+  TimeTick target = clock_.load(std::memory_order_acquire);
+  for (TimeTick t : shard_now) target = std::max(target, t);
+  out.clock = target;
+  for (std::int64_t t : totals) out.total_cells += t;
+
+  size_t matches = 0;
+  for (const auto& slice : slices) matches += slice.size();
+  out.cells.reserve(matches);
+  for (auto& slice : slices) {
+    out.cells.insert(out.cells.end(), std::make_move_iterator(slice.begin()),
+                     std::make_move_iterator(slice.end()));
+  }
+  AlignRunToClock(out.cells, target, *options_.tilt_policy,
+                  /*pool=*/nullptr, /*stats=*/nullptr);
+  std::sort(out.cells.begin(), out.cells.end(), CellSnapshotCanonicalLess);
   return out;
 }
 
 Result<std::vector<MLayerTuple>> ShardedStreamEngine::SnapshotWindow(int level,
                                                                      int k) {
-  return SnapshotWindowOf(GatherAlignedCells().cells, level, k);
+  return SnapshotWindowOf(*GatherAlignedCells().cells, level, k);
 }
 
 Result<RegressionCube> ShardedStreamEngine::ComputeCube(int level, int k) {
   GatheredCells gathered = GatherAlignedCells();
-  return SnapshotCubeOf(schema_, gathered.cells, options_, level, k,
+  return SnapshotCubeOf(schema_, *gathered.cells, options_, level, k,
                         pool_.get());
 }
 
 Result<RegressionCube> ShardedStreamEngine::ComputeCubeAllLocks(int level,
                                                                 int k) {
   auto locks = LockAll();
-  RC_RETURN_IF_ERROR(AlignLocked());
+  const std::uint64_t before = SumShardRevisionsLocked();
+  Status aligned = AlignLocked();
+  // The all-locks read force-seals lagging shards (the behavior the
+  // snapshot path retired); that mutation must move the global revision or
+  // the gather caches would serve pre-seal state as current.
+  if (SumShardRevisionsLocked() != before) {
+    revision_.fetch_add(1, std::memory_order_release);
+  }
+  RC_RETURN_IF_ERROR(aligned);
   std::int64_t cells = 0;
   for (const auto& shard : shards_) cells += shard->engine.num_cells();
   if (cells == 0) {
@@ -217,26 +545,47 @@ Result<RegressionCube> ShardedStreamEngine::ComputeCubeAllLocks(int level,
 
 Result<ShardedStreamEngine::DeckSeries> ShardedStreamEngine::ObservationDeck(
     int level) {
-  return SnapshotDeckOf(GatherAlignedCells().cells, lattice_,
+  return SnapshotDeckOf(*GatherAlignedCells().cells, lattice_,
                         options_.tilt_policy->num_levels(), level);
 }
 
 Result<std::vector<ShardedStreamEngine::TrendChange>>
 ShardedStreamEngine::DetectTrendChanges(int level, double threshold) {
-  return SnapshotTrendChangesOf(GatherAlignedCells().cells, lattice_,
+  return SnapshotTrendChangesOf(*GatherAlignedCells().cells, lattice_,
                                 options_.tilt_policy->num_levels(), level,
                                 threshold);
 }
 
 Result<Isb> ShardedStreamEngine::QueryCell(CuboidId cuboid, const CellKey& key,
                                            int level, int k) {
-  return SnapshotCellOf(GatherAlignedCells().cells, lattice_, cuboid, key,
-                        level, k);
+  if (cuboid < 0 || cuboid >= lattice_.num_cuboids()) {
+    return SnapshotBadCuboidError(cuboid);
+  }
+  MemberGather gathered = GatherCellsMatching(cuboid, key);
+  if (gathered.total_cells == 0) return SnapshotNoDataError();
+  if (gathered.cells.empty()) {
+    return SnapshotNoMembersError(lattice_, cuboid, key);
+  }
+  return SnapshotCellOf(gathered.cells, lattice_, cuboid, key, level, k);
 }
 
 Result<std::vector<Isb>> ShardedStreamEngine::QueryCellSeries(
     CuboidId cuboid, const CellKey& key, int level) {
-  return SnapshotCellSeriesOf(GatherAlignedCells().cells, lattice_,
+  // Validation precedes the gather, in the legacy kernel's order:
+  // cuboid, then level, then no-data / no-members.
+  if (cuboid < 0 || cuboid >= lattice_.num_cuboids()) {
+    return SnapshotBadCuboidError(cuboid);
+  }
+  const int num_levels = options_.tilt_policy->num_levels();
+  if (level < 0 || level >= num_levels) {
+    return SnapshotBadLevelError(level, num_levels);
+  }
+  MemberGather gathered = GatherCellsMatching(cuboid, key);
+  if (gathered.total_cells == 0) return SnapshotNoDataError();
+  if (gathered.cells.empty()) {
+    return SnapshotNoMembersError(lattice_, cuboid, key);
+  }
+  return SnapshotCellSeriesOf(gathered.cells, lattice_,
                               options_.tilt_policy->num_levels(), cuboid, key,
                               level);
 }
@@ -255,6 +604,15 @@ std::int64_t ShardedStreamEngine::MemoryBytes() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     bytes += shard->engine.MemoryBytes();
+  }
+  return bytes;
+}
+
+std::int64_t ShardedStreamEngine::FrozenBytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    bytes += shard->engine.FrozenBytes();
   }
   return bytes;
 }

@@ -16,19 +16,36 @@
 
 namespace regcube {
 
+class MemoryTracker;
+
 /// Thread-safe scale-out layer over StreamCubeEngine: m-layer cells are
 /// hash-partitioned across N single-threaded shards, each guarded by its
 /// own mutex. Writers touch exactly one shard per tuple, so ingest from
 /// many threads proceeds in parallel; SealThrough is a barrier that locks
 /// every shard and drives all of them to one global clock.
 ///
-/// Reads are snapshot-based: GatherAlignedCells freezes each shard's cells
-/// while holding only that shard's lock (shards are gathered in parallel on
-/// the pool), aligns the frozen copies to one clock *outside* the locks,
-/// and every aggregation then runs lock-free over the frozen m-layer — a
-/// large ComputeCube no longer stalls ingest. The pre-redesign
-/// hold-every-lock read survives as ComputeCubeAllLocks, kept as the
-/// baseline oracle for benches and bit-identity tests.
+/// Reads are snapshot-based and O(changed cells): GatherAlignedCells
+/// freezes each shard's cells while holding only that shard's lock (shards
+/// are gathered in parallel on the pool), but a cell unchanged since its
+/// last freeze is exported as a pointer to its cached immutable frame
+/// block — only dirty cells are deep-copied. Two cache layers keep repeat
+/// gathers cheap: a per-shard cache keyed by the shard's engine revision
+/// (a clean shard's whole gathered slice is reused wholesale) and a
+/// whole-engine cache keyed by the global revision (every read method at
+/// one revision shares one gather). Alignment to the global clock happens
+/// on the frozen blocks outside the locks; a block is re-materialized only
+/// when the clock crossed a tilt-unit boundary since it froze (otherwise
+/// advancing is observationally a no-op and the block is shared as-is).
+/// The pre-redesign hold-every-lock read survives as ComputeCubeAllLocks,
+/// kept as the baseline oracle for benches and bit-identity tests, and
+/// GatherAlignedCells(GatherMode::kFull) retains the copy-everything
+/// gather for the same purpose.
+///
+/// Point queries copy O(matching members): GatherCellsMatching projects
+/// keys under the shard lock (a light O(cells) arithmetic scan, no frame
+/// copies) and copies or pointer-shares only the cells that roll up into
+/// the queried cell, so QueryCell/QueryCellSeries no longer freeze and
+/// copy the whole engine to answer about a handful of members.
 ///
 /// Read results are *bit-identical for every shard count*: frozen per-cell
 /// rows are sorted into a canonical key order before any aggregation, so
@@ -66,22 +83,47 @@ class ShardedStreamEngine {
 
   /// Barrier: locks every shard, seals all of them through `t` and aligns
   /// them to one global clock, so subsequent reads see one consistent
-  /// slot structure.
+  /// slot structure. The revision moves only if some frame actually sealed
+  /// a slot — an idempotent re-seal keeps every revision-memoized snapshot
+  /// valid.
   Status SealThrough(TimeTick t);
 
   // ---- read side (gather briefly under per-shard locks, then lock-free) -
 
-  /// The gather-under-lock phase shared by every read: frozen copies of
-  /// all cells, aligned to one clock, in canonical key order. Each shard's
-  /// lock is held only while its cells are copied; alignment and sorting
-  /// happen outside. The result is immutable and self-contained — the api
-  /// layer wraps it as a CubeSnapshot.
+  /// The gather-under-lock phase shared by every full read: frozen views
+  /// of all cells, aligned to one clock, in canonical key order. Each
+  /// shard's lock is held only while its cells are exported; alignment and
+  /// merging happen outside. The run is behind a shared_ptr so cache hits
+  /// and snapshot installs are refcount copies, never cell-by-cell copies.
+  /// The result is immutable and self-contained — the api layer wraps it
+  /// as a CubeSnapshot.
   struct GatheredCells {
-    SnapshotCells cells;         // canonical key order, aligned
+    std::shared_ptr<const SnapshotCells> cells;  // canonical order, aligned
     TimeTick clock = 0;          // tick the cells are aligned to
     std::uint64_t revision = 0;  // engine revision when gathering began
+    GatherStats stats;           // what this gather paid
   };
-  GatheredCells GatherAlignedCells();
+
+  /// kDelta shares frozen blocks for unchanged cells and serves clean
+  /// shards (or a clean engine) from the caches — O(changed cells).
+  /// kFull deep-copies every frame and bypasses every cache — the
+  /// O(all cells) pre-redesign baseline, bit-identical to kDelta, kept
+  /// for benches and equivalence tests.
+  enum class GatherMode { kDelta, kFull };
+  GatheredCells GatherAlignedCells(GatherMode mode = GatherMode::kDelta);
+
+  /// The member-only gather behind point queries: frozen views of just the
+  /// m-layer cells that roll up into `key` of `cuboid`, aligned to the
+  /// global clock, in canonical key order. Keys are projected under each
+  /// shard's lock; only matches are exported, so the copy cost is
+  /// O(matching members). `total_cells` distinguishes "engine empty" from
+  /// "no member matches" for the legacy error contract.
+  struct MemberGather {
+    SnapshotCells cells;  // the matching members only
+    TimeTick clock = 0;
+    std::int64_t total_cells = 0;  // all cells across shards at gather time
+  };
+  MemberGather GatherCellsMatching(CuboidId cuboid, const CellKey& key);
 
   /// Merged m-layer window over the most recent `k` sealed slots of tilt
   /// `level`, in canonical key order.
@@ -107,11 +149,12 @@ class ShardedStreamEngine {
                                                       double threshold);
 
   /// On-the-fly regression of one cell of any lattice cuboid, aggregated
-  /// from member cells across all shards.
+  /// from member cells across all shards via the member-only gather —
+  /// copies O(matching members), never takes a full snapshot.
   Result<Isb> QueryCell(CuboidId cuboid, const CellKey& key, int level,
                         int k);
 
-  /// The cell's whole sealed slot series at `level`.
+  /// The cell's whole sealed slot series at `level` (member-only gather).
   Result<std::vector<Isb>> QueryCellSeries(CuboidId cuboid,
                                            const CellKey& key, int level);
 
@@ -126,13 +169,24 @@ class ShardedStreamEngine {
   /// Total bytes retained by every shard's tilt frames.
   std::int64_t MemoryBytes() const;
 
+  /// Bytes retained by the per-cell frozen snapshot blocks across shards.
+  std::int64_t FrozenBytes() const;
+
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
-  /// Monotonic counter bumped by every successful write; lets callers
-  /// (e.g. the facade's snapshot cache) detect staleness cheaply.
+  /// Monotonic counter bumped by every write that changed observable
+  /// state; lets callers (e.g. the facade's snapshot cache) detect
+  /// staleness cheaply. Writes that change nothing — an idempotent
+  /// re-seal, alignment that crossed no tilt-unit boundary — leave it
+  /// alone, so memoized snapshots stay shared.
   std::uint64_t revision() const {
     return revision_.load(std::memory_order_acquire);
   }
+
+  /// Installs analytic memory accounting for the frozen-block and gather
+  /// caches ("snapshot.frozen_frames" / "snapshot.gather_cache"). Not
+  /// owned; must outlive the engine. Install before concurrent use.
+  void set_memory_tracker(MemoryTracker* tracker);
 
   const CubeSchema& schema() const { return *schema_; }
   const CuboidLattice& lattice() const { return lattice_; }
@@ -145,6 +199,9 @@ class ShardedStreamEngine {
  private:
   struct Shard {
     mutable std::mutex mu;
+    // The engine holds the per-shard delta state: per-cell frozen blocks,
+    // the dirty list, and the revision of its last export — together the
+    // per-shard gather cache keyed by the shard's revision.
     StreamCubeEngine engine;
 
     explicit Shard(std::shared_ptr<const CubeSchema> schema, Options options)
@@ -165,6 +222,11 @@ class ShardedStreamEngine {
   /// alignment) to the global clock, so per-shard slot structures agree.
   Status AlignLocked();
 
+  /// Pre: all shard locks held. Sum of the shard engines' revisions —
+  /// compared across a barrier to decide whether the global revision must
+  /// move.
+  std::uint64_t SumShardRevisionsLocked() const;
+
   std::shared_ptr<const CubeSchema> schema_;
   CuboidLattice lattice_;
   Options options_;  // shard options; key_mapper lives in mapper_ instead
@@ -173,6 +235,24 @@ class ShardedStreamEngine {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<TimeTick> clock_;
   std::atomic<std::uint64_t> revision_{0};
+  MemoryTracker* tracker_ = nullptr;
+
+  /// The copy-everything gather (GatherMode::kFull): per-shard full
+  /// exports, sorted, merged, aligned per cell. Bypasses every cache.
+  GatheredCells GatherFull();
+
+  // Whole-engine gather cache: every full read at one revision shares one
+  // gather (SnapshotWindow, ObservationDeck, DetectTrendChanges, the
+  // facade's TakeSnapshot all route here), and a stale entry is the base
+  // the next delta gather patches — gather_shard_revs_ records, per shard,
+  // the export revision the cached run reflects. gather_work_mu_
+  // serializes delta gathers: each consumes the shards' dirty lists, so
+  // exactly one gather may fold them into the cached run at a time.
+  std::mutex gather_mu_;
+  std::mutex gather_work_mu_;
+  bool gather_valid_ = false;
+  GatheredCells gather_cache_;
+  std::vector<std::uint64_t> gather_shard_revs_;
 };
 
 }  // namespace regcube

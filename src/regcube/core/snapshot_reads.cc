@@ -7,30 +7,27 @@
 #include "regcube/regression/aggregate.h"
 
 namespace regcube {
-namespace {
 
-Status BadLevel(int level, int num_levels) {
-  return Status::InvalidArgument(
-      StrPrintf("tilt level %d outside [0, %d)", level, num_levels));
-}
-
-Status BadCuboid(CuboidId cuboid) {
+Status SnapshotBadCuboidError(CuboidId cuboid) {
   return Status::InvalidArgument(
       StrPrintf("cuboid id %d outside the lattice", cuboid));
 }
 
-Status NoData() {
+Status SnapshotNoDataError() {
   return Status::FailedPrecondition("no stream data ingested yet");
 }
 
-Status NoMembers(const CuboidLattice& lattice, CuboidId cuboid,
-                 const CellKey& key) {
+Status SnapshotBadLevelError(int level, int num_levels) {
+  return Status::InvalidArgument(
+      StrPrintf("tilt level %d outside [0, %d)", level, num_levels));
+}
+
+Status SnapshotNoMembersError(const CuboidLattice& lattice, CuboidId cuboid,
+                              const CellKey& key) {
   return Status::NotFound(
       StrPrintf("no m-layer cell rolls up into %s of cuboid %s",
                 key.ToString().c_str(), lattice.CuboidName(cuboid).c_str()));
 }
-
-}  // namespace
 
 bool CanonicalKeyLess(const CellKey& a, const CellKey& b) {
   if (a.num_dims() != b.num_dims()) return a.num_dims() < b.num_dims();
@@ -42,11 +39,11 @@ bool CanonicalKeyLess(const CellKey& a, const CellKey& b) {
 
 Result<std::vector<MLayerTuple>> SnapshotWindowOf(const SnapshotCells& cells,
                                                   int level, int k) {
-  if (cells.empty()) return NoData();
+  if (cells.empty()) return SnapshotNoDataError();
   std::vector<MLayerTuple> merged;
   merged.reserve(cells.size());
   for (const CellSnapshot& cell : cells) {
-    auto isb = cell.frame.RegressLastSlots(level, k);
+    auto isb = cell.frame->RegressLastSlots(level, k);
     if (!isb.ok()) return isb.status();
     merged.push_back(MLayerTuple{cell.key, *isb});
   }
@@ -56,13 +53,13 @@ Result<std::vector<MLayerTuple>> SnapshotWindowOf(const SnapshotCells& cells,
 Result<StreamCubeEngine::DeckSeries> SnapshotDeckOf(
     const SnapshotCells& cells, const CuboidLattice& lattice, int num_levels,
     int level) {
-  if (level < 0 || level >= num_levels) return BadLevel(level, num_levels);
-  if (cells.empty()) return NoData();
+  if (level < 0 || level >= num_levels) return SnapshotBadLevelError(level, num_levels);
+  if (cells.empty()) return SnapshotNoDataError();
   StreamCubeEngine::DeckSeries deck;
   const CuboidId o_id = lattice.o_layer_id();
   for (const CellSnapshot& cell : cells) {
     const CellKey o_key = lattice.ProjectMLayerKey(cell.key, o_id);
-    const auto& slots = cell.frame.RawSlots(level);
+    const auto& slots = cell.frame->RawSlots(level);
     auto& dest = deck[o_key];
     if (dest.size() < slots.size()) dest.resize(slots.size());
     for (size_t i = 0; i < slots.size(); ++i) {
@@ -101,18 +98,20 @@ Result<std::vector<StreamCubeEngine::TrendChange>> SnapshotTrendChangesOf(
 Result<Isb> SnapshotCellOf(const SnapshotCells& cells,
                            const CuboidLattice& lattice, CuboidId cuboid,
                            const CellKey& key, int level, int k) {
-  if (cuboid < 0 || cuboid >= lattice.num_cuboids()) return BadCuboid(cuboid);
-  if (cells.empty()) return NoData();
+  if (cuboid < 0 || cuboid >= lattice.num_cuboids()) {
+    return SnapshotBadCuboidError(cuboid);
+  }
+  if (cells.empty()) return SnapshotNoDataError();
   Isb acc;
   bool found = false;
   for (const CellSnapshot& cell : cells) {
     if (!(lattice.ProjectMLayerKey(cell.key, cuboid) == key)) continue;
-    auto isb = cell.frame.RegressLastSlots(level, k);
+    auto isb = cell.frame->RegressLastSlots(level, k);
     if (!isb.ok()) return isb.status();
     AccumulateStandardDim(acc, *isb);
     found = true;
   }
-  if (!found) return NoMembers(lattice, cuboid, key);
+  if (!found) return SnapshotNoMembersError(lattice, cuboid, key);
   return acc;
 }
 
@@ -120,21 +119,23 @@ Result<std::vector<Isb>> SnapshotCellSeriesOf(const SnapshotCells& cells,
                                               const CuboidLattice& lattice,
                                               int num_levels, CuboidId cuboid,
                                               const CellKey& key, int level) {
-  if (cuboid < 0 || cuboid >= lattice.num_cuboids()) return BadCuboid(cuboid);
-  if (level < 0 || level >= num_levels) return BadLevel(level, num_levels);
-  if (cells.empty()) return NoData();
+  if (cuboid < 0 || cuboid >= lattice.num_cuboids()) {
+    return SnapshotBadCuboidError(cuboid);
+  }
+  if (level < 0 || level >= num_levels) return SnapshotBadLevelError(level, num_levels);
+  if (cells.empty()) return SnapshotNoDataError();
   std::vector<Isb> acc;
   bool found = false;
   for (const CellSnapshot& cell : cells) {
     if (!(lattice.ProjectMLayerKey(cell.key, cuboid) == key)) continue;
-    const auto& slots = cell.frame.RawSlots(level);
+    const auto& slots = cell.frame->RawSlots(level);
     if (acc.size() < slots.size()) acc.resize(slots.size());
     for (size_t i = 0; i < slots.size(); ++i) {
       AccumulateStandardDim(acc[i], FitFromMoments(slots[i]));
     }
     found = true;
   }
-  if (!found) return NoMembers(lattice, cuboid, key);
+  if (!found) return SnapshotNoMembersError(lattice, cuboid, key);
   return acc;
 }
 

@@ -27,8 +27,26 @@ class ThreadPool;
 /// this order, which is what makes results shard-count invariant.
 bool CanonicalKeyLess(const CellKey& a, const CellKey& b);
 
-/// The frozen m-layer cells a snapshot query runs against.
+/// The same order lifted to frozen cells — the one comparator every sort,
+/// merge and tandem walk of the gather path uses.
+inline bool CellSnapshotCanonicalLess(const CellSnapshot& a,
+                                      const CellSnapshot& b) {
+  return CanonicalKeyLess(a.key, b.key);
+}
+
+/// The frozen m-layer cells a snapshot query runs against. Each entry
+/// shares an immutable refcounted frame block, so copying a SnapshotCells
+/// (or holding one in a cache) costs pointers, not frames.
 using SnapshotCells = std::vector<CellSnapshot>;
+
+/// The kernels' shared error vocabulary, exported so the member-only
+/// gather path (which pre-filters cells before calling a kernel) can
+/// preserve the exact legacy error contract.
+Status SnapshotNoDataError();
+Status SnapshotBadCuboidError(CuboidId cuboid);
+Status SnapshotBadLevelError(int level, int num_levels);
+Status SnapshotNoMembersError(const CuboidLattice& lattice, CuboidId cuboid,
+                              const CellKey& key);
 
 /// Merged m-layer window over the most recent `k` sealed slots of tilt
 /// `level`, in canonical key order. FailedPrecondition when no cells.

@@ -2,11 +2,18 @@
 
 #include <algorithm>
 
+#include "regcube/core/snapshot_reads.h"
 #include "regcube/common/logging.h"
+#include "regcube/common/memory_tracker.h"
 #include "regcube/common/str.h"
 #include "regcube/regression/aggregate.h"
 
 namespace regcube {
+
+namespace {
+// Frozen snapshot blocks cached per cell, reported through MemoryTracker.
+constexpr char kFrozenCategory[] = "snapshot.frozen_frames";
+}  // namespace
 
 StreamCubeEngine::StreamCubeEngine(std::shared_ptr<const CubeSchema> schema,
                                    Options options)
@@ -18,13 +25,28 @@ StreamCubeEngine::StreamCubeEngine(std::shared_ptr<const CubeSchema> schema,
   RC_CHECK(options_.tilt_policy != nullptr);
 }
 
-TiltTimeFrame& StreamCubeEngine::FrameFor(const CellKey& key) {
-  auto it = frames_.find(key);
-  if (it == frames_.end()) {
-    it = frames_
-             .emplace(key,
-                      TiltTimeFrame(options_.tilt_policy, options_.start_tick))
+void StreamCubeEngine::MarkDirty(const CellKey& key, CellState& state) {
+  // Queue the cell for the next export's patch pass at most once; while it
+  // is queued, further writes change nothing the export needs to know.
+  if (!state.queued) {
+    dirty_cells_.push_back({key, &state});
+    state.queued = true;
+  }
+  state.last_modified = ++revision_;
+}
+
+StreamCubeEngine::CellState& StreamCubeEngine::CellFor(const CellKey& key) {
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    it = cells_
+             .emplace(key, CellState(TiltTimeFrame(options_.tilt_policy,
+                                                   options_.start_tick)))
              .first;
+    // Creation is observable (num_cells, window errors) even if the first
+    // Add is rejected.
+    it->second.last_modified = ++revision_;
+    dirty_cells_.push_back({key, &it->second});
+    it->second.queued = true;
   }
   return it->second;
 }
@@ -32,7 +54,9 @@ TiltTimeFrame& StreamCubeEngine::FrameFor(const CellKey& key) {
 Status StreamCubeEngine::Ingest(const StreamTuple& tuple) {
   const CellKey key =
       options_.key_mapper ? options_.key_mapper(tuple.key) : tuple.key;
-  RC_RETURN_IF_ERROR(FrameFor(key).Add(tuple.tick, tuple.value));
+  CellState& state = CellFor(key);
+  RC_RETURN_IF_ERROR(state.frame.Add(tuple.tick, tuple.value));
+  MarkDirty(key, state);
   now_ = std::max(now_, tuple.tick);
   return Status::OK();
 }
@@ -59,22 +83,31 @@ Status StreamCubeEngine::SealThrough(TimeTick t) {
 }
 
 void StreamCubeEngine::AlignFrames() {
-  for (auto& [key, frame] : frames_) {
-    Status s = frame.AdvanceTo(now_);
+  for (auto& [key, state] : cells_) {
+    const TimeTick from = state.frame.next_tick();
+    if (from >= now_) continue;
+    Status s = state.frame.AdvanceTo(now_);
     RC_CHECK(s.ok()) << s.ToString();
+    // Only an advance that sealed a slot changes what any read can see;
+    // moving next_tick within an open unit leaves every slot untouched, so
+    // the cell's frozen block (and any revision-memoized snapshot) stays
+    // valid.
+    if (options_.tilt_policy->AnyUnitEndIn(from, now_)) {
+      MarkDirty(key, state);
+    }
   }
 }
 
 Result<std::vector<MLayerTuple>> StreamCubeEngine::SnapshotWindow(int level,
                                                                   int k) {
-  if (frames_.empty()) {
+  if (cells_.empty()) {
     return Status::FailedPrecondition("no stream data ingested yet");
   }
   AlignFrames();
   std::vector<MLayerTuple> tuples;
-  tuples.reserve(frames_.size());
-  for (auto& [key, frame] : frames_) {
-    auto isb = frame.RegressLastSlots(level, k);
+  tuples.reserve(cells_.size());
+  for (auto& [key, state] : cells_) {
+    auto isb = state.frame.RegressLastSlots(level, k);
     if (!isb.ok()) return isb.status();
     tuples.push_back(MLayerTuple{key, *isb});
   }
@@ -105,7 +138,7 @@ Result<RegressionCube> ComputeCubeFromWindow(
 
 Result<StreamCubeEngine::DeckSeries> StreamCubeEngine::ObservationDeck(
     int level) {
-  if (frames_.empty()) {
+  if (cells_.empty()) {
     return Status::FailedPrecondition("no stream data ingested yet");
   }
   AlignFrames();
@@ -113,9 +146,9 @@ Result<StreamCubeEngine::DeckSeries> StreamCubeEngine::ObservationDeck(
   // (Theorem 3.2 applied slot-wise in moment space).
   std::unordered_map<CellKey, std::vector<MomentSums>, CellKeyHash> acc;
   const CuboidId o_id = lattice_.o_layer_id();
-  for (auto& [key, frame] : frames_) {
+  for (auto& [key, state] : cells_) {
     const CellKey o_key = lattice_.ProjectMLayerKey(key, o_id);
-    const auto& slots = frame.RawSlots(level);
+    const auto& slots = state.frame.RawSlots(level);
     auto& dest = acc[o_key];
     if (dest.size() < slots.size()) dest.resize(slots.size());
     for (size_t i = 0; i < slots.size(); ++i) {
@@ -163,15 +196,15 @@ StreamCubeEngine::DetectTrendChanges(int level, double threshold) {
 
 Result<Isb> StreamCubeEngine::QueryCell(CuboidId cuboid, const CellKey& key,
                                         int level, int k) {
-  if (frames_.empty()) {
+  if (cells_.empty()) {
     return Status::FailedPrecondition("no stream data ingested yet");
   }
   AlignFrames();
   Isb acc;
   bool found = false;
-  for (auto& [m_key, frame] : frames_) {
+  for (auto& [m_key, state] : cells_) {
     if (!(lattice_.ProjectMLayerKey(m_key, cuboid) == key)) continue;
-    auto isb = frame.RegressLastSlots(level, k);
+    auto isb = state.frame.RegressLastSlots(level, k);
     if (!isb.ok()) return isb.status();
     AccumulateStandardDim(acc, *isb);
     found = true;
@@ -187,15 +220,15 @@ Result<Isb> StreamCubeEngine::QueryCell(CuboidId cuboid, const CellKey& key,
 
 Result<std::vector<Isb>> StreamCubeEngine::QueryCellSeries(
     CuboidId cuboid, const CellKey& key, int level) {
-  if (frames_.empty()) {
+  if (cells_.empty()) {
     return Status::FailedPrecondition("no stream data ingested yet");
   }
   AlignFrames();
   std::vector<MomentSums> acc;
   bool found = false;
-  for (auto& [m_key, frame] : frames_) {
+  for (auto& [m_key, state] : cells_) {
     if (!(lattice_.ProjectMLayerKey(m_key, cuboid) == key)) continue;
-    const auto& slots = frame.RawSlots(level);
+    const auto& slots = state.frame.RawSlots(level);
     if (acc.size() < slots.size()) acc.resize(slots.size());
     for (size_t i = 0; i < slots.size(); ++i) {
       if (acc[i].interval.empty()) {
@@ -220,24 +253,112 @@ Result<std::vector<Isb>> StreamCubeEngine::QueryCellSeries(
   return series;
 }
 
-std::vector<CellSnapshot> StreamCubeEngine::ExportCells() const {
-  std::vector<CellSnapshot> cells;
-  cells.reserve(frames_.size());
-  for (const auto& [key, frame] : frames_) {
-    CellSnapshot cell{key, frame};
-    Status s = cell.frame.AdvanceTo(now_);
-    RC_CHECK(s.ok()) << s.ToString();
-    cells.push_back(std::move(cell));
+void StreamCubeEngine::set_memory_tracker(MemoryTracker* tracker) {
+  // Hand the registered bytes from the old tracker to the new one, so
+  // detach / re-attach keeps every tracker balanced.
+  if (tracker_ != nullptr && frozen_bytes_ > 0) {
+    tracker_->Release(kFrozenCategory, frozen_bytes_);
   }
-  return cells;
+  if (tracker != nullptr && frozen_bytes_ > 0) {
+    tracker->Add(kFrozenCategory, frozen_bytes_);
+  }
+  tracker_ = tracker;
+}
+
+void StreamCubeEngine::PublishFrozen(
+    CellState& state, std::shared_ptr<const TiltTimeFrame> block) {
+  const std::int64_t new_bytes = block->MemoryBytes();
+  const std::int64_t old_bytes =
+      state.frozen != nullptr ? state.frozen->MemoryBytes() : 0;
+  frozen_bytes_ += new_bytes - old_bytes;
+  if (tracker_ != nullptr) {
+    if (state.frozen != nullptr) tracker_->Release(kFrozenCategory, old_bytes);
+    tracker_->Add(kFrozenCategory, new_bytes);
+  }
+  state.frozen = std::move(block);
+}
+
+const std::shared_ptr<const TiltTimeFrame>& StreamCubeEngine::FrozenFor(
+    CellState& state, GatherStats* stats) {
+  if (state.frozen == nullptr ||
+      state.frozen_revision != state.last_modified) {
+    auto block = std::make_shared<const TiltTimeFrame>(state.frame);
+    if (stats != nullptr) {
+      ++stats->materialized;
+      stats->bytes_copied += block->MemoryBytes();
+    }
+    PublishFrozen(state, std::move(block));
+    state.frozen_revision = state.last_modified;
+  }
+  return state.frozen;
+}
+
+StreamCubeEngine::FrozenExport StreamCubeEngine::ExportFrozen(
+    std::uint64_t base_revision, GatherStats* stats) {
+  if (stats != nullptr) stats->cells += num_cells();
+  FrozenExport out;
+  if (base_revision == export_revision_ &&
+      base_revision != kNoBaseRevision) {
+    // The caller's run reflects our previous export: hand back only what
+    // changed since. (A fresh engine exports everything this way too —
+    // every cell is on the dirty list from creation.)
+    out.patched = true;
+    if (revision_ != export_revision_) {
+      out.patches.reserve(dirty_cells_.size());
+      for (auto& [key, state] : dirty_cells_) {
+        out.patches.push_back({key, FrozenFor(*state, stats)});
+      }
+      std::sort(out.patches.begin(), out.patches.end(),
+                CellSnapshotCanonicalLess);
+    } else if (stats != nullptr) {
+      ++stats->shards_reused;
+    }
+  } else {
+    // No usable base: full sorted export.
+    auto full = std::make_shared<std::vector<CellSnapshot>>();
+    full->reserve(cells_.size());
+    for (auto& [key, state] : cells_) {
+      full->push_back({key, FrozenFor(state, stats)});
+    }
+    std::sort(full->begin(), full->end(), CellSnapshotCanonicalLess);
+    out.slice = std::move(full);
+  }
+  for (auto& entry : dirty_cells_) entry.second->queued = false;
+  dirty_cells_.clear();
+  export_revision_ = revision_;
+  return out;
+}
+
+void StreamCubeEngine::ExportCellsFull(std::vector<CellSnapshot>* out,
+                                       GatherStats* stats) const {
+  out->reserve(out->size() + cells_.size());
+  for (const auto& [key, state] : cells_) {
+    auto block = std::make_shared<const TiltTimeFrame>(state.frame);
+    if (stats != nullptr) {
+      ++stats->materialized;
+      stats->bytes_copied += block->MemoryBytes();
+    }
+    out->push_back({key, std::move(block)});
+  }
+  if (stats != nullptr) stats->cells += num_cells();
+}
+
+void StreamCubeEngine::ExportMatchingCells(CuboidId cuboid, const CellKey& key,
+                                           std::vector<CellSnapshot>* out,
+                                           GatherStats* stats) {
+  for (auto& [m_key, state] : cells_) {
+    if (!(lattice_.ProjectMLayerKey(m_key, cuboid) == key)) continue;
+    out->push_back({m_key, FrozenFor(state, stats)});
+    if (stats != nullptr) ++stats->cells;
+  }
 }
 
 std::int64_t StreamCubeEngine::MemoryBytes() const {
   std::int64_t bytes = 0;
   constexpr std::int64_t kMapEntryOverhead = 16;
-  for (const auto& [key, frame] : frames_) {
+  for (const auto& [key, state] : cells_) {
     bytes += static_cast<std::int64_t>(sizeof(CellKey)) + kMapEntryOverhead +
-             frame.MemoryBytes();
+             state.frame.MemoryBytes();
   }
   return bytes;
 }

@@ -16,6 +16,8 @@
 
 namespace regcube {
 
+class MemoryTracker;
+
 /// One raw stream observation: a cell key (m-layer values, or primitive
 /// values if a key mapper is installed), a time tick, and a measure value.
 struct StreamTuple {
@@ -40,12 +42,32 @@ struct IngestReport {
   bool ok() const { return status.ok(); }
 };
 
-/// One m-layer cell frozen for lock-free reads: its key plus a deep copy
-/// of its tilt frame. The unit of the snapshot read path — gathered under
-/// a shard lock, queried without any.
+/// One m-layer cell frozen for lock-free reads: its key plus a refcounted
+/// immutable view of its tilt frame. The unit of the snapshot read path —
+/// gathered under a shard lock, queried without any. Because the frame is
+/// shared rather than owned, a gather that finds a cell unchanged since the
+/// last freeze copies a pointer, not the frame: snapshot cost scales with
+/// the cells that changed, not the population.
 struct CellSnapshot {
   CellKey key;
-  TiltTimeFrame frame;
+  std::shared_ptr<const TiltTimeFrame> frame;
+};
+
+/// What one gather actually paid: how many frames had to be materialized
+/// (deep-copied) versus shared from the frozen cache, and the bytes those
+/// copies retain. The bench's delta-vs-full comparison reads these.
+struct GatherStats {
+  std::int64_t cells = 0;         // cells in the gather
+  std::int64_t materialized = 0;  // frames deep-copied (dirty or re-aligned)
+  std::int64_t bytes_copied = 0;  // bytes retained by those copies
+  std::int64_t shards_reused = 0; // shards served wholesale from their cache
+
+  void Merge(const GatherStats& other) {
+    cells += other.cells;
+    materialized += other.materialized;
+    bytes_copied += other.bytes_copied;
+    shards_reused += other.shards_reused;
+  }
 };
 
 /// The on-line analysis engine of §4.5: maintains one tilt time frame per
@@ -102,7 +124,7 @@ class StreamCubeEngine {
 
   /// Number of distinct m-layer cells seen.
   std::int64_t num_cells() const {
-    return static_cast<std::int64_t>(frames_.size());
+    return static_cast<std::int64_t>(cells_.size());
   }
 
   /// m-layer regression tuples over the most recent `k` sealed slots of
@@ -147,29 +169,130 @@ class StreamCubeEngine {
   Result<std::vector<Isb>> QueryCellSeries(CuboidId cuboid,
                                            const CellKey& key, int level);
 
-  /// Frozen copies of every m-layer cell, advanced to the engine clock —
-  /// the gather-under-lock half of the snapshot read path. Const on
-  /// purpose: the live frames are never touched; alignment happens on the
-  /// copies, so a caller holding this engine's lock only pays for the copy.
-  std::vector<CellSnapshot> ExportCells() const;
+  // ---- the gather-under-lock half of the snapshot read path -------------
+
+  /// An immutable canonical-key-ordered run of frozen cells, shared
+  /// between the sharded gather cache and any snapshots holding it.
+  using FrozenSlice = std::shared_ptr<const std::vector<CellSnapshot>>;
+
+  /// Sentinel for ExportFrozen's base_revision: never matches, forcing a
+  /// full export.
+  static constexpr std::uint64_t kNoBaseRevision = ~0ull;
+
+  /// One shard's contribution to a delta gather. Exactly one of the two
+  /// forms is produced:
+  ///  - patched == true: `patches` holds only the cells modified since the
+  ///    caller's base (key-sorted, unique), each re-frozen — O(changed
+  ///    cells). Produced when `base_revision` matches the revision of this
+  ///    engine's previous export, i.e. the caller's cached run already
+  ///    reflects everything else.
+  ///  - patched == false: `slice` is a full sorted export — the fallback
+  ///    when the caller has no usable base.
+  struct FrozenExport {
+    FrozenSlice slice;
+    std::vector<CellSnapshot> patches;
+    bool patched = false;
+  };
+
+  /// Exports this engine's cells for a delta gather (see FrozenExport).
+  /// Frames are frozen at their own clock; the caller aligns the blocks to
+  /// one global clock outside the lock (sharing survives the alignment
+  /// when no tilt-unit boundary was crossed, see TiltPolicy::AnyUnitEndIn).
+  /// Consumes the dirty list: the caller must fold the result into its
+  /// cached run (the sharded engine serializes delta gathers for exactly
+  /// this reason).
+  FrozenExport ExportFrozen(std::uint64_t base_revision, GatherStats* stats);
+
+  /// The revision this engine's last ExportFrozen reflected — the key a
+  /// caller hands back as base_revision to get a patch export.
+  std::uint64_t export_revision() const { return export_revision_; }
+
+  /// Same contract, but deep-copies every frame unconditionally and leaves
+  /// the frozen cache untouched — the O(all-cells) baseline the delta path
+  /// is benchmarked (and bit-identity-tested) against.
+  void ExportCellsFull(std::vector<CellSnapshot>* out,
+                       GatherStats* stats) const;
+
+  /// Frozen views of only the m-layer cells that roll up into `key` of
+  /// `cuboid` — the member-only gather behind point queries. Keys are
+  /// projected under the caller's lock; only matches are exported (sharing
+  /// frozen blocks exactly like ExportFrozenCells), so the copy cost is
+  /// O(matching members), not O(all cells).
+  void ExportMatchingCells(CuboidId cuboid, const CellKey& key,
+                           std::vector<CellSnapshot>* out,
+                           GatherStats* stats);
+
+  /// Monotonic counter of observable state changes: cell creation, absorbed
+  /// observations, and frame advances that sealed at least one slot.
+  /// Alignment that crosses no tilt-unit boundary does NOT move it — reads
+  /// memoized on this revision stay valid across no-op seals.
+  std::uint64_t revision() const { return revision_; }
 
   /// Total bytes retained by the per-cell tilt frames.
   std::int64_t MemoryBytes() const;
+
+  /// Bytes retained by the cached frozen blocks (also accounted to the
+  /// memory tracker, if one is installed, under "snapshot.frozen_frames").
+  std::int64_t FrozenBytes() const { return frozen_bytes_; }
+
+  /// Installs analytic memory accounting for the frozen-block cache (any
+  /// bytes already frozen are registered immediately). Pass nullptr to
+  /// detach. Not owned; must outlive the engine.
+  void set_memory_tracker(MemoryTracker* tracker);
 
   const CubeSchema& schema() const { return *schema_; }
   const CuboidLattice& lattice() const { return lattice_; }
 
  private:
+  struct CellState {
+    TiltTimeFrame frame;
+    std::uint64_t last_modified = 0;  // revision of the last observable change
+    std::shared_ptr<const TiltTimeFrame> frozen;  // immutable copy of `frame`
+    std::uint64_t frozen_revision = 0;  // last_modified captured in `frozen`
+    bool queued = false;  // on dirty_cells_, awaiting the next export
+
+    explicit CellState(TiltTimeFrame f) : frame(std::move(f)) {}
+  };
+
   /// Advances every frame to the engine clock so slot structures align.
+  /// Bumps the revision (and dirties cells) only when a frame seals a slot.
   void AlignFrames();
 
-  TiltTimeFrame& FrameFor(const CellKey& key);
+  CellState& CellFor(const CellKey& key);
+
+  /// Records an observable change to a cell: bumps the revision, stamps the
+  /// cell, and — if the cell was clean — queues it on the dirty list the
+  /// next export patches from.
+  void MarkDirty(const CellKey& key, CellState& state);
+
+  /// Replaces a cell's frozen block, keeping frozen_bytes_ and the tracker
+  /// in sync.
+  void PublishFrozen(CellState& state,
+                     std::shared_ptr<const TiltTimeFrame> block);
+
+  /// The cell's current frozen block, refreshed from the live frame if the
+  /// cell changed since the last freeze (counted into `stats`).
+  const std::shared_ptr<const TiltTimeFrame>& FrozenFor(CellState& state,
+                                                        GatherStats* stats);
 
   std::shared_ptr<const CubeSchema> schema_;
   CuboidLattice lattice_;
   Options options_;
-  std::unordered_map<CellKey, TiltTimeFrame, CellKeyHash> frames_;
+  std::unordered_map<CellKey, CellState, CellKeyHash> cells_;
   TimeTick now_;
+  std::uint64_t revision_ = 0;
+  std::int64_t frozen_bytes_ = 0;
+  MemoryTracker* tracker_ = nullptr;
+
+  // Delta-export bookkeeping: export_revision_ is the revision the last
+  // ExportFrozen reflected; dirty_cells_ lists each cell modified since —
+  // exactly what the next export must patch. The `queued` flag keeps every
+  // cell on the list at most once, so the list is bounded by num_cells()
+  // regardless of how writes interleave with exports or member gathers.
+  // CellState pointers are stable (node-based map) and cells are never
+  // erased, so the raw pointer is safe for the engine's lifetime.
+  std::uint64_t export_revision_ = 0;
+  std::vector<std::pair<CellKey, CellState*>> dirty_cells_;
 };
 
 class ThreadPool;

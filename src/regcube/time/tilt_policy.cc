@@ -12,6 +12,17 @@ std::int64_t TiltPolicy::TotalCapacity() const {
   return total;
 }
 
+bool TiltPolicy::AnyUnitEndIn(TimeTick begin, TimeTick end) const {
+  // Early exit bounds the scan by the distance to the next boundary of the
+  // finest level, not by the (possibly huge) range width.
+  for (TimeTick t = begin; t < end; ++t) {
+    for (int li = 0; li < num_levels(); ++li) {
+      if (IsUnitEnd(li, t)) return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 
 class UniformTiltPolicy : public TiltPolicy {
@@ -43,6 +54,16 @@ class UniformTiltPolicy : public TiltPolicy {
   bool IsUnitEnd(int level, TimeTick t) const override {
     RC_CHECK(level >= 0 && level < num_levels());
     return (t + 1) % widths_[static_cast<size_t>(level)] == 0;
+  }
+
+  bool AnyUnitEndIn(TimeTick begin, TimeTick end) const override {
+    if (begin >= end) return false;
+    if (begin < 0) return TiltPolicy::AnyUnitEndIn(begin, end);
+    // Coarser widths are multiples of width 0, so a boundary at any level
+    // is a boundary at level 0: one exists iff some multiple of widths_[0]
+    // lands in [begin + 1, end].
+    const std::int64_t w = widths_[0];
+    return (end / w) * w >= begin + 1;
   }
 
   std::int64_t NominalUnitTicks(int level) const override {

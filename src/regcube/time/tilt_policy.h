@@ -35,6 +35,16 @@ class TiltPolicy {
   /// t+1 starts a new unit of that level.
   virtual bool IsUnitEnd(int level, TimeTick t) const = 0;
 
+  /// True iff any level's unit ends at some tick in [begin, end) — exactly
+  /// the range TiltTimeFrame::AdvanceTo(end) seals when the frame sits at
+  /// `begin`. When this is false, advancing a frame across the range is
+  /// observationally a no-op (no slot sealed, no eviction), which is what
+  /// lets the snapshot gather share a frozen frame block across a clock
+  /// advance instead of re-copying it. The default scans tick by tick with
+  /// early exit (cost bounded by the finest unit width); fixed-width
+  /// policies override with O(1) modular math.
+  virtual bool AnyUnitEndIn(TimeTick begin, TimeTick end) const;
+
   /// Nominal unit width in ticks (calendar levels report the typical width;
   /// used only for reporting, never for boundary math).
   virtual std::int64_t NominalUnitTicks(int level) const = 0;

@@ -1,0 +1,457 @@
+// O(changed-cells) gather contracts: the delta gather (frozen blocks shared
+// for clean cells, patch exports folded into the cached run) must stay
+// bit-identical to a from-scratch full gather and to ComputeCubeAllLocks
+// under randomized ingest interleaved with snapshots, for shard counts
+// {1, 2, 8}; seals that change nothing must not move the revision; point
+// queries routed through the member-only gather must match a full-snapshot
+// scan and keep the legacy error contract; concurrent churn + TakeSnapshot
+// must be race-free (this test runs in the TSan CI job); and the frozen /
+// gather-cache bytes must show up in the facade's memory tracker.
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <unordered_set>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "regcube/api/regcube.h"
+#include "test_util.h"
+
+namespace regcube {
+namespace {
+
+std::shared_ptr<const TiltPolicy> SmallPolicy() {
+  // quarter = 4 ticks, hour = 16 ticks.
+  return MakeUniformTiltPolicy({{"quarter", 8}, {"hour", 8}}, {4, 16});
+}
+
+WorkloadSpec ChurnSpec(std::int64_t tuples = 120, std::int64_t ticks = 16) {
+  WorkloadSpec spec;
+  spec.num_dims = 2;
+  spec.num_levels = 2;
+  spec.fanout = 4;
+  spec.num_tuples = tuples;
+  spec.series_length = ticks;
+  spec.seed = 23;
+  return spec;
+}
+
+StreamCubeEngine::Options ChurnOptions() {
+  StreamCubeEngine::Options options;
+  options.tilt_policy = SmallPolicy();
+  options.policy = ExceptionPolicy(0.02);
+  return options;
+}
+
+void ExpectMomentsIdentical(const MomentSums& a, const MomentSums& b) {
+  EXPECT_EQ(a.interval, b.interval);
+  EXPECT_EQ(a.sum_z, b.sum_z);
+  EXPECT_EQ(a.sum_tz, b.sum_tz);
+}
+
+/// Bitwise equality of two gathered runs: same cells in the same canonical
+/// order, every sealed slot of every level identical.
+void ExpectGathersIdentical(const ShardedStreamEngine::GatheredCells& delta,
+                            const ShardedStreamEngine::GatheredCells& full,
+                            int num_levels) {
+  ASSERT_EQ(delta.cells->size(), full.cells->size());
+  EXPECT_EQ(delta.clock, full.clock);
+  for (size_t i = 0; i < delta.cells->size(); ++i) {
+    const CellSnapshot& d = (*delta.cells)[i];
+    const CellSnapshot& f = (*full.cells)[i];
+    ASSERT_EQ(d.key, f.key) << "row " << i;
+    for (int level = 0; level < num_levels; ++level) {
+      const auto& d_slots = d.frame->RawSlots(level);
+      const auto& f_slots = f.frame->RawSlots(level);
+      ASSERT_EQ(d_slots.size(), f_slots.size())
+          << "cell " << d.key.ToString() << " level " << level;
+      for (size_t s = 0; s < d_slots.size(); ++s) {
+        ExpectMomentsIdentical(d_slots[s], f_slots[s]);
+      }
+    }
+  }
+}
+
+void ExpectCellMapsIdentical(const CellMap& expected, const CellMap& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (const auto& [key, isb] : expected) {
+    auto it = actual.find(key);
+    ASSERT_NE(it, actual.end()) << "missing cell " << key.ToString();
+    EXPECT_EQ(isb, it->second) << "cell " << key.ToString();
+  }
+}
+
+// ------------------------------------------------------------ equivalence
+
+TEST(DeltaGatherTest, MatchesFullGatherUnderRandomizedChurn) {
+  WorkloadSpec spec = ChurnSpec();
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  ASSERT_TRUE(schema.ok());
+  StreamGenerator gen(spec);
+  const auto& cells = gen.cells();
+  const std::vector<StreamTuple> stream = gen.GenerateStream();
+  const int num_levels = ChurnOptions().tilt_policy->num_levels();
+
+  for (int shards : {1, 2, 8}) {
+    auto pool = std::make_shared<ThreadPool>(3);
+    ShardedStreamEngine engine(*schema, ChurnOptions(), shards, pool);
+    ASSERT_TRUE(engine.IngestBatch(stream).ok());
+    ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
+
+    // Churn rounds with advancing ticks: some cross quarter/hour unit
+    // boundaries (forcing re-alignment of carried blocks), some stay
+    // inside the open unit (exercising boundary-free block sharing); a
+    // snapshot is taken and checked every round, and periodic seals and
+    // brand-new cells stress the patch/insert paths.
+    for (int round = 0; round < 10; ++round) {
+      const TimeTick tick = spec.series_length + round;
+      // A different ~1/3 of cells each round.
+      for (size_t c = static_cast<size_t>(round) % 3; c < cells.size();
+           c += 3) {
+        ASSERT_TRUE(engine.Ingest({cells[c].key, tick, 1.0 + round}).ok());
+      }
+      if (round == 4) {
+        // A brand-new cell mid-churn lands on the insert path.
+        CellKey fresh(2);
+        fresh.set(0, 15);
+        fresh.set(1, 15);
+        ASSERT_TRUE(engine.Ingest({fresh, tick, 7.0}).ok());
+      }
+      if (round % 3 == 2) {
+        ASSERT_TRUE(engine.SealThrough(tick).ok());
+      }
+
+      auto delta = engine.GatherAlignedCells();
+      auto full = engine.GatherAlignedCells(
+          ShardedStreamEngine::GatherMode::kFull);
+      ExpectGathersIdentical(delta, full, num_levels);
+    }
+
+    // End-state: the delta-gathered window also matches the retained
+    // all-locks oracle bit for bit (m-layer and o-layer).
+    auto snapshot_cube = engine.ComputeCube(0, 4);
+    auto locked_cube = engine.ComputeCubeAllLocks(0, 4);
+    ASSERT_TRUE(snapshot_cube.ok()) << snapshot_cube.status().ToString();
+    ASSERT_TRUE(locked_cube.ok()) << locked_cube.status().ToString();
+    ExpectCellMapsIdentical(locked_cube->m_layer(), snapshot_cube->m_layer());
+    ExpectCellMapsIdentical(locked_cube->o_layer(), snapshot_cube->o_layer());
+
+    // The all-locks oracle force-sealed lagging shards; the next delta
+    // gather must reflect that too.
+    auto after = engine.GatherAlignedCells();
+    auto after_full =
+        engine.GatherAlignedCells(ShardedStreamEngine::GatherMode::kFull);
+    ExpectGathersIdentical(after, after_full, num_levels);
+  }
+}
+
+TEST(DeltaGatherTest, DeltaGatherCopiesOnlyDirtyCells) {
+  WorkloadSpec spec = ChurnSpec();
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  ASSERT_TRUE(schema.ok());
+  StreamGenerator gen(spec);
+  ShardedStreamEngine engine(*schema, ChurnOptions(), 4);
+  ASSERT_TRUE(engine.IngestBatch(gen.GenerateStream()).ok());
+  ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
+
+  auto warm = engine.GatherAlignedCells();
+  EXPECT_EQ(warm.stats.materialized, engine.num_cells());
+
+  // Clean repeat: pure cache reuse, nothing copied.
+  auto clean = engine.GatherAlignedCells();
+  EXPECT_EQ(clean.stats.materialized, 0);
+  EXPECT_EQ(clean.stats.bytes_copied, 0);
+  EXPECT_EQ(clean.stats.shards_reused, 4);
+
+  // One dirty cell at the open tick: exactly one frame is re-frozen.
+  ASSERT_TRUE(
+      engine.Ingest({gen.cells()[0].key, spec.series_length, 5.0}).ok());
+  auto delta = engine.GatherAlignedCells();
+  EXPECT_EQ(delta.stats.materialized, 1);
+  EXPECT_GT(delta.stats.bytes_copied, 0);
+  EXPECT_LT(delta.stats.bytes_copied, warm.stats.bytes_copied);
+}
+
+// ------------------------------------------------------ revision hygiene
+
+TEST(DeltaGatherTest, NoOpSealKeepsRevisionAndMemoizedSnapshot) {
+  WorkloadSpec spec = ChurnSpec();
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  ASSERT_TRUE(schema.ok());
+  auto built = EngineBuilder()
+                   .SetSchema(*schema)
+                   .SetTiltPolicy(SmallPolicy())
+                   .SetShardCount(4)
+                   .Build();
+  ASSERT_TRUE(built.ok());
+  Engine engine = std::move(built).value();
+  StreamGenerator gen(spec);
+  ASSERT_TRUE(engine.IngestBatch(gen.GenerateStream()).ok());
+  ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
+
+  auto snap = engine.TakeSnapshot();
+  // Re-sealing through the same (or an earlier) tick changes nothing any
+  // read can see: the memoized snapshot must survive.
+  ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
+  ASSERT_TRUE(engine.SealThrough(spec.series_length - 5).ok());
+  EXPECT_EQ(engine.TakeSnapshot().get(), snap.get())
+      << "no-op seal invalidated the revision-memoized snapshot";
+
+  // Sealing into the open quarter advances the clock but crosses no unit
+  // boundary: the snapshot refreshes (its now() must report the new
+  // clock) yet every frozen block is shared — nothing is re-copied and
+  // the query results are unchanged.
+  auto window_before = snap->Window(0, 4);
+  ASSERT_TRUE(window_before.ok());
+  ASSERT_TRUE(engine.SealThrough(spec.series_length).ok());
+  auto advanced = engine.TakeSnapshot();
+  EXPECT_NE(advanced.get(), snap.get());
+  EXPECT_EQ(advanced->now(), spec.series_length + 1);
+  auto window_after = advanced->Window(0, 4);
+  ASSERT_TRUE(window_after.ok());
+  ASSERT_EQ(window_before->size(), window_after->size());
+  for (size_t i = 0; i < window_after->size(); ++i) {
+    EXPECT_EQ((*window_before)[i].key, (*window_after)[i].key);
+    EXPECT_EQ((*window_before)[i].measure, (*window_after)[i].measure);
+  }
+
+  // Sealing across a quarter boundary seals a slot: a real refresh.
+  ASSERT_TRUE(engine.SealThrough(spec.series_length + 4).ok());
+  auto fresh = engine.TakeSnapshot();
+  EXPECT_NE(fresh.get(), advanced.get());
+  EXPECT_GT(fresh->revision(), snap->revision());
+}
+
+// ------------------------------------------------------ point-query path
+
+TEST(DeltaGatherTest, MemberOnlyPointQueriesMatchSnapshotScan) {
+  WorkloadSpec spec = ChurnSpec();
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  ASSERT_TRUE(schema.ok());
+  StreamGenerator gen(spec);
+  for (int shards : {1, 2, 8}) {
+    ShardedStreamEngine engine(*schema, ChurnOptions(), shards);
+    ASSERT_TRUE(engine.IngestBatch(gen.GenerateStream()).ok());
+    ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
+
+    const CuboidLattice& lattice = engine.lattice();
+    const CuboidId o_id = lattice.o_layer_id();
+    const CellKey o_key =
+        lattice.ProjectMLayerKey(gen.cells()[0].key, o_id);
+
+    auto gathered =
+        engine.GatherAlignedCells(ShardedStreamEngine::GatherMode::kFull);
+    auto scan_cell =
+        SnapshotCellOf(*gathered.cells, lattice, o_id, o_key, 0, 4);
+    auto member_cell = engine.QueryCell(o_id, o_key, 0, 4);
+    ASSERT_TRUE(scan_cell.ok());
+    ASSERT_TRUE(member_cell.ok()) << member_cell.status().ToString();
+    EXPECT_EQ(*scan_cell, *member_cell);
+
+    auto scan_series = SnapshotCellSeriesOf(
+        *gathered.cells, lattice, 2, o_id, o_key, 1);
+    auto member_series = engine.QueryCellSeries(o_id, o_key, 1);
+    ASSERT_TRUE(scan_series.ok());
+    ASSERT_TRUE(member_series.ok());
+    EXPECT_EQ(*scan_series, *member_series);
+  }
+}
+
+TEST(DeltaGatherTest, FacadePointQueriesSkipFullSnapshots) {
+  WorkloadSpec spec = ChurnSpec();
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  ASSERT_TRUE(schema.ok());
+  auto built = EngineBuilder()
+                   .SetSchema(*schema)
+                   .SetTiltPolicy(SmallPolicy())
+                   .SetShardCount(4)
+                   .Build();
+  ASSERT_TRUE(built.ok());
+  Engine engine = std::move(built).value();
+  StreamGenerator gen(spec);
+  ASSERT_TRUE(engine.IngestBatch(gen.GenerateStream()).ok());
+  ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
+
+  const CuboidLattice& lattice = engine.lattice();
+  const CuboidId o_id = lattice.o_layer_id();
+  const CellKey o_key = lattice.ProjectMLayerKey(gen.cells()[0].key, o_id);
+
+  // Same numbers through Engine::Query (member-only) and the snapshot.
+  auto snap = engine.TakeSnapshot();
+  auto via_query = engine.Query(QuerySpec::Cell(o_id, o_key, 0, 4));
+  auto via_snapshot = snap->QueryCell(o_id, o_key, 0, 4);
+  ASSERT_TRUE(via_query.ok()) << via_query.status().ToString();
+  ASSERT_TRUE(via_snapshot.ok());
+  EXPECT_EQ(via_query->cell(), *via_snapshot);
+
+  auto series_query = engine.Query(QuerySpec::CellSeries(o_id, o_key, 1));
+  auto series_snapshot = snap->QueryCellSeries(o_id, o_key, 1);
+  ASSERT_TRUE(series_query.ok());
+  ASSERT_TRUE(series_snapshot.ok());
+  EXPECT_EQ(series_query->series(), *series_snapshot);
+}
+
+TEST(DeltaGatherTest, MemberOnlyPointQueriesKeepErrorContract) {
+  WorkloadSpec spec = ChurnSpec();
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  ASSERT_TRUE(schema.ok());
+  ShardedStreamEngine empty(*schema, ChurnOptions(), 4);
+
+  // Cuboid validation precedes the no-data check (legacy order).
+  EXPECT_EQ(empty.QueryCell(-1, CellKey(2), 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(empty.QueryCell(0, CellKey(2), 0, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(empty.QueryCellSeries(-1, CellKey(2), 0).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ShardedStreamEngine engine(*schema, ChurnOptions(), 4);
+  StreamGenerator gen(spec);
+  ASSERT_TRUE(engine.IngestBatch(gen.GenerateStream()).ok());
+  ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
+  // An m-layer key no stream cell uses (valid ids, absent combination):
+  // NotFound, as before.
+  std::unordered_set<CellKey, CellKeyHash> used;
+  ValueId max0 = 0, max1 = 0;
+  for (const auto& cell : gen.cells()) {
+    used.insert(cell.key);
+    max0 = std::max(max0, cell.key[0]);
+    max1 = std::max(max1, cell.key[1]);
+  }
+  CellKey missing(2);
+  bool found_missing = false;
+  for (ValueId a = 0; a <= max0 && !found_missing; ++a) {
+    for (ValueId b = 0; b <= max1 && !found_missing; ++b) {
+      missing.set(0, a);
+      missing.set(1, b);
+      found_missing = used.find(missing) == used.end();
+    }
+  }
+  ASSERT_TRUE(found_missing);
+  EXPECT_EQ(engine.QueryCell(engine.lattice().m_layer_id(), missing, 0, 4)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+// ------------------------------------------------- concurrency (TSan'd)
+
+TEST(DeltaGatherTest, ConcurrentChurnAndSnapshotLoop) {
+  WorkloadSpec spec = ChurnSpec(/*tuples=*/80, /*ticks=*/16);
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  ASSERT_TRUE(schema.ok());
+  auto built = EngineBuilder()
+                   .SetSchema(*schema)
+                   .SetTiltPolicy(SmallPolicy())
+                   .SetShardCount(8)
+                   .SetReadThreads(3)
+                   .Build();
+  ASSERT_TRUE(built.ok());
+  Engine engine = std::move(built).value();
+  StreamGenerator gen(spec);
+  const auto& cells = gen.cells();
+  ASSERT_TRUE(engine.IngestBatch(gen.GenerateStream()).ok());
+  ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
+
+  const CuboidLattice& lattice = engine.lattice();
+  const CuboidId o_id = lattice.o_layer_id();
+  const CellKey o_key = lattice.ProjectMLayerKey(cells[0].key, o_id);
+
+  // Writers churn disjoint cell slices at advancing ticks while readers
+  // take snapshots and run point queries — the full delta machinery
+  // (patch exports, cached-run folding, member gathers) under real races.
+  constexpr int kWriters = 3;
+  constexpr int kRoundsPerWriter = 40;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWriters; ++w) {
+    workers.emplace_back([&, w] {
+      for (int round = 0; round < kRoundsPerWriter; ++round) {
+        const TimeTick tick = spec.series_length + round;
+        for (size_t c = static_cast<size_t>(w); c < cells.size();
+             c += kWriters) {
+          ASSERT_TRUE(engine.Ingest({cells[c].key, tick, 2.0}).ok());
+        }
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_revision = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto snap = engine.TakeSnapshot();
+        ASSERT_GE(snap->revision(), last_revision)
+            << "snapshot revisions must be monotone";
+        last_revision = snap->revision();
+        auto window = snap->Window(0, 2);
+        ASSERT_TRUE(window.ok()) << window.status().ToString();
+        auto cell = engine.Query(QuerySpec::Cell(o_id, o_key, 0, 2));
+        ASSERT_TRUE(cell.ok()) << cell.status().ToString();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& r : readers) r.join();
+
+  // Quiesced end state: delta and full still agree bit for bit.
+  auto snap = engine.TakeSnapshot();
+  auto final_window = snap->Window(0, 2);
+  ASSERT_TRUE(final_window.ok());
+}
+
+// ------------------------------------------------------ memory accounting
+
+TEST(DeltaGatherTest, FrozenAndGatherBytesAreTracked) {
+  WorkloadSpec spec = ChurnSpec();
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  ASSERT_TRUE(schema.ok());
+  auto built = EngineBuilder()
+                   .SetSchema(*schema)
+                   .SetTiltPolicy(SmallPolicy())
+                   .SetShardCount(4)
+                   .Build();
+  ASSERT_TRUE(built.ok());
+  Engine engine = std::move(built).value();
+  StreamGenerator gen(spec);
+  ASSERT_TRUE(engine.IngestBatch(gen.GenerateStream()).ok());
+  ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
+
+  EXPECT_EQ(engine.memory_tracker().category_bytes("snapshot.frozen_frames"),
+            0)
+      << "nothing frozen before the first snapshot";
+  auto snap = engine.TakeSnapshot();
+  const std::int64_t frozen =
+      engine.memory_tracker().category_bytes("snapshot.frozen_frames");
+  const std::int64_t cached =
+      engine.memory_tracker().category_bytes("snapshot.gather_cache");
+  EXPECT_GT(frozen, 0);
+  EXPECT_GT(cached, 0);
+
+  // Churn + re-snapshot: accounting stays balanced (Release would abort on
+  // underflow) and the totals stay in the same ballpark, not accumulating.
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(
+        engine.Ingest({gen.cells()[0].key, spec.series_length + round, 1.0})
+            .ok());
+    snap = engine.TakeSnapshot();
+  }
+  EXPECT_GT(engine.memory_tracker().category_bytes("snapshot.frozen_frames"),
+            0);
+  EXPECT_LE(engine.memory_tracker().category_bytes("snapshot.frozen_frames"),
+            2 * frozen);
+  EXPECT_LE(engine.memory_tracker().category_bytes("snapshot.gather_cache"),
+            2 * cached);
+
+  // MemoryReport leads with the live frames and includes the categories.
+  auto report = engine.MemoryReport();
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report[0].first, "stream.tilt_frames");
+  EXPECT_GT(report[0].second, 0);
+}
+
+}  // namespace
+}  // namespace regcube

@@ -63,6 +63,42 @@ TEST(LogarithmicPolicyTest, PowersOfTwoWidths) {
   EXPECT_EQ(policy->TotalCapacity(), 10);
 }
 
+TEST(TiltPolicyTest, AnyUnitEndInMatchesTickByTickScan) {
+  // The delta gather shares frozen frames across clock advances exactly
+  // when this predicate says no unit ends in the range — it must agree
+  // with a brute-force scan of IsUnitEnd for every policy family.
+  auto uniform = MakeUniformTiltPolicy({{"a", 4}, {"b", 4}}, {3, 12});
+  auto log2 = MakeLogarithmicTiltPolicy(3, 2);
+  auto calendar = MakeNaturalCalendarTiltPolicy();
+  for (const TiltPolicy* policy :
+       {uniform.get(), log2.get(), calendar.get()}) {
+    for (TimeTick begin = 0; begin < 30; ++begin) {
+      for (TimeTick end = begin; end < 30; ++end) {
+        bool scanned = false;
+        for (TimeTick t = begin; t < end && !scanned; ++t) {
+          for (int li = 0; li < policy->num_levels(); ++li) {
+            if (policy->IsUnitEnd(li, t)) {
+              scanned = true;
+              break;
+            }
+          }
+        }
+        EXPECT_EQ(policy->AnyUnitEndIn(begin, end), scanned)
+            << policy->name() << " [" << begin << ", " << end << ")";
+      }
+    }
+  }
+}
+
+TEST(TiltPolicyTest, AnyUnitEndInEmptyAndReversedRanges) {
+  auto policy = MakeUniformTiltPolicy({{"a", 4}}, {5});
+  EXPECT_FALSE(policy->AnyUnitEndIn(7, 7));
+  EXPECT_FALSE(policy->AnyUnitEndIn(9, 3));
+  EXPECT_TRUE(policy->AnyUnitEndIn(0, 5));    // tick 4 ends a unit
+  EXPECT_FALSE(policy->AnyUnitEndIn(0, 4));   // tick 4 not included
+  EXPECT_TRUE(policy->AnyUnitEndIn(4, 5));
+}
+
 TEST(TiltPolicyTest, CompressionRatioOfExample3) {
   // One year of quarter-hour ticks vs what the frame retains: the paper
   // reports 35,136 vs 71 units, "a saving of about 495 times".

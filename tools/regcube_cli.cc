@@ -298,6 +298,12 @@ Status RunStream(const Args& args) {
                   engine.RenderCell(supporters.cells().front()).c_str());
     }
   }
+
+  std::printf("\nretained memory:\n");
+  for (const auto& [category, bytes] : engine.MemoryReport()) {
+    std::printf("  %-24s %s\n", category.c_str(),
+                FormatBytes(bytes).c_str());
+  }
   return Status::OK();
 }
 
