@@ -57,7 +57,9 @@ std::shared_ptr<const CubeSnapshot> Engine::TakeSnapshot() {
 }
 
 Result<RegressionCube> Engine::ComputeCube(int level, int k) {
-  return TakeSnapshot()->ComputeCube(level, k);
+  // Rides the maintained cube memo (bit-identical to the from-scratch
+  // snapshot computation); the by-value contract costs one deep copy.
+  return sharded_->ComputeCube(level, k);
 }
 
 Result<QueryResult> Engine::Query(const QuerySpec& spec) {
@@ -80,6 +82,26 @@ Result<QueryResult> Engine::Query(const QuerySpec& spec) {
                                               spec.level);
       if (!series.ok()) return series.status();
       return QueryResult(spec.kind, std::move(*series));
+    }
+    case QueryKind::kCubeCell:
+    case QueryKind::kExceptionsAt:
+    case QueryKind::kDrillDown:
+    case QueryKind::kSupporters:
+    case QueryKind::kTopExceptions: {
+      // Cube-side kinds ride the engine's maintained cube: between writes
+      // the memo answers in O(1), and after churn only the changed cells
+      // are folded in — repeated drilling never re-runs H-cubing. (A
+      // user-held CubeSnapshot still memoizes its own from-scratch cube;
+      // both are bit-identical over the same window.) Popular-path cubes
+      // are not incrementally maintainable, so those engines keep the
+      // snapshot's per-revision cube memo instead.
+      if (sharded_->options().algorithm !=
+          StreamCubeEngine::Algorithm::kMoCubing) {
+        return TakeSnapshot()->Query(spec);
+      }
+      auto cube = sharded_->ComputeCubeShared(spec.level, spec.k);
+      if (!cube.ok()) return cube.status();
+      return regcube::Query(**cube, policy_, spec);
     }
     default:
       return TakeSnapshot()->Query(spec);

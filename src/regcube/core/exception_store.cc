@@ -19,6 +19,13 @@ void ExceptionStore::InsertAll(CuboidId cuboid, const CellMap& cells) {
   for (const auto& [key, isb] : cells) Insert(cuboid, key, isb);
 }
 
+void ExceptionStore::Erase(CuboidId cuboid, const CellKey& key) {
+  auto it = by_cuboid_.find(cuboid);
+  if (it == by_cuboid_.end()) return;
+  if (it->second.erase(key) > 0) --total_cells_;
+  if (it->second.empty()) by_cuboid_.erase(it);
+}
+
 bool ExceptionStore::Contains(CuboidId cuboid, const CellKey& key) const {
   auto it = by_cuboid_.find(cuboid);
   return it != by_cuboid_.end() && it->second.count(key) > 0;

@@ -26,6 +26,13 @@ class ExceptionStore {
   /// Bulk-inserts a whole map of exception cells for one cuboid.
   void InsertAll(CuboidId cuboid, const CellMap& cells);
 
+  /// Removes one exception cell (no-op if absent) — the retract half of
+  /// incremental maintenance, when a patched cell stops satisfying the
+  /// exception predicate. A cuboid whose last cell is erased disappears
+  /// entirely, so a patched store is indistinguishable from one built
+  /// fresh over the same exception set.
+  void Erase(CuboidId cuboid, const CellKey& key);
+
   bool Contains(CuboidId cuboid, const CellKey& key) const;
 
   /// Exception cells of one cuboid; nullptr if the cuboid has none.

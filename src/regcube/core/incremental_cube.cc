@@ -1,0 +1,339 @@
+#include "regcube/core/incremental_cube.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/memory_tracker.h"
+#include "regcube/common/thread_pool.h"
+#include "regcube/core/stream_engine.h"
+
+namespace regcube {
+
+namespace {
+// The maintained cube's retained state, reported through MemoryTracker:
+// the window's H-tree, the per-cuboid member indexes, the canonical window
+// and the materialized cube itself — the space the O(delta) maintenance
+// trades for not re-running H-cubing per snapshot.
+constexpr char kMemoCategory[] = "cube.memo";
+}  // namespace
+
+IncrementalCubeCache::IncrementalCubeCache(
+    std::shared_ptr<const CubeSchema> schema,
+    StreamCubeEngine::Options options)
+    : schema_(std::move(schema)),
+      lattice_(*schema_),
+      options_(std::move(options)) {
+  RC_CHECK(schema_ != nullptr);
+  RC_CHECK(options_.algorithm == StreamCubeEngine::Algorithm::kMoCubing)
+      << "only m/o H-cubing is incrementally maintainable";
+}
+
+IncrementalCubeCache::~IncrementalCubeCache() {
+  if (tracker_ != nullptr && tracked_bytes_ > 0) {
+    tracker_->Release(kMemoCategory, tracked_bytes_);
+  }
+}
+
+void IncrementalCubeCache::AccountLocked() {
+  std::int64_t bytes = tree_bytes_ + index_bytes_;
+  bytes += static_cast<std::int64_t>(window_.size() * sizeof(MLayerTuple));
+  if (cube_ != nullptr) {
+    bytes += CellMapMemoryBytes(cube_->m_layer()) +
+             CellMapMemoryBytes(cube_->o_layer()) +
+             cube_->exceptions().MemoryBytes();
+  }
+  if (tracker_ != nullptr) {
+    if (tracked_bytes_ > 0) tracker_->Release(kMemoCategory, tracked_bytes_);
+    if (bytes > 0) tracker_->Add(kMemoCategory, bytes);
+  }
+  tracked_bytes_ = bytes;
+}
+
+void IncrementalCubeCache::set_memory_tracker(MemoryTracker* tracker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tracker_ != nullptr && tracked_bytes_ > 0) {
+    tracker_->Release(kMemoCategory, tracked_bytes_);
+  }
+  if (tracker != nullptr && tracked_bytes_ > 0) {
+    tracker->Add(kMemoCategory, tracked_bytes_);
+  }
+  tracker_ = tracker;
+}
+
+void IncrementalCubeCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  valid_ = false;
+  run_.reset();
+  window_.clear();
+  window_.shrink_to_fit();
+  tree_.reset();
+  indexes_.clear();
+  prefix_depth_.clear();
+  tree_bytes_ = 0;
+  index_bytes_ = 0;
+  cube_.reset();
+  AccountLocked();
+}
+
+IncrementalCubeCache::Stats IncrementalCubeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::int64_t IncrementalCubeCache::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tracked_bytes_;
+}
+
+IncrementalCubeCache::DiffVerdict IncrementalCubeCache::DiffLocked(
+    const SnapshotCells& run, int level, int k,
+    std::vector<ChangedCell>* changed) {
+  // The memoized run and the new one are both in canonical key order, so
+  // equal populations walk in lockstep; any key divergence is a structural
+  // change (a cell appeared) and forces a rebuild — patching could not
+  // reproduce a freshly built tree's chain order bit for bit.
+  const SnapshotCells& base = *run_;
+  if (base.size() != run.size()) return DiffVerdict::kRebuild;
+  const TimeInterval& window_interval = window_.front().measure.interval;
+  for (size_t i = 0; i < run.size(); ++i) {
+    if (!(base[i].key == run[i].key)) return DiffVerdict::kRebuild;
+    // A cell whose frozen block is shared with the memoized run cannot
+    // have changed any slot — skip without touching the frame.
+    if (base[i].frame.get() == run[i].frame.get()) continue;
+    auto isb = run[i].frame->RegressLastSlots(level, k);
+    // A failing regression (or any other anomaly) falls back to the
+    // from-scratch kernel, which reproduces the exact legacy error.
+    if (!isb.ok()) return DiffVerdict::kRebuild;
+    // The window moved for everyone when its slot interval moved (a new
+    // slot sealed at this level): that is an epoch roll, not a patch.
+    if (!(isb->interval == window_interval)) return DiffVerdict::kRebuild;
+    if (*isb == window_[i].measure) continue;  // open-slot churn only
+    changed->push_back(ChangedCell{&run[i].key, *isb, i});
+  }
+  return changed->empty() ? DiffVerdict::kClean : DiffVerdict::kPatch;
+}
+
+Status IncrementalCubeCache::ApplyPatchLocked(
+    const std::vector<ChangedCell>& changed, ThreadPool* pool) {
+  // Lazily build the patch machinery: the H-tree over the memoized window.
+  // Built from the same canonical tuple sequence a fresh cubing run would
+  // use, so its structure, chains and hash layouts are identical to the
+  // tree the from-scratch kernel would build — the property every
+  // bit-identity argument below rests on.
+  if (!tree_.has_value()) {
+    HTree::Options tree_options;
+    tree_options.attribute_order = CardinalityAscendingOrder(*schema_);
+    // Stored subtree measures make every chain node's contribution an O(1)
+    // read during cell re-aggregation. The build-time fold is bitwise
+    // equal to the lazy subtree walk of the from-scratch (m/o) tree, so
+    // the oracle relationship is unchanged; the patch below keeps the
+    // stored measures current along the dirty paths only.
+    tree_options.store_nonleaf_measures = true;
+    auto built = HTree::Build(*schema_, window_, std::move(tree_options));
+    if (!built.ok()) return built.status();
+    tree_ = std::move(built).value();
+    tree_bytes_ = tree_->MemoryBytes();
+    indexes_.assign(static_cast<size_t>(lattice_.num_cuboids()),
+                    std::nullopt);
+    index_bytes_ = 0;
+    // Tree-prefix cuboids (the deepest introduced level per dimension over
+    // each attribute-order prefix, when that spec lies in the lattice) get
+    // the node-is-cell shortcut below.
+    prefix_depth_.assign(static_cast<size_t>(lattice_.num_cuboids()), -1);
+    const LayerSpec& o = schema_->o_layer();
+    const LayerSpec& m = schema_->m_layer();
+    LayerSpec deepest(static_cast<size_t>(schema_->num_dims()), 0);
+    for (int pos = 0; pos < tree_->num_attributes(); ++pos) {
+      const Attribute& a = tree_->attribute(pos);
+      auto& level = deepest[static_cast<size_t>(a.dim)];
+      level = std::max(level, a.level);
+      bool in_lattice = true;
+      for (size_t d = 0; d < deepest.size(); ++d) {
+        in_lattice = in_lattice && deepest[d] >= o[d] && deepest[d] <= m[d];
+      }
+      if (in_lattice) {
+        prefix_depth_[static_cast<size_t>(lattice_.id(deepest))] = pos + 1;
+      }
+    }
+  }
+
+  // Fold the new leaf measures into the tree and the memoized window, then
+  // refresh the stored aggregates along the dirty paths (shared ancestors
+  // refold once, deepest first).
+  std::vector<const HTreeNode*> dirty_leaves;
+  dirty_leaves.reserve(changed.size());
+  for (const ChangedCell& cell : changed) {
+    auto leaf = tree_->UpdateLeafMeasure(*schema_, *cell.key, cell.measure);
+    if (!leaf.ok()) return leaf.status();
+    dirty_leaves.push_back(*leaf);
+    window_[cell.pos].measure = cell.measure;
+  }
+  std::vector<std::vector<const HTreeNode*>> dirty_by_depth;
+  tree_->RefreshAncestorMeasures(dirty_leaves, &dirty_by_depth);
+
+  // Recompute every cuboid cell a changed m-cell rolls up into, each from
+  // its member index in kernel order. Cuboids are independent, so the work
+  // partitions across the pool exactly like from-scratch per-cuboid
+  // H-cubing.
+  std::vector<CuboidId> cuboids;
+  cuboids.reserve(static_cast<size_t>(lattice_.num_cuboids()));
+  for (CuboidId c = 0; c < lattice_.num_cuboids(); ++c) {
+    if (c != lattice_.m_layer_id()) cuboids.push_back(c);
+  }
+  std::vector<PatchedCells> recomputed(cuboids.size());
+  std::vector<std::int64_t> built_index_bytes(cuboids.size(), 0);
+  auto patch_one = [&](std::int64_t i) {
+    const CuboidId cuboid = cuboids[static_cast<size_t>(i)];
+    const int depth = prefix_depth_[static_cast<size_t>(cuboid)];
+    if (depth >= 0) {
+      // Prefix shortcut: the refreshed dirty nodes at this depth are the
+      // touched cells, measures already folded.
+      recomputed[static_cast<size_t>(i)] = PrefixCellsFromNodes(
+          *tree_, lattice_, cuboid, depth,
+          dirty_by_depth[static_cast<size_t>(depth)]);
+      return;
+    }
+    std::unordered_set<CellKey, CellKeyHash> seen;
+    seen.reserve(changed.size() * 2);
+    std::vector<CellKey> touched;
+    touched.reserve(changed.size());
+    for (const ChangedCell& cell : changed) {
+      CellKey key = lattice_.ProjectMLayerKey(*cell.key, cuboid);
+      if (seen.insert(key).second) touched.push_back(std::move(key));
+    }
+    auto& index = indexes_[static_cast<size_t>(cuboid)];
+    if (!index.has_value()) {
+      index = BuildCuboidMemberIndex(*tree_, lattice_, cuboid);
+      built_index_bytes[static_cast<size_t>(i)] = index->MemoryBytes();
+    }
+    recomputed[static_cast<size_t>(i)] =
+        RecomputeCellsFromIndex(*tree_, *index, touched);
+  };
+  const auto n = static_cast<std::int64_t>(cuboids.size());
+  if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
+    pool->ParallelFor(n, patch_one);
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) patch_one(i);
+  }
+  for (std::int64_t b : built_index_bytes) index_bytes_ += b;
+
+  // Publish: never mutate a cube some snapshot or caller still holds.
+  if (cube_.use_count() > 1) {
+    cube_ = std::make_shared<RegressionCube>(cube_->Clone());
+  }
+  RegressionCube& cube = *cube_;
+  const CuboidId o_id = lattice_.o_layer_id();
+  const CuboidId m_id = lattice_.m_layer_id();
+  for (const ChangedCell& cell : changed) {
+    auto it = cube.mutable_m_layer().find(*cell.key);
+    RC_CHECK(it != cube.mutable_m_layer().end());
+    it->second = cell.measure;
+    if (o_id == m_id) {
+      // Degenerate lattice: the single cuboid is both critical layers.
+      cube.mutable_o_layer()[*cell.key] = cell.measure;
+    }
+  }
+  for (size_t i = 0; i < cuboids.size(); ++i) {
+    const CuboidId cuboid = cuboids[i];
+    if (cuboid == o_id) {
+      for (const auto& [key, isb] : recomputed[i]) {
+        auto it = cube.mutable_o_layer().find(key);
+        RC_CHECK(it != cube.mutable_o_layer().end());
+        it->second = isb;
+      }
+      continue;
+    }
+    const int depth = SpecDepth(lattice_.spec(cuboid));
+    for (const auto& [key, isb] : recomputed[i]) {
+      if (options_.policy.IsException(isb, cuboid, depth)) {
+        cube.mutable_exceptions().Insert(cuboid, key, isb);
+      } else {
+        cube.mutable_exceptions().Erase(cuboid, key);
+      }
+    }
+  }
+  stats_.patches += 1;
+  stats_.patched_cells += static_cast<std::int64_t>(changed.size());
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const RegressionCube>>
+IncrementalCubeCache::RebuildLocked(
+    const std::shared_ptr<const SnapshotCells>& run, std::uint64_t revision,
+    int level, int k, ThreadPool* pool) {
+  auto window = SnapshotWindowOf(*run, level, k);
+  if (!window.ok()) return window.status();
+  auto cube = ComputeCubeFromWindow(schema_, *window, options_, pool);
+  if (!cube.ok()) return cube.status();
+
+  window_ = std::move(*window);
+  run_ = run;
+  revision_ = revision;
+  level_ = level;
+  k_ = k;
+  tree_.reset();
+  indexes_.clear();
+  tree_bytes_ = 0;
+  index_bytes_ = 0;
+  cube_ = std::make_shared<RegressionCube>(std::move(*cube));
+  valid_ = true;
+  stats_.rebuilds += 1;
+  AccountLocked();
+  return std::shared_ptr<const RegressionCube>(cube_);
+}
+
+bool IncrementalCubeCache::WouldEvictDifferentWindow(int level,
+                                                     int k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return valid_ && (level != level_ || k != k_);
+}
+
+Result<std::shared_ptr<const RegressionCube>> IncrementalCubeCache::CubeFor(
+    std::shared_ptr<const SnapshotCells> run, std::uint64_t revision,
+    int level, int k, ThreadPool* pool) {
+  RC_CHECK(run != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  // A reader that gathered before the memo last advanced must not rewind
+  // the shared state (revisions are monotonic): serve its stale run from
+  // scratch without memoizing, so up-to-date readers keep their memo.
+  if (valid_ && revision < revision_) {
+    auto window = SnapshotWindowOf(*run, level, k);
+    if (!window.ok()) return window.status();
+    auto cube = ComputeCubeFromWindow(schema_, *window, options_, pool);
+    if (!cube.ok()) return cube.status();
+    return std::shared_ptr<const RegressionCube>(
+        std::make_shared<RegressionCube>(std::move(*cube)));
+  }
+  if (valid_ && level == level_ && k == k_) {
+    if (revision == revision_) {
+      stats_.hits += 1;
+      return std::shared_ptr<const RegressionCube>(cube_);
+    }
+    std::vector<ChangedCell> changed;
+    switch (DiffLocked(*run, level, k, &changed)) {
+      case DiffVerdict::kClean:
+        // The writes since the memo touched only open slots; the sealed
+        // windows (and therefore the cube) are untouched.
+        stats_.revalidations += 1;
+        revision_ = revision;
+        run_ = std::move(run);
+        return std::shared_ptr<const RegressionCube>(cube_);
+      case DiffVerdict::kPatch: {
+        Status patched = ApplyPatchLocked(changed, pool);
+        if (patched.ok()) {
+          revision_ = revision;
+          run_ = std::move(run);
+          AccountLocked();
+          return std::shared_ptr<const RegressionCube>(cube_);
+        }
+        break;  // fall back to the from-scratch kernel
+      }
+      case DiffVerdict::kRebuild:
+        break;
+    }
+  }
+  return RebuildLocked(run, revision, level, k, pool);
+}
+
+}  // namespace regcube

@@ -1,0 +1,177 @@
+#ifndef REGCUBE_CORE_INCREMENTAL_CUBE_H_
+#define REGCUBE_CORE_INCREMENTAL_CUBE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/core/snapshot_reads.h"
+#include "regcube/htree/htree.h"
+#include "regcube/htree/htree_cubing.h"
+
+namespace regcube {
+
+class MemoryTracker;
+class ThreadPool;
+
+/// The maintained partially-materialized cube — the §4.5 promise made
+/// structural: instead of re-running m/o H-cubing over the whole window on
+/// every query, the materialized RegressionCube (m-layer, o-layer,
+/// exception set) is cached keyed by engine revision, and the next query
+/// folds only the cells the delta gather actually changed into it.
+///
+/// How a patch stays bit-identical to from-scratch H-cubing (the
+/// correctness bar every RC_CHECK in the tests and benches enforces):
+/// floating-point retraction ((S + x) - x) does not reproduce a recomputed
+/// sum's bits, so the memo does not subtract — it re-aggregates. It keeps
+/// the H-tree of the window alive across revisions; the tree's structure,
+/// chains and hash layouts are a function of the canonical key sequence
+/// alone, so as long as the cell population is unchanged it is *the* tree a
+/// fresh build over the new window would produce. A changed cell updates
+/// its leaf in place (HTree::UpdateLeafMeasure), and every cuboid cell it
+/// rolls up into is recomputed from a per-cuboid member index
+/// (BuildCuboidMemberIndex) that replays the kernel's exact fold order.
+/// Touched o-layer cells are overwritten; touched intermediate cells
+/// re-evaluate the exception predicate and are inserted into or erased
+/// from the exception store. Untouched cells keep their bits because their
+/// operand sequences are untouched.
+///
+/// Cost model per query at one (level, k):
+///  - revision unchanged:            O(1) (shared-pointer hand-out).
+///  - changed frames, same windows:  O(changed cells) regressions to prove
+///    the windows didn't move (churn confined to open slots), then O(1).
+///  - changed windows, same epoch:   O(Σ touched cells' members) — the
+///    patch. Lazily pays one tree + index build on the first patch after a
+///    rebuild, amortized across the steady state.
+///  - new cells / window interval moved / (level, k) changed: full
+///    from-scratch H-cubing (the memoized from-scratch kernel is the same
+///    one the oracle uses, so a rebuild is trivially bit-identical).
+///
+/// The memory trade-off (tree + member indexes + retained cube + window)
+/// is accounted to MemoryTracker under "cube.memo".
+///
+/// Only the m/o H-cubing algorithm is maintainable this way; popular-path
+/// cubing stores subtree measures in non-leaf nodes and derives its
+/// exception subset from drill reachability, so its callers stay on the
+/// from-scratch path (the sharded engine routes accordingly).
+class IncrementalCubeCache {
+ public:
+  IncrementalCubeCache(std::shared_ptr<const CubeSchema> schema,
+                       StreamCubeEngine::Options options);
+  ~IncrementalCubeCache();
+
+  IncrementalCubeCache(const IncrementalCubeCache&) = delete;
+  IncrementalCubeCache& operator=(const IncrementalCubeCache&) = delete;
+
+  /// The maintained cube over `run` (a canonical aligned gather at
+  /// `revision`) for the (level, k) window. Thread-safe; maintenance is
+  /// serialized, hits are a refcount copy. The returned cube is immutable:
+  /// a later patch copies-on-write if anyone still holds it.
+  Result<std::shared_ptr<const RegressionCube>> CubeFor(
+      std::shared_ptr<const SnapshotCells> run, std::uint64_t revision,
+      int level, int k, ThreadPool* pool);
+
+  /// True iff serving (level, k) would evict a live memo of a *different*
+  /// window — the signal for by-value exporters (ComputeCube) to compute
+  /// from scratch instead of clobbering the memo cube-kind queries are
+  /// riding.
+  bool WouldEvictDifferentWindow(int level, int k) const;
+
+  /// Drops the memoized state (and its tracker registration). The next
+  /// query rebuilds from scratch.
+  void Invalidate();
+
+  /// Maintenance counters (monotone), for tests and benches.
+  struct Stats {
+    std::int64_t hits = 0;           // served at the memoized revision
+    std::int64_t revalidations = 0;  // revision moved, no window moved
+    std::int64_t patches = 0;        // folded changed windows into the memo
+    std::int64_t rebuilds = 0;       // from-scratch (first/structural/epoch)
+    std::int64_t patched_cells = 0;  // m-cells folded across all patches
+  };
+  Stats stats() const;
+
+  /// Analytic bytes retained by the memo (tree + indexes + cube + window).
+  std::int64_t MemoryBytes() const;
+
+  /// Installs analytic memory accounting under "cube.memo" (any bytes
+  /// already memoized are registered immediately). Pass nullptr to detach.
+  /// Not owned; must outlive the cache.
+  void set_memory_tracker(MemoryTracker* tracker);
+
+ private:
+  /// One changed m-layer cell: its key, the window regression the memo
+  /// must now reflect, and its position in the canonical run (== its
+  /// position in `window_`, since populations match when patching).
+  struct ChangedCell {
+    const CellKey* key;  // points into `run`; outlives the patch
+    Isb measure;
+    size_t pos = 0;
+  };
+
+  /// Diff outcome: patch with these cells, serve as-is, or rebuild.
+  enum class DiffVerdict { kClean, kPatch, kRebuild };
+
+  Result<std::shared_ptr<const RegressionCube>> RebuildLocked(
+      const std::shared_ptr<const SnapshotCells>& run, std::uint64_t revision,
+      int level, int k, ThreadPool* pool);
+
+  /// Tandem-walks the memoized run against `run` (both canonical), using
+  /// shared frame pointers to skip unchanged cells without touching them.
+  /// On kPatch, `changed` holds the cells whose (level, k) windows moved.
+  /// kRebuild covers structural changes, epoch rolls and regression
+  /// errors alike — the from-scratch kernel then reproduces the exact
+  /// legacy result or error.
+  DiffVerdict DiffLocked(const SnapshotCells& run, int level, int k,
+                         std::vector<ChangedCell>* changed);
+
+  Status ApplyPatchLocked(const std::vector<ChangedCell>& changed,
+                          ThreadPool* pool);
+
+  /// Re-registers the memo's current footprint with the tracker. Tree and
+  /// index bytes are cached at build time (patches change values, not
+  /// sizes), so this is O(exception cuboids), cheap enough per patch.
+  void AccountLocked();
+
+  std::shared_ptr<const CubeSchema> schema_;
+  CuboidLattice lattice_;
+  StreamCubeEngine::Options options_;
+
+  mutable std::mutex mu_;
+  bool valid_ = false;
+  int level_ = 0;
+  int k_ = 0;
+  std::uint64_t revision_ = 0;
+  // The run the memo reflects; shared with the engine's gather cache, so
+  // holding it costs pointers. Frame-pointer equality against the next run
+  // is what makes the diff O(changed cells).
+  std::shared_ptr<const SnapshotCells> run_;
+  // The memoized window in canonical order — the retraction base (old
+  // per-cell measures) and the build input for the lazy tree.
+  std::vector<MLayerTuple> window_;
+  // Lazy patch machinery: the window's H-tree and per-cuboid member
+  // indexes, built on the first patch after a rebuild and reused until the
+  // next structural change.
+  std::optional<HTree> tree_;
+  std::vector<std::optional<CuboidMemberIndex>> indexes_;  // by cuboid id
+  // Tree-prefix depth per cuboid (-1 = not a prefix). A prefix cuboid's
+  // touched cells are the refreshed dirty nodes at its depth — no
+  // projection, no member index (see PrefixCellsFromNodes).
+  std::vector<int> prefix_depth_;
+  std::int64_t tree_bytes_ = 0;     // cached at tree build
+  std::int64_t index_bytes_ = 0;    // cached, updated per index build
+  // Non-const internally so patches can fold in place when nobody else
+  // holds the cube; handed out as shared_ptr<const RegressionCube> and
+  // copied-on-write otherwise.
+  std::shared_ptr<RegressionCube> cube_;
+  Stats stats_;
+  std::int64_t tracked_bytes_ = 0;
+  MemoryTracker* tracker_ = nullptr;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CORE_INCREMENTAL_CUBE_H_

@@ -6,6 +6,7 @@
 
 #include "regcube/common/logging.h"
 #include "regcube/common/stopwatch.h"
+#include "regcube/common/thread_pool.h"
 #include "regcube/htree/htree_cubing.h"
 
 namespace regcube {
@@ -122,12 +123,29 @@ Result<RegressionCube> ComputePopularPathCubing(
     // Drill the exception cells of x into every non-computed child cuboid,
     // rolling up from the closest computed cuboid below (the deepest tree
     // prefix — encapsulated in ComputeDrillChildren's stored node measures).
+    // The per-child chain scans only read the tree, so they fan out across
+    // the pool; folding stays sequential in child order, so the drilled
+    // maps (keep-first merges) and stats are identical to the serial loop.
+    std::vector<CuboidId> targets;
     for (CuboidId y : lattice.DrillChildren(x)) {
-      if (on_path.count(y) > 0) continue;  // already fully computed
-      CellMap children =
-          ComputeDrillChildren(tree, lattice, x, exceptions_x, y);
+      if (on_path.count(y) == 0) targets.push_back(y);
+    }
+    std::vector<CellMap> scans(targets.size());
+    auto drill_one = [&](std::int64_t i) {
+      scans[static_cast<size_t>(i)] = ComputeDrillChildren(
+          tree, lattice, x, exceptions_x, targets[static_cast<size_t>(i)]);
+    };
+    const auto num_targets = static_cast<std::int64_t>(targets.size());
+    if (options.pool != nullptr && options.pool->num_threads() > 1 &&
+        num_targets > 1) {
+      options.pool->ParallelFor(num_targets, drill_one);
+    } else {
+      for (std::int64_t i = 0; i < num_targets; ++i) drill_one(i);
+    }
+    for (size_t i = 0; i < targets.size(); ++i) {
+      CellMap& children = scans[i];
       stats.cells_computed += static_cast<std::int64_t>(children.size());
-      CellMap& dest = drilled_cells[y];
+      CellMap& dest = drilled_cells[targets[i]];
       const std::int64_t before = CellMapMemoryBytes(dest);
       for (auto& [key, isb] : children) {
         dest.emplace(key, isb);  // same totals under any parent: keep first

@@ -13,6 +13,8 @@
 
 namespace regcube {
 
+class ThreadPool;
+
 /// Options for Algorithm 2.
 struct PopularPathOptions {
   /// Exception predicate (same semantics as Algorithm 1).
@@ -24,6 +26,15 @@ struct PopularPathOptions {
 
   /// Optional external tracker.
   MemoryTracker* tracker = nullptr;
+
+  /// Optional pool parallelizing each drill step's ComputeDrillChildren
+  /// scans: one exception cuboid's chain scans into its off-path children
+  /// are independent reads of the (immutable) tree, so they fan out across
+  /// the pool; the results are folded sequentially in the same child
+  /// order as the serial loop, so the computed cube is identical either
+  /// way. The recursion along the path itself stays sequential — each
+  /// step's exceptions seed the next.
+  ThreadPool* pool = nullptr;
 };
 
 /// Algorithm 2 (popular-path cubing): builds the H-tree in the path's

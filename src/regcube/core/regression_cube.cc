@@ -26,6 +26,15 @@ RegressionCube::RegressionCube(std::shared_ptr<const CubeSchema> schema)
   RC_CHECK(schema_ != nullptr);
 }
 
+RegressionCube RegressionCube::Clone() const {
+  RegressionCube copy(schema_);
+  copy.m_layer_ = m_layer_;
+  copy.o_layer_ = o_layer_;
+  copy.exceptions_ = exceptions_;
+  copy.stats_ = stats_;
+  return copy;
+}
+
 const CellMap* RegressionCube::CellsAt(CuboidId cuboid) const {
   if (cuboid == lattice_.m_layer_id()) return &m_layer_;
   if (cuboid == lattice_.o_layer_id()) return &o_layer_;

@@ -40,6 +40,13 @@ class RegressionCube {
   RegressionCube(RegressionCube&&) noexcept = default;
   RegressionCube& operator=(RegressionCube&&) noexcept = default;
 
+  /// Deep copy, spelled out so cubes stay move-only by default (an
+  /// accidental copy of a large m-layer is a real cost): the door the
+  /// maintained-cube memo uses to hand a by-value cube to callers (and to
+  /// copy-on-write when a patch must not mutate a cube snapshots still
+  /// hold).
+  RegressionCube Clone() const;
+
   const CubeSchema& schema() const { return *schema_; }
   std::shared_ptr<const CubeSchema> schema_ptr() const { return schema_; }
   const CuboidLattice& lattice() const { return lattice_; }

@@ -85,6 +85,9 @@ ShardedStreamEngine::ShardedStreamEngine(
   for (int i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(schema_, options_));
   }
+  if (options_.algorithm == StreamCubeEngine::Algorithm::kMoCubing) {
+    cube_memo_ = std::make_unique<IncrementalCubeCache>(schema_, options_);
+  }
 }
 
 int ShardedStreamEngine::ShardIndex(const CellKey& mapped_key) const {
@@ -116,6 +119,7 @@ void ShardedStreamEngine::set_memory_tracker(MemoryTracker* tracker) {
     }
   }
   tracker_ = tracker;
+  if (cube_memo_ != nullptr) cube_memo_->set_memory_tracker(tracker);
 }
 
 Status ShardedStreamEngine::Ingest(const StreamTuple& tuple) {
@@ -506,9 +510,42 @@ Result<std::vector<MLayerTuple>> ShardedStreamEngine::SnapshotWindow(int level,
 }
 
 Result<RegressionCube> ShardedStreamEngine::ComputeCube(int level, int k) {
+  // The by-value export door must not evict a live memo of a different
+  // window (a caller alternating a (level, k) export with cube-kind
+  // drilling would otherwise force a full rebuild on every call): when
+  // the windows disagree, compute from scratch and leave the memo alone.
+  if (cube_memo_ == nullptr ||
+      cube_memo_->WouldEvictDifferentWindow(level, k)) {
+    GatheredCells gathered = GatherAlignedCells();
+    return SnapshotCubeOf(schema_, *gathered.cells, options_, level, k,
+                          pool_.get());
+  }
+  auto shared = ComputeCubeShared(level, k);
+  if (!shared.ok()) return shared.status();
+  return (*shared)->Clone();
+}
+
+Result<std::shared_ptr<const RegressionCube>>
+ShardedStreamEngine::ComputeCubeShared(int level, int k) {
   GatheredCells gathered = GatherAlignedCells();
-  return SnapshotCubeOf(schema_, *gathered.cells, options_, level, k,
-                        pool_.get());
+  if (cube_memo_ == nullptr) {
+    auto cube = SnapshotCubeOf(schema_, *gathered.cells, options_, level, k,
+                               pool_.get());
+    if (!cube.ok()) return cube.status();
+    return std::shared_ptr<const RegressionCube>(
+        std::make_shared<RegressionCube>(std::move(*cube)));
+  }
+  return cube_memo_->CubeFor(gathered.cells, gathered.revision, level, k,
+                             pool_.get());
+}
+
+IncrementalCubeCache::Stats ShardedStreamEngine::cube_memo_stats() const {
+  return cube_memo_ != nullptr ? cube_memo_->stats()
+                               : IncrementalCubeCache::Stats{};
+}
+
+std::int64_t ShardedStreamEngine::CubeMemoBytes() const {
+  return cube_memo_ != nullptr ? cube_memo_->MemoryBytes() : 0;
 }
 
 Result<RegressionCube> ShardedStreamEngine::ComputeCubeAllLocks(int level,

@@ -11,6 +11,7 @@
 
 #include "regcube/common/status.h"
 #include "regcube/common/thread_pool.h"
+#include "regcube/core/incremental_cube.h"
 #include "regcube/core/snapshot_reads.h"
 #include "regcube/core/stream_engine.h"
 
@@ -129,10 +130,33 @@ class ShardedStreamEngine {
   /// `level`, in canonical key order.
   Result<std::vector<MLayerTuple>> SnapshotWindow(int level, int k);
 
-  /// Recomputes the partially materialized cube over that window with the
-  /// configured algorithm. Gathers first, then cubes lock-free (per-cuboid
-  /// work partitioned across the pool) — concurrent ingest keeps flowing.
+  /// The partially materialized cube over that window with the configured
+  /// algorithm, by value (a deep copy when served from the maintained
+  /// memo) — for callers that persist or hand the cube elsewhere.
+  /// ComputeCubeShared is the cheap door. Gathers first, then cubes
+  /// lock-free — concurrent ingest keeps flowing.
   Result<RegressionCube> ComputeCube(int level, int k);
+
+  /// The maintained cube (m/o H-cubing only): cached keyed by engine
+  /// revision, and on a later query only the delta gather's changed cells
+  /// are folded into it — each changed leaf updated in the memoized
+  /// H-tree, every cuboid cell it rolls up into re-aggregated in kernel
+  /// order, the exception predicate re-evaluated only for those touched
+  /// cells. Bit-identical to from-scratch H-cubing over the same window
+  /// (the patch replays the kernel's exact operand order; structural
+  /// changes and window-interval rolls rebuild via the from-scratch
+  /// kernel itself). Popular-path engines always compute from scratch
+  /// here. The returned cube is immutable and safe to hold across writes.
+  Result<std::shared_ptr<const RegressionCube>> ComputeCubeShared(int level,
+                                                                  int k);
+
+  /// Maintenance counters of the incremental cube memo (zeroes for
+  /// popular-path engines, which have no memo).
+  IncrementalCubeCache::Stats cube_memo_stats() const;
+
+  /// Analytic bytes retained by the cube memo — the "cube.memo" figure,
+  /// readable without a tracker attached (0 for popular-path engines).
+  std::int64_t CubeMemoBytes() const;
 
   /// The retired pre-redesign read: holds every shard lock for the whole
   /// cubing computation. Identical results to ComputeCube; kept only as
@@ -253,6 +277,10 @@ class ShardedStreamEngine {
   bool gather_valid_ = false;
   GatheredCells gather_cache_;
   std::vector<std::uint64_t> gather_shard_revs_;
+
+  // The maintained cube (see ComputeCubeShared). Null for popular-path
+  // engines — their cubes are not patchable, so they stay from-scratch.
+  std::unique_ptr<IncrementalCubeCache> cube_memo_;
 };
 
 }  // namespace regcube

@@ -133,6 +133,7 @@ Result<RegressionCube> ComputeCubeFromWindow(
   PopularPathOptions pp;
   pp.policy = options.policy;
   pp.path = options.path;
+  pp.pool = pool;
   return ComputePopularPathCubing(std::move(schema), tuples, pp);
 }
 

@@ -299,10 +299,11 @@ class ThreadPool;
 
 /// Runs the options' configured cubing algorithm over one m-layer window —
 /// the single dispatch point shared by StreamCubeEngine::ComputeCube and
-/// the snapshot read path. A non-null `pool` partitions the per-cuboid
-/// cubing work across it (m/o H-cubing only; popular-path drilling is
-/// inherently sequential along the path). Results are identical with or
-/// without a pool.
+/// the snapshot read path. A non-null `pool` partitions the work across
+/// it: per-cuboid H-cubing for m/o cubing, and each drill step's
+/// ComputeDrillChildren scans for popular-path cubing (the walk along the
+/// path itself stays sequential — each step's exceptions seed the next).
+/// Results are identical with or without a pool.
 Result<RegressionCube> ComputeCubeFromWindow(
     std::shared_ptr<const CubeSchema> schema,
     const std::vector<MLayerTuple>& tuples,

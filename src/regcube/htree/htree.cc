@@ -202,6 +202,62 @@ Isb HTree::SubtreeMeasure(const HTreeNode* node) const {
   return SubtreeMeasureSlow(node);
 }
 
+Result<const HTreeNode*> HTree::UpdateLeafMeasure(const CubeSchema& schema,
+                                                  const CellKey& key,
+                                                  const Isb& measure) {
+  if (!(measure.interval == interval_)) {
+    return Status::InvalidArgument(StrPrintf(
+        "measure interval %s differs from the tree's common interval %s",
+        measure.interval.ToString().c_str(), interval_.ToString().c_str()));
+  }
+  HTreeNode* cur = root_;
+  for (const Attribute& attr : attrs_) {
+    const ValueId v = schema.RollUp(attr.dim, key[attr.dim], attr.level);
+    auto it = cur->children.find(v);
+    if (it == cur->children.end()) {
+      return Status::NotFound(StrPrintf(
+          "no leaf for m-layer cell %s", key.ToString().c_str()));
+    }
+    cur = it->second;
+  }
+  RC_CHECK(cur->is_leaf());
+  cur->measure = measure;
+  return static_cast<const HTreeNode*>(cur);
+}
+
+void HTree::RefreshAncestorMeasures(
+    const std::vector<const HTreeNode*>& leaves,
+    std::vector<std::vector<const HTreeNode*>>* dirty_by_depth) {
+  RC_CHECK(store_nonleaf_);
+  // Distinct dirty ancestors, bucketed by depth (root's attr_index is -1,
+  // so bucket 0 is the root), deduped by visit stamp instead of a hash
+  // set. An already-stamped ancestor implies its whole path up is stamped
+  // — stop climbing.
+  ++visit_epoch_;
+  std::vector<std::vector<HTreeNode*>> dirty(attrs_.size() + 1);
+  for (const HTreeNode* leaf : leaves) {
+    for (HTreeNode* cur = leaf->parent; cur != nullptr; cur = cur->parent) {
+      if (cur->visit_epoch == visit_epoch_) break;
+      cur->visit_epoch = visit_epoch_;
+      dirty[static_cast<size_t>(cur->attr_index + 1)].push_back(cur);
+    }
+  }
+  if (dirty_by_depth != nullptr) {
+    dirty_by_depth->assign(dirty.size(), {});
+  }
+  for (size_t d = dirty.size(); d-- > 0;) {
+    for (HTreeNode* node : dirty[d]) {
+      node->measure = Isb{};
+      for (auto& [value, child] : node->children) {
+        AccumulateStandardDim(node->measure, child->measure);
+      }
+    }
+    if (dirty_by_depth != nullptr) {
+      (*dirty_by_depth)[d].assign(dirty[d].begin(), dirty[d].end());
+    }
+  }
+}
+
 ValueId HTree::PathValue(const HTreeNode* node, int attr_pos) const {
   const HTreeNode* cur = node;
   while (cur != nullptr && cur->attr_index != attr_pos) cur = cur->parent;

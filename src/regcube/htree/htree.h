@@ -1,6 +1,7 @@
 #ifndef REGCUBE_HTREE_HTREE_H_
 #define REGCUBE_HTREE_HTREE_H_
 
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <unordered_map>
@@ -40,6 +41,10 @@ class HTreeNode {
   /// configuration "saves regression points only at the leaf").
   Isb measure;
   bool has_measure = false;
+
+  /// Visit stamp of the last RefreshAncestorMeasures pass that marked this
+  /// node dirty — dedupes shared ancestors without hashing.
+  std::uint64_t visit_epoch = 0;
 
   bool is_leaf() const { return children.empty(); }
 };
@@ -92,6 +97,37 @@ class HTree {
   /// O(1) when the node stores a measure, otherwise a subtree walk.
   Isb SubtreeMeasure(const HTreeNode* node) const;
 
+  /// Replaces the measure of the leaf holding m-layer cell `key` — the
+  /// patch half of incremental cube maintenance: the tree's structure,
+  /// chains and header tables are untouched (every node pointer and every
+  /// traversal order stays valid), only the one leaf's regression point
+  /// moves. `measure` must share the tree's common interval and the leaf
+  /// must already exist (a new cell is a structural change; callers rebuild
+  /// for those). Returns the updated leaf. On a stored-measure tree the
+  /// leaf's ancestors go stale until RefreshAncestorMeasures runs over the
+  /// batch of updated leaves.
+  Result<const HTreeNode*> UpdateLeafMeasure(const CubeSchema& schema,
+                                             const CellKey& key,
+                                             const Isb& measure);
+
+  /// Recomputes the stored subtree measures on every path from the given
+  /// (just-updated) leaves to the root, deepest level first so children
+  /// are current when a parent refolds. Each dirty node replays the exact
+  /// build-time fold over its children, so the stored measures stay
+  /// bitwise equal to those of a tree freshly built over the patched
+  /// window — the property the incremental cube's bit-identity rests on.
+  /// O(distinct ancestors of the touched leaves), with shared ancestors
+  /// refolded once. Pre: store_nonleaf_measures (CHECKed).
+  ///
+  /// When `dirty_by_depth` is non-null it receives the refreshed nodes
+  /// bucketed by depth (bucket d = nodes at depth d, i.e. attr_index
+  /// d - 1; bucket 0 is the root). For a tree-prefix cuboid these buckets
+  /// ARE its touched cells, so patch callers read them instead of
+  /// projecting and scanning.
+  void RefreshAncestorMeasures(
+      const std::vector<const HTreeNode*>& leaves,
+      std::vector<std::vector<const HTreeNode*>>* dirty_by_depth = nullptr);
+
   /// Value of attribute `attr_pos` on `node`'s root path.
   /// Pre: attr_pos <= node->attr_index (checked).
   ValueId PathValue(const HTreeNode* node, int attr_pos) const;
@@ -120,6 +156,7 @@ class HTree {
   std::int64_t num_leaves_ = 0;
   bool store_nonleaf_ = false;
   TimeInterval interval_;
+  std::uint64_t visit_epoch_ = 0;  // RefreshAncestorMeasures pass counter
 };
 
 /// Attribute order for m/o H-cubing: every lattice attribute sorted by

@@ -101,6 +101,88 @@ std::vector<CellMap> ComputeCuboidCellsPartitioned(
   return maps;
 }
 
+std::int64_t CuboidMemberIndex::MemoryBytes() const {
+  constexpr std::int64_t kEntryOverhead = 16;  // hash node + bucket share
+  std::int64_t bytes = 0;
+  for (const auto& [key, nodes] : nodes_by_cell) {
+    bytes += static_cast<std::int64_t>(sizeof(CellKey)) + kEntryOverhead +
+             static_cast<std::int64_t>(sizeof(nodes)) +
+             static_cast<std::int64_t>(nodes.capacity() *
+                                       sizeof(const HTreeNode*));
+  }
+  return bytes;
+}
+
+CuboidMemberIndex BuildCuboidMemberIndex(const HTree& tree,
+                                         const CuboidLattice& lattice,
+                                         CuboidId cuboid) {
+  const int num_dims = lattice.schema().num_dims();
+  CuboidMemberIndex index;
+  const CuboidAttrs ca = ResolveAttrs(tree, lattice, cuboid);
+
+  if (ca.attrs.empty()) {
+    // Apex: the single all-star cell aggregates the root's subtree.
+    index.nodes_by_cell[CellKey(num_dims)] = {tree.root()};
+    return index;
+  }
+
+  // The same chain scan as ComputeCuboidCells, recording node pointers in
+  // visit order instead of folding measures.
+  const int deep_pos = ca.positions[static_cast<size_t>(ca.deepest)];
+  const HeaderTable& header = tree.header(deep_pos);
+  for (const auto& [value, entry] : header.entries()) {
+    for (const HTreeNode* n = entry.head; n != nullptr; n = n->next_link) {
+      index.nodes_by_cell[KeyFromPath(tree, n, ca, num_dims)].push_back(n);
+    }
+  }
+  return index;
+}
+
+PatchedCells RecomputeCellsFromIndex(const HTree& tree,
+                                     const CuboidMemberIndex& index,
+                                     const std::vector<CellKey>& touched) {
+  PatchedCells cells;
+  cells.reserve(touched.size());
+  for (const CellKey& key : touched) {
+    auto it = index.nodes_by_cell.find(key);
+    RC_CHECK(it != index.nodes_by_cell.end())
+        << "cell " << key.ToString()
+        << " missing from the member index; structural change not rebuilt";
+    Isb acc;
+    for (const HTreeNode* n : it->second) {
+      AccumulateStandardDim(acc, tree.SubtreeMeasure(n));
+    }
+    cells.emplace_back(key, acc);
+  }
+  return cells;
+}
+
+PatchedCells PrefixCellsFromNodes(const HTree& tree,
+                                  const CuboidLattice& lattice,
+                                  CuboidId cuboid, int depth,
+                                  const std::vector<const HTreeNode*>& nodes) {
+  RC_CHECK(tree.store_nonleaf_measures());
+  RC_CHECK(depth >= 1 && depth <= tree.num_attributes());
+  const int num_dims = lattice.schema().num_dims();
+  const CuboidAttrs ca = ResolveAttrs(tree, lattice, cuboid);
+  PatchedCells cells;
+  cells.reserve(nodes.size());
+  for (const HTreeNode* n : nodes) {
+    RC_CHECK(n->attr_index == depth - 1)
+        << "node depth does not match the prefix cuboid";
+    CellKey key(num_dims);
+    for (size_t i = 0; i < ca.attrs.size(); ++i) {
+      const int pos = ca.positions[i];
+      const ValueId v = (pos == n->attr_index) ? n->value
+                                               : tree.PathValue(n, pos);
+      key.set(ca.attrs[i].dim, v);
+    }
+    RC_DCHECK(n->has_measure);
+    cells.emplace_back(key, n->measure);
+  }
+  return cells;
+}
+
 CellMap ComputeDrillChildren(const HTree& tree, const CuboidLattice& lattice,
                              CuboidId parent_cuboid,
                              const CellMap& parent_cells,

@@ -43,6 +43,64 @@ std::vector<CellMap> ComputeCuboidCellsPartitioned(
     const HTree& tree, const CuboidLattice& lattice,
     const std::vector<CuboidId>& cuboids, ThreadPool* pool);
 
+/// Member index of one cuboid: for every cell, the chain nodes whose
+/// subtree measures ComputeCuboidCells folds into it, in the exact order
+/// the kernel visits them (all of one cell's nodes share the cuboid's
+/// deepest attribute value, so they live on one node-link chain and the
+/// per-cell order is the chain order). Re-aggregating a cell from its node
+/// list therefore reproduces the kernel's floating-point result bit for
+/// bit — the foundation of the incremental cube's patch-apply path, which
+/// recomputes only the cells touched by changed m-layer leaves instead of
+/// re-running H-cubing over everything. Node pointers stay valid for the
+/// tree's lifetime (nodes are pooled and never erased) and survive
+/// HTree::UpdateLeafMeasure, which changes values, not structure.
+struct CuboidMemberIndex {
+  std::unordered_map<CellKey, std::vector<const HTreeNode*>, CellKeyHash>
+      nodes_by_cell;
+
+  /// Analytic footprint (entries + node-pointer lists), for the cube-memo
+  /// memory accounting.
+  std::int64_t MemoryBytes() const;
+};
+
+/// Builds the member index of `cuboid` with the same traversal
+/// ComputeCuboidCells performs (one chain scan of the deepest attribute;
+/// the apex indexes the root). O(nodes at the deepest attribute's depth).
+CuboidMemberIndex BuildCuboidMemberIndex(const HTree& tree,
+                                         const CuboidLattice& lattice,
+                                         CuboidId cuboid);
+
+/// One recomputed cell of a patch: key + its new aggregate. Kept as a flat
+/// vector (touched keys are already unique) so the hot patch path never
+/// pays hash-map construction for its results.
+using PatchedCells = std::vector<std::pair<CellKey, Isb>>;
+
+/// The patch-apply kernel: recomputes exactly the `touched` cells of the
+/// indexed cuboid by re-folding each cell's chain nodes in index (== chain)
+/// order. Bit-identical to the cells ComputeCuboidCells would produce on a
+/// freshly built tree over the same key set, because the operand sequence
+/// is identical (on a stored-measure tree each node's contribution is the
+/// stored subtree fold, itself bitwise equal to the lazy walk). Every
+/// touched key must be present in the index (a missing key means the
+/// caller skipped a structural rebuild; CHECKed).
+/// O(Σ touched cells' chain nodes), independent of the cuboid's size.
+PatchedCells RecomputeCellsFromIndex(const HTree& tree,
+                                     const CuboidMemberIndex& index,
+                                     const std::vector<CellKey>& touched);
+
+/// The prefix-cuboid patch shortcut: cells of a tree-prefix cuboid are in
+/// one-to-one correspondence with the nodes at its depth, and each cell's
+/// H-cubed aggregate equals that node's stored subtree measure bit for bit
+/// (the chain fold over a single contribution is the identity). Given the
+/// refreshed dirty nodes at `depth` (from HTree::RefreshAncestorMeasures),
+/// this reads the touched cells straight off them — no projection, no
+/// chain scan, no member index. Pre: stored measures; `cuboid` is the
+/// prefix cuboid of `depth` (checked like ReadPrefixCuboidCells).
+PatchedCells PrefixCellsFromNodes(const HTree& tree,
+                                  const CuboidLattice& lattice,
+                                  CuboidId cuboid, int depth,
+                                  const std::vector<const HTreeNode*>& nodes);
+
 /// Popular-path drilling kernel: computes the cells of `child_cuboid` that
 /// lie under any of the `parent_cells` keys of `parent_cuboid` (the
 /// exception cells being drilled). One batched chain scan of the child's

@@ -281,16 +281,20 @@ Status RunStream(const Args& args) {
                 change.current.slope, change.slope_delta);
   }
 
+  // Cube-side drilling goes through Engine::Query: it rides the engine's
+  // maintained cube memo (incremental O(delta) maintenance between
+  // writes), so the repeated drills below share one materialized cube and
+  // its bytes show up under "cube.memo" in the report.
   std::printf("\ntop %zu exception cells over the last %d quarters:\n", top,
               window);
   RC_ASSIGN_OR_RETURN(
       QueryResult top_cells,
-      snapshot->Query(QuerySpec::TopExceptions(top, 0, window)));
+      engine.Query(QuerySpec::TopExceptions(top, 0, window)));
   for (const CellResult& cell : top_cells.cells()) {
     std::printf("  %s  [%s]\n", engine.RenderCell(cell).c_str(),
                 engine.lattice().CuboidName(cell.cuboid).c_str());
     RC_ASSIGN_OR_RETURN(QueryResult supporters,
-                        snapshot->Query(QuerySpec::Supporters(
+                        engine.Query(QuerySpec::Supporters(
                             cell.cuboid, cell.key, 0, window)));
     if (!supporters.cells().empty()) {
       std::printf("    %zu exceptional descendants, strongest: %s\n",
