@@ -114,12 +114,20 @@ void RunMaintained(int argc, char** argv, bench::JsonWriter& json) {
     RC_CHECK(taken.count(pacer) == 0) << "no free pacer key";
     RC_CHECK(engine.Ingest({pacer, 11, 1.0}).ok());
 
-    // Warm: the rebuild, plus one patch round to amortize the lazy tree +
-    // member-index build into the steady state it belongs to.
+    // Warm: the rebuild, plus one representative patch round (the same
+    // dirty count the timed rounds use) to amortize the lazy tree +
+    // member-index machinery into the steady state it belongs to —
+    // adaptive index strategies (seed vs complete build) must settle
+    // before the clock starts, exactly like the tree build does.
     RC_CHECK(engine.ComputeCubeShared(level, k).ok());
     const std::int64_t dirty_n =
         std::max<std::int64_t>(1, num_cells * dirty_pct / 100);
-    RC_CHECK(engine.Ingest({cells[0].key, 7, 0.5}).ok());
+    for (std::int64_t j = 0; j < dirty_n; ++j) {
+      RC_CHECK(
+          engine.Ingest({cells[static_cast<size_t>(j % num_cells)].key, 7,
+                         0.5})
+              .ok());
+    }
     RC_CHECK(engine.ComputeCubeShared(level, k).ok());
 
     double incr_s = 0.0, scratch_s = 0.0;

@@ -208,6 +208,53 @@ void RunChurn(int argc, char** argv, bench::JsonWriter& json) {
   RC_CHECK(*member_series == *scan_series)
       << "member-only QueryCellSeries diverged from the full-snapshot scan";
 
+  // Point phase — the index figure: the ingest-maintained per-cuboid
+  // member index (hash probe, O(matching members)) against the retained
+  // project-every-key scan (PointLookup::kScan, O(cells)), both through
+  // the same member-only gather, over many distinct o-layer cells.
+  // Bit-identity is RC_CHECKed per probe — the index is a lookup
+  // strategy, not a numerics change.
+  const int point_reps = std::max<int>(
+      1, static_cast<int>(bench::ArgInt(argc, argv, "point_reps", 200)));
+  std::vector<CellKey> probe_keys;
+  probe_keys.reserve(static_cast<size_t>(point_reps));
+  for (int r = 0; r < point_reps; ++r) {
+    const auto& cell =
+        cells[static_cast<size_t>((r * 7919) % num_cells)];
+    probe_keys.push_back(engine.lattice().ProjectMLayerKey(cell.key, o_id));
+  }
+  engine.GatherCellsMatching(o_id, probe_keys[0]);  // activate the index
+  double indexed_s = 0.0, point_scan_s = 0.0;
+  std::int64_t indexed_members = 0;
+  for (const CellKey& key : probe_keys) {
+    Stopwatch indexed_timer;
+    auto indexed = engine.GatherCellsMatching(o_id, key);
+    indexed_s += indexed_timer.ElapsedSeconds();
+    indexed_members += static_cast<std::int64_t>(indexed.cells.size());
+
+    Stopwatch point_scan_timer;
+    auto scanned = engine.GatherCellsMatching(o_id, key, PointLookup::kScan);
+    point_scan_s += point_scan_timer.ElapsedSeconds();
+
+    RC_CHECK(indexed.cells.size() == scanned.cells.size())
+        << "indexed member set diverged for " << key.ToString();
+    for (size_t i = 0; i < indexed.cells.size(); ++i) {
+      RC_CHECK(indexed.cells[i].key == scanned.cells[i].key);
+      const auto& a = indexed.cells[i].frame->RawSlots(0);
+      const auto& b = scanned.cells[i].frame->RawSlots(0);
+      RC_CHECK(a.size() == b.size());
+      for (size_t s = 0; s < a.size(); ++s) {
+        RC_CHECK(a[s].interval == b[s].interval &&
+                 a[s].sum_z == b[s].sum_z && a[s].sum_tz == b[s].sum_tz)
+            << "indexed gather diverged at slot " << s << " of "
+            << indexed.cells[i].key.ToString();
+      }
+    }
+  }
+  const double point_speedup =
+      indexed_s > 0 ? point_scan_s / indexed_s : 0.0;
+  const std::int64_t index_bytes = engine.MemberIndexBytes();
+
   const double gather_speedup = delta_s > 0 ? full_s / delta_s : 0.0;
   const double series_speedup = member_s > 0 ? scan_s / member_s : 0.0;
   bench::PrintRow({"mode", "gather(s)", "bytes copied", "speedup"});
@@ -220,6 +267,22 @@ void RunChurn(int argc, char** argv, bench::JsonWriter& json) {
               "QueryCellSeries (member-only): %.2fx vs full-snapshot scan\n",
               gather_speedup, static_cast<long long>(dirty_pct),
               series_speedup);
+  std::printf("point queries (indexed vs scan, %d probes, avg %.1f members):"
+              " %.2fx; index bytes %lld\n",
+              point_reps,
+              static_cast<double>(indexed_members) / point_reps,
+              point_speedup, static_cast<long long>(index_bytes));
+  json.Row({{"phase", "\"point\""},
+            {"cells", StrPrintf("%lld", static_cast<long long>(num_cells))},
+            {"reps", StrPrintf("%d", point_reps)},
+            {"indexed_s", StrPrintf("%.6f", indexed_s)},
+            {"scan_s", StrPrintf("%.6f", point_scan_s)},
+            {"point_speedup", StrPrintf("%.3f", point_speedup)},
+            {"avg_members",
+             StrPrintf("%.2f",
+                       static_cast<double>(indexed_members) / point_reps)},
+            {"index_bytes",
+             StrPrintf("%lld", static_cast<long long>(index_bytes))}});
   json.Row({{"phase", "\"churn\""},
             {"cells", StrPrintf("%lld", static_cast<long long>(num_cells))},
             {"dirty_pct", StrPrintf("%lld",

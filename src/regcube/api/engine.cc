@@ -63,15 +63,14 @@ Result<RegressionCube> Engine::ComputeCube(int level, int k) {
 }
 
 Result<QueryResult> Engine::Query(const QuerySpec& spec) {
-  // Point kinds skip taking a full snapshot: if the memoized snapshot is
-  // still current it answers lock-free (cheapest possible), otherwise a
-  // member-only gather projects keys under the shard locks and copies
-  // just the matching cells — asking about one cell never pays a full
-  // O(all cells) gather.
+  // Point kinds never touch a full snapshot: each shard hash-probes its
+  // ingest-maintained member index under its lock and exports only the
+  // matching cells — O(matching members), no cell scan, no O(all cells)
+  // gather. (A held CubeSnapshot still answers point queries by scanning
+  // its own frozen cells; results are identical, in canonical order.)
   switch (spec.kind) {
     case QueryKind::kCell:
     case QueryKind::kCellSeries: {
-      if (auto warm = CurrentSnapshotOrNull()) return warm->Query(spec);
       if (spec.kind == QueryKind::kCell) {
         auto isb = sharded_->QueryCell(spec.cuboid, spec.key, spec.level,
                                        spec.k);
@@ -106,16 +105,6 @@ Result<QueryResult> Engine::Query(const QuerySpec& spec) {
     default:
       return TakeSnapshot()->Query(spec);
   }
-}
-
-std::shared_ptr<const CubeSnapshot> Engine::CurrentSnapshotOrNull() const {
-  const std::uint64_t revision = sharded_->revision();
-  std::lock_guard<std::mutex> lock(cache_->mu);
-  if (cache_->snapshot != nullptr &&
-      cache_->snapshot->revision() == revision) {
-    return cache_->snapshot;
-  }
-  return nullptr;
 }
 
 std::vector<std::pair<std::string, std::int64_t>> Engine::MemoryReport()

@@ -95,10 +95,6 @@ class Engine {
   Engine(std::shared_ptr<const CubeSchema> schema, ExceptionPolicy policy,
          StreamCubeEngine::Options options, int num_shards, int read_threads);
 
-  /// The memoized snapshot iff it still matches the engine revision —
-  /// the zero-cost answer source for point queries between writes.
-  std::shared_ptr<const CubeSnapshot> CurrentSnapshotOrNull() const;
-
   /// Snapshot memoized by engine revision; replaced (never mutated) when
   /// a write has moved the revision. Heap-allocated so Engine stays
   /// movable despite the mutex.

@@ -39,6 +39,8 @@ CubeSnapshot::DetectTrendChanges(int level, double threshold) const {
 
 Result<Isb> CubeSnapshot::QueryCell(CuboidId cuboid, const CellKey& key,
                                     int level, int k) const {
+  RC_RETURN_IF_ERROR(ValidatePointQueryTarget(
+      lattice_, cuboid, level, options_.tilt_policy->num_levels()));
   return SnapshotCellOf(*cells_, lattice_, cuboid, key, level, k);
 }
 

@@ -2,6 +2,7 @@
 #define REGCUBE_CORE_INCREMENTAL_CUBE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -84,6 +85,22 @@ class IncrementalCubeCache {
   /// query rebuilds from scratch.
   void Invalidate();
 
+  /// Resolves the member m-layer keys of a batch of cuboid cells (one
+  /// member list per input key, each in canonical key order) — the
+  /// ingest-maintained MemberIndex feed (the sharded engine installs a
+  /// merged cross-shard probe; batching keeps the per-shard locking cost
+  /// per patch, not per cell). When set, a patch seeds each touched
+  /// cell's node list from its members (O(members)) instead of scanning
+  /// the cuboid's whole chain (O(chain nodes)); the chain scan remains
+  /// the fallback whenever the lookup disagrees with the memoized tree
+  /// (e.g. cells ingested after the memoized gather) or the cumulative
+  /// member volume outgrows one chain scan. Install before concurrent
+  /// use. The callback may take shard locks: it is invoked with only this
+  /// cache's mutex held, which no shard-lock holder ever takes.
+  using MemberLookup = std::function<std::vector<std::vector<CellKey>>(
+      CuboidId, const std::vector<CellKey>&)>;
+  void set_member_lookup(MemberLookup lookup);
+
   /// Maintenance counters (monotone), for tests and benches.
   struct Stats {
     std::int64_t hits = 0;           // served at the memoized revision
@@ -154,9 +171,21 @@ class IncrementalCubeCache {
   std::vector<MLayerTuple> window_;
   // Lazy patch machinery: the window's H-tree and per-cuboid member
   // indexes, built on the first patch after a rebuild and reused until the
-  // next structural change.
+  // next structural change. An index normally grows cell-by-cell, each
+  // touched cell's node list seeded from the ingest-maintained member
+  // lookup (index_full_[c] == 0); the full chain scan is the fallback and
+  // marks the cuboid complete (index_full_[c] == 1; plain chars, not
+  // vector<bool>, because cuboids are patched concurrently on the pool).
   std::optional<HTree> tree_;
   std::vector<std::optional<CuboidMemberIndex>> indexes_;  // by cuboid id
+  std::vector<unsigned char> index_full_;                  // by cuboid id
+  std::vector<std::int64_t> index_bytes_by_cuboid_;
+  // Lifetime seeding budget per cuboid (-1 = not yet initialized to the
+  // cuboid's chain length): once the cumulative member volume seeded for a
+  // cuboid rivals one chain scan, further seeding would cost more than the
+  // complete build — fall back.
+  std::vector<std::int64_t> index_seed_budget_;
+  MemberLookup member_lookup_;
   // Tree-prefix depth per cuboid (-1 = not a prefix). A prefix cuboid's
   // touched cells are the refreshed dirty nodes at its depth — no
   // projection, no member index (see PrefixCellsFromNodes).

@@ -1,0 +1,60 @@
+#include "regcube/core/member_index.h"
+
+#include "regcube/common/logging.h"
+
+namespace regcube {
+
+namespace {
+// Analytic per-structure costs, mirroring the style of the other trackers
+// (hash-node + bucket share per entry; ids are 4 bytes each).
+constexpr std::int64_t kMapOverhead = 64;
+constexpr std::int64_t kEntryOverhead = 16;
+}  // namespace
+
+MemberIndex::MemberIndex(const CuboidLattice* lattice) : lattice_(lattice) {
+  RC_CHECK(lattice_ != nullptr);
+  maps_.resize(static_cast<size_t>(lattice_->num_cuboids()));
+}
+
+void MemberIndex::Activate(CuboidId cuboid) {
+  auto& map = maps_[static_cast<size_t>(cuboid)];
+  if (map.has_value()) return;
+  map.emplace();
+  active_.push_back(cuboid);
+  bytes_ += kMapOverhead;
+}
+
+void MemberIndex::AddCell(const CellKey& m_key, MemberId id) {
+  for (const CuboidId c : active_) {
+    Fold(c, *maps_[static_cast<size_t>(c)], m_key, id);
+  }
+}
+
+void MemberIndex::AddCellTo(CuboidId cuboid, const CellKey& m_key,
+                            MemberId id) {
+  auto& map = maps_[static_cast<size_t>(cuboid)];
+  RC_CHECK(map.has_value()) << "AddCellTo on an inactive cuboid";
+  Fold(cuboid, *map, m_key, id);
+}
+
+void MemberIndex::Fold(CuboidId cuboid, CuboidMap& map, const CellKey& m_key,
+                       MemberId id) {
+  auto [it, inserted] =
+      map.try_emplace(lattice_->ProjectMLayerKey(m_key, cuboid));
+  if (inserted) {
+    bytes_ += static_cast<std::int64_t>(sizeof(CellKey)) + kEntryOverhead +
+              static_cast<std::int64_t>(sizeof(std::vector<MemberId>));
+  }
+  it->second.push_back(id);
+  bytes_ += static_cast<std::int64_t>(sizeof(MemberId));
+}
+
+const std::vector<MemberIndex::MemberId>* MemberIndex::MembersOf(
+    CuboidId cuboid, const CellKey& key) const {
+  const auto& map = maps_[static_cast<size_t>(cuboid)];
+  RC_CHECK(map.has_value()) << "MembersOf on an inactive cuboid";
+  auto it = map->find(key);
+  return it == map->end() ? nullptr : &it->second;
+}
+
+}  // namespace regcube

@@ -87,6 +87,13 @@ ShardedStreamEngine::ShardedStreamEngine(
   }
   if (options_.algorithm == StreamCubeEngine::Algorithm::kMoCubing) {
     cube_memo_ = std::make_unique<IncrementalCubeCache>(schema_, options_);
+    // Patches seed their per-cuboid node indexes from the ingest-maintained
+    // member index instead of chain-scanning the memoized tree. The memo is
+    // owned by this engine, so the raw `this` capture cannot dangle.
+    cube_memo_->set_member_lookup(
+        [this](CuboidId cuboid, const std::vector<CellKey>& keys) {
+          return MemberKeysForBatch(cuboid, keys);
+        });
   }
 }
 
@@ -466,7 +473,7 @@ ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherFull() {
 }
 
 ShardedStreamEngine::MemberGather ShardedStreamEngine::GatherCellsMatching(
-    CuboidId cuboid, const CellKey& key) {
+    CuboidId cuboid, const CellKey& key, PointLookup lookup) {
   MemberGather out;
   const size_t n = shards_.size();
   std::vector<std::vector<CellSnapshot>> slices(n);
@@ -478,7 +485,8 @@ ShardedStreamEngine::MemberGather ShardedStreamEngine::GatherCellsMatching(
     std::lock_guard<std::mutex> lock(shard.mu);
     shard_now[i] = shard.engine.now();
     totals[i] = shard.engine.num_cells();
-    shard.engine.ExportMatchingCells(cuboid, key, &slices[i], nullptr);
+    shard.engine.ExportMatchingCells(cuboid, key, &slices[i], nullptr,
+                                     lookup);
   };
   if (pool_ != nullptr && n > 1) {
     pool_->ParallelFor(static_cast<std::int64_t>(n), gather_one);
@@ -502,6 +510,28 @@ ShardedStreamEngine::MemberGather ShardedStreamEngine::GatherCellsMatching(
                   /*pool=*/nullptr, /*stats=*/nullptr);
   std::sort(out.cells.begin(), out.cells.end(), CellSnapshotCanonicalLess);
   return out;
+}
+
+std::vector<std::vector<CellKey>> ShardedStreamEngine::MemberKeysForBatch(
+    CuboidId cuboid, const std::vector<CellKey>& keys) {
+  std::vector<std::vector<CellKey>> members(keys.size());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      shard->engine.AppendMemberKeys(cuboid, keys[i], &members[i]);
+    }
+  }
+  // Canonical order — the order the memoized window (and therefore its
+  // H-tree) was built in, which the seeded node indexes rely on.
+  for (auto& list : members) {
+    std::sort(list.begin(), list.end(), CanonicalKeyLess);
+  }
+  return members;
+}
+
+std::vector<CellKey> ShardedStreamEngine::MemberKeysFor(CuboidId cuboid,
+                                                        const CellKey& key) {
+  return std::move(MemberKeysForBatch(cuboid, {key}).front());
 }
 
 Result<std::vector<MLayerTuple>> ShardedStreamEngine::SnapshotWindow(int level,
@@ -595,9 +625,9 @@ ShardedStreamEngine::DetectTrendChanges(int level, double threshold) {
 
 Result<Isb> ShardedStreamEngine::QueryCell(CuboidId cuboid, const CellKey& key,
                                            int level, int k) {
-  if (cuboid < 0 || cuboid >= lattice_.num_cuboids()) {
-    return SnapshotBadCuboidError(cuboid);
-  }
+  // Validation precedes the gather; every point-query door shares it.
+  RC_RETURN_IF_ERROR(ValidatePointQueryTarget(
+      lattice_, cuboid, level, options_.tilt_policy->num_levels()));
   MemberGather gathered = GatherCellsMatching(cuboid, key);
   if (gathered.total_cells == 0) return SnapshotNoDataError();
   if (gathered.cells.empty()) {
@@ -610,13 +640,8 @@ Result<std::vector<Isb>> ShardedStreamEngine::QueryCellSeries(
     CuboidId cuboid, const CellKey& key, int level) {
   // Validation precedes the gather, in the legacy kernel's order:
   // cuboid, then level, then no-data / no-members.
-  if (cuboid < 0 || cuboid >= lattice_.num_cuboids()) {
-    return SnapshotBadCuboidError(cuboid);
-  }
-  const int num_levels = options_.tilt_policy->num_levels();
-  if (level < 0 || level >= num_levels) {
-    return SnapshotBadLevelError(level, num_levels);
-  }
+  RC_RETURN_IF_ERROR(ValidatePointQueryTarget(
+      lattice_, cuboid, level, options_.tilt_policy->num_levels()));
   MemberGather gathered = GatherCellsMatching(cuboid, key);
   if (gathered.total_cells == 0) return SnapshotNoDataError();
   if (gathered.cells.empty()) {
@@ -650,6 +675,15 @@ std::int64_t ShardedStreamEngine::FrozenBytes() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     bytes += shard->engine.FrozenBytes();
+  }
+  return bytes;
+}
+
+std::int64_t ShardedStreamEngine::MemberIndexBytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    bytes += shard->engine.MemberIndexBytes();
   }
   return bytes;
 }

@@ -115,16 +115,29 @@ class ShardedStreamEngine {
 
   /// The member-only gather behind point queries: frozen views of just the
   /// m-layer cells that roll up into `key` of `cuboid`, aligned to the
-  /// global clock, in canonical key order. Keys are projected under each
-  /// shard's lock; only matches are exported, so the copy cost is
-  /// O(matching members). `total_cells` distinguishes "engine empty" from
-  /// "no member matches" for the legacy error contract.
+  /// global clock, in canonical key order. With PointLookup::kIndexed (the
+  /// default) each shard hash-probes its ingest-maintained per-cuboid
+  /// roll-up index under its lock — O(matching members), no cell scan;
+  /// kScan retains the project-every-key path as the bit-identity oracle.
+  /// `total_cells` distinguishes "engine empty" from "no member matches"
+  /// for the legacy error contract.
   struct MemberGather {
     SnapshotCells cells;  // the matching members only
     TimeTick clock = 0;
     std::int64_t total_cells = 0;  // all cells across shards at gather time
   };
-  MemberGather GatherCellsMatching(CuboidId cuboid, const CellKey& key);
+  MemberGather GatherCellsMatching(CuboidId cuboid, const CellKey& key,
+                                   PointLookup lookup = PointLookup::kIndexed);
+
+  /// The m-layer keys that roll up into each of `keys` in `cuboid`,
+  /// merged across shards into canonical key order — the member feed the
+  /// cube memo's seeded node indexes consume. Batched so each shard's
+  /// lock is taken once per call, not once per key.
+  std::vector<std::vector<CellKey>> MemberKeysForBatch(
+      CuboidId cuboid, const std::vector<CellKey>& keys);
+
+  /// Single-key convenience over MemberKeysForBatch.
+  std::vector<CellKey> MemberKeysFor(CuboidId cuboid, const CellKey& key);
 
   /// Merged m-layer window over the most recent `k` sealed slots of tilt
   /// `level`, in canonical key order.
@@ -195,6 +208,10 @@ class ShardedStreamEngine {
 
   /// Bytes retained by the per-cell frozen snapshot blocks across shards.
   std::int64_t FrozenBytes() const;
+
+  /// Bytes retained by the per-shard member indexes (the "index.members"
+  /// figure), readable without a tracker attached.
+  std::int64_t MemberIndexBytes() const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 

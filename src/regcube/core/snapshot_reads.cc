@@ -29,6 +29,17 @@ Status SnapshotNoMembersError(const CuboidLattice& lattice, CuboidId cuboid,
                 key.ToString().c_str(), lattice.CuboidName(cuboid).c_str()));
 }
 
+Status ValidatePointQueryTarget(const CuboidLattice& lattice, CuboidId cuboid,
+                                int level, int num_levels) {
+  if (cuboid < 0 || cuboid >= lattice.num_cuboids()) {
+    return SnapshotBadCuboidError(cuboid);
+  }
+  if (level < 0 || level >= num_levels) {
+    return SnapshotBadLevelError(level, num_levels);
+  }
+  return Status::OK();
+}
+
 bool CanonicalKeyLess(const CellKey& a, const CellKey& b) {
   if (a.num_dims() != b.num_dims()) return a.num_dims() < b.num_dims();
   for (int d = 0; d < a.num_dims(); ++d) {
@@ -119,10 +130,8 @@ Result<std::vector<Isb>> SnapshotCellSeriesOf(const SnapshotCells& cells,
                                               const CuboidLattice& lattice,
                                               int num_levels, CuboidId cuboid,
                                               const CellKey& key, int level) {
-  if (cuboid < 0 || cuboid >= lattice.num_cuboids()) {
-    return SnapshotBadCuboidError(cuboid);
-  }
-  if (level < 0 || level >= num_levels) return SnapshotBadLevelError(level, num_levels);
+  RC_RETURN_IF_ERROR(
+      ValidatePointQueryTarget(lattice, cuboid, level, num_levels));
   if (cells.empty()) return SnapshotNoDataError();
   std::vector<Isb> acc;
   bool found = false;

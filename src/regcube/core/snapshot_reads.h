@@ -48,6 +48,13 @@ Status SnapshotBadLevelError(int level, int num_levels);
 Status SnapshotNoMembersError(const CuboidLattice& lattice, CuboidId cuboid,
                               const CellKey& key);
 
+/// The cuboid-then-level validation every point-query door runs before
+/// touching any frame (the frame kernels CHECK rather than return, so the
+/// typed errors must be produced up front — and every door must produce
+/// the same ones, a contract the fuzz oracle pins).
+Status ValidatePointQueryTarget(const CuboidLattice& lattice, CuboidId cuboid,
+                                int level, int num_levels);
+
 /// Merged m-layer window over the most recent `k` sealed slots of tilt
 /// `level`, in canonical key order. FailedPrecondition when no cells.
 Result<std::vector<MLayerTuple>> SnapshotWindowOf(const SnapshotCells& cells,
@@ -66,7 +73,9 @@ Result<std::vector<StreamCubeEngine::TrendChange>> SnapshotTrendChangesOf(
     int level, double threshold);
 
 /// On-the-fly regression of one cell of any lattice cuboid, aggregated from
-/// its member m-layer cells in canonical order.
+/// its member m-layer cells in canonical order. Pre: `level` is a valid
+/// tilt level (the frame kernels CHECK it rather than returning; every
+/// point-query door runs ValidatePointQueryTarget first).
 Result<Isb> SnapshotCellOf(const SnapshotCells& cells,
                            const CuboidLattice& lattice, CuboidId cuboid,
                            const CellKey& key, int level, int k);

@@ -13,6 +13,8 @@ namespace regcube {
 namespace {
 // Frozen snapshot blocks cached per cell, reported through MemoryTracker.
 constexpr char kFrozenCategory[] = "snapshot.frozen_frames";
+// The ingest-maintained per-cuboid member index (see MemberIndex).
+constexpr char kMemberIndexCategory[] = "index.members";
 }  // namespace
 
 StreamCubeEngine::StreamCubeEngine(std::shared_ptr<const CubeSchema> schema,
@@ -20,7 +22,8 @@ StreamCubeEngine::StreamCubeEngine(std::shared_ptr<const CubeSchema> schema,
     : schema_(std::move(schema)),
       lattice_(*schema_),
       options_(std::move(options)),
-      now_(options_.start_tick) {
+      now_(options_.start_tick),
+      member_index_(&lattice_) {
   RC_CHECK(schema_ != nullptr);
   RC_CHECK(options_.tilt_policy != nullptr);
 }
@@ -47,8 +50,61 @@ StreamCubeEngine::CellState& StreamCubeEngine::CellFor(const CellKey& key) {
     it->second.last_modified = ++revision_;
     dirty_cells_.push_back({key, &it->second});
     it->second.queued = true;
+    // The index half of creation: the new cell gets the next dense id and
+    // is folded into every active cuboid map — membership is fixed at
+    // birth (keys never change, cells are never erased), so this is the
+    // only write the member index ever needs.
+    const auto id = static_cast<MemberIndex::MemberId>(cells_by_id_.size());
+    cells_by_id_.push_back({key, &it->second});
+    member_index_.AddCell(key, id);
+    AccountMemberIndex();
   }
   return it->second;
+}
+
+void StreamCubeEngine::EnsureIndexed(CuboidId cuboid) {
+  if (member_index_.active(cuboid)) return;
+  member_index_.Activate(cuboid);
+  for (size_t id = 0; id < cells_by_id_.size(); ++id) {
+    member_index_.AddCellTo(cuboid, cells_by_id_[id].first,
+                            static_cast<MemberIndex::MemberId>(id));
+  }
+  AccountMemberIndex();
+}
+
+void StreamCubeEngine::AccountMemberIndex() {
+  // Register only the delta: this runs on every cell creation, so a
+  // release-all/re-add cycle would double the tracker traffic for a
+  // 16-byte growth.
+  const std::int64_t bytes = MemberIndexBytes();
+  const std::int64_t delta = bytes - member_index_tracked_;
+  if (tracker_ != nullptr && delta != 0) {
+    if (delta > 0) {
+      tracker_->Add(kMemberIndexCategory, delta);
+    } else {
+      tracker_->Release(kMemberIndexCategory, -delta);
+    }
+  }
+  member_index_tracked_ = bytes;
+}
+
+std::vector<std::pair<const CellKey*, StreamCubeEngine::CellState*>>
+StreamCubeEngine::MembersInCanonicalOrder(CuboidId cuboid,
+                                          const CellKey& key) {
+  EnsureIndexed(cuboid);
+  std::vector<std::pair<const CellKey*, CellState*>> members;
+  const auto* ids = member_index_.MembersOf(cuboid, key);
+  if (ids == nullptr) return members;
+  members.reserve(ids->size());
+  for (const MemberIndex::MemberId id : *ids) {
+    auto& [m_key, state] = cells_by_id_[id];
+    members.push_back({&m_key, state});
+  }
+  std::sort(members.begin(), members.end(),
+            [](const auto& a, const auto& b) {
+              return CanonicalKeyLess(*a.first, *b.first);
+            });
+  return members;
 }
 
 Status StreamCubeEngine::Ingest(const StreamTuple& tuple) {
@@ -84,17 +140,21 @@ Status StreamCubeEngine::SealThrough(TimeTick t) {
 
 void StreamCubeEngine::AlignFrames() {
   for (auto& [key, state] : cells_) {
-    const TimeTick from = state.frame.next_tick();
-    if (from >= now_) continue;
-    Status s = state.frame.AdvanceTo(now_);
-    RC_CHECK(s.ok()) << s.ToString();
-    // Only an advance that sealed a slot changes what any read can see;
-    // moving next_tick within an open unit leaves every slot untouched, so
-    // the cell's frozen block (and any revision-memoized snapshot) stays
-    // valid.
-    if (options_.tilt_policy->AnyUnitEndIn(from, now_)) {
-      MarkDirty(key, state);
-    }
+    AlignCellToClock(key, state);
+  }
+}
+
+void StreamCubeEngine::AlignCellToClock(const CellKey& key, CellState& state) {
+  const TimeTick from = state.frame.next_tick();
+  if (from >= now_) return;
+  Status s = state.frame.AdvanceTo(now_);
+  RC_CHECK(s.ok()) << s.ToString();
+  // Only an advance that sealed a slot changes what any read can see;
+  // moving next_tick within an open unit leaves every slot untouched, so
+  // the cell's frozen block (and any revision-memoized snapshot) stays
+  // valid.
+  if (options_.tilt_policy->AnyUnitEndIn(from, now_)) {
+    MarkDirty(key, state);
   }
 }
 
@@ -197,39 +257,39 @@ StreamCubeEngine::DetectTrendChanges(int level, double threshold) {
 
 Result<Isb> StreamCubeEngine::QueryCell(CuboidId cuboid, const CellKey& key,
                                         int level, int k) {
-  if (cells_.empty()) {
-    return Status::FailedPrecondition("no stream data ingested yet");
+  RC_RETURN_IF_ERROR(ValidatePointQueryTarget(
+      lattice_, cuboid, level, options_.tilt_policy->num_levels()));
+  if (cells_.empty()) return SnapshotNoDataError();
+  // Index probe instead of a cell scan: only the matching members are
+  // touched (aligned, regressed, folded), in canonical key order — the
+  // same operand order the sharded/snapshot kernels use.
+  auto members = MembersInCanonicalOrder(cuboid, key);
+  if (members.empty()) {
+    return SnapshotNoMembersError(lattice_, cuboid, key);
   }
-  AlignFrames();
   Isb acc;
-  bool found = false;
-  for (auto& [m_key, state] : cells_) {
-    if (!(lattice_.ProjectMLayerKey(m_key, cuboid) == key)) continue;
-    auto isb = state.frame.RegressLastSlots(level, k);
+  for (auto& [m_key, state] : members) {
+    AlignCellToClock(*m_key, *state);
+    auto isb = state->frame.RegressLastSlots(level, k);
     if (!isb.ok()) return isb.status();
     AccumulateStandardDim(acc, *isb);
-    found = true;
-  }
-  if (!found) {
-    return Status::NotFound(
-        StrPrintf("no m-layer cell rolls up into %s of cuboid %s",
-                  key.ToString().c_str(),
-                  lattice_.CuboidName(cuboid).c_str()));
   }
   return acc;
 }
 
 Result<std::vector<Isb>> StreamCubeEngine::QueryCellSeries(
     CuboidId cuboid, const CellKey& key, int level) {
-  if (cells_.empty()) {
-    return Status::FailedPrecondition("no stream data ingested yet");
+  RC_RETURN_IF_ERROR(ValidatePointQueryTarget(
+      lattice_, cuboid, level, options_.tilt_policy->num_levels()));
+  if (cells_.empty()) return SnapshotNoDataError();
+  auto members = MembersInCanonicalOrder(cuboid, key);
+  if (members.empty()) {
+    return SnapshotNoMembersError(lattice_, cuboid, key);
   }
-  AlignFrames();
   std::vector<MomentSums> acc;
-  bool found = false;
-  for (auto& [m_key, state] : cells_) {
-    if (!(lattice_.ProjectMLayerKey(m_key, cuboid) == key)) continue;
-    const auto& slots = state.frame.RawSlots(level);
+  for (auto& [m_key, state] : members) {
+    AlignCellToClock(*m_key, *state);
+    const auto& slots = state->frame.RawSlots(level);
     if (acc.size() < slots.size()) acc.resize(slots.size());
     for (size_t i = 0; i < slots.size(); ++i) {
       if (acc[i].interval.empty()) {
@@ -240,13 +300,6 @@ Result<std::vector<Isb>> StreamCubeEngine::QueryCellSeries(
         acc[i].sum_tz += slots[i].sum_tz;
       }
     }
-    found = true;
-  }
-  if (!found) {
-    return Status::NotFound(
-        StrPrintf("no m-layer cell rolls up into %s of cuboid %s",
-                  key.ToString().c_str(),
-                  lattice_.CuboidName(cuboid).c_str()));
   }
   std::vector<Isb> series;
   series.reserve(acc.size());
@@ -257,11 +310,17 @@ Result<std::vector<Isb>> StreamCubeEngine::QueryCellSeries(
 void StreamCubeEngine::set_memory_tracker(MemoryTracker* tracker) {
   // Hand the registered bytes from the old tracker to the new one, so
   // detach / re-attach keeps every tracker balanced.
-  if (tracker_ != nullptr && frozen_bytes_ > 0) {
-    tracker_->Release(kFrozenCategory, frozen_bytes_);
+  if (tracker_ != nullptr) {
+    if (frozen_bytes_ > 0) tracker_->Release(kFrozenCategory, frozen_bytes_);
+    if (member_index_tracked_ > 0) {
+      tracker_->Release(kMemberIndexCategory, member_index_tracked_);
+    }
   }
-  if (tracker != nullptr && frozen_bytes_ > 0) {
-    tracker->Add(kFrozenCategory, frozen_bytes_);
+  if (tracker != nullptr) {
+    if (frozen_bytes_ > 0) tracker->Add(kFrozenCategory, frozen_bytes_);
+    if (member_index_tracked_ > 0) {
+      tracker->Add(kMemberIndexCategory, member_index_tracked_);
+    }
   }
   tracker_ = tracker;
 }
@@ -346,11 +405,35 @@ void StreamCubeEngine::ExportCellsFull(std::vector<CellSnapshot>* out,
 
 void StreamCubeEngine::ExportMatchingCells(CuboidId cuboid, const CellKey& key,
                                            std::vector<CellSnapshot>* out,
-                                           GatherStats* stats) {
-  for (auto& [m_key, state] : cells_) {
-    if (!(lattice_.ProjectMLayerKey(m_key, cuboid) == key)) continue;
-    out->push_back({m_key, FrozenFor(state, stats)});
+                                           GatherStats* stats,
+                                           PointLookup lookup) {
+  if (lookup == PointLookup::kScan) {
+    // The retained O(cells) oracle: project every key, export matches.
+    for (auto& [m_key, state] : cells_) {
+      if (!(lattice_.ProjectMLayerKey(m_key, cuboid) == key)) continue;
+      out->push_back({m_key, FrozenFor(state, stats)});
+      if (stats != nullptr) ++stats->cells;
+    }
+    return;
+  }
+  EnsureIndexed(cuboid);
+  const auto* ids = member_index_.MembersOf(cuboid, key);
+  if (ids == nullptr) return;
+  for (const MemberIndex::MemberId id : *ids) {
+    auto& [m_key, state] = cells_by_id_[id];
+    out->push_back({m_key, FrozenFor(*state, stats)});
     if (stats != nullptr) ++stats->cells;
+  }
+}
+
+void StreamCubeEngine::AppendMemberKeys(CuboidId cuboid, const CellKey& key,
+                                        std::vector<CellKey>* out) {
+  EnsureIndexed(cuboid);
+  const auto* ids = member_index_.MembersOf(cuboid, key);
+  if (ids == nullptr) return;
+  out->reserve(out->size() + ids->size());
+  for (const MemberIndex::MemberId id : *ids) {
+    out->push_back(cells_by_id_[id].first);
   }
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "regcube/common/status.h"
+#include "regcube/core/member_index.h"
 #include "regcube/core/mo_cubing.h"
 #include "regcube/core/popular_path.h"
 #include "regcube/core/regression_cube.h"
@@ -214,13 +215,34 @@ class StreamCubeEngine {
                        GatherStats* stats) const;
 
   /// Frozen views of only the m-layer cells that roll up into `key` of
-  /// `cuboid` — the member-only gather behind point queries. Keys are
-  /// projected under the caller's lock; only matches are exported (sharing
-  /// frozen blocks exactly like ExportFrozenCells), so the copy cost is
-  /// O(matching members), not O(all cells).
+  /// `cuboid` — the member-only gather behind point queries. With
+  /// PointLookup::kIndexed (the default) the ingest-maintained per-cuboid
+  /// roll-up index is hash-probed — O(matching members), no cell scan
+  /// (the cuboid's map is built once, on its first point query). kScan
+  /// retains the pre-index path — every key projected under the caller's
+  /// lock — as the oracle for bit-identity tests and benches. Both export
+  /// the same member set (sharing frozen blocks exactly like
+  /// ExportFrozenCells); only the lookup cost differs. Pre: `cuboid` is a
+  /// valid lattice id (callers validate; see SnapshotBadCuboidError).
   void ExportMatchingCells(CuboidId cuboid, const CellKey& key,
-                           std::vector<CellSnapshot>* out,
-                           GatherStats* stats);
+                           std::vector<CellSnapshot>* out, GatherStats* stats,
+                           PointLookup lookup = PointLookup::kIndexed);
+
+  /// Appends the m-layer keys that roll up into `key` of `cuboid` (index
+  /// probe, activating the cuboid's map on first use) — the member feed
+  /// for the cube memo's seeded per-cuboid node indexes. Order is cell
+  /// creation order; callers canonicalize.
+  void AppendMemberKeys(CuboidId cuboid, const CellKey& key,
+                        std::vector<CellKey>* out);
+
+  /// Bytes retained by the member-index machinery: the per-cuboid roll-up
+  /// maps plus the creation-order cell-id list they resolve through (also
+  /// accounted to the memory tracker under "index.members").
+  std::int64_t MemberIndexBytes() const {
+    return member_index_.MemoryBytes() +
+           static_cast<std::int64_t>(cells_by_id_.size()) *
+               static_cast<std::int64_t>(sizeof(cells_by_id_[0]));
+  }
 
   /// Monotonic counter of observable state changes: cell creation, absorbed
   /// observations, and frame advances that sealed at least one slot.
@@ -258,7 +280,27 @@ class StreamCubeEngine {
   /// Bumps the revision (and dirties cells) only when a frame seals a slot.
   void AlignFrames();
 
+  /// Advances one frame to the engine clock (the per-cell unit AlignFrames
+  /// loops over). Point queries align only the queried members this way,
+  /// so a probe never pays an O(cells) alignment pass.
+  void AlignCellToClock(const CellKey& key, CellState& state);
+
   CellState& CellFor(const CellKey& key);
+
+  /// Builds `cuboid`'s roll-up map from the current cell population if it
+  /// is not active yet — O(cells) once per cuboid, amortized across every
+  /// later probe — and keeps the tracker's "index.members" figure current.
+  void EnsureIndexed(CuboidId cuboid);
+
+  /// Re-registers the member index's bytes with the tracker after a
+  /// mutation (activation or per-ingest append).
+  void AccountMemberIndex();
+
+  /// Member cells of `key` in `cuboid` in canonical key order, resolved
+  /// through the index — the shared lookup behind the single-engine point
+  /// queries. Empty when nothing matches.
+  std::vector<std::pair<const CellKey*, CellState*>> MembersInCanonicalOrder(
+      CuboidId cuboid, const CellKey& key);
 
   /// Records an observable change to a cell: bumps the revision, stamps the
   /// cell, and — if the cell was clean — queues it on the dirty list the
@@ -293,6 +335,16 @@ class StreamCubeEngine {
   // erased, so the raw pointer is safe for the engine's lifetime.
   std::uint64_t export_revision_ = 0;
   std::vector<std::pair<CellKey, CellState*>> dirty_cells_;
+
+  // The ingest-maintained per-cuboid roll-up index (see MemberIndex):
+  // cells_by_id_ lists every cell in creation order (ids are positions;
+  // cells are never erased, so both the ids and the CellState pointers are
+  // stable), and member_index_ maps projected keys to member ids for each
+  // lazily activated cuboid. member_index_tracked_ mirrors the bytes
+  // registered with the tracker under "index.members".
+  std::vector<std::pair<CellKey, CellState*>> cells_by_id_;
+  MemberIndex member_index_;
+  std::int64_t member_index_tracked_ = 0;
 };
 
 class ThreadPool;

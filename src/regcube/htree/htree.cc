@@ -202,6 +202,18 @@ Isb HTree::SubtreeMeasure(const HTreeNode* node) const {
   return SubtreeMeasureSlow(node);
 }
 
+const HTreeNode* HTree::FindLeaf(const CubeSchema& schema,
+                                 const CellKey& key) const {
+  const HTreeNode* cur = root_;
+  for (const Attribute& attr : attrs_) {
+    const ValueId v = schema.RollUp(attr.dim, key[attr.dim], attr.level);
+    auto it = cur->children.find(v);
+    if (it == cur->children.end()) return nullptr;
+    cur = it->second;
+  }
+  return cur;
+}
+
 Result<const HTreeNode*> HTree::UpdateLeafMeasure(const CubeSchema& schema,
                                                   const CellKey& key,
                                                   const Isb& measure) {
@@ -210,19 +222,17 @@ Result<const HTreeNode*> HTree::UpdateLeafMeasure(const CubeSchema& schema,
         "measure interval %s differs from the tree's common interval %s",
         measure.interval.ToString().c_str(), interval_.ToString().c_str()));
   }
-  HTreeNode* cur = root_;
-  for (const Attribute& attr : attrs_) {
-    const ValueId v = schema.RollUp(attr.dim, key[attr.dim], attr.level);
-    auto it = cur->children.find(v);
-    if (it == cur->children.end()) {
-      return Status::NotFound(StrPrintf(
-          "no leaf for m-layer cell %s", key.ToString().c_str()));
-    }
-    cur = it->second;
+  const HTreeNode* found = FindLeaf(schema, key);
+  if (found == nullptr) {
+    return Status::NotFound(StrPrintf(
+        "no leaf for m-layer cell %s", key.ToString().c_str()));
   }
-  RC_CHECK(cur->is_leaf());
-  cur->measure = measure;
-  return static_cast<const HTreeNode*>(cur);
+  RC_CHECK(found->is_leaf());
+  // Nodes are owned by this tree's pool; the const walk does not change
+  // that the leaf is mutable through the non-const `this`.
+  auto* leaf = const_cast<HTreeNode*>(found);
+  leaf->measure = measure;
+  return found;
 }
 
 void HTree::RefreshAncestorMeasures(

@@ -97,6 +97,13 @@ class HTree {
   /// O(1) when the node stores a measure, otherwise a subtree walk.
   Isb SubtreeMeasure(const HTreeNode* node) const;
 
+  /// The leaf holding m-layer cell `key`, or nullptr if no tuple with that
+  /// key was built into the tree — the key-addressed entry point the
+  /// incremental patch machinery uses (UpdateLeafMeasure routes through it,
+  /// and the seeded member indexes resolve member keys to leaves with it).
+  const HTreeNode* FindLeaf(const CubeSchema& schema,
+                            const CellKey& key) const;
+
   /// Replaces the measure of the leaf holding m-layer cell `key` — the
   /// patch half of incremental cube maintenance: the tree's structure,
   /// chains and header tables are untouched (every node pointer and every

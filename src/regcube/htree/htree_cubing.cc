@@ -138,6 +138,51 @@ CuboidMemberIndex BuildCuboidMemberIndex(const HTree& tree,
   return index;
 }
 
+std::int64_t CuboidChainLength(const HTree& tree,
+                               const CuboidLattice& lattice,
+                               CuboidId cuboid) {
+  const CuboidAttrs ca = ResolveAttrs(tree, lattice, cuboid);
+  if (ca.attrs.empty()) return 1;  // apex: just the root
+  const int deep_pos = ca.positions[static_cast<size_t>(ca.deepest)];
+  return tree.header(deep_pos).total_nodes();
+}
+
+std::optional<std::vector<const HTreeNode*>> SeedCellNodesFromMembers(
+    const HTree& tree, const CuboidLattice& lattice, CuboidId cuboid,
+    const std::vector<CellKey>& members) {
+  if (members.empty()) return std::nullopt;
+  const CuboidAttrs ca = ResolveAttrs(tree, lattice, cuboid);
+  if (ca.attrs.empty()) {
+    // Apex: the single all-star cell aggregates the root's subtree.
+    return std::vector<const HTreeNode*>{tree.root()};
+  }
+  const int deep_pos = ca.positions[static_cast<size_t>(ca.deepest)];
+  // Distinct ancestors at the deepest attribute's depth, in first-
+  // occurrence (== node creation) order. Lists are short; linear dedupe
+  // beats hashing for the typical member counts.
+  std::vector<const HTreeNode*> creation_order;
+  for (const CellKey& m_key : members) {
+    const HTreeNode* node = tree.FindLeaf(lattice.schema(), m_key);
+    if (node == nullptr) return std::nullopt;
+    while (node != nullptr && node->attr_index != deep_pos) {
+      node = node->parent;
+    }
+    RC_CHECK(node != nullptr)
+        << "deepest cuboid attribute missing from a leaf path";
+    bool seen = false;
+    for (const HTreeNode* n : creation_order) {
+      if (n == node) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) creation_order.push_back(node);
+  }
+  // Chains link at the head, so chain order is reverse creation order.
+  std::reverse(creation_order.begin(), creation_order.end());
+  return creation_order;
+}
+
 PatchedCells RecomputeCellsFromIndex(const HTree& tree,
                                      const CuboidMemberIndex& index,
                                      const std::vector<CellKey>& touched) {

@@ -1,6 +1,7 @@
 #ifndef REGCUBE_HTREE_HTREE_CUBING_H_
 #define REGCUBE_HTREE_HTREE_CUBING_H_
 
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +70,36 @@ struct CuboidMemberIndex {
 CuboidMemberIndex BuildCuboidMemberIndex(const HTree& tree,
                                          const CuboidLattice& lattice,
                                          CuboidId cuboid);
+
+/// Chain nodes one full BuildCuboidMemberIndex / ComputeCuboidCells pass
+/// over `cuboid` visits: the node count at its deepest attribute's depth
+/// (1 for the apex). The cost yardstick adaptive seeding compares member
+/// volume against.
+std::int64_t CuboidChainLength(const HTree& tree, const CuboidLattice& lattice,
+                               CuboidId cuboid);
+
+/// Seeds one cell's member-index node list from its member m-layer keys
+/// (the ingest-maintained MemberIndex feed) instead of scanning the whole
+/// chain: each member's leaf is looked up, its ancestor at the cuboid's
+/// deepest attribute taken, and the distinct ancestors ordered to
+/// reproduce the chain order exactly — so the result is the same list
+/// BuildCuboidMemberIndex would store for this cell, in the same order,
+/// at O(members) cost instead of O(chain nodes).
+///
+/// Why the order comes out right: header chains link at the head, so a
+/// cell's chain order is the reverse of its nodes' creation order, and a
+/// node is created by the first tuple inserted under it. `members` must
+/// be in canonical key order — the order the tree was built from (the
+/// memoized window is canonical) — so first-occurrence-of-ancestor over
+/// the member walk IS creation order, and reversing it is chain order.
+///
+/// Returns nullopt when any member has no leaf in the tree (the caller's
+/// member set is newer than the tree — e.g. a cell ingested after the
+/// memoized gather; fall back to the chain scan) or when `members` is
+/// empty. O(members · depth) plus the dedupe.
+std::optional<std::vector<const HTreeNode*>> SeedCellNodesFromMembers(
+    const HTree& tree, const CuboidLattice& lattice, CuboidId cuboid,
+    const std::vector<CellKey>& members);
 
 /// One recomputed cell of a patch: key + its new aggregate. Kept as a flat
 /// vector (touched keys are already unique) so the hot patch path never

@@ -175,6 +175,39 @@ TEST(ApiFacadeTest, CellMatchesLegacyQueryCell) {
             StatusCode::kNotFound);
 }
 
+TEST(ApiFacadeTest, CellRejectsOutOfRangeCuboidWithTypedError) {
+  // The error contract, not an RC_CHECK abort: a cuboid id outside the
+  // lattice surfaces InvalidArgument through every point-query door — the
+  // facade, the sharded engine behind it, and the legacy single engine.
+  Paired pair = MakePaired(FacadeSpec());
+  const CuboidId past_end = pair.legacy.lattice().num_cuboids();
+  const CellKey key(2);
+
+  for (CuboidId bad : {past_end, CuboidId{-1}}) {
+    EXPECT_EQ(pair.facade.Query(QuerySpec::Cell(bad, key, 0, 8))
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "cuboid " << bad;
+    EXPECT_EQ(pair.facade.Query(QuerySpec::CellSeries(bad, key, 0))
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "cuboid " << bad;
+    EXPECT_EQ(pair.legacy.QueryCell(bad, key, 0, 8).status().code(),
+              StatusCode::kInvalidArgument)
+        << "cuboid " << bad;
+    EXPECT_EQ(pair.legacy.QueryCellSeries(bad, key, 0).status().code(),
+              StatusCode::kInvalidArgument)
+        << "cuboid " << bad;
+  }
+
+  // A held snapshot keeps the same contract.
+  auto snap = pair.facade.TakeSnapshot();
+  EXPECT_EQ(snap->Query(QuerySpec::Cell(past_end, key, 0, 8)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(ApiFacadeTest, CellSeriesMatchesLegacy) {
   Paired pair = MakePaired(FacadeSpec());
   const CuboidLattice& lattice = pair.legacy.lattice();

@@ -7,80 +7,33 @@
 // scan and keep the legacy error contract; concurrent churn + TakeSnapshot
 // must be race-free (this test runs in the TSan CI job); and the frozen /
 // gather-cache bytes must show up in the facade's memory tracker.
+//
+// The randomized churn and the oracle comparators come from the shared
+// equivalence harness (tests/equivalence_harness.h).
 
-#include <algorithm>
 #include <atomic>
 #include <memory>
-#include <unordered_set>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "regcube/api/regcube.h"
+#include "equivalence_harness.h"
 #include "test_util.h"
 
 namespace regcube {
 namespace {
 
-std::shared_ptr<const TiltPolicy> SmallPolicy() {
-  // quarter = 4 ticks, hour = 16 ticks.
-  return MakeUniformTiltPolicy({{"quarter", 8}, {"hour", 8}}, {4, 16});
-}
+using equivalence::ChurnEngineOptions;
+using equivalence::ChurnWorkload;
+using equivalence::ExpectCellMapsIdentical;
+using equivalence::ExpectGathersIdentical;
+using equivalence::Key2;
+using equivalence::SmallTiltPolicy;
+using equivalence::UnusedMLayerKey;
 
 WorkloadSpec ChurnSpec(std::int64_t tuples = 120, std::int64_t ticks = 16) {
-  WorkloadSpec spec;
-  spec.num_dims = 2;
-  spec.num_levels = 2;
-  spec.fanout = 4;
-  spec.num_tuples = tuples;
-  spec.series_length = ticks;
-  spec.seed = 23;
-  return spec;
-}
-
-StreamCubeEngine::Options ChurnOptions() {
-  StreamCubeEngine::Options options;
-  options.tilt_policy = SmallPolicy();
-  options.policy = ExceptionPolicy(0.02);
-  return options;
-}
-
-void ExpectMomentsIdentical(const MomentSums& a, const MomentSums& b) {
-  EXPECT_EQ(a.interval, b.interval);
-  EXPECT_EQ(a.sum_z, b.sum_z);
-  EXPECT_EQ(a.sum_tz, b.sum_tz);
-}
-
-/// Bitwise equality of two gathered runs: same cells in the same canonical
-/// order, every sealed slot of every level identical.
-void ExpectGathersIdentical(const ShardedStreamEngine::GatheredCells& delta,
-                            const ShardedStreamEngine::GatheredCells& full,
-                            int num_levels) {
-  ASSERT_EQ(delta.cells->size(), full.cells->size());
-  EXPECT_EQ(delta.clock, full.clock);
-  for (size_t i = 0; i < delta.cells->size(); ++i) {
-    const CellSnapshot& d = (*delta.cells)[i];
-    const CellSnapshot& f = (*full.cells)[i];
-    ASSERT_EQ(d.key, f.key) << "row " << i;
-    for (int level = 0; level < num_levels; ++level) {
-      const auto& d_slots = d.frame->RawSlots(level);
-      const auto& f_slots = f.frame->RawSlots(level);
-      ASSERT_EQ(d_slots.size(), f_slots.size())
-          << "cell " << d.key.ToString() << " level " << level;
-      for (size_t s = 0; s < d_slots.size(); ++s) {
-        ExpectMomentsIdentical(d_slots[s], f_slots[s]);
-      }
-    }
-  }
-}
-
-void ExpectCellMapsIdentical(const CellMap& expected, const CellMap& actual) {
-  ASSERT_EQ(expected.size(), actual.size());
-  for (const auto& [key, isb] : expected) {
-    auto it = actual.find(key);
-    ASSERT_NE(it, actual.end()) << "missing cell " << key.ToString();
-    EXPECT_EQ(isb, it->second) << "cell " << key.ToString();
-  }
+  return ChurnWorkload(tuples, ticks, /*seed=*/23);
 }
 
 // ------------------------------------------------------------ equivalence
@@ -90,44 +43,35 @@ TEST(DeltaGatherTest, MatchesFullGatherUnderRandomizedChurn) {
   auto schema = MakeWorkloadSchemaPtr(spec);
   ASSERT_TRUE(schema.ok());
   StreamGenerator gen(spec);
-  const auto& cells = gen.cells();
   const std::vector<StreamTuple> stream = gen.GenerateStream();
-  const int num_levels = ChurnOptions().tilt_policy->num_levels();
+  const int num_levels = ChurnEngineOptions().tilt_policy->num_levels();
+
+  // Churn rounds with advancing ticks: some cross quarter/hour unit
+  // boundaries (forcing re-alignment of carried blocks), some stay inside
+  // the open unit (exercising boundary-free block sharing); a snapshot is
+  // taken and checked every round, and periodic seals and a brand-new
+  // mid-churn cell stress the patch/insert paths.
+  equivalence::ChurnPlan plan;
+  plan.rounds = 10;
+  plan.seed = 23;
+  plan.base_tick = spec.series_length;
+  plan.advance_ticks = true;
+  plan.seal_every = 3;
+  plan.fresh_round = 4;
+  plan.fresh_key = Key2(15, 15);
 
   for (int shards : {1, 2, 8}) {
     auto pool = std::make_shared<ThreadPool>(3);
-    ShardedStreamEngine engine(*schema, ChurnOptions(), shards, pool);
+    ShardedStreamEngine engine(*schema, ChurnEngineOptions(), shards, pool);
     ASSERT_TRUE(engine.IngestBatch(stream).ok());
     ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
 
-    // Churn rounds with advancing ticks: some cross quarter/hour unit
-    // boundaries (forcing re-alignment of carried blocks), some stay
-    // inside the open unit (exercising boundary-free block sharing); a
-    // snapshot is taken and checked every round, and periodic seals and
-    // brand-new cells stress the patch/insert paths.
-    for (int round = 0; round < 10; ++round) {
-      const TimeTick tick = spec.series_length + round;
-      // A different ~1/3 of cells each round.
-      for (size_t c = static_cast<size_t>(round) % 3; c < cells.size();
-           c += 3) {
-        ASSERT_TRUE(engine.Ingest({cells[c].key, tick, 1.0 + round}).ok());
-      }
-      if (round == 4) {
-        // A brand-new cell mid-churn lands on the insert path.
-        CellKey fresh(2);
-        fresh.set(0, 15);
-        fresh.set(1, 15);
-        ASSERT_TRUE(engine.Ingest({fresh, tick, 7.0}).ok());
-      }
-      if (round % 3 == 2) {
-        ASSERT_TRUE(engine.SealThrough(tick).ok());
-      }
-
+    equivalence::RunChurnRounds(engine, gen.cells(), plan, [&](int) {
       auto delta = engine.GatherAlignedCells();
-      auto full = engine.GatherAlignedCells(
-          ShardedStreamEngine::GatherMode::kFull);
+      auto full =
+          engine.GatherAlignedCells(ShardedStreamEngine::GatherMode::kFull);
       ExpectGathersIdentical(delta, full, num_levels);
-    }
+    });
 
     // End-state: the delta-gathered window also matches the retained
     // all-locks oracle bit for bit (m-layer and o-layer).
@@ -152,7 +96,7 @@ TEST(DeltaGatherTest, DeltaGatherCopiesOnlyDirtyCells) {
   auto schema = MakeWorkloadSchemaPtr(spec);
   ASSERT_TRUE(schema.ok());
   StreamGenerator gen(spec);
-  ShardedStreamEngine engine(*schema, ChurnOptions(), 4);
+  ShardedStreamEngine engine(*schema, ChurnEngineOptions(), 4);
   ASSERT_TRUE(engine.IngestBatch(gen.GenerateStream()).ok());
   ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
 
@@ -182,7 +126,7 @@ TEST(DeltaGatherTest, NoOpSealKeepsRevisionAndMemoizedSnapshot) {
   ASSERT_TRUE(schema.ok());
   auto built = EngineBuilder()
                    .SetSchema(*schema)
-                   .SetTiltPolicy(SmallPolicy())
+                   .SetTiltPolicy(SmallTiltPolicy())
                    .SetShardCount(4)
                    .Build();
   ASSERT_TRUE(built.ok());
@@ -232,7 +176,7 @@ TEST(DeltaGatherTest, MemberOnlyPointQueriesMatchSnapshotScan) {
   ASSERT_TRUE(schema.ok());
   StreamGenerator gen(spec);
   for (int shards : {1, 2, 8}) {
-    ShardedStreamEngine engine(*schema, ChurnOptions(), shards);
+    ShardedStreamEngine engine(*schema, ChurnEngineOptions(), shards);
     ASSERT_TRUE(engine.IngestBatch(gen.GenerateStream()).ok());
     ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
 
@@ -265,7 +209,7 @@ TEST(DeltaGatherTest, FacadePointQueriesSkipFullSnapshots) {
   ASSERT_TRUE(schema.ok());
   auto built = EngineBuilder()
                    .SetSchema(*schema)
-                   .SetTiltPolicy(SmallPolicy())
+                   .SetTiltPolicy(SmallTiltPolicy())
                    .SetShardCount(4)
                    .Build();
   ASSERT_TRUE(built.ok());
@@ -297,7 +241,7 @@ TEST(DeltaGatherTest, MemberOnlyPointQueriesKeepErrorContract) {
   WorkloadSpec spec = ChurnSpec();
   auto schema = MakeWorkloadSchemaPtr(spec);
   ASSERT_TRUE(schema.ok());
-  ShardedStreamEngine empty(*schema, ChurnOptions(), 4);
+  ShardedStreamEngine empty(*schema, ChurnEngineOptions(), 4);
 
   // Cuboid validation precedes the no-data check (legacy order).
   EXPECT_EQ(empty.QueryCell(-1, CellKey(2), 0, 1).status().code(),
@@ -307,29 +251,13 @@ TEST(DeltaGatherTest, MemberOnlyPointQueriesKeepErrorContract) {
   EXPECT_EQ(empty.QueryCellSeries(-1, CellKey(2), 0).status().code(),
             StatusCode::kInvalidArgument);
 
-  ShardedStreamEngine engine(*schema, ChurnOptions(), 4);
+  ShardedStreamEngine engine(*schema, ChurnEngineOptions(), 4);
   StreamGenerator gen(spec);
   ASSERT_TRUE(engine.IngestBatch(gen.GenerateStream()).ok());
   ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
   // An m-layer key no stream cell uses (valid ids, absent combination):
   // NotFound, as before.
-  std::unordered_set<CellKey, CellKeyHash> used;
-  ValueId max0 = 0, max1 = 0;
-  for (const auto& cell : gen.cells()) {
-    used.insert(cell.key);
-    max0 = std::max(max0, cell.key[0]);
-    max1 = std::max(max1, cell.key[1]);
-  }
-  CellKey missing(2);
-  bool found_missing = false;
-  for (ValueId a = 0; a <= max0 && !found_missing; ++a) {
-    for (ValueId b = 0; b <= max1 && !found_missing; ++b) {
-      missing.set(0, a);
-      missing.set(1, b);
-      found_missing = used.find(missing) == used.end();
-    }
-  }
-  ASSERT_TRUE(found_missing);
+  const CellKey missing = UnusedMLayerKey(gen);
   EXPECT_EQ(engine.QueryCell(engine.lattice().m_layer_id(), missing, 0, 4)
                 .status()
                 .code(),
@@ -344,7 +272,7 @@ TEST(DeltaGatherTest, ConcurrentChurnAndSnapshotLoop) {
   ASSERT_TRUE(schema.ok());
   auto built = EngineBuilder()
                    .SetSchema(*schema)
-                   .SetTiltPolicy(SmallPolicy())
+                   .SetTiltPolicy(SmallTiltPolicy())
                    .SetShardCount(8)
                    .SetReadThreads(3)
                    .Build();
@@ -411,7 +339,7 @@ TEST(DeltaGatherTest, FrozenAndGatherBytesAreTracked) {
   ASSERT_TRUE(schema.ok());
   auto built = EngineBuilder()
                    .SetSchema(*schema)
-                   .SetTiltPolicy(SmallPolicy())
+                   .SetTiltPolicy(SmallTiltPolicy())
                    .SetShardCount(4)
                    .Build();
   ASSERT_TRUE(built.ok());

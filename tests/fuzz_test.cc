@@ -1,12 +1,17 @@
 // Randomized differential tests: each case derives its entire input from a
-// seed (PCG32), so failures reproduce exactly. Three targets:
+// seed (PCG32), so failures reproduce exactly. Four targets:
 //   1. decoder robustness — every truncation point and random byte flips of
 //      valid encodings must return Status, never crash or hang;
 //   2. engine-vs-batch — streams with random gaps, duplicate ticks and
 //      late-starting cells must produce the same cube as batch computation;
 //   3. cross-algorithm — random workloads, thresholds and paths keep the
-//      two algorithms' outputs in their proven relationship.
+//      two algorithms' outputs in their proven relationship;
+//   4. facade point queries — randomly projected kCell/kCellSeries specs
+//      (valid members, zero-member keys, out-of-range cuboids/levels,
+//      stale keys re-probed after churn) must match the retained
+//      scan-path oracle bit for bit, errors included.
 
+#include <array>
 #include <cmath>
 
 #include "gtest/gtest.h"
@@ -14,6 +19,7 @@
 #include "regcube/core/popular_path.h"
 #include "regcube/core/stream_engine.h"
 #include "regcube/io/cube_io.h"
+#include "equivalence_harness.h"
 #include "test_util.h"
 
 namespace regcube {
@@ -227,6 +233,172 @@ TEST_P(AlgorithmFuzzTest, RandomWorkloadsKeepInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AlgorithmFuzzTest, ::testing::Range(0, 20));
+
+// --------------------------------------------------- facade point queries
+
+/// The scan-path oracle for Engine::Query(kCell): replays the sharded
+/// QueryCell contract (cuboid, level, no-data, no-members, kernel) but
+/// locates members with the retained O(cells) projection scan instead of
+/// the index.
+Result<Isb> ScanOracleCell(ShardedStreamEngine& engine, int num_levels,
+                           CuboidId cuboid, const CellKey& key, int level,
+                           int k) {
+  RC_RETURN_IF_ERROR(
+      ValidatePointQueryTarget(engine.lattice(), cuboid, level, num_levels));
+  auto gathered =
+      engine.GatherCellsMatching(cuboid, key, PointLookup::kScan);
+  if (gathered.total_cells == 0) return SnapshotNoDataError();
+  if (gathered.cells.empty()) {
+    return SnapshotNoMembersError(engine.lattice(), cuboid, key);
+  }
+  return SnapshotCellOf(gathered.cells, engine.lattice(), cuboid, key, level,
+                        k);
+}
+
+/// Same for kCellSeries (cuboid, then level, then no-data / no-members).
+Result<std::vector<Isb>> ScanOracleSeries(ShardedStreamEngine& engine,
+                                          int num_levels, CuboidId cuboid,
+                                          const CellKey& key, int level) {
+  RC_RETURN_IF_ERROR(
+      ValidatePointQueryTarget(engine.lattice(), cuboid, level, num_levels));
+  auto gathered =
+      engine.GatherCellsMatching(cuboid, key, PointLookup::kScan);
+  if (gathered.total_cells == 0) return SnapshotNoDataError();
+  if (gathered.cells.empty()) {
+    return SnapshotNoMembersError(engine.lattice(), cuboid, key);
+  }
+  return SnapshotCellSeriesOf(gathered.cells, engine.lattice(), num_levels,
+                              cuboid, key, level);
+}
+
+class FacadePointQueryFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FacadePointQueryFuzzTest, IndexedQueriesMatchScanOracle) {
+  Pcg32 rng(static_cast<std::uint64_t>(GetParam()) + 11000);
+  const int fanout = 3 + static_cast<int>(rng.Uniform(2));
+  // Clamp to the m-layer key space ((fanout^2)^2 for 2 dims, 2 levels),
+  // leaving room for the fresh-cell churn below.
+  const auto space = static_cast<std::int64_t>(fanout) * fanout * fanout *
+                     fanout;
+  const std::int64_t tuples = std::min(
+      30 + static_cast<std::int64_t>(rng.Uniform(70)), space - 5);
+  const int shards = std::array<int, 3>{1, 2, 8}[GetParam() % 3];
+  WorkloadSpec spec = equivalence::ChurnWorkload(
+      tuples, /*ticks=*/16, static_cast<std::uint64_t>(GetParam()) + 11500,
+      fanout);
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  ASSERT_TRUE(schema.ok());
+
+  // The facade engine under test and a scan-path oracle engine, fed the
+  // identical stream — engine state is deterministic, so agreeing answers
+  // must agree bit for bit, not merely numerically.
+  auto built = EngineBuilder()
+                   .SetSchema(*schema)
+                   .SetTiltPolicy(equivalence::SmallTiltPolicy())
+                   .SetExceptionPolicy(ExceptionPolicy(0.02))
+                   .SetShardCount(shards)
+                   .Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Engine facade = std::move(built).value();
+  ShardedStreamEngine oracle(*schema, equivalence::ChurnEngineOptions(),
+                             shards);
+  StreamGenerator gen(spec);
+  const std::vector<StreamTuple> stream = gen.GenerateStream();
+  ASSERT_TRUE(facade.IngestBatch(stream).ok());
+  ASSERT_TRUE(oracle.IngestBatch(stream).ok());
+  ASSERT_TRUE(facade.SealThrough(spec.series_length - 1).ok());
+  ASSERT_TRUE(oracle.SealThrough(spec.series_length - 1).ok());
+
+  const CuboidLattice& lattice = oracle.lattice();
+  const int num_cuboids = static_cast<int>(lattice.num_cuboids());
+  const int num_levels =
+      equivalence::ChurnEngineOptions().tilt_policy->num_levels();
+  const int value_space = fanout * fanout;  // per-dim m-layer cardinality
+
+  // Random probes, regenerated per round so keys probed before churn are
+  // re-probed after it (a maintained index must never serve stale frames
+  // or stale member sets).
+  auto probe = [&](int trials) {
+    for (int t = 0; t < trials; ++t) {
+      // Out-of-range cuboids on both ends; projection only for valid ids.
+      const CuboidId cuboid =
+          static_cast<CuboidId>(rng.Uniform(
+              static_cast<std::uint32_t>(num_cuboids + 2))) -
+          1;
+      CellKey key(2);
+      if (cuboid >= 0 && cuboid < num_cuboids && rng.NextDouble() < 0.6) {
+        // A real member's projection.
+        const auto& cell = gen.cells()[static_cast<size_t>(
+            rng.Uniform(static_cast<std::uint32_t>(gen.cells().size())))];
+        key = lattice.ProjectMLayerKey(cell.key, cuboid);
+      } else {
+        // Random values: often zero members, sometimes whole-space misses.
+        key.set(0, rng.Uniform(static_cast<std::uint32_t>(value_space)));
+        key.set(1, rng.Uniform(static_cast<std::uint32_t>(value_space)));
+      }
+      const int level = static_cast<int>(rng.Uniform(
+          static_cast<std::uint32_t>(num_levels + 1)));  // may be invalid
+      const int k = 1 + static_cast<int>(rng.Uniform(3));
+
+      auto facade_cell = facade.Query(QuerySpec::Cell(cuboid, key, level, k));
+      auto oracle_cell =
+          ScanOracleCell(oracle, num_levels, cuboid, key, level, k);
+      ASSERT_EQ(facade_cell.ok(), oracle_cell.ok())
+          << "cuboid " << cuboid << " key " << key.ToString() << " level "
+          << level << ": " << facade_cell.status().ToString() << " vs "
+          << oracle_cell.status().ToString();
+      if (facade_cell.ok()) {
+        EXPECT_EQ(facade_cell->cell(), *oracle_cell) << key.ToString();
+      } else {
+        EXPECT_EQ(facade_cell.status().code(), oracle_cell.status().code());
+      }
+
+      auto facade_series =
+          facade.Query(QuerySpec::CellSeries(cuboid, key, level));
+      auto oracle_series =
+          ScanOracleSeries(oracle, num_levels, cuboid, key, level);
+      ASSERT_EQ(facade_series.ok(), oracle_series.ok())
+          << "cuboid " << cuboid << " key " << key.ToString();
+      if (facade_series.ok()) {
+        EXPECT_EQ(facade_series->series(), *oracle_series);
+      } else {
+        EXPECT_EQ(facade_series.status().code(),
+                  oracle_series.status().code());
+      }
+    }
+  };
+
+  probe(20);
+
+  // Churn both engines identically (late + advancing data, a brand-new
+  // cell, a seal that rolls the epoch), then re-probe: previously indexed
+  // keys are now stale and must refresh through the same dirty
+  // bookkeeping every gather uses.
+  for (int round = 0; round < 3; ++round) {
+    const TimeTick tick = spec.series_length + round;
+    for (int j = 0; j < 20; ++j) {
+      const auto& cell = gen.cells()[static_cast<size_t>(
+          rng.Uniform(static_cast<std::uint32_t>(gen.cells().size())))];
+      const StreamTuple tuple{cell.key, tick, 1.0 + j};
+      ASSERT_TRUE(facade.Ingest(tuple).ok());
+      ASSERT_TRUE(oracle.Ingest(tuple).ok());
+    }
+    if (round == 1) {
+      const StreamTuple fresh{equivalence::FreshKeyOutside(gen, value_space),
+                              tick, 3.0};
+      ASSERT_TRUE(facade.Ingest(fresh).ok());
+      ASSERT_TRUE(oracle.Ingest(fresh).ok());
+    }
+    if (round == 2) {
+      ASSERT_TRUE(facade.SealThrough(tick).ok());
+      ASSERT_TRUE(oracle.SealThrough(tick).ok());
+    }
+    probe(10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FacadePointQueryFuzzTest,
+                         ::testing::Range(0, 9));
 
 }  // namespace
 }  // namespace regcube

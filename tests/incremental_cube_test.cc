@@ -10,6 +10,9 @@
 // "cube.memo"; the error contract must match the from-scratch kernels; and
 // concurrent churn + cube queries must be race-free (this test runs in the
 // TSan CI job).
+//
+// The randomized churn and the oracle comparators come from the shared
+// equivalence harness (tests/equivalence_harness.h).
 
 #include <atomic>
 #include <memory>
@@ -18,40 +21,29 @@
 
 #include "gtest/gtest.h"
 #include "regcube/api/regcube.h"
+#include "equivalence_harness.h"
 #include "test_util.h"
 
 namespace regcube {
 namespace {
 
-std::shared_ptr<const TiltPolicy> SmallPolicy() {
-  // quarter = 4 ticks, hour = 16 ticks.
-  return MakeUniformTiltPolicy({{"quarter", 8}, {"hour", 8}}, {4, 16});
-}
+using equivalence::ChurnEngineOptions;
+using equivalence::ChurnWorkload;
+using equivalence::ExpectCellMapsIdentical;
+using equivalence::ExpectCubesIdentical;
+using equivalence::FreshKeyOutside;
+using equivalence::Key2;
+using equivalence::ScratchCube;
+using equivalence::SmallTiltPolicy;
 
 WorkloadSpec LagSpec(std::int64_t tuples = 150) {
-  WorkloadSpec spec;
-  spec.num_dims = 2;
-  spec.num_levels = 2;
-  spec.fanout = 4;
-  spec.num_tuples = tuples;
-  spec.series_length = 8;  // ticks 0..7: quarter [0,4) sealed, [4,8) open
-  spec.seed = 47;
-  return spec;
+  // ticks 0..7: quarter [0,4) sealed, [4,8) open.
+  return ChurnWorkload(tuples, /*ticks=*/8, /*seed=*/47);
 }
 
-StreamCubeEngine::Options LagOptions() {
-  StreamCubeEngine::Options options;
-  options.tilt_policy = SmallPolicy();
-  options.policy = ExceptionPolicy(0.02);
-  return options;
-}
+StreamCubeEngine::Options LagOptions() { return ChurnEngineOptions(); }
 
-CellKey PacerKey() {
-  CellKey key(2);
-  key.set(0, 15);
-  key.set(1, 15);
-  return key;
-}
+CellKey PacerKey() { return Key2(15, 15); }
 
 /// Seeds every generated cell with its ticks 0..7, then drives the global
 /// clock to 11 through one pacer cell, so [0,4) and [4,8) are sealed from
@@ -62,67 +54,6 @@ void SeedLagging(ShardedStreamEngine& engine, StreamGenerator& gen,
                  TimeTick pacer_tick = 11) {
   ASSERT_TRUE(engine.IngestBatch(gen.GenerateStream()).ok());
   ASSERT_TRUE(engine.Ingest({PacerKey(), pacer_tick, 1.0}).ok());
-}
-
-void ExpectCellMapsIdentical(const CellMap& expected, const CellMap& actual) {
-  ASSERT_EQ(expected.size(), actual.size());
-  for (const auto& [key, isb] : expected) {
-    auto it = actual.find(key);
-    ASSERT_NE(it, actual.end()) << "missing cell " << key.ToString();
-    EXPECT_EQ(isb, it->second) << "cell " << key.ToString();
-  }
-}
-
-/// Bitwise equality of two cubes' retained state: both critical layers and
-/// the exception set (stats are run metadata, not cube content).
-void ExpectCubesIdentical(const RegressionCube& expected,
-                          const RegressionCube& actual) {
-  ExpectCellMapsIdentical(expected.m_layer(), actual.m_layer());
-  ExpectCellMapsIdentical(expected.o_layer(), actual.o_layer());
-  const auto cuboids = expected.exceptions().Cuboids();
-  ASSERT_EQ(cuboids, actual.exceptions().Cuboids());
-  EXPECT_EQ(expected.exceptions().total_cells(),
-            actual.exceptions().total_cells());
-  for (CuboidId c : cuboids) {
-    const CellMap* want = expected.exceptions().CellsOf(c);
-    const CellMap* got = actual.exceptions().CellsOf(c);
-    ASSERT_NE(want, nullptr);
-    ASSERT_NE(got, nullptr);
-    ExpectCellMapsIdentical(*want, *got);
-  }
-}
-
-/// The from-scratch oracle over the engine's current gather — the exact
-/// computation the memo replaces.
-RegressionCube ScratchCube(std::shared_ptr<const CubeSchema> schema,
-                           ShardedStreamEngine& engine,
-                           const StreamCubeEngine::Options& options,
-                           int level, int k) {
-  auto run = engine.GatherAlignedCells();
-  auto cube = SnapshotCubeOf(std::move(schema), *run.cells, options, level, k,
-                             nullptr);
-  EXPECT_TRUE(cube.ok()) << cube.status().ToString();
-  return std::move(cube).value();
-}
-
-/// A key no generated cell occupies (so ingesting it is a genuine
-/// structural change) and that differs from the pacer.
-CellKey FreshKey(StreamGenerator& gen, int fanout_values) {
-  for (int v = fanout_values - 2; v >= 0; --v) {
-    CellKey candidate(2);
-    candidate.set(0, v);
-    candidate.set(1, v);
-    bool taken = false;
-    for (const auto& cell : gen.cells()) {
-      if (cell.key == candidate) {
-        taken = true;
-        break;
-      }
-    }
-    if (!taken) return candidate;
-  }
-  ADD_FAILURE() << "no free key in the space";
-  return CellKey(2);
 }
 
 // ------------------------------------------------------------ equivalence
@@ -137,38 +68,31 @@ TEST(IncrementalCubeTest, MaintainedCubeMatchesScratchUnderRandomizedChurn) {
     auto pool = std::make_shared<ThreadPool>(3);
     ShardedStreamEngine engine(*schema, LagOptions(), shards, pool);
     StreamGenerator gen(spec);
-    const auto& cells = gen.cells();
     SeedLagging(engine, gen);
 
-    const CellKey fresh = FreshKey(gen, 16);
-    // One fixed stream: every shard count sees the identical churn, so
-    // the final cubes are comparable across engines.
-    Pcg32 rng(91, 7);
-    for (int round = 0; round < 12; ++round) {
-      // Randomized churn, mixing every maintenance verdict: late data into
-      // the sealed slot (patch), open-slot data (revalidate), and on some
-      // rounds a brand-new cell or a no-op re-seal (rebuild / pure hit).
-      const int dirty = 1 + static_cast<int>(rng.Uniform(40));
-      for (int j = 0; j < dirty; ++j) {
-        const auto& cell = cells[static_cast<size_t>(
-            rng.Uniform(static_cast<std::uint32_t>(cells.size())))];
-        ASSERT_TRUE(
-            engine.Ingest({cell.key, 7, 0.25 * static_cast<double>(j + 1)})
-                .ok());
-      }
-      if (round % 4 == 1) {
-        ASSERT_TRUE(engine.Ingest({PacerKey(), 11, 0.5}).ok());  // open slot
-      }
-      if (round == 6) {
-        ASSERT_TRUE(engine.Ingest({fresh, 7, 3.0}).ok());  // structural
-      }
+    // One fixed plan (seeded churn): every shard count sees the identical
+    // stream, so the final cubes are comparable across engines. The plan
+    // mixes every maintenance verdict: late data into the sealed slot
+    // (patch), open-slot data (revalidate), and a brand-new cell
+    // (structural rebuild).
+    equivalence::ChurnPlan plan;
+    plan.rounds = 12;
+    plan.seed = 91;
+    plan.max_dirty_per_round = 40;
+    plan.base_tick = 7;
+    plan.open_every = 4;
+    plan.open_key = PacerKey();
+    plan.open_tick = 11;
+    plan.fresh_round = 6;
+    plan.fresh_key = FreshKeyOutside(gen, 16);
 
+    equivalence::RunChurnRounds(engine, gen.cells(), plan, [&](int) {
       auto maintained = engine.ComputeCubeShared(0, 2);
       ASSERT_TRUE(maintained.ok()) << maintained.status().ToString();
       RegressionCube scratch =
           ScratchCube(*schema, engine, LagOptions(), 0, 2);
       ExpectCubesIdentical(scratch, **maintained);
-    }
+    });
 
     const auto stats = engine.cube_memo_stats();
     EXPECT_GT(stats.patches, 0) << "churn never exercised the patch path";
@@ -301,7 +225,7 @@ TEST(IncrementalCubeTest, StructuralChangesRebuild) {
 
   // A brand-new cell is a structural change: patching cannot reproduce a
   // freshly built tree's chain order, so the memo rebuilds.
-  ASSERT_TRUE(engine.Ingest({FreshKey(gen, 16), 7, 2.0}).ok());
+  ASSERT_TRUE(engine.Ingest({FreshKeyOutside(gen, 16), 7, 2.0}).ok());
   auto rebuilt = engine.ComputeCubeShared(0, 2);
   ASSERT_TRUE(rebuilt.ok());
   EXPECT_EQ(engine.cube_memo_stats().rebuilds, 2);
@@ -365,7 +289,7 @@ TEST(IncrementalCubeTest, FacadeCubeQueriesRideTheMemoAndAccountMemory) {
   ASSERT_TRUE(schema.ok());
   auto built = EngineBuilder()
                    .SetSchema(*schema)
-                   .SetTiltPolicy(SmallPolicy())
+                   .SetTiltPolicy(SmallTiltPolicy())
                    .SetExceptionPolicy(ExceptionPolicy(0.02))
                    .SetShardCount(4)
                    .Build();

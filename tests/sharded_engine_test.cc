@@ -1,6 +1,9 @@
 // ShardedStreamEngine contract tests: shard-count invariance (results for
 // N in {1, 2, 8} shards are identical on the same stream — not merely
-// close) and deterministic concurrent ingest.
+// close) and deterministic concurrent ingest. Comparators and the shared
+// engine defaults come from the equivalence harness
+// (tests/equivalence_harness.h); shard invariance is a determinism claim,
+// so every comparison is bitwise.
 
 #include "regcube/core/sharded_engine.h"
 
@@ -10,34 +13,23 @@
 
 #include "gtest/gtest.h"
 #include "regcube/gen/stream_generator.h"
+#include "equivalence_harness.h"
 #include "test_util.h"
 
 namespace regcube {
 namespace {
 
+using equivalence::ChurnEngineOptions;
+using equivalence::ChurnWorkload;
+using equivalence::ExpectCellMapsIdentical;
 using testing_util::ExpectIsbNear;
 
-std::shared_ptr<const TiltPolicy> SmallPolicy() {
-  // quarter = 4 ticks, hour = 16 ticks.
-  return MakeUniformTiltPolicy({{"quarter", 8}, {"hour", 8}}, {4, 16});
-}
-
 WorkloadSpec ShardSpec(std::int64_t tuples = 60, std::int64_t ticks = 32) {
-  WorkloadSpec spec;
-  spec.num_dims = 2;
-  spec.num_levels = 2;
-  spec.fanout = 3;
-  spec.num_tuples = tuples;
-  spec.series_length = ticks;
-  spec.seed = 17;
-  return spec;
+  return ChurnWorkload(tuples, ticks, /*seed=*/17, /*fanout=*/3);
 }
 
 StreamCubeEngine::Options ShardOptions(double threshold = 0.02) {
-  StreamCubeEngine::Options options;
-  options.tilt_policy = SmallPolicy();
-  options.policy = ExceptionPolicy(threshold);
-  return options;
+  return ChurnEngineOptions(threshold);
 }
 
 /// Builds an N-shard engine over the generated stream, sealed. (The
@@ -52,17 +44,6 @@ std::unique_ptr<ShardedStreamEngine> MakeSealed(const WorkloadSpec& spec,
   EXPECT_TRUE(engine->IngestBatch(gen.GenerateStream()).ok());
   EXPECT_TRUE(engine->SealThrough(spec.series_length - 1).ok());
   return engine;
-}
-
-/// Exact (bitwise) equality of two cell maps — shard invariance is a
-/// determinism claim, so no tolerance.
-void ExpectCellMapsIdentical(const CellMap& expected, const CellMap& actual) {
-  ASSERT_EQ(expected.size(), actual.size());
-  for (const auto& [key, isb] : expected) {
-    auto it = actual.find(key);
-    ASSERT_NE(it, actual.end()) << "missing cell " << key.ToString();
-    EXPECT_EQ(isb, it->second) << "cell " << key.ToString();
-  }
 }
 
 TEST(ShardedEngineTest, CubeIdenticalAcrossShardCounts) {
