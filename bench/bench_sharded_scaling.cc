@@ -16,19 +16,6 @@
 namespace regcube {
 namespace {
 
-std::vector<StreamTuple> SliceByCell(const std::vector<StreamTuple>& stream,
-                                     int thread_index, int num_threads) {
-  std::vector<StreamTuple> slice;
-  slice.reserve(stream.size() / static_cast<size_t>(num_threads) + 1);
-  for (const StreamTuple& t : stream) {
-    if (t.key.Hash() % static_cast<std::uint64_t>(num_threads) ==
-        static_cast<std::uint64_t>(thread_index)) {
-      slice.push_back(t);
-    }
-  }
-  return slice;
-}
-
 void Run(int argc, char** argv) {
   WorkloadSpec spec;
   spec.num_dims = 3;
@@ -50,7 +37,7 @@ void Run(int argc, char** argv) {
   std::vector<std::vector<StreamTuple>> slices;
   slices.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
-    slices.push_back(SliceByCell(stream, i, threads));
+    slices.push_back(bench::SliceByCell(stream, i, threads));
   }
 
   bench::PrintRow({"shards", "ingest(s)", "tuples/s", "cube(s)",

@@ -6,6 +6,7 @@
 // printing, and a one-call runner that executes both cubing algorithms and
 // reports the time/memory quantities Figures 8-10 plot.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -82,6 +83,73 @@ class JsonWriter {
   std::string name_;
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
+
+/// The writer-thread partitioning every multi-writer bench uses: thread
+/// `thread_index` owns the tuples whose (m-layer) cell hashes to it, so
+/// each cell's tick order is preserved within one thread — the
+/// collector-per-source shape of real deployments, and the shape that
+/// keeps concurrent ingest order-deterministic per cell.
+inline std::vector<StreamTuple> SliceByCell(
+    const std::vector<StreamTuple>& stream, int thread_index,
+    int num_threads) {
+  std::vector<StreamTuple> slice;
+  slice.reserve(stream.size() / static_cast<size_t>(num_threads) + 1);
+  for (const StreamTuple& t : stream) {
+    // Remix the cell hash before the modulus so the writer assignment is
+    // independent of the engine's shard assignment (which uses the raw
+    // hash): real writers don't know the shard map, and an aligned split
+    // would hand every writer a private shard — a contention-free layout
+    // no deployment sees.
+    std::uint64_t h = t.key.Hash();
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    if (h % static_cast<std::uint64_t>(num_threads) ==
+        static_cast<std::uint64_t>(thread_index)) {
+      slice.push_back(t);
+    }
+  }
+  return slice;
+}
+
+/// The q-th percentile (q in [0, 100]) of a *sorted* sample by
+/// nearest-rank: the smallest value with at least q% of the sample at or
+/// below it. 0 for an empty sample.
+inline double PercentileOfSorted(const std::vector<double>& sorted,
+                                 double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q / 100.0 * static_cast<double>(sorted.size());
+  auto index = static_cast<size_t>(rank);
+  if (static_cast<double>(index) < rank) ++index;  // ceil
+  if (index > 0) --index;                          // rank -> 0-based
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// Five-number latency summary of one run's per-call samples.
+struct LatencySummary {
+  std::int64_t samples = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes `samples` (any unit; sorted in place).
+inline LatencySummary SummarizeLatencies(std::vector<double>& samples) {
+  LatencySummary s;
+  s.samples = static_cast<std::int64_t>(samples.size());
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = PercentileOfSorted(samples, 50.0);
+  s.p95 = PercentileOfSorted(samples, 95.0);
+  s.p99 = PercentileOfSorted(samples, 99.0);
+  s.max = samples.back();
+  return s;
+}
 
 /// One measured cubing run.
 struct RunResult {

@@ -6,7 +6,7 @@ namespace regcube {
 
 Engine::Engine(std::shared_ptr<const CubeSchema> schema,
                ExceptionPolicy policy, StreamCubeEngine::Options options,
-               int num_shards, int read_threads)
+               int num_shards, int read_threads, IngestConfig ingest)
     : schema_(std::move(schema)),
       policy_(std::move(policy)),
       pool_(read_threads == 1 ? nullptr
@@ -14,7 +14,8 @@ Engine::Engine(std::shared_ptr<const CubeSchema> schema,
       tracker_(std::make_unique<MemoryTracker>()),
       sharded_(std::make_unique<ShardedStreamEngine>(schema_,
                                                      std::move(options),
-                                                     num_shards, pool_)),
+                                                     num_shards, pool_,
+                                                     ingest)),
       cache_(std::make_unique<SnapshotCache>()) {
   sharded_->set_memory_tracker(tracker_.get());
 }
@@ -25,6 +26,16 @@ Status Engine::Ingest(const StreamTuple& tuple) {
 
 IngestReport Engine::IngestBatch(const std::vector<StreamTuple>& tuples) {
   return sharded_->IngestBatch(tuples);
+}
+
+IngestTicket Engine::IngestAsync(const std::vector<StreamTuple>& tuples) {
+  return sharded_->IngestAsync(tuples);
+}
+
+Status Engine::Flush() { return sharded_->Flush(); }
+
+regcube::IngestStats Engine::IngestStats() const {
+  return sharded_->IngestStats();
 }
 
 Status Engine::SealThrough(TimeTick t) { return sharded_->SealThrough(t); }
@@ -169,6 +180,21 @@ EngineBuilder& EngineBuilder::SetReadThreads(int threads) {
   return *this;
 }
 
+EngineBuilder& EngineBuilder::SetIngestMode(IngestMode mode) {
+  ingest_.mode = mode;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::SetQueueCapacity(std::int64_t capacity) {
+  ingest_.queue_capacity = capacity;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::SetBackpressure(BackpressurePolicy policy) {
+  ingest_.backpressure = policy;
+  return *this;
+}
+
 Result<Engine> EngineBuilder::Build() const {
   if (schema_ == nullptr) {
     return Status::InvalidArgument("EngineBuilder: SetSchema is required");
@@ -186,6 +212,11 @@ Result<Engine> EngineBuilder::Build() const {
         "EngineBuilder: read thread count %d outside [0, 1024]",
         read_threads_));
   }
+  if (ingest_.queue_capacity < 1) {
+    return Status::InvalidArgument(StrPrintf(
+        "EngineBuilder: ingest queue capacity %lld must be >= 1",
+        static_cast<long long>(ingest_.queue_capacity)));
+  }
   if (options_.path.has_value()) {
     if (options_.algorithm != Engine::Algorithm::kPopularPath) {
       return Status::InvalidArgument(
@@ -197,8 +228,8 @@ Result<Engine> EngineBuilder::Build() const {
   }
   StreamCubeEngine::Options options = options_;
   options.policy = policy_;
-  return Engine(schema_, policy_, std::move(options), shards_,
-                read_threads_);
+  return Engine(schema_, policy_, std::move(options), shards_, read_threads_,
+                ingest_);
 }
 
 }  // namespace regcube

@@ -36,15 +36,38 @@ class Engine {
   Engine& operator=(Engine&&) noexcept = default;
 
   /// Absorbs one observation. Thread-safe; locks only the owning shard.
+  /// In async mode (SetIngestMode) this enqueues instead — OK means
+  /// accepted, not yet visible; Flush() is the visibility barrier.
   Status Ingest(const StreamTuple& tuple);
 
   /// Absorbs a batch, partitioned across shards. Thread-safe. The report
   /// says how many tuples were absorbed before the first error (the whole
-  /// batch iff report.ok()).
+  /// batch iff report.ok()). In async mode `absorbed` counts acceptance
+  /// into the queues; IngestAsync's ticket is the precise async story.
   IngestReport IngestBatch(const std::vector<StreamTuple>& tuples);
 
+  /// The async ingest door: enqueues the batch on the per-shard queues and
+  /// returns as soon as every tuple is accepted, evicted-for, or refused
+  /// per the configured backpressure policy. Shard-owner threads absorb
+  /// off-thread; Flush() waits for everything accepted so far. Thread-safe
+  /// from many producers. Pre: built with SetIngestMode(kAsync).
+  IngestTicket IngestAsync(const std::vector<StreamTuple>& tuples);
+
+  /// Drain barrier for async ingest: blocks until every tuple accepted
+  /// before this call is absorbed (or deliberately dropped under
+  /// kDropOldest) and returns the first absorb error since the last Flush.
+  /// Everything waited for happens-before the return. No-op OK in sync
+  /// mode.
+  Status Flush();
+
+  /// Ingest-queue observability: mode, policy, capacity, per-shard depth /
+  /// high-water / counters / p99 enqueue latency, and merged totals.
+  regcube::IngestStats IngestStats() const;
+
   /// Declares that no data with tick <= `t` remains in flight; barrier
-  /// across all shards.
+  /// across all shards. In async mode this Flushes first, so queued tuples
+  /// with ticks <= `t` land before the seal instead of being refused as
+  /// late.
   Status SealThrough(TimeTick t);
 
   /// Freezes the current state as an immutable snapshot: per-shard cells
@@ -93,7 +116,8 @@ class Engine {
   friend class EngineBuilder;
 
   Engine(std::shared_ptr<const CubeSchema> schema, ExceptionPolicy policy,
-         StreamCubeEngine::Options options, int num_shards, int read_threads);
+         StreamCubeEngine::Options options, int num_shards, int read_threads,
+         IngestConfig ingest);
 
   /// Snapshot memoized by engine revision; replaced (never mutated) when
   /// a write has moved the revision. Heap-allocated so Engine stays
@@ -164,6 +188,23 @@ class EngineBuilder {
   /// every width.
   EngineBuilder& SetReadThreads(int threads);
 
+  /// Write path (default kSync). kAsync puts a bounded MPSC queue in
+  /// front of every shard, drained by a dedicated shard-owner thread;
+  /// Ingest/IngestBatch/IngestAsync then return on acceptance and Flush()
+  /// is the visibility barrier. Absorbed state is bit-identical to the
+  /// sync path over the same stream.
+  EngineBuilder& SetIngestMode(IngestMode mode);
+
+  /// Per-shard ingest queue capacity in tuples (default 4096); async mode
+  /// only. Must be >= 1.
+  EngineBuilder& SetQueueCapacity(std::int64_t capacity);
+
+  /// What a full queue does to producers (default kBlock); async mode
+  /// only. kBlock waits (lossless), kDropOldest evicts the oldest queued
+  /// tuple (lossy, bounded staleness), kReject refuses the overflow with
+  /// ResourceExhausted on the ticket.
+  EngineBuilder& SetBackpressure(BackpressurePolicy policy);
+
   /// Validates the configuration; InvalidArgument describes the first
   /// problem found (missing schema or tilt policy, bad shard count or
   /// read-thread count, drill path without the popular-path algorithm or
@@ -176,6 +217,7 @@ class EngineBuilder {
   ExceptionPolicy policy_;
   int shards_ = 1;
   int read_threads_ = 0;
+  IngestConfig ingest_;
 };
 
 }  // namespace regcube

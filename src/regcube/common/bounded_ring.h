@@ -1,0 +1,62 @@
+#ifndef REGCUBE_COMMON_BOUNDED_RING_H_
+#define REGCUBE_COMMON_BOUNDED_RING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "regcube/common/logging.h"
+
+namespace regcube {
+
+/// A fixed-capacity FIFO ring over preallocated storage — the buffer
+/// primitive behind the per-shard ingest queues. Not thread-safe on its
+/// own: callers (IngestQueue) provide the locking discipline, which keeps
+/// this class a pure index-arithmetic container with no policy inside.
+/// Capacity is fixed at construction; the storage never reallocates, so
+/// its footprint is exactly `capacity * sizeof(T)` for the ring's own
+/// slots (plus whatever T's own members retain).
+template <typename T>
+class BoundedRing {
+ public:
+  explicit BoundedRing(std::int64_t capacity)
+      : slots_(static_cast<size_t>(capacity)) {
+    RC_CHECK(capacity >= 1) << "ring capacity must be >= 1, got " << capacity;
+  }
+
+  std::int64_t capacity() const {
+    return static_cast<std::int64_t>(slots_.size());
+  }
+  std::int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity(); }
+
+  /// Appends at the tail. Pre: !full().
+  void PushBack(T value) {
+    RC_DCHECK(!full());
+    slots_[Wrap(head_ + size_)] = std::move(value);
+    ++size_;
+  }
+
+  /// Removes and returns the oldest element. Pre: !empty().
+  T PopFront() {
+    RC_DCHECK(!empty());
+    T out = std::move(slots_[static_cast<size_t>(head_)]);
+    head_ = static_cast<std::int64_t>(Wrap(head_ + 1));
+    --size_;
+    return out;
+  }
+
+ private:
+  size_t Wrap(std::int64_t index) const {
+    return static_cast<size_t>(index % capacity());
+  }
+
+  std::vector<T> slots_;
+  std::int64_t head_ = 0;  // index of the oldest element
+  std::int64_t size_ = 0;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_COMMON_BOUNDED_RING_H_

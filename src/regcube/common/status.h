@@ -18,6 +18,7 @@ enum class StatusCode {
   kAlreadyExists,     // duplicate registration
   kInternal,          // invariant violation that is a library bug
   kUnimplemented,     // feature not available in this configuration
+  kResourceExhausted, // a bounded resource (e.g. an ingest queue) is full
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...) for `code`.
@@ -63,6 +64,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,35 @@
+#include "regcube/core/shard_writer.h"
+
+#include <utility>
+
+#include "regcube/common/logging.h"
+
+namespace regcube {
+
+ShardWriter::ShardWriter(IngestQueue* queue, AbsorbFn absorb)
+    : queue_(queue), absorb_(std::move(absorb)) {
+  RC_CHECK(queue_ != nullptr);
+  RC_CHECK(absorb_ != nullptr);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+ShardWriter::~ShardWriter() { Stop(); }
+
+void ShardWriter::Stop() {
+  if (!thread_.joinable()) return;
+  queue_->Close();
+  thread_.join();
+}
+
+void ShardWriter::Loop() {
+  std::vector<StreamTuple> batch;
+  for (;;) {
+    batch.clear();
+    const std::int64_t popped = queue_->PopAll(&batch);
+    if (popped == 0) return;  // closed and drained
+    const AbsorbResult result = absorb_(batch);
+    queue_->MarkAbsorbed(popped, result.absorbed, result.status);
+  }
+}
+
+}  // namespace regcube

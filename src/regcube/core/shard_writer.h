@@ -1,0 +1,63 @@
+#ifndef REGCUBE_CORE_SHARD_WRITER_H_
+#define REGCUBE_CORE_SHARD_WRITER_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "regcube/common/status.h"
+#include "regcube/core/ingest_queue.h"
+
+namespace regcube {
+
+/// The shard-owner thread of the async ingest subsystem: drains one
+/// shard's IngestQueue and applies each drained batch through the `absorb`
+/// callback. With a writer attached the shard is single-writer — callers
+/// only ever touch the queue, so the shard mutex is down to a
+/// publish-style handoff: the owner takes it once per drained batch (to
+/// publish the absorbed state to readers), never per tuple and never
+/// contended by other writers. Tilt-frame maintenance, dirty-list
+/// bookkeeping and member-index appends all happen here, off the callers'
+/// threads.
+///
+/// `absorb` runs on the owner thread only. It returns how many of the
+/// batch's tuples the shard engine accepted plus the first error; the
+/// writer acknowledges the batch to the queue either way, which is what
+/// lets Flush() terminate even when some tuples were refused (the error is
+/// recorded on the queue and surfaced by the next Flush()).
+class ShardWriter {
+ public:
+  struct AbsorbResult {
+    std::int64_t absorbed = 0;
+    Status status;
+  };
+  using AbsorbFn =
+      std::function<AbsorbResult(const std::vector<StreamTuple>&)>;
+
+  /// Starts the owner thread immediately. `queue` is not owned and must
+  /// outlive Stop()/destruction.
+  ShardWriter(IngestQueue* queue, AbsorbFn absorb);
+
+  /// Stops via Stop() if the owner thread is still running.
+  ~ShardWriter();
+
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  /// Closes the queue, lets the owner drain whatever is already accepted,
+  /// and joins the thread. Idempotent. After Stop() the queue rejects new
+  /// tuples with FailedPrecondition.
+  void Stop();
+
+ private:
+  void Loop();
+
+  IngestQueue* queue_;
+  AbsorbFn absorb_;
+  std::thread thread_;
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CORE_SHARD_WRITER_H_

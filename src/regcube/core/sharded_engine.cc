@@ -18,6 +18,12 @@ namespace {
 // individually tracked — the accounting is analytic, not exhaustive.
 constexpr char kGatherCacheCategory[] = "snapshot.gather_cache";
 
+// The per-shard ingest queues' preallocated ring slots (async mode only).
+// Analytic like the rest: capacity * sizeof(StreamTuple) per shard, fixed
+// for the engine's lifetime; heap storage retained by queued keys varies
+// per tuple and is not tracked.
+constexpr char kIngestQueueCategory[] = "ingest.queue";
+
 std::int64_t SliceBytes(const SnapshotCells& cells) {
   return static_cast<std::int64_t>(cells.size() * sizeof(CellSnapshot));
 }
@@ -70,10 +76,11 @@ void AlignRunToClock(std::vector<CellSnapshot>& cells, TimeTick target,
 
 ShardedStreamEngine::ShardedStreamEngine(
     std::shared_ptr<const CubeSchema> schema, Options options, int num_shards,
-    std::shared_ptr<ThreadPool> pool)
+    std::shared_ptr<ThreadPool> pool, IngestConfig ingest)
     : schema_(std::move(schema)),
       lattice_(*schema_),
       options_(std::move(options)),
+      ingest_(ingest),
       mapper_(std::move(options_.key_mapper)),
       pool_(std::move(pool)),
       clock_(options_.start_tick) {
@@ -84,6 +91,27 @@ ShardedStreamEngine::ShardedStreamEngine(
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(schema_, options_));
+  }
+  if (ingest_.mode == IngestMode::kAsync) {
+    RC_CHECK(ingest_.queue_capacity >= 1)
+        << "ingest queue capacity must be >= 1, got "
+        << ingest_.queue_capacity;
+    queues_.reserve(static_cast<size_t>(num_shards));
+    writers_.reserve(static_cast<size_t>(num_shards));
+    for (int i = 0; i < num_shards; ++i) {
+      queues_.push_back(std::make_unique<IngestQueue>(ingest_.queue_capacity,
+                                                      ingest_.backpressure));
+    }
+    // Writers start only after every queue exists: an owner thread's
+    // absorb callback touches shards_ and the counters, all built above.
+    for (int i = 0; i < num_shards; ++i) {
+      const size_t shard_index = static_cast<size_t>(i);
+      writers_.push_back(std::make_unique<ShardWriter>(
+          queues_[shard_index].get(),
+          [this, shard_index](const std::vector<StreamTuple>& batch) {
+            return AbsorbDrained(shard_index, batch);
+          }));
+    }
   }
   if (options_.algorithm == StreamCubeEngine::Algorithm::kMoCubing) {
     cube_memo_ = std::make_unique<IncrementalCubeCache>(schema_, options_);
@@ -113,9 +141,16 @@ void ShardedStreamEngine::set_memory_tracker(MemoryTracker* tracker) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->engine.set_memory_tracker(tracker);
   }
-  // Move the cached merged run's registration between trackers, so
-  // detach / re-attach keeps every tracker balanced.
+  // Move the cached merged run's and the ingest queues' registrations
+  // between trackers, so detach / re-attach keeps every tracker balanced.
   std::lock_guard<std::mutex> lock(gather_mu_);
+  const std::int64_t queue_bytes = IngestQueueBytes();
+  if (queue_bytes > 0) {
+    if (tracker_ != nullptr) {
+      tracker_->Release(kIngestQueueCategory, queue_bytes);
+    }
+    if (tracker != nullptr) tracker->Add(kIngestQueueCategory, queue_bytes);
+  }
   if (gather_valid_) {
     const std::int64_t bytes = SliceBytes(*gather_cache_.cells);
     if (tracker_ != nullptr && bytes > 0) {
@@ -129,7 +164,101 @@ void ShardedStreamEngine::set_memory_tracker(MemoryTracker* tracker) {
   if (cube_memo_ != nullptr) cube_memo_->set_memory_tracker(tracker);
 }
 
+ShardWriter::AbsorbResult ShardedStreamEngine::AbsorbDrained(
+    size_t i, const std::vector<StreamTuple>& batch) {
+  ShardWriter::AbsorbResult out;
+  Shard& shard = *shards_[i];
+  bool changed;
+  IngestReport report;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const std::uint64_t before = shard.engine.revision();
+    report = shard.engine.IngestBatch(batch);
+    changed = shard.engine.revision() != before;
+  }
+  out.absorbed = report.absorbed;
+  out.status = std::move(report.status);
+  // Clock follows what actually landed: the shard engine absorbs a strict
+  // prefix of the drained batch (it stops at the first error), so max over
+  // that prefix. Same fetch-max the sync path uses.
+  TimeTick max_tick = 0;
+  for (std::int64_t j = 0; j < out.absorbed; ++j) {
+    max_tick = std::max(max_tick, batch[static_cast<size_t>(j)].tick);
+  }
+  if (out.absorbed > 0) BumpClock(max_tick);
+  if (changed) {
+    revision_.fetch_add(1, std::memory_order_release);
+  }
+  return out;
+}
+
+IngestTicket ShardedStreamEngine::IngestAsync(
+    const std::vector<StreamTuple>& tuples) {
+  RC_CHECK(ingest_.mode == IngestMode::kAsync)
+      << "IngestAsync requires IngestMode::kAsync";
+  // Map before hashing (same as the sync path) so the tuples queued for a
+  // shard are exactly what its engine will absorb — the owner thread never
+  // touches the mapper.
+  std::vector<std::vector<StreamTuple>> partitions(shards_.size());
+  for (const StreamTuple& t : tuples) {
+    const CellKey key = mapper_ ? mapper_(t.key) : t.key;
+    partitions[static_cast<size_t>(ShardIndex(key))].push_back(
+        {key, t.tick, t.value});
+  }
+  IngestTicket ticket;
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    if (partitions[i].empty()) continue;
+    ticket.Merge(queues_[i]->Enqueue(
+        partitions[i].data(),
+        static_cast<std::int64_t>(partitions[i].size())));
+  }
+  return ticket;
+}
+
+Status ShardedStreamEngine::Flush() {
+  if (ingest_.mode != IngestMode::kAsync) return Status::OK();
+  // Snapshot every queue's accept point first, then wait: tuples enqueued
+  // by other producers after this line don't extend the wait, so Flush
+  // terminates under sustained concurrent ingest.
+  std::vector<std::uint64_t> targets(queues_.size());
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    targets[i] = queues_[i]->enqueued_seq();
+  }
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    queues_[i]->WaitResolved(targets[i]);
+  }
+  Status first;
+  for (auto& queue : queues_) {
+    Status s = queue->TakeFirstError();
+    if (first.ok() && !s.ok()) first = std::move(s);
+  }
+  return first;
+}
+
+regcube::IngestStats ShardedStreamEngine::IngestStats() const {
+  regcube::IngestStats out;
+  out.mode = ingest_.mode;
+  out.backpressure = ingest_.backpressure;
+  if (ingest_.mode != IngestMode::kAsync) return out;
+  out.queue_capacity = ingest_.queue_capacity;
+  out.per_shard.reserve(queues_.size());
+  for (const auto& queue : queues_) {
+    out.per_shard.push_back(queue->Stats());
+    out.total.Merge(out.per_shard.back());
+  }
+  return out;
+}
+
+std::int64_t ShardedStreamEngine::IngestQueueBytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& queue : queues_) bytes += queue->SlotBytes();
+  return bytes;
+}
+
 Status ShardedStreamEngine::Ingest(const StreamTuple& tuple) {
+  if (ingest_.mode == IngestMode::kAsync) {
+    return IngestAsync({tuple}).status;
+  }
   const CellKey key = mapper_ ? mapper_(tuple.key) : tuple.key;
   Shard& shard = *shards_[static_cast<size_t>(ShardIndex(key))];
   Status status;
@@ -155,6 +284,16 @@ Status ShardedStreamEngine::Ingest(const StreamTuple& tuple) {
 
 IngestReport ShardedStreamEngine::IngestBatch(
     const std::vector<StreamTuple>& tuples) {
+  if (ingest_.mode == IngestMode::kAsync) {
+    // Legacy door in async mode: `absorbed` counts acceptance into the
+    // queues, not absorption — IngestAsync's ticket is the precise story.
+    const IngestTicket ticket = IngestAsync(tuples);
+    IngestReport report;
+    report.attempted = ticket.attempted;
+    report.absorbed = ticket.enqueued;
+    report.status = ticket.status;
+    return report;
+  }
   std::vector<std::vector<StreamTuple>> partitions(shards_.size());
   TimeTick max_tick = clock_.load(std::memory_order_relaxed);
   for (const StreamTuple& t : tuples) {
@@ -228,6 +367,11 @@ std::uint64_t ShardedStreamEngine::SumShardRevisionsLocked() const {
 }
 
 Status ShardedStreamEngine::SealThrough(TimeTick t) {
+  // In async mode tuples with ticks <= t may still be in flight in the
+  // queues; sealing past them would refuse them as late on absorption.
+  // Drain first — and surface any pending absorb error rather than
+  // silently sealing over it.
+  RC_RETURN_IF_ERROR(Flush());
   auto locks = LockAll();
   const TimeTick clock_before = clock_.load(std::memory_order_acquire);
   BumpClock(t + 1);

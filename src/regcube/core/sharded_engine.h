@@ -12,6 +12,8 @@
 #include "regcube/common/status.h"
 #include "regcube/common/thread_pool.h"
 #include "regcube/core/incremental_cube.h"
+#include "regcube/core/ingest_queue.h"
+#include "regcube/core/shard_writer.h"
 #include "regcube/core/snapshot_reads.h"
 #include "regcube/core/stream_engine.h"
 
@@ -65,13 +67,20 @@ class ShardedStreamEngine {
 
   /// `num_shards` must be >= 1 (checked). A non-null `pool` parallelizes
   /// shard gathering and per-cuboid cubing; null keeps reads serial.
+  /// `ingest` selects the write path: the default kSync absorbs on the
+  /// caller's thread exactly as before; kAsync puts a bounded IngestQueue
+  /// in front of every shard and starts one ShardWriter owner thread per
+  /// shard to drain it.
   ShardedStreamEngine(std::shared_ptr<const CubeSchema> schema,
                       Options options, int num_shards,
-                      std::shared_ptr<ThreadPool> pool = nullptr);
+                      std::shared_ptr<ThreadPool> pool = nullptr,
+                      IngestConfig ingest = {});
 
   // ---- write side (safe from many threads concurrently) ----------------
 
-  /// Absorbs one observation (locks only the owning shard).
+  /// Absorbs one observation (locks only the owning shard). In async mode
+  /// this enqueues instead and returns the ticket's status — OK means
+  /// *accepted*, not yet absorbed; Flush() is the visibility barrier.
   Status Ingest(const StreamTuple& tuple);
 
   /// Partitions the batch by shard and feeds each shard under its lock.
@@ -79,14 +88,47 @@ class ShardedStreamEngine {
   /// the partial-failure contract: how many tuples were absorbed before
   /// the first error (shards are fed in index order, so the absorbed set
   /// is every earlier shard's full partition plus the failing shard's
-  /// prefix).
+  /// prefix). In async mode this routes through IngestAsync and
+  /// `absorbed` counts tuples *accepted into the queues*.
   IngestReport IngestBatch(const std::vector<StreamTuple>& tuples);
+
+  /// The async door: partitions the batch by shard (per-shard, per-cell
+  /// order preserved) and enqueues each partition on its shard's queue,
+  /// returning as soon as every tuple is accepted, evicted-for, or refused
+  /// per the backpressure policy. Absorption happens on the shard-owner
+  /// threads; the data becomes visible to reads as it is drained, and
+  /// Flush() waits for everything accepted so far. Callable from many
+  /// threads concurrently. Pre: async mode (RC_CHECK).
+  IngestTicket IngestAsync(const std::vector<StreamTuple>& tuples);
+
+  /// Drain barrier: blocks until every tuple accepted by any queue before
+  /// this call has been absorbed into its shard (or deliberately dropped
+  /// under kDropOldest), then reports the first shard-engine absorb error
+  /// since the last Flush (clearing it). Tuples enqueued concurrently
+  /// *after* Flush begins are not waited for. When Flush returns, all
+  /// waited-for absorption happens-before the return — a subsequent read
+  /// on this thread sees it. No-op OK in sync mode.
+  Status Flush();
+
+  /// Queue observability (mode/policy/capacity, per-shard depth and
+  /// high-water, enqueue/absorb/drop/reject counters, p99 enqueue
+  /// latency). Totals are merged across shards. Empty per_shard in sync
+  /// mode — there are no queues.
+  regcube::IngestStats IngestStats() const;
+
+  /// Bytes retained by the per-shard ingest queues' preallocated rings —
+  /// the "ingest.queue" figure, readable without a tracker attached
+  /// (0 in sync mode).
+  std::int64_t IngestQueueBytes() const;
+
+  const IngestConfig& ingest_config() const { return ingest_; }
 
   /// Barrier: locks every shard, seals all of them through `t` and aligns
   /// them to one global clock, so subsequent reads see one consistent
   /// slot structure. The revision moves only if some frame actually sealed
   /// a slot — an idempotent re-seal keeps every revision-memoized snapshot
-  /// valid.
+  /// valid. In async mode this Flushes first — tuples with ticks <= `t`
+  /// may still be queued, and sealing past them would refuse them as late.
   Status SealThrough(TimeTick t);
 
   // ---- read side (gather briefly under per-shard locks, then lock-free) -
@@ -268,9 +310,16 @@ class ShardedStreamEngine {
   /// move.
   std::uint64_t SumShardRevisionsLocked() const;
 
+  /// Owner-thread absorb step for shard `i`: one shard-lock acquisition
+  /// per drained batch, then the same clock/revision bookkeeping the sync
+  /// path does per call.
+  ShardWriter::AbsorbResult AbsorbDrained(
+      size_t i, const std::vector<StreamTuple>& batch);
+
   std::shared_ptr<const CubeSchema> schema_;
   CuboidLattice lattice_;
   Options options_;  // shard options; key_mapper lives in mapper_ instead
+  IngestConfig ingest_;
   std::function<CellKey(const CellKey&)> mapper_;
   std::shared_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -298,6 +347,14 @@ class ShardedStreamEngine {
   // The maintained cube (see ComputeCubeShared). Null for popular-path
   // engines — their cubes are not patchable, so they stay from-scratch.
   std::unique_ptr<IncrementalCubeCache> cube_memo_;
+
+  // The async ingest subsystem (empty in sync mode). writers_ is the LAST
+  // member on purpose: destruction runs in reverse declaration order, so
+  // each owner thread closes its queue, drains what was accepted, and
+  // joins before the queues — and the shards its absorb callback
+  // touches — are torn down.
+  std::vector<std::unique_ptr<IngestQueue>> queues_;
+  std::vector<std::unique_ptr<ShardWriter>> writers_;
 };
 
 }  // namespace regcube

@@ -8,8 +8,11 @@
 //                        --threshold X [--top N]
 //   regcube_cli stream   --workload D2L2C4T500 [--ticks N] [--shards N]
 //                        [--algorithm mo|pp] [--threshold X] [--window K]
-//                        [--top N] [--seed N]   (on-line path: ingest a
-//                        generated stream, seal, drill the exceptions)
+//                        [--top N] [--seed N] [--ingest sync|async]
+//                        [--queue-capacity N]
+//                        [--backpressure block|drop-oldest|reject]
+//                        (on-line path: ingest a generated stream, seal,
+//                        drill the exceptions)
 //   regcube_cli selftest [--dir PATH]   (generate -> cube -> report round
 //                                        trip in a scratch directory)
 //
@@ -222,6 +225,8 @@ Status RunStream(const Args& args) {
   const double threshold = args.GetDoubleOr("threshold", 0.05);
   const int shards = static_cast<int>(args.GetIntOr("shards", 4));
   const std::string algorithm = args.GetStringOr("algorithm", "mo");
+  const std::string ingest_mode = args.GetStringOr("ingest", "sync");
+  const std::string backpressure = args.GetStringOr("backpressure", "block");
 
   EngineBuilder builder;
   builder.SetSchema(schema)
@@ -235,6 +240,22 @@ Status RunStream(const Args& args) {
     return Status::InvalidArgument(
         StrPrintf("unknown --algorithm \"%s\" (mo|pp)", algorithm.c_str()));
   }
+  if (ingest_mode == "async") {
+    builder.SetIngestMode(IngestMode::kAsync);
+  } else if (ingest_mode != "sync") {
+    return Status::InvalidArgument(StrPrintf(
+        "unknown --ingest \"%s\" (sync|async)", ingest_mode.c_str()));
+  }
+  builder.SetQueueCapacity(args.GetIntOr("queue-capacity", 4096));
+  if (backpressure == "drop-oldest") {
+    builder.SetBackpressure(BackpressurePolicy::kDropOldest);
+  } else if (backpressure == "reject") {
+    builder.SetBackpressure(BackpressurePolicy::kReject);
+  } else if (backpressure != "block") {
+    return Status::InvalidArgument(StrPrintf(
+        "unknown --backpressure \"%s\" (block|drop-oldest|reject)",
+        backpressure.c_str()));
+  }
   RC_ASSIGN_OR_RETURN(Engine engine, builder.Build());
 
   StreamGenerator gen(*spec);
@@ -247,6 +268,8 @@ Status RunStream(const Args& args) {
                  ingest.status.ToString().c_str());
     return ingest.status;
   }
+  // SealThrough flushes the async queues first, so by the time the stats
+  // print below the stream has fully landed (or been counted as dropped).
   RC_RETURN_IF_ERROR(engine.SealThrough(spec->series_length - 1));
   std::printf("ingested %lld ticks x %lld streams across %d shards in "
               "%.2f s (%s of tilt frames)\n",
@@ -301,6 +324,25 @@ Status RunStream(const Args& args) {
                   supporters.cells().size(),
                   engine.RenderCell(supporters.cells().front()).c_str());
     }
+  }
+
+  if (engine.IngestStats().mode == IngestMode::kAsync) {
+    const IngestStats stats = engine.IngestStats();
+    std::printf("\ningest queues (%s, capacity %lld/shard):\n",
+                BackpressurePolicyName(stats.backpressure),
+                static_cast<long long>(stats.queue_capacity));
+    std::printf("  enqueued %lld  absorbed %lld  dropped %lld  rejected "
+                "%lld\n",
+                static_cast<long long>(stats.total.enqueued),
+                static_cast<long long>(stats.total.absorbed),
+                static_cast<long long>(stats.total.dropped),
+                static_cast<long long>(stats.total.rejected));
+    std::printf("  depth %lld  high-water %lld  blocked calls %lld  "
+                "p99 enqueue %.1f us\n",
+                static_cast<long long>(stats.total.depth),
+                static_cast<long long>(stats.total.high_water),
+                static_cast<long long>(stats.total.blocked),
+                stats.total.p99_enqueue_us);
   }
 
   std::printf("\nretained memory:\n");
@@ -381,6 +423,8 @@ void PrintUsage() {
       "  report   --workload NAME --in cube.bin --threshold X [--top N]\n"
       "  stream   --workload NAME [--ticks N] [--shards N]\n"
       "           [--algorithm mo|pp] [--threshold X] [--window K] [--top N]\n"
+      "           [--ingest sync|async] [--queue-capacity N]\n"
+      "           [--backpressure block|drop-oldest|reject]\n"
       "  selftest [--dir PATH]\n");
 }
 
