@@ -1,6 +1,8 @@
 #include "regcube/api/engine.h"
 
 #include "regcube/common/str.h"
+#include "regcube/io/binary_io.h"
+#include "regcube/io/frame_store.h"
 
 namespace regcube {
 
@@ -120,10 +122,45 @@ Result<QueryResult> Engine::Query(const QuerySpec& spec) {
 
 std::vector<std::pair<std::string, std::int64_t>> Engine::MemoryReport()
     const {
-  std::vector<std::pair<std::string, std::int64_t>> report;
-  report.emplace_back("stream.tilt_frames", sharded_->MemoryBytes());
-  for (auto& entry : tracker_->Snapshot()) report.push_back(std::move(entry));
+  // Every RAM category ("stream.tilt_frames" included) lives in the
+  // tracker now; the spill section is disk, reported separately so a
+  // budget check can sum the RAM entries alone.
+  std::vector<std::pair<std::string, std::int64_t>> report =
+      tracker_->Snapshot();
+  if (const FrameStore* store = sharded_->frame_store()) {
+    const FrameStoreStats stats = store->Stats();
+    report.emplace_back("spill.disk_bytes", stats.disk_bytes);
+    report.emplace_back("spill.live_bytes", stats.live_bytes);
+    report.emplace_back("spill.garbage_bytes", stats.garbage_bytes);
+  }
   return report;
+}
+
+Status Engine::Checkpoint(const std::string& dir) {
+  return sharded_->CheckpointTo(dir);
+}
+
+regcube::SpillStats Engine::SpillStats() const {
+  return sharded_->SpillStats();
+}
+
+Status Engine::InitStorage(const MemoryBudgetConfig& budget) {
+  RC_RETURN_IF_ERROR(sharded_->ConfigureStorage(budget));
+  if (MemoryGovernor* governor = sharded_->governor()) {
+    // Rung 19, between the cube memo (10) and the engine-side gather
+    // caches (21): the api snapshot cache pins a whole gathered cell set
+    // (and its memoized cube), so dropping it both frees the snapshot's
+    // own memo and releases the frozen blocks the engine-side rung is
+    // about to drop from being pinned alive.
+    SnapshotCache* cache = cache_.get();
+    governor->AddRung(19, "snapshot.cache",
+                      [cache](std::int64_t /*excess*/) -> std::int64_t {
+                        std::lock_guard<std::mutex> lock(cache->mu);
+                        cache->snapshot.reset();
+                        return 0;  // freed bytes show up via the tracker
+                      });
+  }
+  return Status::OK();
 }
 
 std::string Engine::RenderCell(const CellResult& cell) const {
@@ -195,6 +232,16 @@ EngineBuilder& EngineBuilder::SetBackpressure(BackpressurePolicy policy) {
   return *this;
 }
 
+EngineBuilder& EngineBuilder::SetMemoryBudget(std::int64_t budget_bytes) {
+  budget_.budget_bytes = budget_bytes;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::SetSpillDir(std::string dir) {
+  budget_.spill_dir = std::move(dir);
+  return *this;
+}
+
 Result<Engine> EngineBuilder::Build() const {
   if (schema_ == nullptr) {
     return Status::InvalidArgument("EngineBuilder: SetSchema is required");
@@ -226,10 +273,32 @@ Result<Engine> EngineBuilder::Build() const {
     CuboidLattice lattice(*schema_);
     RC_RETURN_IF_ERROR(DrillPath::Validate(lattice, *options_.path));
   }
+  if (budget_.budget_bytes < 0) {
+    return Status::InvalidArgument(StrPrintf(
+        "EngineBuilder: memory budget %lld must be >= 0",
+        static_cast<long long>(budget_.budget_bytes)));
+  }
   StreamCubeEngine::Options options = options_;
   options.policy = policy_;
-  return Engine(schema_, policy_, std::move(options), shards_, read_threads_,
+  Engine engine(schema_, policy_, std::move(options), shards_, read_threads_,
                 ingest_);
+  RC_RETURN_IF_ERROR(engine.InitStorage(budget_));
+  return engine;
+}
+
+Result<Engine> EngineBuilder::OpenFrom(const std::string& dir) const {
+  // Adopt the checkpoint's start tick before Build(): restored frames
+  // were created under it, and RestoreFrom revalidates the match.
+  auto manifest_bytes = ReadFile(CheckpointManifestPath(dir));
+  if (!manifest_bytes.ok()) return manifest_bytes.status();
+  auto manifest = DecodeCheckpointManifest(*manifest_bytes);
+  if (!manifest.ok()) return manifest.status();
+  EngineBuilder opener = *this;
+  opener.SetStartTick(manifest->start_tick);
+  auto engine = opener.Build();
+  if (!engine.ok()) return engine.status();
+  RC_RETURN_IF_ERROR(engine->sharded_->RestoreFrom(dir));
+  return engine;
 }
 
 }  // namespace regcube

@@ -97,12 +97,27 @@ class Engine {
   std::int64_t MemoryBytes() const { return sharded_->MemoryBytes(); }
   int num_shards() const { return sharded_->num_shards(); }
 
-  /// Analytic memory accounting: snapshot-side categories
-  /// ("snapshot.frozen_frames", "snapshot.gather_cache") are maintained by
-  /// the engine as it runs. MemoryReport() prepends the live tilt frames,
-  /// so one call shows where every retained byte sits.
+  /// Analytic memory accounting: every retained-byte category
+  /// ("stream.tilt_frames", "snapshot.frozen_frames",
+  /// "snapshot.gather_cache", "cube.memo", "index.members",
+  /// "ingest.queue") is maintained by the engine as it runs; with a cold
+  /// tier configured, MemoryReport() appends the spill section
+  /// ("spill.disk_bytes", "spill.live_bytes", "spill.garbage_bytes" —
+  /// disk, not RAM). One call shows where every byte sits.
   const MemoryTracker& memory_tracker() const { return *tracker_; }
   std::vector<std::pair<std::string, std::int64_t>> MemoryReport() const;
+
+  /// Persists the engine's whole stream state under `dir` (manifest +
+  /// one frame file per shard, manifest written last as the commit
+  /// point). Reopen with EngineBuilder::OpenFrom for a warm restart.
+  /// Flushes async ingest first; safe to call while ingest continues
+  /// (the checkpoint is one consistent cut).
+  Status Checkpoint(const std::string& dir);
+
+  /// Eviction/spill observability: budget, enforcement and per-rung
+  /// eviction counts, cold-cell population, spilled/faulted bytes, and
+  /// the fault-in p99 (µs). Zeros when no budget/spill dir is configured.
+  regcube::SpillStats SpillStats() const;
 
   const CubeSchema& schema() const { return sharded_->schema(); }
   const CuboidLattice& lattice() const { return sharded_->lattice(); }
@@ -118,6 +133,11 @@ class Engine {
   Engine(std::shared_ptr<const CubeSchema> schema, ExceptionPolicy policy,
          StreamCubeEngine::Options options, int num_shards, int read_threads,
          IngestConfig ingest);
+
+  /// Stands up the memory-governed storage tier (frame store + governor +
+  /// the api snapshot-cache eviction rung). Called by Build()/OpenFrom()
+  /// after construction, before the engine is handed out.
+  Status InitStorage(const MemoryBudgetConfig& budget);
 
   /// Snapshot memoized by engine revision; replaced (never mutated) when
   /// a write has moved the revision. Heap-allocated so Engine stays
@@ -205,11 +225,33 @@ class EngineBuilder {
   /// ResourceExhausted on the ticket.
   EngineBuilder& SetBackpressure(BackpressurePolicy policy);
 
+  /// Global memory budget in bytes shared by every shard (default 0 =
+  /// unbounded). When retained bytes exceed it, the engine walks a typed
+  /// eviction ladder after ingest batches: drop the cube memo, drop the
+  /// snapshot/gather caches and frozen blocks, then — with a spill dir —
+  /// spill cold tilt frames to disk. Queries stay bit-identical; spilled
+  /// frames fault back in transparently.
+  EngineBuilder& SetMemoryBudget(std::int64_t budget_bytes);
+
+  /// Directory cold frames spill to (default unset = no cold tier; the
+  /// ladder then stops at the cache rungs). Created if missing; spill
+  /// segments are scratch files, deleted when the engine is destroyed.
+  EngineBuilder& SetSpillDir(std::string dir);
+
   /// Validates the configuration; InvalidArgument describes the first
   /// problem found (missing schema or tilt policy, bad shard count or
   /// read-thread count, drill path without the popular-path algorithm or
-  /// not a valid o->m chain).
+  /// not a valid o->m chain, negative memory budget).
   Result<Engine> Build() const;
+
+  /// Warm restart: builds an engine from a Checkpoint() directory. Reads
+  /// the manifest, adopts its start tick, validates it against this
+  /// builder's schema/tilt policy, maps the frame files read-only and
+  /// restores every cell as lazily-spilled state — the first query is
+  /// served by fault-ins straight from the mapped files, and ingest
+  /// resumes where the checkpointed stream stopped. The shard count may
+  /// differ from the writer's. Composes with SetMemoryBudget/SetSpillDir.
+  Result<Engine> OpenFrom(const std::string& dir) const;
 
  private:
   std::shared_ptr<const CubeSchema> schema_;
@@ -218,6 +260,7 @@ class EngineBuilder {
   int shards_ = 1;
   int read_threads_ = 0;
   IngestConfig ingest_;
+  MemoryBudgetConfig budget_;
 };
 
 }  // namespace regcube

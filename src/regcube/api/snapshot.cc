@@ -14,7 +14,8 @@ CubeSnapshot::CubeSnapshot(std::shared_ptr<const CubeSchema> schema,
       pool_(std::move(pool)),
       cells_(std::move(gathered.cells)),
       clock_(gathered.clock),
-      revision_(gathered.revision) {}
+      revision_(gathered.revision),
+      stats_(gathered.stats) {}
 
 Result<std::vector<MLayerTuple>> CubeSnapshot::Window(int level, int k) const {
   return SnapshotWindowOf(*cells_, level, k);

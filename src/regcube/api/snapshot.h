@@ -86,6 +86,13 @@ class CubeSnapshot {
   /// Engine revision this snapshot froze; the staleness handle.
   std::uint64_t revision() const { return revision_; }
 
+  /// What the underlying gather paid for this snapshot: frames
+  /// materialized vs shared, and — with a cold tier configured — how many
+  /// spilled frames had to be faulted back in (`fault_ins` /
+  /// `fault_in_bytes`). The observability hook the spill tests and benches
+  /// read to prove a snapshot's provenance.
+  const GatherStats& gather_stats() const { return stats_; }
+
   /// The tick every frozen frame is aligned to.
   TimeTick now() const { return clock_; }
 
@@ -129,6 +136,7 @@ class CubeSnapshot {
   std::shared_ptr<const SnapshotCells> cells_;
   TimeTick clock_ = 0;
   std::uint64_t revision_ = 0;
+  GatherStats stats_;  // what the gather behind this snapshot paid
   mutable CubeMemo memo_;  // logically immutable: a memo of the derived cube
 };
 

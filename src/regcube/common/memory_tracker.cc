@@ -9,7 +9,9 @@ namespace regcube {
 void MemoryTracker::Add(const std::string& category, std::int64_t bytes) {
   RC_CHECK_GE(bytes, 0);
   std::lock_guard<std::mutex> lock(mu_);
-  by_category_[category] += bytes;
+  Pool& pool = by_category_[category];
+  pool.current += bytes;
+  pool.peak = std::max(pool.peak, pool.current);
   current_ += bytes;
   peak_ = std::max(peak_, current_);
 }
@@ -19,8 +21,9 @@ void MemoryTracker::Release(const std::string& category, std::int64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_category_.find(category);
   RC_CHECK(it != by_category_.end()) << "unknown category " << category;
-  RC_CHECK_GE(it->second, bytes) << "category " << category << " underflow";
-  it->second -= bytes;
+  RC_CHECK_GE(it->second.current, bytes)
+      << "category " << category << " underflow";
+  it->second.current -= bytes;
   current_ -= bytes;
 }
 
@@ -37,7 +40,14 @@ std::int64_t MemoryTracker::peak_bytes() const {
 std::int64_t MemoryTracker::category_bytes(const std::string& category) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_category_.find(category);
-  return it == by_category_.end() ? 0 : it->second;
+  return it == by_category_.end() ? 0 : it->second.current;
+}
+
+std::int64_t MemoryTracker::category_peak_bytes(
+    const std::string& category) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_category_.find(category);
+  return it == by_category_.end() ? 0 : it->second.peak;
 }
 
 std::vector<std::pair<std::string, std::int64_t>> MemoryTracker::Snapshot()
@@ -45,7 +55,20 @@ std::vector<std::pair<std::string, std::int64_t>> MemoryTracker::Snapshot()
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, std::int64_t>> out;
   out.reserve(by_category_.size());
-  for (const auto& [name, bytes] : by_category_) out.emplace_back(name, bytes);
+  for (const auto& [name, pool] : by_category_) {
+    out.emplace_back(name, pool.current);
+  }
+  return out;
+}
+
+std::vector<MemoryTracker::CategoryUsage> MemoryTracker::SnapshotWithPeaks()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CategoryUsage> out;
+  out.reserve(by_category_.size());
+  for (const auto& [name, pool] : by_category_) {
+    out.push_back({name, pool.current, pool.peak});
+  }
   return out;
 }
 

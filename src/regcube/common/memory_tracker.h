@@ -45,15 +45,34 @@ class MemoryTracker {
   /// Current bytes in one category (0 if never touched).
   std::int64_t category_bytes(const std::string& category) const;
 
+  /// Highest value one category has reached (0 if never touched) — the
+  /// per-pool high-water mark the memory governor sizes budgets against.
+  std::int64_t category_peak_bytes(const std::string& category) const;
+
   /// Snapshot of all categories, sorted by name.
   std::vector<std::pair<std::string, std::int64_t>> Snapshot() const;
 
-  /// Resets all counters (including the peak) to zero.
+  /// One category's current and high-water bytes, together.
+  struct CategoryUsage {
+    std::string name;
+    std::int64_t current = 0;
+    std::int64_t peak = 0;
+  };
+
+  /// Snapshot of all categories with their high-water marks, sorted by
+  /// name — what regcube_cli's memory block prints.
+  std::vector<CategoryUsage> SnapshotWithPeaks() const;
+
+  /// Resets all counters (including the peaks) to zero.
   void Reset();
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, std::int64_t> by_category_;
+  struct Pool {
+    std::int64_t current = 0;
+    std::int64_t peak = 0;
+  };
+  std::map<std::string, Pool> by_category_;
   std::int64_t current_ = 0;
   std::int64_t peak_ = 0;
 };

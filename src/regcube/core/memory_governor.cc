@@ -1,0 +1,72 @@
+#include "regcube/core/memory_governor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace regcube {
+
+MemoryGovernor::MemoryGovernor(std::int64_t budget_bytes,
+                               std::function<std::int64_t()> usage)
+    : budget_(budget_bytes), usage_(std::move(usage)) {}
+
+void MemoryGovernor::AddRung(int priority, std::string name, ReclaimFn fn) {
+  Rung rung;
+  rung.priority = priority;
+  rung.name = std::move(name);
+  rung.fn = std::move(fn);
+  // Insertion sort keeps rungs_ and rung_stats_ parallel and in ladder
+  // order; registration happens a handful of times at construction.
+  std::size_t pos = 0;
+  while (pos < rungs_.size() && rungs_[pos].priority <= priority) ++pos;
+  rungs_.insert(rungs_.begin() + pos, std::move(rung));
+  RungStats stats;
+  stats.name = rungs_[pos].name;
+  rung_stats_.insert(rung_stats_.begin() + pos, std::move(stats));
+}
+
+bool MemoryGovernor::MaybeEnforce() {
+  if (budget_ <= 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++checks_;
+  }
+  std::int64_t usage = usage_();
+  if (usage <= budget_) return false;
+  std::unique_lock<std::mutex> enforce(enforce_mu_, std::try_to_lock);
+  if (!enforce.owns_lock()) return false;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    max_over_bytes_ = std::max(max_over_bytes_, usage - budget_);
+  }
+  // Drain below the ceiling with headroom so one enforcement buys a
+  // stretch of unimpeded ingest instead of re-firing on the next tuple.
+  const std::int64_t target = budget_ - budget_ / 8;
+  bool ran = false;
+  for (std::size_t i = 0; i < rungs_.size(); ++i) {
+    usage = usage_();
+    if (usage <= target) break;
+    const std::int64_t reclaimed = rungs_[i].fn(usage - target);
+    ran = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++rung_stats_[i].invocations;
+    rung_stats_[i].reclaimed_bytes += reclaimed;
+  }
+  if (ran) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++enforcements_;
+  }
+  return ran;
+}
+
+MemoryGovernor::Stats MemoryGovernor::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  Stats out;
+  out.budget_bytes = budget_;
+  out.checks = checks_;
+  out.enforcements = enforcements_;
+  out.max_over_bytes = max_over_bytes_;
+  out.rungs = rung_stats_;
+  return out;
+}
+
+}  // namespace regcube

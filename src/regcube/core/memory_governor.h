@@ -1,0 +1,107 @@
+#ifndef REGCUBE_CORE_MEMORY_GOVERNOR_H_
+#define REGCUBE_CORE_MEMORY_GOVERNOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace regcube {
+
+/// Engine-level spill/eviction observability, assembled from the governor,
+/// the frame store, and the per-shard spilled-cell counts. All counters
+/// cumulative since the engine was built unless noted.
+struct SpillStats {
+  std::int64_t budget_bytes = 0;    // 0 = unbounded
+  std::int64_t enforcements = 0;    // ladder runs that did work
+  std::int64_t memo_evictions = 0;  // rung invocations, by rung
+  std::int64_t cache_evictions = 0;
+  std::int64_t spill_evictions = 0;
+  std::int64_t evicted_bytes = 0;   // bytes reclaimed by all rungs
+  std::int64_t spilled_cells = 0;   // cells currently cold (point in time)
+  std::int64_t spilled_blocks = 0;  // blocks ever written to the cold tier
+  std::int64_t spilled_bytes = 0;
+  std::int64_t fault_ins = 0;       // cold reads decoded back into RAM
+  std::int64_t fault_in_bytes = 0;
+  double fault_in_p99_us = 0.0;
+  std::int64_t disk_bytes = 0;      // cold-tier footprint (point in time)
+};
+
+/// The global memory budget shared by every shard: a byte ceiling, a usage
+/// probe (the MemoryTracker's current total), and a typed eviction ladder.
+///
+/// Rungs are registered with a priority (lower runs first) and a reclaim
+/// callback taking the bytes still over target; the canonical ladder is
+///   drop the cube memo -> drop gather/snapshot caches -> spill cold frames
+/// so the cheapest-to-rebuild state goes first and the cold tier is the
+/// last resort.
+///
+/// MaybeEnforce is called from the ingest paths (sync ingest and the owner
+/// threads' post-drain hook). It is cheap when under budget (one usage
+/// probe), and at most one thread runs the ladder at a time — contenders
+/// skip rather than queue, so ingest never stalls behind an eviction
+/// already in progress. Enforcement drains to a target slightly below the
+/// budget (budget minus 1/8) so each run buys headroom instead of
+/// thrashing at the ceiling.
+class MemoryGovernor {
+ public:
+  /// `excess` is the bytes still above target; returns bytes reclaimed
+  /// (best effort — the governor re-probes usage after every rung, so an
+  /// optimistic estimate only skews stats, not enforcement).
+  using ReclaimFn = std::function<std::int64_t(std::int64_t excess)>;
+
+  MemoryGovernor(std::int64_t budget_bytes,
+                 std::function<std::int64_t()> usage);
+
+  MemoryGovernor(const MemoryGovernor&) = delete;
+  MemoryGovernor& operator=(const MemoryGovernor&) = delete;
+
+  /// Registers an eviction rung. Lower `priority` runs first. Not
+  /// thread-safe; call during engine construction only.
+  void AddRung(int priority, std::string name, ReclaimFn fn);
+
+  /// Runs the ladder if usage exceeds the budget. Returns true if any
+  /// rung ran. A no-op (false) when under budget or when another thread
+  /// is already enforcing.
+  bool MaybeEnforce();
+
+  std::int64_t budget_bytes() const { return budget_; }
+
+  struct RungStats {
+    std::string name;
+    std::int64_t invocations = 0;
+    std::int64_t reclaimed_bytes = 0;
+  };
+  struct Stats {
+    std::int64_t budget_bytes = 0;
+    std::int64_t checks = 0;        // MaybeEnforce calls
+    std::int64_t enforcements = 0;  // calls that ran >= 1 rung
+    std::int64_t max_over_bytes = 0;
+    std::vector<RungStats> rungs;   // ladder order
+  };
+  Stats stats() const;
+
+ private:
+  struct Rung {
+    int priority = 0;
+    std::string name;
+    ReclaimFn fn;
+  };
+
+  const std::int64_t budget_;
+  const std::function<std::int64_t()> usage_;
+  std::vector<Rung> rungs_;
+
+  std::mutex enforce_mu_;  // serializes the ladder; contenders skip
+
+  mutable std::mutex stats_mu_;
+  std::int64_t checks_ = 0;
+  std::int64_t enforcements_ = 0;
+  std::int64_t max_over_bytes_ = 0;
+  std::vector<RungStats> rung_stats_;  // parallel to rungs_
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CORE_MEMORY_GOVERNOR_H_

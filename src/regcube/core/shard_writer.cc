@@ -6,8 +6,11 @@
 
 namespace regcube {
 
-ShardWriter::ShardWriter(IngestQueue* queue, AbsorbFn absorb)
-    : queue_(queue), absorb_(std::move(absorb)) {
+ShardWriter::ShardWriter(IngestQueue* queue, AbsorbFn absorb,
+                         PostBatchFn post_batch)
+    : queue_(queue),
+      absorb_(std::move(absorb)),
+      post_batch_(std::move(post_batch)) {
   RC_CHECK(queue_ != nullptr);
   RC_CHECK(absorb_ != nullptr);
   thread_ = std::thread([this] { Loop(); });
@@ -29,6 +32,10 @@ void ShardWriter::Loop() {
     if (popped == 0) return;  // closed and drained
     const AbsorbResult result = absorb_(batch);
     queue_->MarkAbsorbed(popped, result.absorbed, result.status);
+    // After the ack: a Flush() waiting on this batch is already unblocked,
+    // so whatever runs here (budget enforcement, spilling) steals no
+    // latency from the ingest path.
+    if (post_batch_ != nullptr) post_batch_();
   }
 }
 

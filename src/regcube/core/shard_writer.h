@@ -34,10 +34,15 @@ class ShardWriter {
   };
   using AbsorbFn =
       std::function<AbsorbResult(const std::vector<StreamTuple>&)>;
+  using PostBatchFn = std::function<void()>;
 
   /// Starts the owner thread immediately. `queue` is not owned and must
-  /// outlive Stop()/destruction.
-  ShardWriter(IngestQueue* queue, AbsorbFn absorb);
+  /// outlive Stop()/destruction. `post_batch` (optional) runs on the owner
+  /// thread after each batch is absorbed AND acknowledged — off the Flush
+  /// critical path, which is where the memory governor's enforcement hook
+  /// lives: eviction work never holds up a caller waiting on the queue.
+  ShardWriter(IngestQueue* queue, AbsorbFn absorb,
+              PostBatchFn post_batch = nullptr);
 
   /// Stops via Stop() if the owner thread is still running.
   ~ShardWriter();
@@ -55,6 +60,7 @@ class ShardWriter {
 
   IngestQueue* queue_;
   AbsorbFn absorb_;
+  PostBatchFn post_batch_;
   std::thread thread_;
 };
 

@@ -6,6 +6,7 @@
 #include "regcube/common/logging.h"
 #include "regcube/common/memory_tracker.h"
 #include "regcube/common/str.h"
+#include "regcube/io/binary_io.h"
 
 namespace regcube {
 
@@ -104,13 +105,18 @@ ShardedStreamEngine::ShardedStreamEngine(
     }
     // Writers start only after every queue exists: an owner thread's
     // absorb callback touches shards_ and the counters, all built above.
+    // The post-batch hook is the async-mode budget enforcement point: it
+    // runs after the batch is acknowledged (Flush waiters are already
+    // unblocked) and is a no-op until ConfigureStorage installs a
+    // governor.
     for (int i = 0; i < num_shards; ++i) {
       const size_t shard_index = static_cast<size_t>(i);
       writers_.push_back(std::make_unique<ShardWriter>(
           queues_[shard_index].get(),
           [this, shard_index](const std::vector<StreamTuple>& batch) {
             return AbsorbDrained(shard_index, batch);
-          }));
+          },
+          [this] { MaybeEnforceBudget(); }));
     }
   }
   if (options_.algorithm == StreamCubeEngine::Algorithm::kMoCubing) {
@@ -279,6 +285,7 @@ Status ShardedStreamEngine::Ingest(const StreamTuple& tuple) {
   if (changed) {
     revision_.fetch_add(1, std::memory_order_release);
   }
+  MaybeEnforceBudget();
   return status;
 }
 
@@ -331,6 +338,7 @@ IngestReport ShardedStreamEngine::IngestBatch(
   if (changed) {
     revision_.fetch_add(1, std::memory_order_release);
   }
+  MaybeEnforceBudget();
   return report;
 }
 
@@ -386,6 +394,11 @@ Status ShardedStreamEngine::SealThrough(TimeTick t) {
   if (SumShardRevisionsLocked() != before || t + 1 > clock_before) {
     revision_.fetch_add(1, std::memory_order_release);
   }
+  locks.clear();
+  // Alignment grows frames (rolled-up slots materialize in coarser
+  // levels), so a seal can carry the engine over budget even with no
+  // ingest in flight; enforce after releasing the shard locks.
+  MaybeEnforceBudget();
   return Status::OK();
 }
 
@@ -569,6 +582,12 @@ ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherAlignedCells(
     gather_shard_revs_ = shard_rev;
     gather_valid_ = true;
   }
+  // The export above is the moment cells turn clean (spillable): writes
+  // and slot-sealing seals re-dirty them, so post-write enforcement can
+  // find nothing to spill in a hot-everywhere stream. Enforcing here —
+  // after the dirty lists drained, outside every shard lock — is what
+  // lets a budgeted engine actually converge under ingest/read churn.
+  MaybeEnforceBudget();
   return out;
 }
 
@@ -830,6 +849,256 @@ std::int64_t ShardedStreamEngine::MemberIndexBytes() const {
     bytes += shard->engine.MemberIndexBytes();
   }
   return bytes;
+}
+
+Status ShardedStreamEngine::ConfigureStorage(const MemoryBudgetConfig& config) {
+  if (config.budget_bytes < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("memory budget must be >= 0, got %lld",
+                  static_cast<long long>(config.budget_bytes)));
+  }
+  budget_config_ = config;
+  if (!config.spill_dir.empty()) {
+    auto store = FrameStore::Open(config.spill_dir);
+    if (!store.ok()) return store.status();
+    frame_store_ = std::move(*store);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      std::lock_guard<std::mutex> lock(shards_[i]->mu);
+      shards_[i]->engine.set_frame_store(frame_store_.get(),
+                                         static_cast<int>(i));
+    }
+  }
+  if (config.budget_bytes > 0) {
+    governor_ = std::make_unique<MemoryGovernor>(
+        config.budget_bytes, [this] { return UsageBytes(); });
+    // The typed eviction ladder, cheapest-to-rebuild first. The api layer
+    // registers its snapshot cache at priority 19, between the memo and
+    // the core gather caches.
+    governor_->AddRung(10, "cube.memo",
+                       [this](std::int64_t) { return DropCubeMemoRung(); });
+    governor_->AddRung(21, "gather.caches", [this](std::int64_t) {
+      return DropGatherCachesRung();
+    });
+    if (frame_store_ != nullptr) {
+      governor_->AddRung(30, "frames.spill", [this](std::int64_t excess) {
+        return SpillColdFramesRung(excess);
+      });
+    }
+  }
+  return Status::OK();
+}
+
+void ShardedStreamEngine::MaybeEnforceBudget() {
+  if (governor_ != nullptr) governor_->MaybeEnforce();
+}
+
+std::int64_t ShardedStreamEngine::UsageBytes() const {
+  if (tracker_ != nullptr) return tracker_->current_bytes();
+  return MemoryBytes() + FrozenBytes() + MemberIndexBytes() +
+         CubeMemoBytes() + IngestQueueBytes();
+}
+
+std::int64_t ShardedStreamEngine::DropCubeMemoRung() {
+  if (cube_memo_ == nullptr) return 0;
+  const std::int64_t bytes = cube_memo_->MemoryBytes();
+  cube_memo_->Invalidate();
+  return bytes;
+}
+
+std::int64_t ShardedStreamEngine::DropGatherCachesRung() {
+  std::int64_t freed = 0;
+  {
+    // Dropping the cached run is safe against an in-flight delta gather:
+    // the builder snapshotted its base earlier and installs its result
+    // unconditionally (re-registering tracker bytes), so the only effect
+    // here is that the *next* gather starts from a full export.
+    std::lock_guard<std::mutex> lock(gather_mu_);
+    if (gather_valid_) {
+      const std::int64_t bytes = SliceBytes(*gather_cache_.cells);
+      if (tracker_ != nullptr && bytes > 0) {
+        tracker_->Release(kGatherCacheCategory, bytes);
+      }
+      freed += bytes;
+      gather_cache_ = GatheredCells{};  // drops the run's shared_ptr
+      gather_shard_revs_.clear();
+      gather_valid_ = false;
+    }
+  }
+  // The per-cell frozen blocks are only truly freed once the cached run
+  // stops sharing them — which the drop above just arranged.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    freed += shard->engine.DropFrozenBlocks();
+  }
+  return freed;
+}
+
+std::int64_t ShardedStreamEngine::SpillColdFramesRung(std::int64_t excess) {
+  const size_t n = shards_.size();
+  std::vector<std::int64_t> resident(n, 0);
+  std::int64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    resident[i] = shards_[i]->engine.MemoryBytes();
+    total += resident[i];
+  }
+  if (total <= 0 || excess <= 0) return 0;
+  std::int64_t freed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (resident[i] <= 0) continue;
+    // Each shard spills its proportional share, rounded up so a small
+    // excess still makes progress somewhere.
+    const std::int64_t target = (excess * resident[i] + total - 1) / total;
+    if (target <= 0) continue;
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    freed += shards_[i]->engine.SpillColdFrames(target).bytes;
+  }
+  return freed;
+}
+
+regcube::SpillStats ShardedStreamEngine::SpillStats() const {
+  regcube::SpillStats out;
+  out.budget_bytes = budget_config_.budget_bytes;
+  if (governor_ != nullptr) {
+    const MemoryGovernor::Stats g = governor_->stats();
+    out.enforcements = g.enforcements;
+    for (const auto& rung : g.rungs) {
+      out.evicted_bytes += rung.reclaimed_bytes;
+      if (rung.name == "cube.memo") {
+        out.memo_evictions += rung.invocations;
+      } else if (rung.name == "frames.spill") {
+        out.spill_evictions += rung.invocations;
+      } else {
+        out.cache_evictions += rung.invocations;
+      }
+    }
+  }
+  if (frame_store_ != nullptr) {
+    const FrameStoreStats s = frame_store_->Stats();
+    out.spilled_blocks = s.spilled_blocks;
+    out.spilled_bytes = s.spilled_bytes;
+    out.fault_ins = s.fault_ins;
+    out.fault_in_bytes = s.fault_in_bytes;
+    out.fault_in_p99_us = s.fault_in_p99_us;
+    out.disk_bytes = s.disk_bytes;
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.spilled_cells += shard->engine.SpilledCells();
+  }
+  return out;
+}
+
+Status ShardedStreamEngine::CheckpointTo(const std::string& dir) {
+  // Queued tuples must land before the cut (async mode); then every shard
+  // lock is held so the files describe one consistent instant.
+  RC_RETURN_IF_ERROR(Flush());
+  RC_RETURN_IF_ERROR(EnsureDirectory(dir));
+  auto locks = LockAll();
+  const size_t n = shards_.size();
+  std::vector<Status> statuses(n);
+  std::vector<std::int64_t> counts(n, 0);
+  auto write_one = [&](std::int64_t idx) {
+    const size_t i = static_cast<size_t>(idx);
+    std::vector<std::pair<CellKey, std::string>> cells;
+    Status s = shards_[i]->engine.ExportEncodedFrames(&cells);
+    if (s.ok()) {
+      counts[i] = static_cast<std::int64_t>(cells.size());
+      s = WriteFile(CheckpointShardFilePath(dir, static_cast<int>(i)),
+                    EncodeCheckpointShardFile(static_cast<int>(i), cells));
+    }
+    statuses[i] = std::move(s);
+  };
+  if (pool_ != nullptr && n > 1) {
+    pool_->ParallelFor(static_cast<std::int64_t>(n), write_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) write_one(static_cast<std::int64_t>(i));
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  CheckpointManifest manifest;
+  manifest.num_shard_files = num_shards();
+  manifest.num_dims = schema_->num_dims();
+  manifest.num_levels = options_.tilt_policy->num_levels();
+  manifest.start_tick = options_.start_tick;
+  TimeTick clock = clock_.load(std::memory_order_acquire);
+  for (const auto& shard : shards_) {
+    clock = std::max(clock, shard->engine.now());
+  }
+  manifest.clock = clock;
+  for (std::int64_t c : counts) manifest.num_cells += c;
+  // The manifest is the commit point: written (atomically) last, so a
+  // directory with a valid manifest always has complete shard files.
+  return WriteFile(CheckpointManifestPath(dir),
+                   EncodeCheckpointManifest(manifest));
+}
+
+Status ShardedStreamEngine::RestoreFrom(const std::string& dir) {
+  if (num_cells() != 0) {
+    return Status::FailedPrecondition(
+        "RestoreFrom requires a freshly built, empty engine");
+  }
+  auto manifest_data = ReadFile(CheckpointManifestPath(dir));
+  if (!manifest_data.ok()) return manifest_data.status();
+  auto manifest = DecodeCheckpointManifest(*manifest_data);
+  if (!manifest.ok()) return manifest.status();
+  if (manifest->num_dims != schema_->num_dims()) {
+    return Status::InvalidArgument(
+        StrPrintf("checkpoint was written with %d dims, schema has %d",
+                  manifest->num_dims, schema_->num_dims()));
+  }
+  if (manifest->num_levels != options_.tilt_policy->num_levels()) {
+    return Status::InvalidArgument(StrPrintf(
+        "checkpoint was written with %d tilt levels, policy has %d",
+        manifest->num_levels, options_.tilt_policy->num_levels()));
+  }
+  if (manifest->start_tick != options_.start_tick) {
+    return Status::InvalidArgument(StrPrintf(
+        "checkpoint starts at tick %lld, engine at %lld (OpenFrom sets "
+        "this automatically)",
+        static_cast<long long>(manifest->start_tick),
+        static_cast<long long>(options_.start_tick)));
+  }
+  if (frame_store_ == nullptr) {
+    // No spill dir configured: an attach-only store maps the checkpoint
+    // files; later evictions just stop at the cache rungs.
+    auto store = FrameStore::Open("");
+    if (!store.ok()) return store.status();
+    frame_store_ = std::move(*store);
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    shards_[i]->engine.set_frame_store(frame_store_.get(),
+                                       static_cast<int>(i));
+  }
+  // Cells are re-routed by the *current* shard hash — the checkpoint's
+  // shard count is just its file layout, not a constraint on ours.
+  std::int64_t restored = 0;
+  for (std::int32_t f = 0; f < manifest->num_shard_files; ++f) {
+    auto entries =
+        frame_store_->AttachCheckpointFile(CheckpointShardFilePath(dir, f));
+    if (!entries.ok()) return entries.status();
+    for (const auto& entry : *entries) {
+      Shard& shard = *shards_[static_cast<size_t>(ShardIndex(entry.key))];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      RC_RETURN_IF_ERROR(shard.engine.RestoreCell(entry.key, entry.ref));
+      ++restored;
+    }
+  }
+  if (restored != manifest->num_cells) {
+    return Status::InvalidArgument(
+        StrPrintf("checkpoint manifest promises %lld cells, files held %lld",
+                  static_cast<long long>(manifest->num_cells),
+                  static_cast<long long>(restored)));
+  }
+  BumpClock(manifest->clock);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->engine.RestoreClock(manifest->clock);
+  }
+  revision_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
 }
 
 }  // namespace regcube

@@ -13,13 +13,24 @@
 #include "regcube/common/thread_pool.h"
 #include "regcube/core/incremental_cube.h"
 #include "regcube/core/ingest_queue.h"
+#include "regcube/core/memory_governor.h"
 #include "regcube/core/shard_writer.h"
 #include "regcube/core/snapshot_reads.h"
 #include "regcube/core/stream_engine.h"
+#include "regcube/io/frame_store.h"
 
 namespace regcube {
 
 class MemoryTracker;
+
+/// The memory-governed storage tier's configuration: a global byte budget
+/// shared by every shard (0 = unbounded) and the directory cold frames
+/// spill to (empty = no cold tier; with a budget but no spill dir the
+/// ladder stops at the cache-dropping rungs).
+struct MemoryBudgetConfig {
+  std::int64_t budget_bytes = 0;
+  std::string spill_dir;
+};
 
 /// Thread-safe scale-out layer over StreamCubeEngine: m-layer cells are
 /// hash-partitioned across N single-threaded shards, each guarded by its
@@ -271,6 +282,51 @@ class ShardedStreamEngine {
   /// owned; must outlive the engine. Install before concurrent use.
   void set_memory_tracker(MemoryTracker* tracker);
 
+  // ---- the memory-governed storage tier ---------------------------------
+
+  /// Builds the cold tier and/or governor per `config`: opens the frame
+  /// store (when a spill dir is configured), attaches it to every shard,
+  /// and stands up the MemoryGovernor with the core eviction ladder —
+  /// cube memo (priority 10), gather caches + frozen blocks (21), cold
+  /// spill (30); the api layer adds its snapshot cache at 19. Call once,
+  /// after set_memory_tracker and before concurrent use. Enforcement then
+  /// runs after every sync ingest and on the owner threads' post-batch
+  /// hook in async mode.
+  Status ConfigureStorage(const MemoryBudgetConfig& config);
+
+  /// The governor, or null when no budget is configured — the api layer
+  /// registers its snapshot-cache rung through this.
+  MemoryGovernor* governor() { return governor_.get(); }
+
+  /// The cold tier, or null when neither a spill dir was configured nor a
+  /// checkpoint restored.
+  const FrameStore* frame_store() const { return frame_store_.get(); }
+
+  /// Runs the eviction ladder if usage exceeds the budget (no-op without a
+  /// governor). Public so tests can force an enforcement point.
+  void MaybeEnforceBudget();
+
+  /// Eviction/spill observability: governor counters, frame-store
+  /// counters, and the current cold-cell population, merged.
+  regcube::SpillStats SpillStats() const;
+
+  /// Persists the whole engine under `dir`: flushes queued ingest, then —
+  /// holding every shard lock — encodes each shard's cells in parallel on
+  /// the pool into one "frames-<i>.rcs" file per shard (spilled cells are
+  /// copied raw, no fault-in), and writes the manifest last as the commit
+  /// point. The directory can be re-opened with RestoreFrom (or the api
+  /// EngineBuilder::OpenFrom) for a warm restart.
+  Status CheckpointTo(const std::string& dir);
+
+  /// Warm restart: validates the manifest against this engine's schema and
+  /// tilt policy, maps every shard file read-only, and installs each
+  /// checkpointed cell as lazily-spilled state — no frame is decoded until
+  /// first touched, so the first query after restart is served by
+  /// fault-ins straight from the mapped files. Keys are re-routed by the
+  /// *current* shard hash, so the shard count may differ from the writer's.
+  /// Pre: the engine is freshly built and empty; call before any ingest.
+  Status RestoreFrom(const std::string& dir);
+
   const CubeSchema& schema() const { return *schema_; }
   const CuboidLattice& lattice() const { return lattice_; }
 
@@ -316,6 +372,17 @@ class ShardedStreamEngine {
   ShardWriter::AbsorbResult AbsorbDrained(
       size_t i, const std::vector<StreamTuple>& batch);
 
+  /// Current usage the governor compares against the budget: the
+  /// tracker's global total when one is attached (it covers frames,
+  /// frozen blocks, caches, memo, indexes, queues), else the sum of the
+  /// O(1) per-shard counters.
+  std::int64_t UsageBytes() const;
+
+  // The eviction ladder's rungs (see ConfigureStorage for the order).
+  std::int64_t DropCubeMemoRung();
+  std::int64_t DropGatherCachesRung();
+  std::int64_t SpillColdFramesRung(std::int64_t excess);
+
   std::shared_ptr<const CubeSchema> schema_;
   CuboidLattice lattice_;
   Options options_;  // shard options; key_mapper lives in mapper_ instead
@@ -347,6 +414,14 @@ class ShardedStreamEngine {
   // The maintained cube (see ComputeCubeShared). Null for popular-path
   // engines — their cubes are not patchable, so they stay from-scratch.
   std::unique_ptr<IncrementalCubeCache> cube_memo_;
+
+  // The memory-governed storage tier (both null until ConfigureStorage /
+  // RestoreFrom): the shared cold tier and the budget enforcer. The store
+  // must outlive the shards' use of it; it is declared here, before
+  // writers_, so owner threads join before it is destroyed.
+  MemoryBudgetConfig budget_config_;
+  std::unique_ptr<FrameStore> frame_store_;
+  std::unique_ptr<MemoryGovernor> governor_;
 
   // The async ingest subsystem (empty in sync mode). writers_ is the LAST
   // member on purpose: destruction runs in reverse declaration order, so

@@ -6,6 +6,7 @@
 #include "regcube/common/logging.h"
 #include "regcube/common/memory_tracker.h"
 #include "regcube/common/str.h"
+#include "regcube/io/cube_io.h"
 #include "regcube/regression/aggregate.h"
 
 namespace regcube {
@@ -15,6 +16,11 @@ namespace {
 constexpr char kFrozenCategory[] = "snapshot.frozen_frames";
 // The ingest-maintained per-cuboid member index (see MemberIndex).
 constexpr char kMemberIndexCategory[] = "index.members";
+// Resident per-cell state (keys, map overhead, live tilt frames).
+constexpr char kTiltFramesCategory[] = "stream.tilt_frames";
+// Estimated unordered_map node overhead per cell, matching the historical
+// MemoryBytes formula.
+constexpr std::int64_t kMapEntryOverhead = 16;
 }  // namespace
 
 StreamCubeEngine::StreamCubeEngine(std::shared_ptr<const CubeSchema> schema,
@@ -42,8 +48,8 @@ StreamCubeEngine::CellState& StreamCubeEngine::CellFor(const CellKey& key) {
   auto it = cells_.find(key);
   if (it == cells_.end()) {
     it = cells_
-             .emplace(key, CellState(TiltTimeFrame(options_.tilt_policy,
-                                                   options_.start_tick)))
+             .emplace(key, CellState(std::make_unique<TiltTimeFrame>(
+                               options_.tilt_policy, options_.start_tick)))
              .first;
     // Creation is observable (num_cells, window errors) even if the first
     // Add is rejected.
@@ -58,8 +64,56 @@ StreamCubeEngine::CellState& StreamCubeEngine::CellFor(const CellKey& key) {
     cells_by_id_.push_back({key, &it->second});
     member_index_.AddCell(key, id);
     AccountMemberIndex();
+    AccountCell(it->second);
   }
   return it->second;
+}
+
+void StreamCubeEngine::AccountCell(CellState& state) {
+  const std::int64_t bytes =
+      static_cast<std::int64_t>(sizeof(CellKey)) + kMapEntryOverhead +
+      (state.frame != nullptr ? state.frame->MemoryBytes() : 0);
+  const std::int64_t delta = bytes - state.tracked_bytes;
+  if (delta == 0) return;
+  frame_bytes_ += delta;
+  if (tracker_ != nullptr) {
+    if (delta > 0) {
+      tracker_->Add(kTiltFramesCategory, delta);
+    } else {
+      tracker_->Release(kTiltFramesCategory, -delta);
+    }
+  }
+  state.tracked_bytes = bytes;
+}
+
+TiltTimeFrame& StreamCubeEngine::LiveFrame(CellState& state,
+                                           GatherStats* stats) {
+  if (state.frame != nullptr) return *state.frame;
+  // Fault-in. Decode failure after a successful store open is fatal by
+  // contract: the block was validated (or written) by this process, so a
+  // bad read here means the mapping itself is gone.
+  RC_CHECK(store_ != nullptr) << "spilled cell without a frame store";
+  auto decoded = store_->ReadFrame(state.spill);
+  RC_CHECK(decoded.ok()) << "fault-in failed: " << decoded.status().ToString();
+  auto frame = TiltTimeFrame::FromSnapshot(options_.tilt_policy, *decoded);
+  RC_CHECK(frame.ok()) << frame.status().ToString();
+  state.frame = std::make_unique<TiltTimeFrame>(*std::move(frame));
+  if (stats != nullptr) {
+    ++stats->fault_ins;
+    stats->fault_in_bytes += state.spill.size;
+  }
+  store_->Release(state.spill);
+  state.spill = BlockRef{};
+  --spilled_cells_;
+  AccountCell(state);
+  return *state.frame;
+}
+
+TiltTimeFrame& StreamCubeEngine::LiveAlignedFrame(const CellKey& key,
+                                                  CellState& state) {
+  LiveFrame(state);
+  AlignCellToClock(key, state);
+  return *state.frame;
 }
 
 void StreamCubeEngine::EnsureIndexed(CuboidId cuboid) {
@@ -111,8 +165,9 @@ Status StreamCubeEngine::Ingest(const StreamTuple& tuple) {
   const CellKey key =
       options_.key_mapper ? options_.key_mapper(tuple.key) : tuple.key;
   CellState& state = CellFor(key);
-  RC_RETURN_IF_ERROR(state.frame.Add(tuple.tick, tuple.value));
+  RC_RETURN_IF_ERROR(LiveFrame(state).Add(tuple.tick, tuple.value));
   MarkDirty(key, state);
+  AccountCell(state);
   now_ = std::max(now_, tuple.tick);
   return Status::OK();
 }
@@ -145,10 +200,18 @@ void StreamCubeEngine::AlignFrames() {
 }
 
 void StreamCubeEngine::AlignCellToClock(const CellKey& key, CellState& state) {
-  const TimeTick from = state.frame.next_tick();
+  if (state.frame == nullptr) {
+    // Spilled: alignment is deferred to fault-in. AdvanceTo over the
+    // skipped ticks is deterministic (missing ticks contribute zero), so
+    // the late advance yields bit-identical slots — and a seal sweep never
+    // has to touch the cold tier.
+    return;
+  }
+  const TimeTick from = state.frame->next_tick();
   if (from >= now_) return;
-  Status s = state.frame.AdvanceTo(now_);
+  Status s = state.frame->AdvanceTo(now_);
   RC_CHECK(s.ok()) << s.ToString();
+  AccountCell(state);
   // Only an advance that sealed a slot changes what any read can see;
   // moving next_tick within an open unit leaves every slot untouched, so
   // the cell's frozen block (and any revision-memoized snapshot) stays
@@ -167,7 +230,7 @@ Result<std::vector<MLayerTuple>> StreamCubeEngine::SnapshotWindow(int level,
   std::vector<MLayerTuple> tuples;
   tuples.reserve(cells_.size());
   for (auto& [key, state] : cells_) {
-    auto isb = state.frame.RegressLastSlots(level, k);
+    auto isb = LiveAlignedFrame(key, state).RegressLastSlots(level, k);
     if (!isb.ok()) return isb.status();
     tuples.push_back(MLayerTuple{key, *isb});
   }
@@ -209,7 +272,7 @@ Result<StreamCubeEngine::DeckSeries> StreamCubeEngine::ObservationDeck(
   const CuboidId o_id = lattice_.o_layer_id();
   for (auto& [key, state] : cells_) {
     const CellKey o_key = lattice_.ProjectMLayerKey(key, o_id);
-    const auto& slots = state.frame.RawSlots(level);
+    const auto& slots = LiveAlignedFrame(key, state).RawSlots(level);
     auto& dest = acc[o_key];
     if (dest.size() < slots.size()) dest.resize(slots.size());
     for (size_t i = 0; i < slots.size(); ++i) {
@@ -269,8 +332,7 @@ Result<Isb> StreamCubeEngine::QueryCell(CuboidId cuboid, const CellKey& key,
   }
   Isb acc;
   for (auto& [m_key, state] : members) {
-    AlignCellToClock(*m_key, *state);
-    auto isb = state->frame.RegressLastSlots(level, k);
+    auto isb = LiveAlignedFrame(*m_key, *state).RegressLastSlots(level, k);
     if (!isb.ok()) return isb.status();
     AccumulateStandardDim(acc, *isb);
   }
@@ -288,8 +350,7 @@ Result<std::vector<Isb>> StreamCubeEngine::QueryCellSeries(
   }
   std::vector<MomentSums> acc;
   for (auto& [m_key, state] : members) {
-    AlignCellToClock(*m_key, *state);
-    const auto& slots = state->frame.RawSlots(level);
+    const auto& slots = LiveAlignedFrame(*m_key, *state).RawSlots(level);
     if (acc.size() < slots.size()) acc.resize(slots.size());
     for (size_t i = 0; i < slots.size(); ++i) {
       if (acc[i].interval.empty()) {
@@ -315,14 +376,21 @@ void StreamCubeEngine::set_memory_tracker(MemoryTracker* tracker) {
     if (member_index_tracked_ > 0) {
       tracker_->Release(kMemberIndexCategory, member_index_tracked_);
     }
+    if (frame_bytes_ > 0) tracker_->Release(kTiltFramesCategory, frame_bytes_);
   }
   if (tracker != nullptr) {
     if (frozen_bytes_ > 0) tracker->Add(kFrozenCategory, frozen_bytes_);
     if (member_index_tracked_ > 0) {
       tracker->Add(kMemberIndexCategory, member_index_tracked_);
     }
+    if (frame_bytes_ > 0) tracker->Add(kTiltFramesCategory, frame_bytes_);
   }
   tracker_ = tracker;
+}
+
+void StreamCubeEngine::set_frame_store(FrameStore* store, int shard_index) {
+  store_ = store;
+  shard_index_ = shard_index;
 }
 
 void StreamCubeEngine::PublishFrozen(
@@ -342,7 +410,7 @@ const std::shared_ptr<const TiltTimeFrame>& StreamCubeEngine::FrozenFor(
     CellState& state, GatherStats* stats) {
   if (state.frozen == nullptr ||
       state.frozen_revision != state.last_modified) {
-    auto block = std::make_shared<const TiltTimeFrame>(state.frame);
+    auto block = std::make_shared<const TiltTimeFrame>(LiveFrame(state, stats));
     if (stats != nullptr) {
       ++stats->materialized;
       stats->bytes_copied += block->MemoryBytes();
@@ -390,10 +458,11 @@ StreamCubeEngine::FrozenExport StreamCubeEngine::ExportFrozen(
 }
 
 void StreamCubeEngine::ExportCellsFull(std::vector<CellSnapshot>* out,
-                                       GatherStats* stats) const {
+                                       GatherStats* stats) {
   out->reserve(out->size() + cells_.size());
-  for (const auto& [key, state] : cells_) {
-    auto block = std::make_shared<const TiltTimeFrame>(state.frame);
+  for (auto& [key, state] : cells_) {
+    auto block =
+        std::make_shared<const TiltTimeFrame>(LiveFrame(state, stats));
     if (stats != nullptr) {
       ++stats->materialized;
       stats->bytes_copied += block->MemoryBytes();
@@ -437,14 +506,101 @@ void StreamCubeEngine::AppendMemberKeys(CuboidId cuboid, const CellKey& key,
   }
 }
 
-std::int64_t StreamCubeEngine::MemoryBytes() const {
-  std::int64_t bytes = 0;
-  constexpr std::int64_t kMapEntryOverhead = 16;
-  for (const auto& [key, state] : cells_) {
-    bytes += static_cast<std::int64_t>(sizeof(CellKey)) + kMapEntryOverhead +
-             state.frame.MemoryBytes();
+StreamCubeEngine::SpillSweep StreamCubeEngine::SpillColdFrames(
+    std::int64_t target_bytes) {
+  SpillSweep sweep;
+  if (store_ == nullptr || target_bytes <= 0) return sweep;
+  // Cold-first: resident cells that are clean (not queued for the next
+  // export — a dirty cell would be faulted straight back in), least
+  // recently modified first.
+  std::vector<CellState*> candidates;
+  candidates.reserve(cells_.size());
+  for (auto& [key, state] : cells_) {
+    if (state.frame == nullptr || state.queued) continue;
+    candidates.push_back(&state);
   }
-  return bytes;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CellState* a, const CellState* b) {
+              return a->last_modified < b->last_modified;
+            });
+  for (CellState* state : candidates) {
+    if (sweep.bytes >= target_bytes) break;
+    auto ref = store_->AppendFrame(shard_index_, state->frame->Snapshot());
+    if (!ref.ok()) break;  // disk trouble: stop, leave the rest resident
+    sweep.bytes += state->frame->MemoryBytes();
+    if (state->frozen != nullptr) {
+      const std::int64_t frozen = state->frozen->MemoryBytes();
+      frozen_bytes_ -= frozen;
+      if (tracker_ != nullptr) tracker_->Release(kFrozenCategory, frozen);
+      state->frozen = nullptr;
+      state->frozen_revision = 0;
+      sweep.bytes += frozen;
+    }
+    state->frame.reset();
+    state->spill = *ref;
+    ++spilled_cells_;
+    ++sweep.cells;
+    AccountCell(*state);
+  }
+  return sweep;
+}
+
+std::int64_t StreamCubeEngine::DropFrozenBlocks() {
+  std::int64_t freed = 0;
+  for (auto& [key, state] : cells_) {
+    if (state.frozen == nullptr) continue;
+    const std::int64_t bytes = state.frozen->MemoryBytes();
+    frozen_bytes_ -= bytes;
+    if (tracker_ != nullptr) tracker_->Release(kFrozenCategory, bytes);
+    state.frozen = nullptr;
+    state.frozen_revision = 0;
+    freed += bytes;
+  }
+  return freed;
+}
+
+Status StreamCubeEngine::RestoreCell(const CellKey& key, const BlockRef& ref) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "RestoreCell requires an attached frame store");
+  }
+  if (!ref.valid()) {
+    return Status::InvalidArgument("invalid block ref for restored cell");
+  }
+  if (cells_.find(key) != cells_.end()) {
+    return Status::InvalidArgument("duplicate cell key in checkpoint");
+  }
+  auto it = cells_.emplace(key, CellState(nullptr)).first;
+  CellState& state = it->second;
+  state.spill = ref;
+  // Creation is observable; the cell is NOT dirty-queued — a restored
+  // engine has no gather base, so its first export is a full one and picks
+  // the cell up there (faulting it in from the checkpoint mapping).
+  state.last_modified = ++revision_;
+  const auto id = static_cast<MemberIndex::MemberId>(cells_by_id_.size());
+  cells_by_id_.push_back({it->first, &state});
+  member_index_.AddCell(key, id);
+  AccountMemberIndex();
+  ++spilled_cells_;
+  AccountCell(state);
+  return Status::OK();
+}
+
+Status StreamCubeEngine::ExportEncodedFrames(
+    std::vector<std::pair<CellKey, std::string>>* out) {
+  out->reserve(out->size() + cells_.size());
+  for (auto& [key, state] : cells_) {
+    if (state.frame != nullptr) {
+      out->push_back({key, EncodeTiltFrameState(state.frame->Snapshot())});
+    } else {
+      // Cold cells are copied block-to-block — no decode/re-encode, no
+      // fault-in: checkpointing a mostly-cold engine stays cheap.
+      auto raw = store_->ReadRawBlock(state.spill);
+      if (!raw.ok()) return raw.status();
+      out->push_back({key, *std::move(raw)});
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace regcube

@@ -1,10 +1,13 @@
 #ifndef REGCUBE_CORE_STREAM_ENGINE_H_
 #define REGCUBE_CORE_STREAM_ENGINE_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "regcube/common/status.h"
@@ -13,6 +16,7 @@
 #include "regcube/core/popular_path.h"
 #include "regcube/core/regression_cube.h"
 #include "regcube/cube/exception_policy.h"
+#include "regcube/io/frame_store.h"
 #include "regcube/time/tilt_frame.h"
 
 namespace regcube {
@@ -62,12 +66,16 @@ struct GatherStats {
   std::int64_t materialized = 0;  // frames deep-copied (dirty or re-aligned)
   std::int64_t bytes_copied = 0;  // bytes retained by those copies
   std::int64_t shards_reused = 0; // shards served wholesale from their cache
+  std::int64_t fault_ins = 0;       // spilled frames read back for this gather
+  std::int64_t fault_in_bytes = 0;  // encoded bytes those fault-ins decoded
 
   void Merge(const GatherStats& other) {
     cells += other.cells;
     materialized += other.materialized;
     bytes_copied += other.bytes_copied;
     shards_reused += other.shards_reused;
+    fault_ins += other.fault_ins;
+    fault_in_bytes += other.fault_in_bytes;
   }
 };
 
@@ -210,9 +218,9 @@ class StreamCubeEngine {
 
   /// Same contract, but deep-copies every frame unconditionally and leaves
   /// the frozen cache untouched — the O(all-cells) baseline the delta path
-  /// is benchmarked (and bit-identity-tested) against.
-  void ExportCellsFull(std::vector<CellSnapshot>* out,
-                       GatherStats* stats) const;
+  /// is benchmarked (and bit-identity-tested) against. Non-const because a
+  /// full export must fault spilled cells back in.
+  void ExportCellsFull(std::vector<CellSnapshot>* out, GatherStats* stats);
 
   /// Frozen views of only the m-layer cells that roll up into `key` of
   /// `cuboid` — the member-only gather behind point queries. With
@@ -250,8 +258,11 @@ class StreamCubeEngine {
   /// memoized on this revision stay valid across no-op seals.
   std::uint64_t revision() const { return revision_; }
 
-  /// Total bytes retained by the per-cell tilt frames.
-  std::int64_t MemoryBytes() const;
+  /// Bytes retained by the RAM-resident per-cell state (keys, map overhead,
+  /// live tilt frames — spilled frames excluded). Maintained incrementally
+  /// per mutation, so this is O(1), and mirrored to the tracker under
+  /// "stream.tilt_frames".
+  std::int64_t MemoryBytes() const { return frame_bytes_; }
 
   /// Bytes retained by the cached frozen blocks (also accounted to the
   /// memory tracker, if one is installed, under "snapshot.frozen_frames").
@@ -262,18 +273,70 @@ class StreamCubeEngine {
   /// detach. Not owned; must outlive the engine.
   void set_memory_tracker(MemoryTracker* tracker);
 
+  // ---- the cold tier: spill, fault-in, checkpoint ----------------------
+
+  /// Attaches the cold tier this engine spills to / faults in from (shared
+  /// across shards; `shard_index` names this engine's spill segment). Not
+  /// owned; must outlive the engine. Install before any spill/restore.
+  void set_frame_store(FrameStore* store, int shard_index);
+
+  struct SpillSweep {
+    std::int64_t cells = 0;  // cells moved to the cold tier
+    std::int64_t bytes = 0;  // RAM bytes released (frames + dropped frozen)
+  };
+
+  /// Evicts clean (not dirty-queued) cells to the frame store, least
+  /// recently modified first, until ~`target_bytes` of RAM is released or
+  /// candidates run out. The governor's last rung. A spilled cell keeps
+  /// only its BlockRef; reads fault it back in transparently, and deferred
+  /// alignment at fault-in is bit-identical to eager alignment (AdvanceTo
+  /// over missing ticks is deterministic), so queries cannot observe the
+  /// spill. Stops early (cells stay resident) if the store reports errors.
+  SpillSweep SpillColdFrames(std::int64_t target_bytes);
+
+  /// Drops every cached frozen block (they are rebuilt on demand from the
+  /// live frames) and returns the bytes released — an eviction rung above
+  /// spilling: cheap to rebuild, no disk round trip.
+  std::int64_t DropFrozenBlocks();
+
+  /// Installs one checkpointed cell as lazily-spilled state: the key is
+  /// registered (indexes, revision) but the frame stays in the mapped file
+  /// until first touched. The warm-restart door — OpenFrom's first query
+  /// is served by fault-ins from the checkpoint mapping. Pre: a frame
+  /// store is attached; the key must be new.
+  Status RestoreCell(const CellKey& key, const BlockRef& ref);
+
+  /// Moves the clock forward to `t` (no-op if already past) without
+  /// touching any frame — restores the engine clock after RestoreCell.
+  void RestoreClock(TimeTick t) { now_ = std::max(now_, t); }
+
+  /// Appends (key, encoded tilt-frame payload) for every cell — resident
+  /// frames encode their live state, spilled cells copy their raw block
+  /// straight from the store (no decode/re-encode). The checkpoint
+  /// writer's per-shard collection step.
+  Status ExportEncodedFrames(
+      std::vector<std::pair<CellKey, std::string>>* out);
+
+  /// Cells currently cold (frame on disk, BlockRef in RAM).
+  std::int64_t SpilledCells() const { return spilled_cells_; }
+
   const CubeSchema& schema() const { return *schema_; }
   const CuboidLattice& lattice() const { return lattice_; }
 
  private:
   struct CellState {
-    TiltTimeFrame frame;
+    /// Null while the cell is spilled — then `spill` names the encoded
+    /// frame in the store and LiveFrame faults it back in on first touch.
+    std::unique_ptr<TiltTimeFrame> frame;
+    BlockRef spill;                   // valid iff frame == nullptr
+    std::int64_t tracked_bytes = 0;   // this cell's share of frame_bytes_
     std::uint64_t last_modified = 0;  // revision of the last observable change
     std::shared_ptr<const TiltTimeFrame> frozen;  // immutable copy of `frame`
     std::uint64_t frozen_revision = 0;  // last_modified captured in `frozen`
     bool queued = false;  // on dirty_cells_, awaiting the next export
 
-    explicit CellState(TiltTimeFrame f) : frame(std::move(f)) {}
+    explicit CellState(std::unique_ptr<TiltTimeFrame> f)
+        : frame(std::move(f)) {}
   };
 
   /// Advances every frame to the engine clock so slot structures align.
@@ -317,6 +380,21 @@ class StreamCubeEngine {
   const std::shared_ptr<const TiltTimeFrame>& FrozenFor(CellState& state,
                                                         GatherStats* stats);
 
+  /// The cell's live frame, faulting it in from the frame store if it is
+  /// spilled (fault-ins counted into `stats` when given). The single choke
+  /// point every read/write path goes through, which is what makes spill
+  /// transparent.
+  TiltTimeFrame& LiveFrame(CellState& state, GatherStats* stats = nullptr);
+
+  /// LiveFrame + AlignCellToClock: the frame, resident and advanced to the
+  /// engine clock — what point queries and window reads consume.
+  TiltTimeFrame& LiveAlignedFrame(const CellKey& key, CellState& state);
+
+  /// Recomputes the cell's resident-byte contribution and folds the delta
+  /// into frame_bytes_ (and the tracker). Call after any frame mutation,
+  /// spill, or fault-in.
+  void AccountCell(CellState& state);
+
   std::shared_ptr<const CubeSchema> schema_;
   CuboidLattice lattice_;
   Options options_;
@@ -324,7 +402,14 @@ class StreamCubeEngine {
   TimeTick now_;
   std::uint64_t revision_ = 0;
   std::int64_t frozen_bytes_ = 0;
+  std::int64_t frame_bytes_ = 0;  // resident cell bytes, kept by AccountCell
   MemoryTracker* tracker_ = nullptr;
+
+  // The cold tier (shared across shards, not owned) and this engine's
+  // segment index within it.
+  FrameStore* store_ = nullptr;
+  int shard_index_ = 0;
+  std::int64_t spilled_cells_ = 0;
 
   // Delta-export bookkeeping: export_revision_ is the revision the last
   // ExportFrozen reflected; dirty_cells_ lists each cell modified since —

@@ -51,6 +51,10 @@ void ByteWriter::WriteString(std::string_view s) {
   buffer_.append(s.data(), s.size());
 }
 
+void ByteWriter::WriteRaw(std::string_view s) {
+  buffer_.append(s.data(), s.size());
+}
+
 Status ByteReader::Need(std::size_t n) const {
   if (remaining() < n) {
     return Status::OutOfRange(
@@ -101,6 +105,22 @@ Result<std::string> ByteReader::ReadString() {
   std::string out(data_.substr(pos_, *len));
   pos_ += *len;
   return out;
+}
+
+Result<std::string_view> ByteReader::ReadRaw(std::size_t n) {
+  RC_RETURN_IF_ERROR(Need(n));
+  std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Status ByteReader::SeekTo(std::size_t offset) {
+  if (offset > data_.size()) {
+    return Status::OutOfRange(StrPrintf(
+        "seek to %zu past end of %zu-byte input", offset, data_.size()));
+  }
+  pos_ = offset;
+  return Status::OK();
 }
 
 Status WriteFile(const std::string& path, std::string_view data) {

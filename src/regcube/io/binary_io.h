@@ -23,6 +23,12 @@ class ByteWriter {
   void WriteDouble(double v);
   /// Length-prefixed (u32) byte string.
   void WriteString(std::string_view s);
+  /// Raw bytes, no length prefix — for concatenating pre-encoded blocks
+  /// whose sizes live in a table elsewhere (the frame-store format).
+  void WriteRaw(std::string_view s);
+
+  /// Bytes written so far — the offset the next WriteRaw lands at.
+  std::size_t size() const { return buffer_.size(); }
 
   const std::string& buffer() const { return buffer_; }
   std::string Release() { return std::move(buffer_); }
@@ -43,6 +49,13 @@ class ByteReader {
   Result<std::int64_t> ReadI64();
   Result<double> ReadDouble();
   Result<std::string> ReadString();
+  /// Raw view of the next `n` bytes (no length prefix); the view borrows
+  /// the reader's underlying buffer.
+  Result<std::string_view> ReadRaw(std::size_t n);
+
+  /// Jumps to an absolute offset (the footer-directed seeks of the
+  /// frame-store format). OutOfRange past the end.
+  Status SeekTo(std::size_t offset);
 
   /// Bytes not yet consumed.
   std::size_t remaining() const { return data_.size() - pos_; }

@@ -48,29 +48,10 @@ Result<Isb> DecodeIsb(ByteReader* r) {
   return isb;
 }
 
-void EncodeKey(ByteWriter* w, const CellKey& key) {
-  w->WriteU8(static_cast<std::uint8_t>(key.num_dims()));
-  for (int d = 0; d < key.num_dims(); ++d) w->WriteU32(key[d]);
-}
-
-Result<CellKey> DecodeKey(ByteReader* r) {
-  RC_ASSIGN_OR_RETURN(std::uint8_t dims, r->ReadU8());
-  if (dims > kMaxDims) {
-    return Status::InvalidArgument(
-        StrPrintf("cell key with %u dimensions (max %d)", dims, kMaxDims));
-  }
-  CellKey key(dims);
-  for (int d = 0; d < dims; ++d) {
-    RC_ASSIGN_OR_RETURN(std::uint32_t v, r->ReadU32());
-    key.set(d, v);
-  }
-  return key;
-}
-
 void EncodeCellMap(ByteWriter* w, const CellMap& cells) {
   w->WriteU64(cells.size());
   for (const auto& [key, isb] : cells) {
-    EncodeKey(w, key);
+    EncodeCellKey(w, key);
     EncodeIsb(w, isb);
   }
 }
@@ -81,7 +62,7 @@ Result<CellMap> DecodeCellMap(ByteReader* r, int expected_dims) {
   CellMap cells;
   cells.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    RC_ASSIGN_OR_RETURN(CellKey key, DecodeKey(r));
+    RC_ASSIGN_OR_RETURN(CellKey key, DecodeCellKey(r));
     if (key.num_dims() != expected_dims) {
       return Status::InvalidArgument(StrPrintf(
           "cell key has %d dims, schema has %d", key.num_dims(),
@@ -124,7 +105,7 @@ std::string EncodeMLayerTuples(const std::vector<MLayerTuple>& tuples) {
   w.WriteU32(kTuplesMagic);
   w.WriteU64(tuples.size());
   for (const MLayerTuple& t : tuples) {
-    EncodeKey(&w, t.key);
+    EncodeCellKey(&w, t.key);
     EncodeIsb(&w, t.measure);
   }
   return w.Release();
@@ -139,7 +120,7 @@ Result<std::vector<MLayerTuple>> DecodeMLayerTuples(std::string_view data) {
   tuples.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     MLayerTuple t;
-    RC_ASSIGN_OR_RETURN(t.key, DecodeKey(&r));
+    RC_ASSIGN_OR_RETURN(t.key, DecodeCellKey(&r));
     RC_ASSIGN_OR_RETURN(t.measure, DecodeIsb(&r));
     tuples.push_back(std::move(t));
   }
@@ -241,6 +222,28 @@ Result<TiltFrameState> DecodeTiltFrameState(std::string_view data) {
     return Status::InvalidArgument("trailing bytes after tilt frame");
   }
   return state;
+}
+
+
+std::uint32_t TiltFrameStateMagic() { return kFrameMagic; }
+
+void EncodeCellKey(ByteWriter* w, const CellKey& key) {
+  w->WriteU8(static_cast<std::uint8_t>(key.num_dims()));
+  for (int d = 0; d < key.num_dims(); ++d) w->WriteU32(key[d]);
+}
+
+Result<CellKey> DecodeCellKey(ByteReader* r) {
+  RC_ASSIGN_OR_RETURN(std::uint8_t dims, r->ReadU8());
+  if (dims > kMaxDims) {
+    return Status::InvalidArgument(
+        StrPrintf("cell key with %u dimensions (max %d)", dims, kMaxDims));
+  }
+  CellKey key(dims);
+  for (int d = 0; d < dims; ++d) {
+    RC_ASSIGN_OR_RETURN(std::uint32_t v, r->ReadU32());
+    key.set(d, v);
+  }
+  return key;
 }
 
 }  // namespace regcube

@@ -9,6 +9,7 @@
 #include "regcube/common/status.h"
 #include "regcube/core/regression_cube.h"
 #include "regcube/htree/htree.h"
+#include "regcube/io/binary_io.h"
 #include "regcube/time/tilt_frame.h"
 
 namespace regcube {
@@ -37,6 +38,17 @@ Result<RegressionCube> DecodeRegressionCube(
 /// Tilt-frame checkpoint ("RGF1").
 std::string EncodeTiltFrameState(const TiltFrameState& state);
 Result<TiltFrameState> DecodeTiltFrameState(std::string_view data);
+
+/// The leading magic word of an encoded tilt-frame state — the cheap
+/// per-block integrity probe the frame store runs when attaching a
+/// checkpoint file.
+std::uint32_t TiltFrameStateMagic();
+
+/// Cell-key codec shared by the tuple/cube formats and the frame store's
+/// checkpoint tables (u8 dimension count + u32 per value; decode rejects
+/// counts above kMaxDims).
+void EncodeCellKey(ByteWriter* w, const CellKey& key);
+Result<CellKey> DecodeCellKey(ByteReader* r);
 
 }  // namespace regcube
 

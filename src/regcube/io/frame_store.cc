@@ -1,0 +1,427 @@
+#include "regcube/io/frame_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "regcube/common/logging.h"
+#include "regcube/common/str.h"
+#include "regcube/io/binary_io.h"
+#include "regcube/io/cube_io.h"
+
+namespace regcube {
+namespace {
+
+constexpr std::uint32_t kStoreMagic = 0x31534352;  // "RCS1" shard/segment file
+constexpr std::uint32_t kTableMagic = 0x31544352;  // "RCT1" footer
+constexpr std::uint32_t kManifestMagic = 0x314D4352;  // "RCM1"
+constexpr std::uint32_t kFormatVersion = 1;
+
+// header: magic u32 + version u32 + shard u32 + reserved u32.
+constexpr std::int64_t kFileHeaderBytes = 16;
+// footer: table_offset u64 + cell count u64 + table magic u32.
+constexpr std::int64_t kFooterBytes = 20;
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string FileHeader(int shard) {
+  ByteWriter w;
+  w.WriteU32(kStoreMagic);
+  w.WriteU32(kFormatVersion);
+  w.WriteU32(static_cast<std::uint32_t>(shard));
+  w.WriteU32(0);  // reserved
+  return w.Release();
+}
+
+/// mkdir -p for the spill directory (checkpoint directories are created
+/// by the checkpoint writer the same way).
+Status MakeDirs(const std::string& dir) {
+  std::string prefix;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') continue;
+    prefix.assign(dir, 0, i == dir.size() ? i : i + 1);
+    if (prefix.empty() || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal(
+          StrPrintf("cannot create directory %s", prefix.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FrameStore>> FrameStore::Open(const std::string& dir) {
+  if (!dir.empty()) {
+    RC_RETURN_IF_ERROR(MakeDirs(dir));
+  }
+  return std::unique_ptr<FrameStore>(new FrameStore(dir));
+}
+
+FrameStore::~FrameStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (MappedFile& f : files_) {
+    if (f.map != nullptr) ::munmap(f.map, f.map_size);
+    if (f.fd >= 0) ::close(f.fd);
+    // Spill segments are scratch state of one engine run: meaningless
+    // after the owning engine is gone, so remove them. Attached
+    // checkpoint files belong to their directory and are left alone.
+    if (f.writable) ::unlink(f.path.c_str());
+  }
+  files_.clear();
+}
+
+Result<std::int32_t> FrameStore::SegmentForLocked(int shard) {
+  auto it = segment_of_shard_.find(shard);
+  if (it != segment_of_shard_.end()) return it->second;
+  if (dir_.empty()) {
+    return Status::FailedPrecondition(
+        "frame store has no spill directory configured "
+        "(EngineBuilder::SetSpillDir)");
+  }
+  MappedFile f;
+  f.path = StrPrintf("%s/spill-%d.rcs", dir_.c_str(), shard);
+  // O_TRUNC: a segment left by a previous run holds refs nobody remembers.
+  f.fd = ::open(f.path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (f.fd < 0) {
+    return Status::Internal(
+        StrPrintf("cannot open spill segment %s", f.path.c_str()));
+  }
+  f.writable = true;
+  const std::string header = FileHeader(shard);
+  if (::pwrite(f.fd, header.data(), header.size(), 0) !=
+      static_cast<ssize_t>(header.size())) {
+    ::close(f.fd);
+    return Status::Internal(
+        StrPrintf("cannot write header to %s", f.path.c_str()));
+  }
+  f.file_size = static_cast<std::int64_t>(header.size());
+  const auto id = static_cast<std::int32_t>(files_.size());
+  files_.push_back(std::move(f));
+  segment_of_shard_[shard] = id;
+  return id;
+}
+
+Status FrameStore::EnsureMappedLocked(std::int32_t id, std::int64_t need) {
+  MappedFile& f = files_[static_cast<std::size_t>(id)];
+  if (f.map != nullptr && static_cast<std::int64_t>(f.map_size) >= need) {
+    return Status::OK();
+  }
+  if (f.map != nullptr) {
+    ::munmap(f.map, f.map_size);
+    f.map = nullptr;
+    f.map_size = 0;
+  }
+  const auto size = static_cast<std::size_t>(f.file_size);
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, f.fd, 0);
+  if (map == MAP_FAILED) {
+    return Status::Internal(StrPrintf("mmap of %s (%lld bytes) failed",
+                                      f.path.c_str(),
+                                      static_cast<long long>(f.file_size)));
+  }
+  f.map = map;
+  f.map_size = size;
+  return Status::OK();
+}
+
+Result<std::string_view> FrameStore::ViewLocked(const BlockRef& ref) {
+  if (ref.file < 0 || ref.file >= static_cast<std::int32_t>(files_.size())) {
+    return Status::InvalidArgument(
+        StrPrintf("block ref names unknown store file %d", ref.file));
+  }
+  MappedFile& f = files_[static_cast<std::size_t>(ref.file)];
+  if (ref.offset < kFileHeaderBytes || ref.size <= 0 ||
+      ref.offset + ref.size > f.file_size) {
+    return Status::InvalidArgument(StrPrintf(
+        "block ref [%lld, +%lld) outside %s (%lld bytes)",
+        static_cast<long long>(ref.offset), static_cast<long long>(ref.size),
+        f.path.c_str(), static_cast<long long>(f.file_size)));
+  }
+  // A released ref is stale even though its bytes still sit in the
+  // append-only file: reading through it is a caller bug, surfaced as a
+  // typed error rather than silently serving dead data.
+  if (f.refs.find(ref.offset) == f.refs.end()) {
+    return Status::InvalidArgument(StrPrintf(
+        "block ref [%lld, +%lld) in %s was released",
+        static_cast<long long>(ref.offset), static_cast<long long>(ref.size),
+        f.path.c_str()));
+  }
+  RC_RETURN_IF_ERROR(EnsureMappedLocked(ref.file, ref.offset + ref.size));
+  return std::string_view(static_cast<const char*>(f.map) + ref.offset,
+                          static_cast<std::size_t>(ref.size));
+}
+
+Result<BlockRef> FrameStore::AppendFrame(int shard,
+                                         const TiltFrameState& state) {
+  const std::string payload = EncodeTiltFrameState(state);
+  std::lock_guard<std::mutex> lock(mu_);
+  RC_ASSIGN_OR_RETURN(std::int32_t id, SegmentForLocked(shard));
+  MappedFile& f = files_[static_cast<std::size_t>(id)];
+  const std::int64_t offset = f.file_size;
+  if (::pwrite(f.fd, payload.data(), payload.size(),
+               static_cast<off_t>(offset)) !=
+      static_cast<ssize_t>(payload.size())) {
+    return Status::Internal(
+        StrPrintf("short write to spill segment %s", f.path.c_str()));
+  }
+  const auto size = static_cast<std::int64_t>(payload.size());
+  f.file_size += size;
+  f.refs[offset] = 1;
+  f.live_bytes += size;
+  spilled_blocks_ += 1;
+  spilled_bytes_ += size;
+  return BlockRef{id, offset, size};
+}
+
+Result<TiltFrameState> FrameStore::ReadFrame(const BlockRef& ref) {
+  const std::int64_t start_ns = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  RC_ASSIGN_OR_RETURN(std::string_view payload, ViewLocked(ref));
+  // Decode under the mutex: a concurrent append's remap must never pull
+  // the mapping out from under this view.
+  auto state = DecodeTiltFrameState(payload);
+  if (!state.ok()) return state.status();
+  fault_ins_ += 1;
+  fault_in_bytes_ += ref.size;
+  RecordFaultInLocked(NowNs() - start_ns);
+  return state;
+}
+
+Result<std::string> FrameStore::ReadRawBlock(const BlockRef& ref) const {
+  auto* self = const_cast<FrameStore*>(this);
+  std::lock_guard<std::mutex> lock(mu_);
+  RC_ASSIGN_OR_RETURN(std::string_view payload, self->ViewLocked(ref));
+  return std::string(payload);
+}
+
+void FrameStore::Release(const BlockRef& ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ref.file < 0 || ref.file >= static_cast<std::int32_t>(files_.size())) {
+    return;
+  }
+  MappedFile& f = files_[static_cast<std::size_t>(ref.file)];
+  auto it = f.refs.find(ref.offset);
+  if (it == f.refs.end()) return;
+  if (--it->second > 0) return;
+  f.refs.erase(it);
+  f.live_bytes -= ref.size;
+  f.garbage_bytes += ref.size;
+}
+
+Result<std::vector<FrameStore::CheckpointEntry>>
+FrameStore::AttachCheckpointFile(const std::string& path) {
+  // Parse via a plain read first; the mmap view is installed only after
+  // the structure validates, so a corrupt file never enters the ref space.
+  RC_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
+  ByteReader r(data);
+  RC_ASSIGN_OR_RETURN(std::uint32_t magic, r.ReadU32());
+  if (magic != kStoreMagic) {
+    return Status::InvalidArgument(
+        StrPrintf("%s: bad frame-store magic 0x%08x", path.c_str(), magic));
+  }
+  RC_ASSIGN_OR_RETURN(std::uint32_t version, r.ReadU32());
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        StrPrintf("%s: unsupported frame-store version %u", path.c_str(),
+                  version));
+  }
+  if (data.size() < static_cast<std::size_t>(kFileHeaderBytes + kFooterBytes)) {
+    return Status::OutOfRange(
+        StrPrintf("%s: truncated below header + footer", path.c_str()));
+  }
+  RC_RETURN_IF_ERROR(r.SeekTo(data.size() - kFooterBytes));
+  RC_ASSIGN_OR_RETURN(std::uint64_t table_offset, r.ReadU64());
+  RC_ASSIGN_OR_RETURN(std::uint64_t cell_count, r.ReadU64());
+  RC_ASSIGN_OR_RETURN(std::uint32_t table_magic, r.ReadU32());
+  if (table_magic != kTableMagic) {
+    return Status::InvalidArgument(
+        StrPrintf("%s: bad table magic 0x%08x (truncated checkpoint?)",
+                  path.c_str(), table_magic));
+  }
+  if (table_offset < static_cast<std::uint64_t>(kFileHeaderBytes) ||
+      table_offset > data.size() - kFooterBytes) {
+    return Status::OutOfRange(StrPrintf(
+        "%s: table offset %llu outside file", path.c_str(),
+        static_cast<unsigned long long>(table_offset)));
+  }
+  RC_RETURN_IF_ERROR(r.SeekTo(table_offset));
+
+  std::vector<CheckpointEntry> entries;
+  entries.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(cell_count, data.size() / 16)));
+  const auto frame_magic = TiltFrameStateMagic();
+  for (std::uint64_t i = 0; i < cell_count; ++i) {
+    CheckpointEntry e;
+    RC_ASSIGN_OR_RETURN(e.key, DecodeCellKey(&r));
+    RC_ASSIGN_OR_RETURN(std::uint64_t offset, r.ReadU64());
+    RC_ASSIGN_OR_RETURN(std::uint64_t size, r.ReadU64());
+    if (offset < static_cast<std::uint64_t>(kFileHeaderBytes) || size < 4 ||
+        offset + size > table_offset) {
+      return Status::OutOfRange(StrPrintf(
+          "%s: cell %llu block [%llu, +%llu) outside payload region",
+          path.c_str(), static_cast<unsigned long long>(i),
+          static_cast<unsigned long long>(offset),
+          static_cast<unsigned long long>(size)));
+    }
+    // Cheap per-block integrity probe: every payload must lead with the
+    // tilt-frame magic. Full decode is deferred to fault-in.
+    ByteReader block(std::string_view(data).substr(offset, size));
+    RC_ASSIGN_OR_RETURN(std::uint32_t lead, block.ReadU32());
+    if (lead != frame_magic) {
+      return Status::InvalidArgument(StrPrintf(
+          "%s: cell %llu payload at %llu is not a tilt-frame block",
+          path.c_str(), static_cast<unsigned long long>(i),
+          static_cast<unsigned long long>(offset)));
+    }
+    e.ref.offset = static_cast<std::int64_t>(offset);
+    e.ref.size = static_cast<std::int64_t>(size);
+    entries.push_back(std::move(e));
+  }
+
+  // Structure is sound: install the file read-only in the ref space.
+  MappedFile f;
+  f.path = path;
+  f.fd = ::open(path.c_str(), O_RDONLY);
+  if (f.fd < 0) {
+    return Status::Internal(StrPrintf("cannot reopen %s", path.c_str()));
+  }
+  f.writable = false;
+  f.file_size = static_cast<std::int64_t>(data.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto id = static_cast<std::int32_t>(files_.size());
+  for (CheckpointEntry& e : entries) {
+    e.ref.file = id;
+    f.refs[e.ref.offset] = 1;
+    f.live_bytes += e.ref.size;
+  }
+  files_.push_back(std::move(f));
+  return entries;
+}
+
+FrameStoreStats FrameStore::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FrameStoreStats stats;
+  stats.spilled_blocks = spilled_blocks_;
+  stats.spilled_bytes = spilled_bytes_;
+  stats.fault_ins = fault_ins_;
+  stats.fault_in_bytes = fault_in_bytes_;
+  stats.fault_in_p99_us = FaultInP99Locked();
+  for (const MappedFile& f : files_) {
+    stats.live_blocks += static_cast<std::int64_t>(f.refs.size());
+    stats.live_bytes += f.live_bytes;
+    stats.garbage_bytes += f.garbage_bytes;
+    stats.disk_bytes += f.file_size;
+  }
+  return stats;
+}
+
+std::int64_t FrameStore::DiskBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t bytes = 0;
+  for (const MappedFile& f : files_) bytes += f.file_size;
+  return bytes;
+}
+
+void FrameStore::RecordFaultInLocked(std::int64_t ns) {
+  int bucket = 0;
+  for (std::int64_t v = ns; v > 0 && bucket < kLatencyBuckets - 1; v >>= 1) {
+    ++bucket;
+  }
+  ++latency_ns_buckets_[bucket];
+  ++latency_samples_;
+}
+
+double FrameStore::FaultInP99Locked() const {
+  if (latency_samples_ == 0) return 0.0;
+  const std::int64_t target = (latency_samples_ * 99 + 99) / 100;
+  std::int64_t seen = 0;
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    seen += latency_ns_buckets_[i];
+    if (seen >= target) {
+      return static_cast<double>(1ll << std::min(i, 62)) / 1000.0;
+    }
+  }
+  return 0.0;
+}
+
+std::string EncodeCheckpointShardFile(
+    int shard, const std::vector<std::pair<CellKey, std::string>>& cells) {
+  ByteWriter w;
+  w.WriteRaw(FileHeader(shard));
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  spans.reserve(cells.size());
+  for (const auto& [key, payload] : cells) {
+    spans.emplace_back(w.size(), payload.size());
+    w.WriteRaw(payload);
+  }
+  const std::uint64_t table_offset = w.size();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EncodeCellKey(&w, cells[i].first);
+    w.WriteU64(spans[i].first);
+    w.WriteU64(spans[i].second);
+  }
+  w.WriteU64(table_offset);
+  w.WriteU64(static_cast<std::uint64_t>(cells.size()));
+  w.WriteU32(kTableMagic);
+  return w.Release();
+}
+
+std::string EncodeCheckpointManifest(const CheckpointManifest& manifest) {
+  ByteWriter w;
+  w.WriteU32(kManifestMagic);
+  w.WriteU32(kFormatVersion);
+  w.WriteU32(static_cast<std::uint32_t>(manifest.num_shard_files));
+  w.WriteU32(static_cast<std::uint32_t>(manifest.num_dims));
+  w.WriteU32(static_cast<std::uint32_t>(manifest.num_levels));
+  w.WriteI64(manifest.start_tick);
+  w.WriteI64(manifest.clock);
+  w.WriteI64(manifest.num_cells);
+  return w.Release();
+}
+
+Result<CheckpointManifest> DecodeCheckpointManifest(std::string_view data) {
+  ByteReader r(data);
+  RC_ASSIGN_OR_RETURN(std::uint32_t magic, r.ReadU32());
+  if (magic != kManifestMagic) {
+    return Status::InvalidArgument(
+        StrPrintf("bad checkpoint manifest magic 0x%08x", magic));
+  }
+  RC_ASSIGN_OR_RETURN(std::uint32_t version, r.ReadU32());
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        StrPrintf("unsupported checkpoint manifest version %u", version));
+  }
+  CheckpointManifest m;
+  RC_ASSIGN_OR_RETURN(std::uint32_t shards, r.ReadU32());
+  RC_ASSIGN_OR_RETURN(std::uint32_t dims, r.ReadU32());
+  RC_ASSIGN_OR_RETURN(std::uint32_t levels, r.ReadU32());
+  m.num_shard_files = static_cast<std::int32_t>(shards);
+  m.num_dims = static_cast<std::int32_t>(dims);
+  m.num_levels = static_cast<std::int32_t>(levels);
+  RC_ASSIGN_OR_RETURN(m.start_tick, r.ReadI64());
+  RC_ASSIGN_OR_RETURN(m.clock, r.ReadI64());
+  RC_ASSIGN_OR_RETURN(m.num_cells, r.ReadI64());
+  return m;
+}
+
+std::string CheckpointManifestPath(const std::string& dir) {
+  return dir + "/MANIFEST.rcm";
+}
+
+std::string CheckpointShardFilePath(const std::string& dir, int shard) {
+  return StrPrintf("%s/frames-%d.rcs", dir.c_str(), shard);
+}
+
+Status EnsureDirectory(const std::string& dir) { return MakeDirs(dir); }
+
+}  // namespace regcube

@@ -81,6 +81,55 @@ TEST(DecoderFuzzTest, TiltFrameStateTruncations) {
   }
 }
 
+TEST(DecoderFuzzTest, CheckpointShardFileRoundTripsRandomCells) {
+  // Random cells with random frame shapes must survive the checkpoint
+  // shard-file encoding bitwise, and every truncation of the file must
+  // fail attachment cleanly (never crash, never half-attach).
+  auto policy = std::shared_ptr<const TiltPolicy>(
+      MakeUniformTiltPolicy({{"q", 4}, {"h", 6}}, {1, 4}));
+  Pcg32 rng(409);
+  std::vector<std::pair<CellKey, std::string>> cells;
+  for (int i = 0; i < 20; ++i) {
+    CellKey key(2);
+    key.set(0, static_cast<ValueId>(rng.Uniform(64)));
+    key.set(1, static_cast<ValueId>(i));  // distinct second coordinate
+    TiltTimeFrame frame(policy, 0);
+    const TimeTick ticks = 1 + static_cast<TimeTick>(rng.Uniform(40));
+    for (TimeTick t = 0; t < ticks; ++t) {
+      if (rng.Uniform(4) == 0) continue;  // gaps
+      ASSERT_TRUE(frame.Add(t, rng.NextDouble() * 8.0 - 4.0).ok());
+    }
+    cells.emplace_back(key, EncodeTiltFrameState(frame.Snapshot()));
+  }
+  const std::string file = EncodeCheckpointShardFile(0, cells);
+
+  const std::string path =
+      ::testing::TempDir() + "/regcube_fuzz_ckpt_shard.rcs";
+  ASSERT_TRUE(WriteFile(path, file).ok());
+  auto store = FrameStore::Open("");
+  ASSERT_TRUE(store.ok());
+  auto entries = (*store)->AttachCheckpointFile(path);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), cells.size());
+  for (size_t i = 0; i < entries->size(); ++i) {
+    EXPECT_EQ((*entries)[i].key, cells[i].first);
+    auto raw = (*store)->ReadRawBlock((*entries)[i].ref);
+    ASSERT_TRUE(raw.ok());
+    EXPECT_EQ(*raw, cells[i].second);  // bitwise round trip
+    auto state = (*store)->ReadFrame((*entries)[i].ref);
+    ASSERT_TRUE(state.ok()) << state.status().ToString();
+  }
+
+  for (size_t cut = 0; cut < file.size(); cut += 7) {
+    ASSERT_TRUE(WriteFile(path, file.substr(0, cut)).ok());
+    auto broken = FrameStore::Open("");
+    ASSERT_TRUE(broken.ok());
+    EXPECT_FALSE((*broken)->AttachCheckpointFile(path).ok())
+        << "cut at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
 struct EngineFuzzCase {
   int seed;
 };

@@ -11,8 +11,12 @@
 //                        [--top N] [--seed N] [--ingest sync|async]
 //                        [--queue-capacity N]
 //                        [--backpressure block|drop-oldest|reject]
+//                        [--mem-budget BYTES[k|m|g]] [--spill-dir PATH]
+//                        [--checkpoint PATH]
 //                        (on-line path: ingest a generated stream, seal,
-//                        drill the exceptions)
+//                        drill the exceptions; with a budget the engine
+//                        evicts/spills to stay under it, and --checkpoint
+//                        persists + warm-restarts to time recovery)
 //   regcube_cli selftest [--dir PATH]   (generate -> cube -> report round
 //                                        trip in a scratch directory)
 //
@@ -25,6 +29,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -94,6 +99,33 @@ class Args {
   std::string command_;
   std::map<std::string, std::string> values_;
 };
+
+/// "64m" -> 64 MiB. Bare numbers are bytes; suffixes k/m/g (case-
+/// insensitive) scale by powers of 1024.
+Result<std::int64_t> ParseByteSize(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty byte size");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  std::int64_t scale = 1;
+  if (end != nullptr && *end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': scale = 1LL << 10; break;
+      case 'm': case 'M': scale = 1LL << 20; break;
+      case 'g': case 'G': scale = 1LL << 30; break;
+      default:
+        return Status::InvalidArgument(
+            StrPrintf("bad byte size \"%s\" (use N, Nk, Nm, or Ng)",
+                      text.c_str()));
+    }
+  }
+  if (value < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("byte size \"%s\" must be >= 0", text.c_str()));
+  }
+  return static_cast<std::int64_t>(value * static_cast<double>(scale));
+}
 
 Result<std::shared_ptr<const CubeSchema>> SchemaFor(const Args& args) {
   RC_ASSIGN_OR_RETURN(std::string name, args.GetString("workload"));
@@ -247,6 +279,15 @@ Status RunStream(const Args& args) {
         "unknown --ingest \"%s\" (sync|async)", ingest_mode.c_str()));
   }
   builder.SetQueueCapacity(args.GetIntOr("queue-capacity", 4096));
+  if (args.Has("mem-budget")) {
+    RC_ASSIGN_OR_RETURN(std::string budget_text,
+                        args.GetString("mem-budget"));
+    RC_ASSIGN_OR_RETURN(std::int64_t budget, ParseByteSize(budget_text));
+    builder.SetMemoryBudget(budget);
+  }
+  if (args.Has("spill-dir")) {
+    builder.SetSpillDir(args.GetStringOr("spill-dir", ""));
+  }
   if (backpressure == "drop-oldest") {
     builder.SetBackpressure(BackpressurePolicy::kDropOldest);
   } else if (backpressure == "reject") {
@@ -345,10 +386,54 @@ Status RunStream(const Args& args) {
                 stats.total.p99_enqueue_us);
   }
 
-  std::printf("\nretained memory:\n");
-  for (const auto& [category, bytes] : engine.MemoryReport()) {
-    std::printf("  %-24s %s\n", category.c_str(),
-                FormatBytes(bytes).c_str());
+  std::printf("\nretained memory (current / peak):\n");
+  for (const auto& usage : engine.memory_tracker().SnapshotWithPeaks()) {
+    std::printf("  %-24s %10s / %s\n", usage.name.c_str(),
+                FormatBytes(usage.current).c_str(),
+                FormatBytes(usage.peak).c_str());
+  }
+
+  const SpillStats spill = engine.SpillStats();
+  if (spill.budget_bytes > 0) {
+    std::printf("\nmemory budget %s: %lld enforcements (memo %lld, caches "
+                "%lld, spill %lld)\n",
+                FormatBytes(spill.budget_bytes).c_str(),
+                static_cast<long long>(spill.enforcements),
+                static_cast<long long>(spill.memo_evictions),
+                static_cast<long long>(spill.cache_evictions),
+                static_cast<long long>(spill.spill_evictions));
+    std::printf("  spilled %lld cells (%s on disk), faulted in %lld "
+                "(%s, p99 %.1f us)\n",
+                static_cast<long long>(spill.spilled_cells),
+                FormatBytes(spill.disk_bytes).c_str(),
+                static_cast<long long>(spill.fault_ins),
+                FormatBytes(spill.fault_in_bytes).c_str(),
+                spill.fault_in_p99_us);
+  }
+
+  if (args.Has("checkpoint")) {
+    RC_ASSIGN_OR_RETURN(std::string dir, args.GetString("checkpoint"));
+    Stopwatch persist;
+    RC_RETURN_IF_ERROR(engine.Checkpoint(dir));
+    std::printf("\ncheckpointed %lld cells -> %s in %.3f s\n",
+                static_cast<long long>(engine.num_cells()), dir.c_str(),
+                persist.ElapsedSeconds());
+
+    // Warm restart drill: reopen from the files just written and serve a
+    // query straight off the mapped frames — the restart-to-first-query
+    // number a recovering deployment would see.
+    Stopwatch restart;
+    RC_ASSIGN_OR_RETURN(Engine reopened, builder.OpenFrom(dir));
+    RC_ASSIGN_OR_RETURN(
+        QueryResult check,
+        reopened.Query(QuerySpec::TopExceptions(top, 0, window)));
+    std::printf("reopened %lld cells, first query (%zu cells) in %.3f s\n",
+                static_cast<long long>(reopened.num_cells()),
+                check.cells().size(), restart.ElapsedSeconds());
+    if (reopened.num_cells() != engine.num_cells() ||
+        check.cells().size() != top_cells.cells().size()) {
+      return Status::Internal("warm restart disagreed with the live engine");
+    }
   }
   return Status::OK();
 }
@@ -425,6 +510,8 @@ void PrintUsage() {
       "           [--algorithm mo|pp] [--threshold X] [--window K] [--top N]\n"
       "           [--ingest sync|async] [--queue-capacity N]\n"
       "           [--backpressure block|drop-oldest|reject]\n"
+      "           [--mem-budget BYTES[k|m|g]] [--spill-dir PATH]\n"
+      "           [--checkpoint PATH]\n"
       "  selftest [--dir PATH]\n");
 }
 
