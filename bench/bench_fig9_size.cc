@@ -15,7 +15,7 @@
 namespace regcube {
 namespace {
 
-void Run(int argc, char** argv) {
+void Run(int argc, char** argv, bench::JsonWriter& json) {
   const std::int64_t max_tuples =
       bench::ArgInt(argc, argv, "max_tuples", 256'000);
 
@@ -47,17 +47,23 @@ void Run(int argc, char** argv) {
     const double threshold =
         CalibrateExceptionThreshold(lattice, tuples, 0.01);
 
-    bench::RunResult mo = bench::RunMoCubing(*schema, tuples, threshold);
-    bench::PrintRow(
-        {StrPrintf("%lld", static_cast<long long>(size / 1000)), "m/o-cubing",
-         StrPrintf("%.3f", mo.seconds), StrPrintf("%.1f", mo.peak_mb),
-         StrPrintf("%lld", static_cast<long long>(mo.exception_cells))});
-    bench::RunResult pp = bench::RunPopularPath(*schema, tuples, threshold);
-    bench::PrintRow(
-        {StrPrintf("%lld", static_cast<long long>(size / 1000)),
-         "popular-path", StrPrintf("%.3f", pp.seconds),
-         StrPrintf("%.1f", pp.peak_mb),
-         StrPrintf("%lld", static_cast<long long>(pp.exception_cells))});
+    auto report = [&](const char* algorithm, const bench::RunResult& r) {
+      bench::PrintRow(
+          {StrPrintf("%lld", static_cast<long long>(size / 1000)), algorithm,
+           StrPrintf("%.3f", r.seconds), StrPrintf("%.1f", r.peak_mb),
+           StrPrintf("%lld", static_cast<long long>(r.exception_cells))});
+      json.Row(
+          {{"algorithm", StrPrintf("\"%s\"", algorithm)},
+           {"tuples", StrPrintf("%lld", static_cast<long long>(size))},
+           {"seconds", StrPrintf("%.6f", r.seconds)},
+           {"peak_mb", StrPrintf("%.3f", r.peak_mb)},
+           {"cells_computed",
+            StrPrintf("%lld", static_cast<long long>(r.cells_computed))},
+           {"exception_cells",
+            StrPrintf("%lld", static_cast<long long>(r.exception_cells))}});
+    };
+    report("m/o-cubing", bench::RunMoCubing(*schema, tuples, threshold));
+    report("popular-path", bench::RunPopularPath(*schema, tuples, threshold));
   }
 }
 
@@ -65,6 +71,8 @@ void Run(int argc, char** argv) {
 }  // namespace regcube
 
 int main(int argc, char** argv) {
-  regcube::Run(argc, argv);
+  regcube::bench::JsonWriter json("fig9_size");
+  regcube::Run(argc, argv, json);
+  json.Write();
   return 0;
 }

@@ -133,6 +133,17 @@ std::vector<std::pair<std::string, std::int64_t>> Engine::MemoryReport()
     report.emplace_back("spill.live_bytes", stats.live_bytes);
     report.emplace_back("spill.garbage_bytes", stats.garbage_bytes);
   }
+  // Frozen blocks the cached snapshot pins alive. Shared with (and mostly
+  // double-counted by) the engine-side gather caches while those still
+  // hold them, but after an eviction this residual is the only record that
+  // the bytes are still resident.
+  {
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    if (cache_->snapshot != nullptr) {
+      report.emplace_back("snapshot.pinned_frames",
+                          cache_->snapshot->PinnedFrameBytes());
+    }
+  }
   return report;
 }
 

@@ -15,7 +15,11 @@ CubeSnapshot::CubeSnapshot(std::shared_ptr<const CubeSchema> schema,
       cells_(std::move(gathered.cells)),
       clock_(gathered.clock),
       revision_(gathered.revision),
-      stats_(gathered.stats) {}
+      stats_(gathered.stats) {
+  for (const CellSnapshot& cell : *cells_) {
+    pinned_frame_bytes_ += cell.frame->MemoryBytes();
+  }
+}
 
 Result<std::vector<MLayerTuple>> CubeSnapshot::Window(int level, int k) const {
   return SnapshotWindowOf(*cells_, level, k);

@@ -101,6 +101,13 @@ class CubeSnapshot {
     return static_cast<std::int64_t>(cells_->size());
   }
 
+  /// Bytes of frozen frame blocks this snapshot keeps alive. The blocks
+  /// are refcount-shared with the engine's gather caches, so while the
+  /// engine holds them too they are already accounted there — but a live
+  /// snapshot pins them past any engine-side eviction, and the memory
+  /// report surfaces that residual as "snapshot.pinned_frames".
+  std::int64_t PinnedFrameBytes() const { return pinned_frame_bytes_; }
+
   const CubeSchema& schema() const { return *schema_; }
   const CuboidLattice& lattice() const { return lattice_; }
 
@@ -136,6 +143,7 @@ class CubeSnapshot {
   std::shared_ptr<const SnapshotCells> cells_;
   TimeTick clock_ = 0;
   std::uint64_t revision_ = 0;
+  std::int64_t pinned_frame_bytes_ = 0;  // Σ frozen frame MemoryBytes()
   GatherStats stats_;  // what the gather behind this snapshot paid
   mutable CubeMemo memo_;  // logically immutable: a memo of the derived cube
 };

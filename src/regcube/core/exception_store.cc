@@ -19,6 +19,16 @@ void ExceptionStore::InsertAll(CuboidId cuboid, const CellMap& cells) {
   for (const auto& [key, isb] : cells) Insert(cuboid, key, isb);
 }
 
+void ExceptionStore::Adopt(CuboidId cuboid, CellMap&& cells) {
+  if (cells.empty()) return;
+  auto [it, inserted] = by_cuboid_.try_emplace(cuboid, std::move(cells));
+  if (inserted) {
+    total_cells_ += static_cast<std::int64_t>(it->second.size());
+    return;
+  }
+  InsertAll(cuboid, cells);
+}
+
 void ExceptionStore::Erase(CuboidId cuboid, const CellKey& key) {
   auto it = by_cuboid_.find(cuboid);
   if (it == by_cuboid_.end()) return;

@@ -26,6 +26,13 @@ class ExceptionStore {
   /// Bulk-inserts a whole map of exception cells for one cuboid.
   void InsertAll(CuboidId cuboid, const CellMap& cells);
 
+  /// Takes ownership of a whole cuboid's exception map — the from-scratch
+  /// fold's path, where each cuboid is folded exactly once, so the filter
+  /// map IS the stored map and re-hashing every cell into a copy
+  /// (InsertAll) is pure waste. Falls back to merging when the cuboid
+  /// already holds cells. No-op for an empty map.
+  void Adopt(CuboidId cuboid, CellMap&& cells);
+
   /// Removes one exception cell (no-op if absent) — the retract half of
   /// incremental maintenance, when a patched cell stops satisfying the
   /// exception predicate. A cuboid whose last cell is erased disappears

@@ -234,9 +234,7 @@ Status IncrementalCubeCache::ApplyPatchLocked(
       std::vector<CellKey> missing;
       missing.reserve(touched.size());
       for (const CellKey& key : touched) {
-        if (index->nodes_by_cell.find(key) == index->nodes_by_cell.end()) {
-          missing.push_back(key);
-        }
+        if (index->Find(*tree_, key) == nullptr) missing.push_back(key);
       }
       std::int64_t& budget = index_seed_budget_[static_cast<size_t>(cuboid)];
       if (budget < 0) budget = CuboidChainLength(*tree_, lattice_, cuboid);
@@ -264,14 +262,7 @@ Status IncrementalCubeCache::ApplyPatchLocked(
             seeded = false;  // a member newer than the tree: fall back
             break;
           }
-          auto [it, inserted] =
-              index->nodes_by_cell.emplace(missing[m], std::move(*nodes));
-          RC_DCHECK(inserted);
-          added_bytes +=
-              static_cast<std::int64_t>(sizeof(CellKey)) + 16 +
-              static_cast<std::int64_t>(sizeof(it->second)) +
-              static_cast<std::int64_t>(it->second.capacity() *
-                                        sizeof(const HTreeNode*));
+          added_bytes += index->Insert(*tree_, missing[m], std::move(*nodes));
         }
       }
       if (!seeded) {

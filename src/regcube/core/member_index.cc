@@ -9,10 +9,15 @@ namespace {
 // (hash-node + bucket share per entry; ids are 4 bytes each).
 constexpr std::int64_t kMapOverhead = 64;
 constexpr std::int64_t kEntryOverhead = 16;
+constexpr std::int64_t kPackedKeyBytes =
+    static_cast<std::int64_t>(sizeof(std::uint64_t));
+constexpr std::int64_t kCellKeyBytes =
+    static_cast<std::int64_t>(sizeof(CellKey));
 }  // namespace
 
 MemberIndex::MemberIndex(const CuboidLattice* lattice) : lattice_(lattice) {
   RC_CHECK(lattice_ != nullptr);
+  codec_ = PackedKeyCodec::ForSchema(lattice_->schema());
   maps_.resize(static_cast<size_t>(lattice_->num_cuboids()));
 }
 
@@ -20,6 +25,7 @@ void MemberIndex::Activate(CuboidId cuboid) {
   auto& map = maps_[static_cast<size_t>(cuboid)];
   if (map.has_value()) return;
   map.emplace();
+  map->packed = codec_.has_value();
   active_.push_back(cuboid);
   bytes_ += kMapOverhead;
 }
@@ -37,12 +43,39 @@ void MemberIndex::AddCellTo(CuboidId cuboid, const CellKey& m_key,
   Fold(cuboid, *map, m_key, id);
 }
 
+void MemberIndex::Demote(CuboidMap& map) {
+  // One-way fallback: rekey every packed entry by its unpacked CellKey.
+  // Member lists (and their creation order) move over untouched, so the
+  // only observable change is the per-entry key footprint.
+  map.by_key.reserve(map.by_packed.size());
+  for (auto& [packed, members] : map.by_packed) {
+    map.by_key.emplace(codec_->Unpack(packed), std::move(members));
+    bytes_ += kCellKeyBytes - kPackedKeyBytes;
+  }
+  map.by_packed.clear();
+  map.packed = false;
+}
+
 void MemberIndex::Fold(CuboidId cuboid, CuboidMap& map, const CellKey& m_key,
                        MemberId id) {
-  auto [it, inserted] =
-      map.try_emplace(lattice_->ProjectMLayerKey(m_key, cuboid));
+  CellKey key = lattice_->ProjectMLayerKey(m_key, cuboid);
+  if (map.packed) {
+    std::uint64_t packed = 0;
+    if (codec_->Pack(key, &packed)) {
+      auto [it, inserted] = map.by_packed.try_emplace(packed);
+      if (inserted) {
+        bytes_ += kPackedKeyBytes + kEntryOverhead +
+                  static_cast<std::int64_t>(sizeof(std::vector<MemberId>));
+      }
+      it->second.push_back(id);
+      bytes_ += static_cast<std::int64_t>(sizeof(MemberId));
+      return;
+    }
+    Demote(map);
+  }
+  auto [it, inserted] = map.by_key.try_emplace(std::move(key));
   if (inserted) {
-    bytes_ += static_cast<std::int64_t>(sizeof(CellKey)) + kEntryOverhead +
+    bytes_ += kCellKeyBytes + kEntryOverhead +
               static_cast<std::int64_t>(sizeof(std::vector<MemberId>));
   }
   it->second.push_back(id);
@@ -53,8 +86,15 @@ const std::vector<MemberIndex::MemberId>* MemberIndex::MembersOf(
     CuboidId cuboid, const CellKey& key) const {
   const auto& map = maps_[static_cast<size_t>(cuboid)];
   RC_CHECK(map.has_value()) << "MembersOf on an inactive cuboid";
-  auto it = map->find(key);
-  return it == map->end() ? nullptr : &it->second;
+  if (map->packed) {
+    std::uint64_t packed = 0;
+    // A key that does not pack cannot equal any key that did.
+    if (!codec_->Pack(key, &packed)) return nullptr;
+    auto it = map->by_packed.find(packed);
+    return it == map->by_packed.end() ? nullptr : &it->second;
+  }
+  auto it = map->by_key.find(key);
+  return it == map->by_key.end() ? nullptr : &it->second;
 }
 
 }  // namespace regcube

@@ -8,6 +8,7 @@
 
 #include "regcube/cube/cell.h"
 #include "regcube/cube/cuboid.h"
+#include "regcube/cube/packed_key.h"
 
 namespace regcube {
 
@@ -37,6 +38,13 @@ enum class PointLookup { kIndexed, kScan };
 /// same shape of spend as the memo's own indexes — for never re-scanning
 /// chains; bulk patches skip the lookup entirely and leave inactive
 /// cuboids alone.
+///
+/// When the schema's packed-key codec holds, each cuboid map keys its
+/// entries by the 64-bit packed projection instead of the CellKey (half
+/// the key bytes, cheap hashing). A map that ever meets a key it cannot
+/// pack (out-of-cardinality values from a key mapper) demotes itself to
+/// the CellKey representation once — member lists and their order carry
+/// over untouched, so probes see no difference.
 ///
 /// Not thread-safe; the owning StreamCubeEngine is single-threaded behind
 /// its shard mutex, like every other engine structure.
@@ -78,13 +86,18 @@ class MemberIndex {
   std::int64_t MemoryBytes() const { return bytes_; }
 
  private:
-  using CuboidMap =
-      std::unordered_map<CellKey, std::vector<MemberId>, CellKeyHash>;
+  struct CuboidMap {
+    bool packed = false;  // which representation is live
+    std::unordered_map<std::uint64_t, std::vector<MemberId>> by_packed;
+    std::unordered_map<CellKey, std::vector<MemberId>, CellKeyHash> by_key;
+  };
 
   void Fold(CuboidId cuboid, CuboidMap& map, const CellKey& m_key,
             MemberId id);
+  void Demote(CuboidMap& map);
 
   const CuboidLattice* lattice_;
+  std::optional<PackedKeyCodec> codec_;
   std::vector<std::optional<CuboidMap>> maps_;  // by cuboid id
   std::vector<CuboidId> active_;  // cuboids with a map, in activation order
   std::int64_t bytes_ = 0;

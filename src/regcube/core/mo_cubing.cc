@@ -54,23 +54,23 @@ Result<RegressionCube> ComputeMoCubing(
   // Retains one computed cuboid into the cube (o-layer in full, exception
   // cells in between). Always runs sequentially so stats accumulate
   // deterministically, whether the cells were cubed serially or on a pool.
-  auto fold = [&](CuboidId cuboid, CellMap cells) {
-    stats.cells_computed += static_cast<std::int64_t>(cells.size());
+  // Cells stay in the kernel's transient form; only the o-layer (retained
+  // in full) pays a CellMap materialization.
+  auto fold = [&](CuboidId cuboid, const CuboidCells& cells) {
+    stats.cells_computed += cells.size();
     if (cuboid == lattice.o_layer_id()) {
-      cube.mutable_o_layer() = std::move(cells);
+      cube.mutable_o_layer() = cells.ToCellMap();
       tracker.Add("o-layer", CellMapMemoryBytes(cube.o_layer()));
       return;
     }
     const int depth = SpecDepth(lattice.spec(cuboid));
     CellMap retained;
-    for (const auto& [key, isb] : cells) {
-      if (options.policy.IsException(isb, cuboid, depth)) {
-        retained.emplace(key, isb);
-      }
-    }
+    cells.ForEachWhere(
+        options.policy.TestFor(cuboid, depth),
+        [&](const CellKey& key, const Isb& isb) { retained.emplace(key, isb); });
     stats.exception_cells += static_cast<std::int64_t>(retained.size());
     tracker.Add("exceptions", CellMapMemoryBytes(retained));
-    cube.mutable_exceptions().InsertAll(cuboid, retained);
+    cube.mutable_exceptions().Adopt(cuboid, std::move(retained));
   };
 
   std::vector<CuboidId> cuboids;
@@ -85,21 +85,22 @@ Result<RegressionCube> ComputeMoCubing(
   if (options.pool != nullptr && options.pool->num_threads() > 1) {
     // Pool-partitioned: all cuboids' transient cells are alive at once, and
     // the peak accounting says so honestly.
-    std::vector<CellMap> maps =
-        ComputeCuboidCellsPartitioned(tree, lattice, cuboids, options.pool);
+    std::vector<CuboidCells> maps = ComputeCuboidCellsTransientPartitioned(
+        tree, lattice, cuboids, options.pool);
     std::int64_t transient_bytes = 0;
-    for (const CellMap& m : maps) transient_bytes += CellMapMemoryBytes(m);
+    for (const CuboidCells& m : maps) transient_bytes += m.MemoryBytes();
     tracker.Add("transient", transient_bytes);
     for (size_t i = 0; i < cuboids.size(); ++i) {
-      fold(cuboids[i], std::move(maps[i]));
+      fold(cuboids[i], maps[i]);
     }
     tracker.Release("transient", transient_bytes);
   } else {
     for (CuboidId cuboid : cuboids) {
-      CellMap cells = ComputeCuboidCells(tree, lattice, cuboid);
-      const std::int64_t transient_bytes = CellMapMemoryBytes(cells);
+      const CuboidCells cells =
+          ComputeCuboidCellsTransient(tree, lattice, cuboid);
+      const std::int64_t transient_bytes = cells.MemoryBytes();
       tracker.Add("transient", transient_bytes);
-      fold(cuboid, std::move(cells));
+      fold(cuboid, cells);
       tracker.Release("transient", transient_bytes);
     }
   }

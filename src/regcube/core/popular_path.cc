@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "regcube/common/logging.h"
 #include "regcube/common/stopwatch.h"
@@ -44,20 +43,24 @@ Result<RegressionCube> ComputePopularPathCubing(
 
   Stopwatch compute_timer;
 
-  std::unordered_set<CuboidId> on_path(path.steps.begin(), path.steps.end());
-  std::unordered_map<CuboidId, int> path_depth;  // cuboid -> tree prefix depth
+  // Flat by-cuboid arrays instead of tiny hash maps: membership on the
+  // path and cuboid -> tree prefix depth (-1 off the path).
+  std::vector<char> on_path(static_cast<size_t>(lattice.num_cuboids()), 0);
+  std::vector<int> path_depth(static_cast<size_t>(lattice.num_cuboids()), -1);
   {
     int base_depth = static_cast<int>(
         lattice.AttributesOf(path.steps.front()).size());
     for (size_t i = 0; i < path.steps.size(); ++i) {
-      path_depth[path.steps[i]] = base_depth + static_cast<int>(i);
+      on_path[static_cast<size_t>(path.steps[i])] = 1;
+      path_depth[static_cast<size_t>(path.steps[i])] =
+          base_depth + static_cast<int>(i);
     }
   }
 
   // Cells drilled into off-path cuboids, held until that cuboid is
-  // processed; exception cells per cuboid seed further drilling.
-  std::unordered_map<CuboidId, CellMap> drilled_cells;
-  std::unordered_map<CuboidId, CellMap> exception_seeds;
+  // processed (in the kernels' transient form — packed flat maps under the
+  // codec); exception cells per cuboid seed further drilling.
+  std::unordered_map<CuboidId, CuboidCells> drilled_cells;
 
   // Steps 2+3 interleaved in topological (roll-up depth) order: every
   // cuboid is visited after all of its roll-up parents, so its computed
@@ -73,52 +76,59 @@ Result<RegressionCube> ComputePopularPathCubing(
   for (CuboidId x : order) {
     const int depth_x = SpecDepth(lattice.spec(x));
     CellMap exceptions_x;
+    // Non-critical cuboids hand their filter map to the store once the
+    // drill loop below is done reading it (Adopt moves, never copies).
+    bool retain_exceptions = false;
 
-    if (on_path.count(x) > 0) {
-      CellMap cells = ReadPrefixCuboidCells(tree, lattice, x, path_depth[x]);
-      stats.cells_computed += static_cast<std::int64_t>(cells.size());
-      const std::int64_t transient_bytes = CellMapMemoryBytes(cells);
+    if (on_path[static_cast<size_t>(x)] != 0) {
+      const CuboidCells cells = ReadPrefixCuboidCellsTransient(
+          tree, lattice, x, path_depth[static_cast<size_t>(x)]);
+      stats.cells_computed += cells.size();
+      const std::int64_t transient_bytes = cells.MemoryBytes();
       tracker.Add("transient", transient_bytes);
-      for (const auto& [key, isb] : cells) {
-        if (options.policy.IsException(isb, x, depth_x)) {
-          exceptions_x.emplace(key, isb);
-        }
-      }
+      cells.ForEachWhere(options.policy.TestFor(x, depth_x),
+                         [&](const CellKey& key, const Isb& isb) {
+                           exceptions_x.emplace(key, isb);
+                         });
       if (x == lattice.o_layer_id()) {
         if (x == lattice.m_layer_id()) {
           // Degenerate lattice: the single cuboid is both critical layers.
-          cube.mutable_m_layer() = cells;
+          cube.mutable_m_layer() = cells.ToCellMap();
           tracker.Add("m-layer", CellMapMemoryBytes(cube.m_layer()));
         }
-        cube.mutable_o_layer() = std::move(cells);
+        cube.mutable_o_layer() = cells.ToCellMap();
         tracker.Add("o-layer", CellMapMemoryBytes(cube.o_layer()));
       } else if (x == lattice.m_layer_id()) {
-        cube.mutable_m_layer() = std::move(cells);
+        cube.mutable_m_layer() = cells.ToCellMap();
         tracker.Add("m-layer", CellMapMemoryBytes(cube.m_layer()));
       } else {
         stats.exception_cells +=
             static_cast<std::int64_t>(exceptions_x.size());
         tracker.Add("exceptions", CellMapMemoryBytes(exceptions_x));
-        cube.mutable_exceptions().InsertAll(x, exceptions_x);
+        retain_exceptions = true;
       }
       tracker.Release("transient", transient_bytes);
     } else {
       auto it = drilled_cells.find(x);
       if (it == drilled_cells.end()) continue;  // nothing reached this cuboid
-      for (const auto& [key, isb] : it->second) {
-        if (options.policy.IsException(isb, x, depth_x)) {
-          exceptions_x.emplace(key, isb);
-        }
-      }
+      it->second.ForEachWhere(options.policy.TestFor(x, depth_x),
+                              [&](const CellKey& key, const Isb& isb) {
+                                exceptions_x.emplace(key, isb);
+                              });
       stats.exception_cells += static_cast<std::int64_t>(exceptions_x.size());
       tracker.Add("exceptions", CellMapMemoryBytes(exceptions_x));
-      cube.mutable_exceptions().InsertAll(x, exceptions_x);
-      tracker.Release("drilled", CellMapMemoryBytes(it->second));
+      retain_exceptions = true;
+      tracker.Release("drilled", it->second.MemoryBytes());
       drilled_cells.erase(it);
     }
 
     if (exceptions_x.empty()) continue;
-    if (x == lattice.m_layer_id()) continue;  // recursion ends at the m-layer
+    if (x == lattice.m_layer_id()) {  // recursion ends at the m-layer
+      if (retain_exceptions) {
+        cube.mutable_exceptions().Adopt(x, std::move(exceptions_x));
+      }
+      continue;
+    }
 
     // Drill the exception cells of x into every non-computed child cuboid,
     // rolling up from the closest computed cuboid below (the deepest tree
@@ -128,11 +138,11 @@ Result<RegressionCube> ComputePopularPathCubing(
     // maps (keep-first merges) and stats are identical to the serial loop.
     std::vector<CuboidId> targets;
     for (CuboidId y : lattice.DrillChildren(x)) {
-      if (on_path.count(y) == 0) targets.push_back(y);
+      if (on_path[static_cast<size_t>(y)] == 0) targets.push_back(y);
     }
-    std::vector<CellMap> scans(targets.size());
+    std::vector<CuboidCells> scans(targets.size());
     auto drill_one = [&](std::int64_t i) {
-      scans[static_cast<size_t>(i)] = ComputeDrillChildren(
+      scans[static_cast<size_t>(i)] = ComputeDrillChildrenTransient(
           tree, lattice, x, exceptions_x, targets[static_cast<size_t>(i)]);
     };
     const auto num_targets = static_cast<std::int64_t>(targets.size());
@@ -143,14 +153,16 @@ Result<RegressionCube> ComputePopularPathCubing(
       for (std::int64_t i = 0; i < num_targets; ++i) drill_one(i);
     }
     for (size_t i = 0; i < targets.size(); ++i) {
-      CellMap& children = scans[i];
-      stats.cells_computed += static_cast<std::int64_t>(children.size());
-      CellMap& dest = drilled_cells[targets[i]];
-      const std::int64_t before = CellMapMemoryBytes(dest);
-      for (auto& [key, isb] : children) {
-        dest.emplace(key, isb);  // same totals under any parent: keep first
-      }
-      tracker.Add("drilled", CellMapMemoryBytes(dest) - before);
+      const CuboidCells& children = scans[i];
+      stats.cells_computed += children.size();
+      CuboidCells& dest = drilled_cells[targets[i]];
+      const std::int64_t before = dest.MemoryBytes();
+      // Same totals under any parent: keep first.
+      dest.MergeKeepFirst(children);
+      tracker.Add("drilled", dest.MemoryBytes() - before);
+    }
+    if (retain_exceptions) {
+      cube.mutable_exceptions().Adopt(x, std::move(exceptions_x));
     }
   }
   RC_CHECK(drilled_cells.empty())

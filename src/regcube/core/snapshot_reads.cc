@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "regcube/common/str.h"
+#include "regcube/cube/packed_key.h"
 #include "regcube/regression/aggregate.h"
 
 namespace regcube {
@@ -68,7 +69,34 @@ Result<StreamCubeEngine::DeckSeries> SnapshotDeckOf(
   if (cells.empty()) return SnapshotNoDataError();
   StreamCubeEngine::DeckSeries deck;
   const CuboidId o_id = lattice.o_layer_id();
-  for (const CellSnapshot& cell : cells) {
+  // Accumulate under the 64-bit packed projection while keys pack (one
+  // word hashed and compared per cell instead of a CellKey). Accumulation
+  // per o-cell follows the cells scan order either way, so the series are
+  // bitwise those of the CellKey loop; on the first unpackable key the
+  // partial series move into the CellKey deck and the scan resumes there.
+  size_t next = 0;
+  const auto codec = PackedKeyCodec::ForSchema(lattice.schema());
+  if (codec.has_value()) {
+    std::unordered_map<std::uint64_t, std::vector<Isb>> packed_deck;
+    for (; next < cells.size(); ++next) {
+      const CellSnapshot& cell = cells[next];
+      const CellKey o_key = lattice.ProjectMLayerKey(cell.key, o_id);
+      std::uint64_t packed = 0;
+      if (!codec->Pack(o_key, &packed)) break;
+      const auto& slots = cell.frame->RawSlots(level);
+      auto& dest = packed_deck[packed];
+      if (dest.size() < slots.size()) dest.resize(slots.size());
+      for (size_t i = 0; i < slots.size(); ++i) {
+        AccumulateStandardDim(dest[i], FitFromMoments(slots[i]));
+      }
+    }
+    deck.reserve(packed_deck.size());
+    for (auto& [packed, series] : packed_deck) {
+      deck.emplace(codec->Unpack(packed), std::move(series));
+    }
+  }
+  for (; next < cells.size(); ++next) {
+    const CellSnapshot& cell = cells[next];
     const CellKey o_key = lattice.ProjectMLayerKey(cell.key, o_id);
     const auto& slots = cell.frame->RawSlots(level);
     auto& dest = deck[o_key];
@@ -113,10 +141,25 @@ Result<Isb> SnapshotCellOf(const SnapshotCells& cells,
     return SnapshotBadCuboidError(cuboid);
   }
   if (cells.empty()) return SnapshotNoDataError();
+  // Compare packed projections against the packed target when both sides
+  // pack: one word per cell instead of a CellKey compare. Equal keys pack
+  // identically, and an unpackable projection cannot equal a packed
+  // target, so the filter is exact.
+  const auto codec = PackedKeyCodec::ForSchema(lattice.schema());
+  std::uint64_t target = 0;
+  const bool packed_scan = codec.has_value() && codec->Pack(key, &target);
+  auto matches = [&](const CellKey& m_key) {
+    const CellKey projected = lattice.ProjectMLayerKey(m_key, cuboid);
+    if (packed_scan) {
+      std::uint64_t packed = 0;
+      return codec->Pack(projected, &packed) && packed == target;
+    }
+    return projected == key;
+  };
   Isb acc;
   bool found = false;
   for (const CellSnapshot& cell : cells) {
-    if (!(lattice.ProjectMLayerKey(cell.key, cuboid) == key)) continue;
+    if (!matches(cell.key)) continue;
     auto isb = cell.frame->RegressLastSlots(level, k);
     if (!isb.ok()) return isb.status();
     AccumulateStandardDim(acc, *isb);
@@ -133,10 +176,22 @@ Result<std::vector<Isb>> SnapshotCellSeriesOf(const SnapshotCells& cells,
   RC_RETURN_IF_ERROR(
       ValidatePointQueryTarget(lattice, cuboid, level, num_levels));
   if (cells.empty()) return SnapshotNoDataError();
+  // Same exact packed filter as SnapshotCellOf.
+  const auto codec = PackedKeyCodec::ForSchema(lattice.schema());
+  std::uint64_t target = 0;
+  const bool packed_scan = codec.has_value() && codec->Pack(key, &target);
+  auto matches = [&](const CellKey& m_key) {
+    const CellKey projected = lattice.ProjectMLayerKey(m_key, cuboid);
+    if (packed_scan) {
+      std::uint64_t packed = 0;
+      return codec->Pack(projected, &packed) && packed == target;
+    }
+    return projected == key;
+  };
   std::vector<Isb> acc;
   bool found = false;
   for (const CellSnapshot& cell : cells) {
-    if (!(lattice.ProjectMLayerKey(cell.key, cuboid) == key)) continue;
+    if (!matches(cell.key)) continue;
     const auto& slots = cell.frame->RawSlots(level);
     if (acc.size() < slots.size()) acc.resize(slots.size());
     for (size_t i = 0; i < slots.size(); ++i) {

@@ -1,6 +1,7 @@
 #ifndef REGCUBE_CUBE_EXCEPTION_POLICY_H_
 #define REGCUBE_CUBE_EXCEPTION_POLICY_H_
 
+#include <cmath>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -45,6 +46,36 @@ class ExceptionPolicy {
 
   /// The exception test on a cell's regression line.
   bool IsException(const Isb& isb, CuboidId cuboid, int depth) const;
+
+  /// The cell test with the (cuboid, depth) threshold resolved once.
+  /// All cells of one cuboid share a threshold, so per-cell loops hoist
+  /// the override-map probes out of the loop: the hot path is one
+  /// compare. Identical verdicts to calling IsException per cell.
+  class CellTest {
+   public:
+    bool operator()(const Isb& isb) const {
+      switch (mode_) {
+        case ExceptionMode::kAbsoluteSlope:
+          return std::fabs(isb.slope) >= threshold_;
+        case ExceptionMode::kPositiveSlope:
+          return isb.slope >= threshold_;
+        case ExceptionMode::kNegativeSlope:
+          return isb.slope <= -threshold_;
+      }
+      return false;
+    }
+
+   private:
+    friend class ExceptionPolicy;
+    CellTest(ExceptionMode mode, double threshold)
+        : mode_(mode), threshold_(threshold) {}
+    ExceptionMode mode_;
+    double threshold_;
+  };
+
+  CellTest TestFor(CuboidId cuboid, int depth) const {
+    return CellTest(mode_, ThresholdFor(cuboid, depth));
+  }
 
   double global_threshold() const { return global_threshold_; }
   ExceptionMode mode() const { return mode_; }

@@ -1,0 +1,59 @@
+#include "regcube/cube/packed_key.h"
+
+#include <bit>
+
+namespace regcube {
+
+std::optional<PackedKeyCodec> PackedKeyCodec::ForSchema(
+    const CubeSchema& schema) {
+  PackedKeyCodec codec;
+  codec.num_dims_ = schema.num_dims();
+  int bits = 0;
+  for (int d = 0; d < codec.num_dims_; ++d) {
+    // The field must hold any value of any level a key can carry (levels
+    // 1..m; level 0 is always value 0), plus the "*" sentinel at 0.
+    std::uint64_t max_card = 1;
+    for (int level = 1; level <= schema.m_layer()[static_cast<size_t>(d)];
+         ++level) {
+      max_card = std::max(
+          max_card, static_cast<std::uint64_t>(
+                        schema.dim(d).hierarchy().Cardinality(level)));
+    }
+    // Field values run 0 (star) .. max_card (value max_card - 1).
+    const int width = std::bit_width(max_card);
+    codec.shift_[static_cast<size_t>(d)] = bits;
+    codec.mask_[static_cast<size_t>(d)] = (width >= 64)
+                                              ? ~std::uint64_t{0}
+                                              : ((std::uint64_t{1} << width) -
+                                                 1);
+    bits += width;
+    if (bits > 64) return std::nullopt;
+  }
+  return codec;
+}
+
+bool PackedKeyCodec::Pack(const CellKey& key, std::uint64_t* packed) const {
+  std::uint64_t out = 0;
+  for (int d = 0; d < num_dims_; ++d) {
+    const ValueId v = key[d];
+    const std::uint64_t field =
+        (v == kStarValue) ? 0 : static_cast<std::uint64_t>(v) + 1;
+    if (field > mask_[static_cast<size_t>(d)]) return false;
+    out |= field << shift_[static_cast<size_t>(d)];
+  }
+  *packed = out;
+  return true;
+}
+
+CellKey PackedKeyCodec::Unpack(std::uint64_t packed) const {
+  CellKey key(num_dims_);
+  for (int d = 0; d < num_dims_; ++d) {
+    const std::uint64_t field =
+        (packed >> shift_[static_cast<size_t>(d)]) &
+        mask_[static_cast<size_t>(d)];
+    if (field != 0) key.set(d, static_cast<ValueId>(field - 1));
+  }
+  return key;
+}
+
+}  // namespace regcube

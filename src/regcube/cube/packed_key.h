@@ -1,0 +1,61 @@
+#ifndef REGCUBE_CUBE_PACKED_KEY_H_
+#define REGCUBE_CUBE_PACKED_KEY_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "regcube/cube/cell.h"
+#include "regcube/cube/schema.h"
+
+namespace regcube {
+
+/// Fixed-width bit-field encoding of a CellKey into one 64-bit integer,
+/// available whenever the schema's per-dimension cardinalities are small
+/// enough to fit. Each dimension gets a field wide enough for its largest
+/// per-level cardinality plus one sentinel: field 0 encodes "*"
+/// (kStarValue), field v+1 encodes value v. Packing is therefore exact and
+/// invertible for every key of every cuboid of the lattice — two keys of
+/// one cuboid collide iff they are equal, exactly like CellKey itself.
+///
+/// The packed form is the hot-path key of the H-cubing kernels, member
+/// indexes and snapshot-read probes: hashing and equality are one 64-bit
+/// op instead of a 9-word array walk. When the widths do not fit 64 bits
+/// (ForSchema returns nullopt) every caller falls back to the CellKey
+/// containers, which remain the oracle representation.
+class PackedKeyCodec {
+ public:
+  /// Builds the codec for `schema`, or nullopt when the summed field
+  /// widths exceed 64 bits (the callers' vector-key fallback signal).
+  static std::optional<PackedKeyCodec> ForSchema(const CubeSchema& schema);
+
+  /// Packs `key` into `*packed`. Returns false (leaving `*packed`
+  /// untouched) when some value does not fit its dimension's field — a
+  /// value outside the schema's cardinality, e.g. from a key mapper; the
+  /// caller must fall back to the vector form for that key.
+  bool Pack(const CellKey& key, std::uint64_t* packed) const;
+
+  /// Unpacks into the CellKey `Pack` encoded (exact inverse).
+  CellKey Unpack(std::uint64_t packed) const;
+
+  int num_dims() const { return num_dims_; }
+
+  /// Bit offset of dimension `d`'s field — exposed so path-walk kernels
+  /// can assemble packed keys incrementally, one field per tree level.
+  int shift(int d) const { return shift_[static_cast<size_t>(d)]; }
+
+  /// Largest encodable field value of dimension `d` (the all-ones mask).
+  std::uint64_t field_mask(int d) const {
+    return mask_[static_cast<size_t>(d)];
+  }
+
+ private:
+  PackedKeyCodec() = default;
+
+  int num_dims_ = 0;
+  std::array<int, kMaxDims> shift_{};
+  std::array<std::uint64_t, kMaxDims> mask_{};
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_CUBE_PACKED_KEY_H_

@@ -1,26 +1,25 @@
 #include "regcube/htree/header_table.h"
 
-#include "regcube/htree/htree.h"
-
 namespace regcube {
 
-void HeaderTable::Link(ValueId value, HTreeNode* node) {
+NodeId HeaderTable::Link(ValueId value, NodeId id) {
   Entry& entry = entries_[value];
-  node->next_link = entry.head;
-  entry.head = node;
+  const NodeId prev = entry.head;
+  entry.head = id;
   ++entry.count;
   ++total_nodes_;
+  return prev;
 }
 
-const HTreeNode* HeaderTable::ChainHead(ValueId value) const {
+NodeId HeaderTable::ChainHead(ValueId value) const {
   auto it = entries_.find(value);
-  return it == entries_.end() ? nullptr : it->second.head;
+  return it == entries_.end() ? kInvalidNode : it->second.head;
 }
 
 std::int64_t HeaderTable::MemoryBytes() const {
-  // One bucket entry per distinct value: value id + head pointer + count,
-  // plus typical hash-table node overhead.
-  constexpr std::int64_t kEntryBytes = 40;
+  // One bucket entry per distinct value: value id + head id + count, plus
+  // typical hash-table node overhead.
+  constexpr std::int64_t kEntryBytes = 24;
   return static_cast<std::int64_t>(entries_.size()) * kEntryBytes;
 }
 

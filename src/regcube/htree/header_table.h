@@ -8,25 +8,34 @@
 
 namespace regcube {
 
-class HTreeNode;
+/// Index of a node inside its HTree's contiguous arena (see htree.h).
+/// 32-bit on purpose: node links, child spans and chains are all id-based,
+/// which halves the link footprint and keeps every traversal inside one
+/// flat array instead of chasing heap pointers.
+using NodeId = std::uint32_t;
+
+/// The null node id (end of a chain, the root's parent).
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
 
 /// Header table of one H-tree attribute (Fig 7): for every distinct value of
 /// the attribute, the head of the node-link chain threading all tree nodes
 /// that carry that value, plus the chain length. Traversing a chain visits
 /// every occurrence of the value across the tree — the core H-cubing access
-/// path.
+/// path. Chains are id-linked through HTreeNode::next_link.
 class HeaderTable {
  public:
   struct Entry {
-    HTreeNode* head = nullptr;  // most recently linked node
+    NodeId head = kInvalidNode;  // most recently linked node
     std::int64_t count = 0;
   };
 
-  /// Links `node` (which carries `value`) at the head of the value's chain.
-  void Link(ValueId value, HTreeNode* node);
+  /// Links node `id` (which carries `value`) at the head of the value's
+  /// chain and returns the previous head — the caller stores it as the
+  /// node's next_link, preserving the link-at-head chain order.
+  NodeId Link(ValueId value, NodeId id);
 
-  /// Chain head for `value` (nullptr if the value never occurs).
-  const HTreeNode* ChainHead(ValueId value) const;
+  /// Chain head for `value` (kInvalidNode if the value never occurs).
+  NodeId ChainHead(ValueId value) const;
 
   /// Number of distinct values.
   std::int64_t num_values() const {

@@ -2,7 +2,7 @@
 #define REGCUBE_HTREE_HTREE_H_
 
 #include <cstdint>
-#include <deque>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +10,7 @@
 #include "regcube/common/status.h"
 #include "regcube/cube/cell.h"
 #include "regcube/cube/cuboid.h"
+#include "regcube/cube/packed_key.h"
 #include "regcube/cube/schema.h"
 #include "regcube/htree/header_table.h"
 #include "regcube/regression/isb.h"
@@ -27,26 +28,121 @@ struct MLayerTuple {
 /// A node of the hyper-linked H-tree (§4.4, Fig 7). Nodes at depth k+1 carry
 /// a value of the k-th attribute in the tree's attribute order; leaf nodes
 /// aggregate the measures of the m-layer tuples that share the full path.
-class HTreeNode {
- public:
+///
+/// Arena layout: nodes live in one contiguous vector in DFS preorder
+/// (children visited in ascending value order), so every link is a 32-bit
+/// NodeId and each node's subtree — in particular its leaves — occupies a
+/// contiguous id range. Children are a sorted span [child_begin, child_end)
+/// into the tree's CSR child arrays, resolved by binary search. Measures
+/// are hoisted into the tree's parallel SoA arrays (indexed by leaf ordinal
+/// and NodeId), so folds walk flat double arrays instead of per-node
+/// payloads.
+struct HTreeNode {
   ValueId value = kStarValue;
-  int attr_index = -1;  // position in the attribute order; -1 = root
-  HTreeNode* parent = nullptr;
-  HTreeNode* next_link = nullptr;  // node-link chain (same attr, same value)
-  std::unordered_map<ValueId, HTreeNode*> children;
+  std::int32_t attr_index = -1;  // position in the attribute order; -1 = root
+  NodeId parent = kInvalidNode;
+  NodeId next_link = kInvalidNode;  // node-link chain (same attr, same value)
+  std::uint32_t child_begin = 0;    // CSR span into child_values_/child_nodes_
+  std::uint32_t child_end = 0;
+  std::uint32_t leaf_begin = 0;  // contiguous leaf-ordinal range under this
+  std::uint32_t leaf_end = 0;    // node; a leaf's own ordinal is leaf_begin
 
-  /// Leaf nodes always carry their aggregated measure. Non-leaf nodes carry
-  /// a subtree aggregate only when the tree was built with
-  /// store_nonleaf_measures (the popular-path configuration; the m/o
-  /// configuration "saves regression points only at the leaf").
-  Isb measure;
-  bool has_measure = false;
+  bool is_leaf() const { return child_begin == child_end; }
+};
 
-  /// Visit stamp of the last RefreshAncestorMeasures pass that marked this
-  /// node dirty — dedupes shared ancestors without hashing.
-  std::uint64_t visit_epoch = 0;
+/// Flat open-addressing map from nonzero 64-bit keys to NodeIds (Fibonacci
+/// hashing, linear probing, grow at 7/8 load). Key 0 marks an empty slot;
+/// every key stored here — build edge keys and packed m-layer leaf keys —
+/// is constructed nonzero (DESIGN.md). One multiply, one mask and a short
+/// probe per lookup, no per-entry allocation: this is both the build
+/// phase's edge/leaf workhorse and the tree's retained leaf index.
+class FlatNodeMap {
+ public:
+  FlatNodeMap() = default;
+  explicit FlatNodeMap(std::size_t expected) {
+    std::size_t cap = 64;
+    while (cap < expected * 2) cap *= 2;
+    keys_.assign(cap, 0);
+    vals_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
 
-  bool is_leaf() const { return children.empty(); }
+  /// The value slot of `key` (nonzero); `*inserted` reports whether the
+  /// entry is new (value 0-initialized).
+  NodeId& Slot(std::uint64_t key, bool* inserted) {
+    if ((size_ + 1) * 8 > keys_.size() * 7) Grow();
+    std::size_t i = ProbeStart(key);
+    while (keys_[i] != 0 && keys_[i] != key) i = (i + 1) & mask_;
+    *inserted = keys_[i] == 0;
+    if (*inserted) {
+      keys_[i] = key;
+      ++size_;
+    }
+    return vals_[i];
+  }
+
+  /// The value stored under `key`, or nullptr. Valid on a default-
+  /// constructed (empty) map.
+  const NodeId* Find(std::uint64_t key) const {
+    if (size_ == 0) return nullptr;
+    std::size_t i = ProbeStart(key);
+    while (keys_[i] != 0) {
+      if (keys_[i] == key) return &vals_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  std::size_t size() const { return size_; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != 0) fn(keys_[i], vals_[i]);
+    }
+  }
+
+  /// Rewrites every stored value as fn(value), in place — keys are
+  /// untouched, so no rehash happens (how Build renumbers the leaf index
+  /// into arena ids without copying the map).
+  template <typename Fn>
+  void MapValues(Fn&& fn) {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != 0) vals_[i] = fn(vals_[i]);
+    }
+  }
+
+  std::int64_t MemoryBytes() const {
+    return static_cast<std::int64_t>(keys_.size() *
+                                     (sizeof(std::uint64_t) + sizeof(NodeId)));
+  }
+
+ private:
+  std::size_t ProbeStart(std::uint64_t key) const {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 31) &
+           mask_;
+  }
+
+  void Grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<NodeId> old_vals = std::move(vals_);
+    const std::size_t new_cap = old_keys.empty() ? 64 : old_keys.size() * 2;
+    keys_.assign(new_cap, 0);
+    vals_.assign(new_cap, 0);
+    mask_ = new_cap - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == 0) continue;
+      std::size_t j = ProbeStart(old_keys[i]);
+      while (keys_[j] != 0) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      vals_[j] = old_vals[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<NodeId> vals_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
 };
 
 /// The H-tree: a compact prefix tree over expanded m-layer tuples with
@@ -63,6 +159,12 @@ class HTree {
 
     /// Store subtree aggregates in non-leaf nodes (popular-path mode).
     bool store_nonleaf_measures = false;
+
+    /// When false, the packed-key codec is dropped even if the schema
+    /// fits 64 bits, forcing the CellKey fallback everywhere. The vector
+    /// path is the oracle representation; equivalence suites build one
+    /// tree each way and assert the results are bit-identical.
+    bool use_packed_keys = true;
   };
 
   /// Builds the tree from m-layer tuples. All tuple measures must share one
@@ -81,28 +183,90 @@ class HTree {
   const std::vector<Attribute>& attribute_order() const { return attrs_; }
 
   /// Position of attribute (dim, level) in the order; -1 if absent (level 0).
-  int AttributePosition(int dim, int level) const;
+  int AttributePosition(int dim, int level) const {
+    const std::int64_t idx =
+        static_cast<std::int64_t>(dim) * attr_position_stride_ + level;
+    if (dim < 0 || level < 0 || attr_position_stride_ <= 0 || level >= attr_position_stride_ ||
+        idx >= static_cast<std::int64_t>(attr_position_.size())) {
+      return -1;
+    }
+    return attr_position_[static_cast<size_t>(idx)];
+  }
 
   const HeaderTable& header(int pos) const;
-  const HTreeNode* root() const { return root_; }
+  const HTreeNode* root() const { return nodes_.data(); }
 
-  std::int64_t num_nodes() const { return static_cast<std::int64_t>(pool_.size()); }
+  /// Arena accessors: node for an id (nullptr for kInvalidNode) and the id
+  /// of a node owned by this tree. Chain traversal is
+  /// `for (n = tree.node(head); n != nullptr; n = tree.node(n->next_link))`.
+  const HTreeNode* node(NodeId id) const {
+    return id == kInvalidNode ? nullptr : &nodes_[id];
+  }
+  NodeId id_of(const HTreeNode* n) const {
+    return static_cast<NodeId>(n - nodes_.data());
+  }
+  const HTreeNode* parent(const HTreeNode* n) const {
+    return node(n->parent);
+  }
+
+  /// One past the last arena id of `id`'s subtree (preorder = subtrees are
+  /// contiguous id ranges). Lets linear sweeps that only need nodes above
+  /// some depth jump over entire deeper subtrees instead of filtering
+  /// node by node.
+  NodeId subtree_end(NodeId id) const { return subtree_end_[id]; }
+
+  /// Child of `n` carrying `v`, by binary search of the node's sorted child
+  /// span; nullptr when absent.
+  const HTreeNode* FindChild(const HTreeNode* n, ValueId v) const;
+
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(nodes_.size());
+  }
   std::int64_t num_leaves() const { return num_leaves_; }
   bool store_nonleaf_measures() const { return store_nonleaf_; }
+
+  /// The schema-derived packed-key codec, when every key of this schema
+  /// fits 64 bits and every built tuple key packed cleanly; nullptr
+  /// otherwise (kernels fall back to CellKey containers).
+  const PackedKeyCodec* codec() const {
+    return codec_.has_value() ? &*codec_ : nullptr;
+  }
 
   /// The common time interval of every measure in the tree.
   const TimeInterval& common_interval() const { return interval_; }
 
   /// Aggregated measure of all m-layer cells below `node` (Theorem 3.2).
-  /// O(1) when the node stores a measure, otherwise a subtree walk.
+  /// O(1) when the node stores a measure (stored-measure trees and every
+  /// leaf), otherwise one contiguous fold over the node's leaf range.
   Isb SubtreeMeasure(const HTreeNode* node) const;
+
+  /// The measure stored at `node`: its leaf aggregate, or — on a
+  /// stored-measure tree — its maintained subtree aggregate.
+  /// Pre: node is a leaf or the tree stores non-leaf measures.
+  Isb StoredMeasure(const HTreeNode* node) const;
+
+  /// The canonical fold every stored and lazy aggregate reduces to: the
+  /// left-to-right sum over the contiguous leaf-measure range
+  /// [leaf_begin, leaf_end). Build-time stored measures, the lazy m/o
+  /// subtree walk and RefreshAncestorMeasures all call exactly this, which
+  /// is what makes them bitwise interchangeable.
+  Isb FoldLeafRange(std::uint32_t leaf_begin, std::uint32_t leaf_end) const;
 
   /// The leaf holding m-layer cell `key`, or nullptr if no tuple with that
   /// key was built into the tree — the key-addressed entry point the
   /// incremental patch machinery uses (UpdateLeafMeasure routes through it,
   /// and the seeded member indexes resolve member keys to leaves with it).
+  /// One packed-key hash probe when the codec is available; otherwise the
+  /// attribute walk.
   const HTreeNode* FindLeaf(const CubeSchema& schema,
                             const CellKey& key) const;
+
+  /// The pre-packing leaf lookup: rolls the key up one attribute at a time
+  /// and binary-searches each child span. Retained as the packed probe's
+  /// oracle (the two agree on every key) and as the fallback for keys that
+  /// do not pack.
+  const HTreeNode* FindLeafByWalk(const CubeSchema& schema,
+                                  const CellKey& key) const;
 
   /// Replaces the measure of the leaf holding m-layer cell `key` — the
   /// patch half of incremental cube maintenance: the tree's structure,
@@ -118,13 +282,12 @@ class HTree {
                                              const Isb& measure);
 
   /// Recomputes the stored subtree measures on every path from the given
-  /// (just-updated) leaves to the root, deepest level first so children
-  /// are current when a parent refolds. Each dirty node replays the exact
-  /// build-time fold over its children, so the stored measures stay
-  /// bitwise equal to those of a tree freshly built over the patched
-  /// window — the property the incremental cube's bit-identity rests on.
-  /// O(distinct ancestors of the touched leaves), with shared ancestors
-  /// refolded once. Pre: store_nonleaf_measures (CHECKed).
+  /// (just-updated) leaves to the root. Each dirty node re-runs the
+  /// canonical leaf-range fold, so the stored measures stay bitwise equal
+  /// to those of a tree freshly built over the patched window — the
+  /// property the incremental cube's bit-identity rests on.
+  /// O(Σ dirty nodes' leaf ranges), with shared ancestors refolded once.
+  /// Pre: store_nonleaf_measures (CHECKed).
   ///
   /// When `dirty_by_depth` is non-null it receives the refreshed nodes
   /// bucketed by depth (bucket d = nodes at depth d, i.e. attr_index
@@ -139,11 +302,13 @@ class HTree {
   /// Pre: attr_pos <= node->attr_index (checked).
   ValueId PathValue(const HTreeNode* node, int attr_pos) const;
 
-  /// All m-layer cells as tuples (read back from the leaves).
+  /// All m-layer cells as tuples (read back from the leaves, in leaf-
+  /// ordinal order).
   std::vector<MLayerTuple> MLayerCells() const;
 
-  /// Analytic footprint: nodes, stored measures, header tables (DESIGN.md
-  /// §4.4 — this is what the benchmarks charge to "H-tree").
+  /// Analytic footprint: arena nodes, CSR child spans, SoA measure arrays,
+  /// header tables and the packed leaf index (DESIGN.md — this is what the
+  /// benchmarks charge to "H-tree").
   std::int64_t MemoryBytes() const;
 
   std::string ToString() const;
@@ -151,19 +316,33 @@ class HTree {
  private:
   HTree() = default;
 
-  HTreeNode* NewNode();
-  Isb SubtreeMeasureSlow(const HTreeNode* node) const;
-  void ComputeNonLeafMeasures(HTreeNode* node);
+  Isb LeafMeasure(std::uint32_t leaf_ordinal) const;
 
-  std::deque<HTreeNode> pool_;  // stable addresses
-  HTreeNode* root_ = nullptr;
+  std::vector<HTreeNode> nodes_;  // DFS preorder; nodes_[0] is the root
+  std::vector<NodeId> subtree_end_;    // by id: one past the subtree's ids
+  std::vector<ValueId> child_values_;  // CSR: per-node sorted value spans
+  std::vector<NodeId> child_nodes_;    // CSR: child ids aligned with values
+  // SoA measures. Leaf aggregates by leaf ordinal (both configurations);
+  // stored subtree aggregates by NodeId (store_nonleaf_measures only).
+  std::vector<double> leaf_base_;
+  std::vector<double> leaf_slope_;
+  std::vector<double> node_base_;
+  std::vector<double> node_slope_;
   std::vector<Attribute> attrs_;
   std::vector<HeaderTable> headers_;
-  std::unordered_map<std::int64_t, int> attr_position_;  // dim*64+level -> pos
+  // Flat (dim * stride + level) -> position map; -1 = absent. Replaces the
+  // old unordered_map — the domain is tiny and fixed at build time.
+  std::vector<int> attr_position_;
+  int attr_position_stride_ = 0;
   std::int64_t num_leaves_ = 0;
   bool store_nonleaf_ = false;
   TimeInterval interval_;
-  std::uint64_t visit_epoch_ = 0;  // RefreshAncestorMeasures pass counter
+  // Packed-key leaf index: m-layer key -> leaf id, when the codec holds.
+  std::optional<PackedKeyCodec> codec_;
+  FlatNodeMap leaf_by_packed_;
+  // RefreshAncestorMeasures dedupe stamps, by NodeId (lazily sized).
+  std::vector<std::uint64_t> visit_stamp_;
+  std::uint64_t visit_epoch_ = 0;
 };
 
 /// Attribute order for m/o H-cubing: every lattice attribute sorted by

@@ -1,6 +1,8 @@
 #include "regcube/htree/htree_cubing.h"
 
 #include <algorithm>
+#include <memory>
+#include <unordered_set>
 
 #include "regcube/common/logging.h"
 #include "regcube/common/thread_pool.h"
@@ -17,12 +19,17 @@ std::int64_t CellMapMemoryBytes(const CellMap& cells) {
 
 namespace {
 
-/// Positions in the tree order of each attribute of `cuboid`, and the index
-/// (into that vector) of the deepest one.
+/// Positions in the tree order of each attribute of `cuboid`, the index
+/// (into that vector) of the deepest one, and the inverse maps a single
+/// root walk needs to assemble the cuboid key of a node: tree position ->
+/// cuboid dimension (-1 for positions the cuboid projects away) and, when
+/// the tree's codec is available, tree position -> packed-field shift.
 struct CuboidAttrs {
   std::vector<Attribute> attrs;
   std::vector<int> positions;
   int deepest = -1;  // index into positions; -1 if the cuboid has none
+  std::vector<int> dim_of_pos;
+  std::vector<int> shift_of_pos;  // empty when the tree has no codec
 };
 
 CuboidAttrs ResolveAttrs(const HTree& tree, const CuboidLattice& lattice,
@@ -30,12 +37,22 @@ CuboidAttrs ResolveAttrs(const HTree& tree, const CuboidLattice& lattice,
   CuboidAttrs out;
   out.attrs = lattice.AttributesOf(cuboid);
   out.positions.reserve(out.attrs.size());
+  out.dim_of_pos.assign(static_cast<size_t>(tree.num_attributes()), -1);
+  const PackedKeyCodec* codec = tree.codec();
+  if (codec != nullptr) {
+    out.shift_of_pos.assign(static_cast<size_t>(tree.num_attributes()), -1);
+  }
   int best_pos = -1;
   for (size_t i = 0; i < out.attrs.size(); ++i) {
     const int pos = tree.AttributePosition(out.attrs[i].dim,
                                            out.attrs[i].level);
     RC_CHECK_GE(pos, 0) << "cuboid attribute missing from the tree order";
     out.positions.push_back(pos);
+    out.dim_of_pos[static_cast<size_t>(pos)] = out.attrs[i].dim;
+    if (codec != nullptr) {
+      out.shift_of_pos[static_cast<size_t>(pos)] =
+          codec->shift(out.attrs[i].dim);
+    }
     if (pos > best_pos) {
       best_pos = pos;
       out.deepest = static_cast<int>(i);
@@ -44,44 +61,115 @@ CuboidAttrs ResolveAttrs(const HTree& tree, const CuboidLattice& lattice,
   return out;
 }
 
-/// Builds the cell key of `node` for the attribute set: the deepest
-/// attribute takes the node's own value, the rest are read off the path.
-CellKey KeyFromPath(const HTree& tree, const HTreeNode* node,
+/// Builds the cell key of `node` for the attribute set in one walk to the
+/// root: every path position the cuboid keeps contributes its value (the
+/// deepest attribute is the node's own position, covered by the walk).
+CellKey KeyFromWalk(const HTree& tree, const HTreeNode* node,
                     const CuboidAttrs& ca, int num_dims) {
   CellKey key(num_dims);
-  for (size_t i = 0; i < ca.attrs.size(); ++i) {
-    const ValueId v = (static_cast<int>(i) == ca.deepest)
-                          ? node->value
-                          : tree.PathValue(node, ca.positions[i]);
-    key.set(ca.attrs[i].dim, v);
+  for (const HTreeNode* cur = node; cur->attr_index >= 0;
+       cur = tree.parent(cur)) {
+    const int d = ca.dim_of_pos[static_cast<size_t>(cur->attr_index)];
+    if (d >= 0) key.set(d, cur->value);
   }
   return key;
 }
 
+/// The packed twin of KeyFromWalk. In-tree values are always within the
+/// schema's cardinalities, so the unchecked shift-and-or is exact: it
+/// produces the same word PackedKeyCodec::Pack would for the walked key
+/// (star fields stay 0, kept values become v + 1).
+std::uint64_t PackedKeyFromWalk(const HTree& tree, const HTreeNode* node,
+                                const CuboidAttrs& ca) {
+  std::uint64_t packed = 0;
+  for (const HTreeNode* cur = node; cur->attr_index >= 0;
+       cur = tree.parent(cur)) {
+    const int s = ca.shift_of_pos[static_cast<size_t>(cur->attr_index)];
+    if (s >= 0) {
+      packed |= (static_cast<std::uint64_t>(cur->value) + 1) << s;
+    }
+  }
+  return packed;
+}
+
+/// Packed cuboid key of every node at position <= `deep_pos`, indexed by
+/// NodeId. One linear arena sweep replaces a root walk per chain node: the
+/// arena is in DFS preorder, so a node's parent key is always computed
+/// before the node itself. Nodes deeper than `deep_pos` are skipped a
+/// whole subtree at a time (preorder makes subtrees contiguous id ranges);
+/// their entries are left uninitialized — the chain scans only read nodes
+/// at `deep_pos`, and every ancestor entry on their paths is written.
+std::unique_ptr<std::uint64_t[]> PackedKeysBySweep(const HTree& tree,
+                                                   const CuboidAttrs& ca,
+                                                   int deep_pos) {
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+  std::unique_ptr<std::uint64_t[]> keys(new std::uint64_t[n]);
+  keys[0] = 0;  // the root carries no values
+  for (std::size_t id = 1; id < n;) {
+    const HTreeNode* node = tree.node(static_cast<NodeId>(id));
+    std::uint64_t key = keys[node->parent];
+    const int s = ca.shift_of_pos[static_cast<size_t>(node->attr_index)];
+    if (s >= 0) key |= (static_cast<std::uint64_t>(node->value) + 1) << s;
+    keys[id] = key;
+    // At deep_pos, everything below this node is deeper: hop the subtree.
+    id = node->attr_index == deep_pos
+             ? tree.subtree_end(static_cast<NodeId>(id))
+             : id + 1;
+  }
+  return keys;
+}
+
 }  // namespace
 
-CellMap ComputeCuboidCells(const HTree& tree, const CuboidLattice& lattice,
-                           CuboidId cuboid) {
+CuboidCells ComputeCuboidCellsTransient(const HTree& tree,
+                                        const CuboidLattice& lattice,
+                                        CuboidId cuboid) {
   const int num_dims = lattice.schema().num_dims();
-  CellMap cells;
+  CuboidCells cells;
   const CuboidAttrs ca = ResolveAttrs(tree, lattice, cuboid);
 
   if (ca.attrs.empty()) {
-    // Apex: one all-star cell aggregating the whole tree.
-    cells.emplace(CellKey(num_dims), tree.SubtreeMeasure(tree.root()));
+    // Apex: one all-star cell aggregating the whole tree. Its packed key
+    // would be 0 (the flat map's empty marker), so it takes the CellKey
+    // form regardless of the codec.
+    cells.keyed.emplace(CellKey(num_dims), tree.SubtreeMeasure(tree.root()));
     return cells;
   }
 
   const int deep_pos = ca.positions[static_cast<size_t>(ca.deepest)];
   const HeaderTable& header = tree.header(deep_pos);
+  const PackedKeyCodec* codec = tree.codec();
+  if (codec != nullptr) {
+    // Hot path: accumulate under the 64-bit packed key in the flat map,
+    // keys precomputed by one arena sweep. The per-cell operand order is
+    // the chain order, exactly as below, so the measures are bitwise
+    // identical to the CellKey fallback.
+    cells.codec = codec;
+    const auto keys = PackedKeysBySweep(tree, ca, deep_pos);
+    for (const auto& [value, entry] : header.entries()) {
+      for (const HTreeNode* n = tree.node(entry.head); n != nullptr;
+           n = tree.node(n->next_link)) {
+        AccumulateStandardDim(cells.packed.Slot(keys[tree.id_of(n)]),
+                              tree.SubtreeMeasure(n));
+      }
+    }
+    return cells;
+  }
+
   for (const auto& [value, entry] : header.entries()) {
-    for (const HTreeNode* n = entry.head; n != nullptr; n = n->next_link) {
-      CellKey key = KeyFromPath(tree, n, ca, num_dims);
-      Isb& acc = cells.try_emplace(key).first->second;
-      AccumulateStandardDim(acc, tree.SubtreeMeasure(n));
+    for (const HTreeNode* n = tree.node(entry.head); n != nullptr;
+         n = tree.node(n->next_link)) {
+      CellKey key = KeyFromWalk(tree, n, ca, num_dims);
+      Isb& cell = cells.keyed.try_emplace(std::move(key)).first->second;
+      AccumulateStandardDim(cell, tree.SubtreeMeasure(n));
     }
   }
   return cells;
+}
+
+CellMap ComputeCuboidCells(const HTree& tree, const CuboidLattice& lattice,
+                           CuboidId cuboid) {
+  return ComputeCuboidCellsTransient(tree, lattice, cuboid).ToCellMap();
 }
 
 std::vector<CellMap> ComputeCuboidCellsPartitioned(
@@ -101,14 +189,66 @@ std::vector<CellMap> ComputeCuboidCellsPartitioned(
   return maps;
 }
 
+std::vector<CuboidCells> ComputeCuboidCellsTransientPartitioned(
+    const HTree& tree, const CuboidLattice& lattice,
+    const std::vector<CuboidId>& cuboids, ThreadPool* pool) {
+  std::vector<CuboidCells> maps(cuboids.size());
+  auto compute_one = [&](std::int64_t i) {
+    maps[static_cast<size_t>(i)] = ComputeCuboidCellsTransient(
+        tree, lattice, cuboids[static_cast<size_t>(i)]);
+  };
+  const auto n = static_cast<std::int64_t>(cuboids.size());
+  if (pool != nullptr) {
+    pool->ParallelFor(n, compute_one);
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) compute_one(i);
+  }
+  return maps;
+}
+
+const std::vector<NodeId>* CuboidMemberIndex::Find(const HTree& tree,
+                                                   const CellKey& key) const {
+  const PackedKeyCodec* codec = tree.codec();
+  std::uint64_t packed = 0;
+  if (codec != nullptr && codec->Pack(key, &packed)) {
+    auto it = by_packed.find(packed);
+    return it == by_packed.end() ? nullptr : &it->second;
+  }
+  auto it = by_key.find(key);
+  return it == by_key.end() ? nullptr : &it->second;
+}
+
+std::int64_t CuboidMemberIndex::Insert(const HTree& tree, const CellKey& key,
+                                       std::vector<NodeId> nodes) {
+  constexpr std::int64_t kEntryOverhead = 16;  // hash node + bucket share
+  const PackedKeyCodec* codec = tree.codec();
+  std::uint64_t packed = 0;
+  if (codec != nullptr && codec->Pack(key, &packed)) {
+    auto [it, inserted] = by_packed.try_emplace(packed, std::move(nodes));
+    if (!inserted) return 0;
+    return static_cast<std::int64_t>(sizeof(std::uint64_t)) + kEntryOverhead +
+           static_cast<std::int64_t>(sizeof(it->second)) +
+           static_cast<std::int64_t>(it->second.capacity() * sizeof(NodeId));
+  }
+  auto [it, inserted] = by_key.try_emplace(key, std::move(nodes));
+  if (!inserted) return 0;
+  return static_cast<std::int64_t>(sizeof(CellKey)) + kEntryOverhead +
+         static_cast<std::int64_t>(sizeof(it->second)) +
+         static_cast<std::int64_t>(it->second.capacity() * sizeof(NodeId));
+}
+
 std::int64_t CuboidMemberIndex::MemoryBytes() const {
   constexpr std::int64_t kEntryOverhead = 16;  // hash node + bucket share
   std::int64_t bytes = 0;
-  for (const auto& [key, nodes] : nodes_by_cell) {
+  for (const auto& [key, nodes] : by_packed) {
+    bytes += static_cast<std::int64_t>(sizeof(std::uint64_t)) +
+             kEntryOverhead + static_cast<std::int64_t>(sizeof(nodes)) +
+             static_cast<std::int64_t>(nodes.capacity() * sizeof(NodeId));
+  }
+  for (const auto& [key, nodes] : by_key) {
     bytes += static_cast<std::int64_t>(sizeof(CellKey)) + kEntryOverhead +
              static_cast<std::int64_t>(sizeof(nodes)) +
-             static_cast<std::int64_t>(nodes.capacity() *
-                                       sizeof(const HTreeNode*));
+             static_cast<std::int64_t>(nodes.capacity() * sizeof(NodeId));
   }
   return bytes;
 }
@@ -122,17 +262,29 @@ CuboidMemberIndex BuildCuboidMemberIndex(const HTree& tree,
 
   if (ca.attrs.empty()) {
     // Apex: the single all-star cell aggregates the root's subtree.
-    index.nodes_by_cell[CellKey(num_dims)] = {tree.root()};
+    index.Insert(tree, CellKey(num_dims), {tree.id_of(tree.root())});
     return index;
   }
 
-  // The same chain scan as ComputeCuboidCells, recording node pointers in
+  // The same chain scan as ComputeCuboidCells, recording node ids in
   // visit order instead of folding measures.
   const int deep_pos = ca.positions[static_cast<size_t>(ca.deepest)];
   const HeaderTable& header = tree.header(deep_pos);
+  if (tree.codec() != nullptr) {
+    for (const auto& [value, entry] : header.entries()) {
+      for (const HTreeNode* n = tree.node(entry.head); n != nullptr;
+           n = tree.node(n->next_link)) {
+        index.by_packed[PackedKeyFromWalk(tree, n, ca)].push_back(
+            tree.id_of(n));
+      }
+    }
+    return index;
+  }
   for (const auto& [value, entry] : header.entries()) {
-    for (const HTreeNode* n = entry.head; n != nullptr; n = n->next_link) {
-      index.nodes_by_cell[KeyFromPath(tree, n, ca, num_dims)].push_back(n);
+    for (const HTreeNode* n = tree.node(entry.head); n != nullptr;
+         n = tree.node(n->next_link)) {
+      index.by_key[KeyFromWalk(tree, n, ca, num_dims)].push_back(
+          tree.id_of(n));
     }
   }
   return index;
@@ -147,36 +299,37 @@ std::int64_t CuboidChainLength(const HTree& tree,
   return tree.header(deep_pos).total_nodes();
 }
 
-std::optional<std::vector<const HTreeNode*>> SeedCellNodesFromMembers(
+std::optional<std::vector<NodeId>> SeedCellNodesFromMembers(
     const HTree& tree, const CuboidLattice& lattice, CuboidId cuboid,
     const std::vector<CellKey>& members) {
   if (members.empty()) return std::nullopt;
   const CuboidAttrs ca = ResolveAttrs(tree, lattice, cuboid);
   if (ca.attrs.empty()) {
     // Apex: the single all-star cell aggregates the root's subtree.
-    return std::vector<const HTreeNode*>{tree.root()};
+    return std::vector<NodeId>{tree.id_of(tree.root())};
   }
   const int deep_pos = ca.positions[static_cast<size_t>(ca.deepest)];
   // Distinct ancestors at the deepest attribute's depth, in first-
   // occurrence (== node creation) order. Lists are short; linear dedupe
   // beats hashing for the typical member counts.
-  std::vector<const HTreeNode*> creation_order;
+  std::vector<NodeId> creation_order;
   for (const CellKey& m_key : members) {
     const HTreeNode* node = tree.FindLeaf(lattice.schema(), m_key);
     if (node == nullptr) return std::nullopt;
     while (node != nullptr && node->attr_index != deep_pos) {
-      node = node->parent;
+      node = tree.parent(node);
     }
     RC_CHECK(node != nullptr)
         << "deepest cuboid attribute missing from a leaf path";
+    const NodeId id = tree.id_of(node);
     bool seen = false;
-    for (const HTreeNode* n : creation_order) {
-      if (n == node) {
+    for (const NodeId existing : creation_order) {
+      if (existing == id) {
         seen = true;
         break;
       }
     }
-    if (!seen) creation_order.push_back(node);
+    if (!seen) creation_order.push_back(id);
   }
   // Chains link at the head, so chain order is reverse creation order.
   std::reverse(creation_order.begin(), creation_order.end());
@@ -189,13 +342,13 @@ PatchedCells RecomputeCellsFromIndex(const HTree& tree,
   PatchedCells cells;
   cells.reserve(touched.size());
   for (const CellKey& key : touched) {
-    auto it = index.nodes_by_cell.find(key);
-    RC_CHECK(it != index.nodes_by_cell.end())
+    const std::vector<NodeId>* nodes = index.Find(tree, key);
+    RC_CHECK(nodes != nullptr)
         << "cell " << key.ToString()
         << " missing from the member index; structural change not rebuilt";
     Isb acc;
-    for (const HTreeNode* n : it->second) {
-      AccumulateStandardDim(acc, tree.SubtreeMeasure(n));
+    for (const NodeId id : *nodes) {
+      AccumulateStandardDim(acc, tree.SubtreeMeasure(tree.node(id)));
     }
     cells.emplace_back(key, acc);
   }
@@ -215,36 +368,31 @@ PatchedCells PrefixCellsFromNodes(const HTree& tree,
   for (const HTreeNode* n : nodes) {
     RC_CHECK(n->attr_index == depth - 1)
         << "node depth does not match the prefix cuboid";
-    CellKey key(num_dims);
-    for (size_t i = 0; i < ca.attrs.size(); ++i) {
-      const int pos = ca.positions[i];
-      const ValueId v = (pos == n->attr_index) ? n->value
-                                               : tree.PathValue(n, pos);
-      key.set(ca.attrs[i].dim, v);
-    }
-    RC_DCHECK(n->has_measure);
-    cells.emplace_back(key, n->measure);
+    cells.emplace_back(KeyFromWalk(tree, n, ca, num_dims),
+                       tree.StoredMeasure(n));
   }
   return cells;
 }
 
-CellMap ComputeDrillChildren(const HTree& tree, const CuboidLattice& lattice,
-                             CuboidId parent_cuboid,
-                             const CellMap& parent_cells,
-                             CuboidId child_cuboid) {
+CuboidCells ComputeDrillChildrenTransient(const HTree& tree,
+                                          const CuboidLattice& lattice,
+                                          CuboidId parent_cuboid,
+                                          const CellMap& parent_cells,
+                                          CuboidId child_cuboid) {
   RC_CHECK(tree.store_nonleaf_measures())
       << "drilling requires the popular-path tree configuration";
   RC_CHECK(lattice.IsAncestorOrEqual(parent_cuboid, child_cuboid));
   const int num_dims = lattice.schema().num_dims();
 
-  CellMap out;
+  CuboidCells out;
   if (parent_cells.empty()) return out;
 
   const CuboidAttrs child_ca = ResolveAttrs(tree, lattice, child_cuboid);
   RC_CHECK(!child_ca.attrs.empty())
       << "a drill child always has at least one attribute";
   const CuboidAttrs parent_ca = ResolveAttrs(tree, lattice, parent_cuboid);
-  const int deep_pos = child_ca.positions[static_cast<size_t>(child_ca.deepest)];
+  const int deep_pos =
+      child_ca.positions[static_cast<size_t>(child_ca.deepest)];
 
   // Every parent attribute sits at or above the child's deepest position:
   // a roll-up parent only removes detail (checked here because path keys
@@ -252,34 +400,88 @@ CellMap ComputeDrillChildren(const HTree& tree, const CuboidLattice& lattice,
   for (int pos : parent_ca.positions) RC_CHECK_LE(pos, deep_pos);
 
   const HeaderTable& header = tree.header(deep_pos);
-  for (const auto& [value, entry] : header.entries()) {
-    for (const HTreeNode* n = entry.head; n != nullptr; n = n->next_link) {
-      // Parent key off the path; only descendants of drilled cells count.
-      CellKey parent_key(num_dims);
-      for (size_t i = 0; i < parent_ca.attrs.size(); ++i) {
-        const int pos = parent_ca.positions[i];
-        const ValueId v = (pos == deep_pos) ? n->value
-                                            : tree.PathValue(n, pos);
-        parent_key.set(parent_ca.attrs[i].dim, v);
+  const PackedKeyCodec* codec = tree.codec();
+  if (codec != nullptr) {
+    // Pre-pack the drilled parent keys once; a parent key that does not
+    // pack cannot name any in-tree cell, so dropping it filters nothing.
+    std::unordered_set<std::uint64_t> drilled;
+    drilled.reserve(parent_cells.size());
+    for (const auto& [key, measure] : parent_cells) {
+      std::uint64_t packed = 0;
+      if (codec->Pack(key, &packed)) drilled.insert(packed);
+    }
+    out.codec = codec;
+    // One arena sweep assembles both the parent filter keys and the child
+    // cell keys (see PackedKeysBySweep; fused here to share the pass).
+    const auto n_nodes = static_cast<std::size_t>(tree.num_nodes());
+    std::unique_ptr<std::uint64_t[]> parent_keys(new std::uint64_t[n_nodes]);
+    std::unique_ptr<std::uint64_t[]> child_keys(new std::uint64_t[n_nodes]);
+    parent_keys[0] = 0;
+    child_keys[0] = 0;
+    for (std::size_t id = 1; id < n_nodes;) {
+      const HTreeNode* node = tree.node(static_cast<NodeId>(id));
+      const size_t pos = static_cast<size_t>(node->attr_index);
+      const std::uint64_t field = static_cast<std::uint64_t>(node->value) + 1;
+      std::uint64_t pk = parent_keys[node->parent];
+      std::uint64_t ck = child_keys[node->parent];
+      const int ps = parent_ca.shift_of_pos[pos];
+      if (ps >= 0) pk |= field << ps;
+      const int cs = child_ca.shift_of_pos[pos];
+      if (cs >= 0) ck |= field << cs;
+      parent_keys[id] = pk;
+      child_keys[id] = ck;
+      // Subtrees are contiguous id ranges: hop everything below deep_pos.
+      id = node->attr_index == deep_pos
+               ? tree.subtree_end(static_cast<NodeId>(id))
+               : id + 1;
+    }
+    for (const auto& [value, entry] : header.entries()) {
+      for (const HTreeNode* n = tree.node(entry.head); n != nullptr;
+           n = tree.node(n->next_link)) {
+        const NodeId id = tree.id_of(n);
+        if (drilled.find(parent_keys[id]) == drilled.end()) continue;
+        AccumulateStandardDim(out.packed.Slot(child_keys[id]),
+                              tree.SubtreeMeasure(n));
       }
+    }
+    return out;
+  }
+
+  for (const auto& [value, entry] : header.entries()) {
+    for (const HTreeNode* n = tree.node(entry.head); n != nullptr;
+         n = tree.node(n->next_link)) {
+      // Parent key off the path; only descendants of drilled cells count.
+      CellKey parent_key = KeyFromWalk(tree, n, parent_ca, num_dims);
       if (parent_cells.find(parent_key) == parent_cells.end()) continue;
 
-      CellKey child_key = KeyFromPath(tree, n, child_ca, num_dims);
-      Isb& acc = out.try_emplace(child_key).first->second;
-      AccumulateStandardDim(acc, tree.SubtreeMeasure(n));
+      CellKey child_key = KeyFromWalk(tree, n, child_ca, num_dims);
+      Isb& cell = out.keyed.try_emplace(std::move(child_key)).first->second;
+      AccumulateStandardDim(cell, tree.SubtreeMeasure(n));
     }
   }
   return out;
 }
 
-CellMap ReadPrefixCuboidCells(const HTree& tree, const CuboidLattice& lattice,
-                              CuboidId cuboid, int depth) {
+CellMap ComputeDrillChildren(const HTree& tree, const CuboidLattice& lattice,
+                             CuboidId parent_cuboid,
+                             const CellMap& parent_cells,
+                             CuboidId child_cuboid) {
+  return ComputeDrillChildrenTransient(tree, lattice, parent_cuboid,
+                                       parent_cells, child_cuboid)
+      .ToCellMap();
+}
+
+CuboidCells ReadPrefixCuboidCellsTransient(const HTree& tree,
+                                           const CuboidLattice& lattice,
+                                           CuboidId cuboid, int depth) {
   RC_CHECK(tree.store_nonleaf_measures());
   const int num_dims = lattice.schema().num_dims();
-  CellMap cells;
+  CuboidCells cells;
 
   if (depth == 0) {
-    cells.emplace(CellKey(num_dims), tree.SubtreeMeasure(tree.root()));
+    // Apex: packed key would be 0 (the flat map's empty marker), so it
+    // takes the CellKey form regardless of the codec.
+    cells.keyed.emplace(CellKey(num_dims), tree.SubtreeMeasure(tree.root()));
     return cells;
   }
   RC_CHECK_LE(depth, tree.num_attributes());
@@ -295,7 +497,8 @@ CellMap ReadPrefixCuboidCells(const HTree& tree, const CuboidLattice& lattice,
     }
     const LayerSpec& spec = lattice.spec(cuboid);
     for (int d = 0; d < num_dims; ++d) {
-      RC_CHECK_EQ(spec[static_cast<size_t>(d)], deepest[static_cast<size_t>(d)])
+      RC_CHECK_EQ(spec[static_cast<size_t>(d)],
+                  deepest[static_cast<size_t>(d)])
           << "cuboid is not the prefix cuboid of depth " << depth;
     }
   }
@@ -303,23 +506,40 @@ CellMap ReadPrefixCuboidCells(const HTree& tree, const CuboidLattice& lattice,
   const CuboidAttrs ca = ResolveAttrs(tree, lattice, cuboid);
   // Nodes at `depth` are exactly the chains of attribute depth-1.
   const HeaderTable& header = tree.header(depth - 1);
-  for (const auto& [value, entry] : header.entries()) {
-    for (const HTreeNode* n = entry.head; n != nullptr; n = n->next_link) {
-      CellKey key(num_dims);
-      for (size_t i = 0; i < ca.attrs.size(); ++i) {
-        const int pos = ca.positions[i];
-        const ValueId v =
-            (pos == n->attr_index) ? n->value : tree.PathValue(n, pos);
-        key.set(ca.attrs[i].dim, v);
+  const PackedKeyCodec* codec = tree.codec();
+  if (codec != nullptr) {
+    cells.codec = codec;
+    const auto keys = PackedKeysBySweep(tree, ca, depth - 1);
+    for (const auto& [value, entry] : header.entries()) {
+      for (const HTreeNode* n = tree.node(entry.head); n != nullptr;
+           n = tree.node(n->next_link)) {
+        // Distinct prefix nodes are distinct cells of a prefix cuboid.
+        const bool inserted = cells.packed.EmplaceIfAbsent(
+            keys[tree.id_of(n)], tree.StoredMeasure(n));
+        RC_DCHECK(inserted) << "prefix node collision at depth " << depth;
+        (void)inserted;
       }
-      RC_DCHECK(n->has_measure);
+    }
+    return cells;
+  }
+  for (const auto& [value, entry] : header.entries()) {
+    for (const HTreeNode* n = tree.node(entry.head); n != nullptr;
+         n = tree.node(n->next_link)) {
+      CellKey key = KeyFromWalk(tree, n, ca, num_dims);
       // Distinct prefix nodes are distinct cells of a prefix cuboid.
-      const bool inserted = cells.emplace(key, n->measure).second;
+      const bool inserted =
+          cells.keyed.emplace(key, tree.StoredMeasure(n)).second;
       RC_DCHECK(inserted) << "prefix node collision at " << key.ToString();
       (void)inserted;
     }
   }
   return cells;
+}
+
+CellMap ReadPrefixCuboidCells(const HTree& tree, const CuboidLattice& lattice,
+                              CuboidId cuboid, int depth) {
+  return ReadPrefixCuboidCellsTransient(tree, lattice, cuboid, depth)
+      .ToCellMap();
 }
 
 }  // namespace regcube

@@ -69,7 +69,13 @@ Result<CellMap> DecodeCellMap(ByteReader* r, int expected_dims) {
           expected_dims));
     }
     RC_ASSIGN_OR_RETURN(Isb isb, DecodeIsb(r));
-    cells.emplace(key, isb);
+    // A valid encoding never repeats a key; a duplicate means a corrupted
+    // key byte collided with another cell — reject instead of silently
+    // merging into a smaller map.
+    if (!cells.emplace(key, isb).second) {
+      return Status::InvalidArgument(
+          StrPrintf("duplicate cell key %s", key.ToString().c_str()));
+    }
   }
   return cells;
 }

@@ -61,6 +61,32 @@ inline StreamCubeEngine::Options ChurnEngineOptions(double threshold = 0.02) {
   return options;
 }
 
+/// A 3-dim, 3-level workload with a wide fanout: per-dimension m-layer
+/// cardinality fanout^3 (512 at the default fanout) and a 4^3-spec deep
+/// lattice. This is the packed-key stress shape — wide codec fields, many
+/// cuboids, long chains — where the packed kernels and the CellKey oracle
+/// must stay bit-identical under churn.
+inline WorkloadSpec DeepChurnWorkload(std::int64_t tuples, std::int64_t ticks,
+                                      std::uint64_t seed, int fanout = 8) {
+  WorkloadSpec spec;
+  spec.num_dims = 3;
+  spec.num_levels = 3;
+  spec.fanout = fanout;
+  spec.num_tuples = tuples;
+  spec.series_length = ticks;
+  spec.seed = seed;
+  return spec;
+}
+
+/// An n-dim key literal, values in dimension order.
+inline CellKey KeyN(const std::vector<ValueId>& values) {
+  CellKey key(static_cast<int>(values.size()));
+  for (size_t d = 0; d < values.size(); ++d) {
+    key.set(static_cast<int>(d), values[d]);
+  }
+  return key;
+}
+
 /// A 2-dim key literal.
 inline CellKey Key2(ValueId a, ValueId b) {
   CellKey key(2);
@@ -90,6 +116,22 @@ inline CellKey FreshKeyOutside(StreamGenerator& gen, int fanout_values) {
   }
   ADD_FAILURE() << "no free key in the space";
   return CellKey(2);
+}
+
+/// FreshKeyOutside for any dimensionality: a diagonal m-layer key (below
+/// the top corner reserved for pacer cells) that no generated cell uses.
+inline CellKey FreshKeyOutsideDims(StreamGenerator& gen, int num_dims,
+                                   int fanout_values) {
+  std::unordered_set<CellKey, CellKeyHash> used;
+  for (const auto& cell : gen.cells()) used.insert(cell.key);
+  for (int v = fanout_values - 2; v >= 0; --v) {
+    std::vector<ValueId> values(static_cast<size_t>(num_dims),
+                                static_cast<ValueId>(v));
+    const CellKey candidate = KeyN(values);
+    if (used.find(candidate) == used.end()) return candidate;
+  }
+  ADD_FAILURE() << "every diagonal key is used";
+  return CellKey(num_dims);
 }
 
 /// An m-layer key within the generated value range that no stream cell

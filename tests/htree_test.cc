@@ -146,8 +146,8 @@ TEST(HTreeTest, HeaderChainsCoverAllNodesAtDepth) {
     std::int64_t nodes_in_chains = 0;
     for (const auto& [value, entry] : header.entries()) {
       std::int64_t n = 0;
-      for (const HTreeNode* node = entry.head; node != nullptr;
-           node = node->next_link) {
+      for (const HTreeNode* node = tree->node(entry.head); node != nullptr;
+           node = tree->node(node->next_link)) {
         EXPECT_EQ(node->value, value);
         EXPECT_EQ(node->attr_index, pos);
         ++n;

@@ -200,7 +200,17 @@ TEST(MemberIndexTest, SeededNodeIndexReproducesChainScanExactly) {
   const CuboidLattice& lattice = engine.lattice();
   for (CuboidId c = 0; c < lattice.num_cuboids(); ++c) {
     const CuboidMemberIndex full = BuildCuboidMemberIndex(*tree, lattice, c);
-    for (const auto& [cell_key, chain_nodes] : full.nodes_by_cell) {
+    // Materialize the index cells with CellKey keys regardless of which
+    // representation (packed or keyed) the build chose.
+    std::vector<std::pair<CellKey, std::vector<NodeId>>> index_cells;
+    for (const auto& [packed, nodes] : full.by_packed) {
+      ASSERT_NE(tree->codec(), nullptr);
+      index_cells.emplace_back(tree->codec()->Unpack(packed), nodes);
+    }
+    for (const auto& [key, nodes] : full.by_key) {
+      index_cells.emplace_back(key, nodes);
+    }
+    for (const auto& [cell_key, chain_nodes] : index_cells) {
       // Member keys via the engine's index, canonical order — exactly the
       // feed the memo's MemberLookup hands SeedCellNodesFromMembers.
       const std::vector<CellKey> members = engine.MemberKeysFor(c, cell_key);
