@@ -7,16 +7,24 @@
 // first snapshot after a spill pays the cold fault-in cost — measured
 // directly and as a ratio against the unbounded engine's hot gather.
 // Phase 3 checkpoints the budgeted engine and times the full
-// restart-to-first-query path through EngineBuilder::OpenFrom. Results
-// land in BENCH_memory_budget.json.
+// restart-to-first-query path through EngineBuilder::OpenFrom. Phase 4
+// churns the spilled cells (re-ingest -> fault-in -> release) so the
+// cold tier accumulates garbage, then runs the online compactor and
+// checks the steady-state disk bound (garbage <= 3x live). Phase 5
+// replays the workload with deterministic write faults armed: spill
+// must degrade (errors counted, cells kept resident), never corrupt —
+// the faulted engine's sealed window is compared bitwise against the
+// unbounded oracle. Results land in BENCH_memory_budget.json.
 //
 // Workload knobs (key=value): tuples ticks shards slices budget_pct top
+//                             churn_rounds
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "regcube/io/fault_injector.h"
 #include "regcube/io/frame_store.h"
 
 namespace regcube {
@@ -101,6 +109,8 @@ void Run(int argc, char** argv) {
   const int slices = static_cast<int>(bench::ArgInt(argc, argv, "slices", 8));
   const std::int64_t budget_pct =
       bench::ArgInt(argc, argv, "budget_pct", 25);
+  const int churn_rounds =
+      static_cast<int>(bench::ArgInt(argc, argv, "churn_rounds", 6));
   const auto top =
       static_cast<std::size_t>(bench::ArgInt(argc, argv, "top", 10));
   const std::string spill_dir = "bench_memory_budget.spill";
@@ -236,6 +246,152 @@ void Run(int argc, char** argv) {
             {"cells", StrPrintf("%lld",
                                 static_cast<long long>(
                                     reopened->num_cells()))}});
+
+  // ---- Phase 4: churn + online compaction -----------------------------
+  // Re-ingesting a spilled cell faults it in and releases its old block:
+  // garbage only a compaction rewrite can shed. After `churn_rounds`
+  // waves over half the cells the compactor must hold the steady-state
+  // disk bound — garbage never more than 3x the live cold bytes.
+  const std::string churn_dir = "bench_memory_budget.churn";
+  RC_CHECK(EnsureDirectory(churn_dir).ok());
+  EngineBuilder churn_builder;
+  churn_builder.SetSchema(*schema)
+      .SetTiltPolicy(
+          MakeUniformTiltPolicy({{"quarter", 8}, {"hour", 8}}, {4, 16}))
+      .SetExceptionPolicy(ExceptionPolicy(0.05))
+      .SetShardCount(shards)
+      .SetMemoryBudget(budget)
+      .SetSpillDir(churn_dir)
+      .SetCompactThreshold(0.5)
+      .SetCompactMinBytes(1);
+  auto churn_built = churn_builder.Build();
+  RC_CHECK(churn_built.ok()) << churn_built.status().ToString();
+  Engine churned = std::move(churn_built).value();
+  DriveSliced(churned, stream, spec.series_length, slices);
+  Stopwatch churn_timer;
+  StreamGenerator churn_gen(spec);
+  for (int round = 0; round < churn_rounds; ++round) {
+    std::vector<StreamTuple> wave;
+    for (std::size_t c = 0; c < churn_gen.cells().size(); c += 2) {
+      wave.push_back({churn_gen.cells()[c].key, spec.series_length, 1.0});
+    }
+    const IngestReport report = churned.IngestBatch(wave);
+    RC_CHECK(report.ok()) << report.status.ToString();
+  }
+  const std::int64_t garbage_before = churned.SpillStats().garbage_bytes;
+  churned.CompactSegments();
+  const double churn_s = churn_timer.ElapsedSeconds();
+  const SpillStats compacted = churned.SpillStats();
+  const double garbage_over_live =
+      static_cast<double>(compacted.garbage_bytes) /
+      static_cast<double>(std::max<std::int64_t>(compacted.live_bytes, 1));
+  RC_CHECK(compacted.compaction_failures == 0)
+      << compacted.compaction_failures << " compactions failed";
+  RC_CHECK(garbage_over_live <= 3.0)
+      << "cold tier unbounded: garbage " << compacted.garbage_bytes
+      << " vs live " << compacted.live_bytes;
+  auto churn_snapshot = churned.TakeSnapshot();
+  RC_CHECK(churn_snapshot != nullptr);
+
+  bench::PrintRow({"churn", "rounds", "garbage before", "garbage after",
+                   "live", "reclaimed", "compactions"});
+  bench::PrintRow(
+      {"", StrPrintf("%d", churn_rounds),
+       StrPrintf("%.2f", bench::ToMb(garbage_before)),
+       StrPrintf("%.2f", bench::ToMb(compacted.garbage_bytes)),
+       StrPrintf("%.2f", bench::ToMb(compacted.live_bytes)),
+       StrPrintf("%.2f", bench::ToMb(compacted.reclaimed_bytes)),
+       StrPrintf("%lld", static_cast<long long>(compacted.compactions))});
+  json.Row({{"phase", "\"churn\""},
+            {"shards", StrPrintf("%d", shards)},
+            {"rounds", StrPrintf("%d", churn_rounds)},
+            {"garbage_before_bytes",
+             StrPrintf("%lld", static_cast<long long>(garbage_before))},
+            {"garbage_bytes",
+             StrPrintf("%lld",
+                       static_cast<long long>(compacted.garbage_bytes))},
+            {"live_bytes",
+             StrPrintf("%lld", static_cast<long long>(compacted.live_bytes))},
+            {"garbage_over_live", StrPrintf("%.4f", garbage_over_live)},
+            {"compactions",
+             StrPrintf("%lld", static_cast<long long>(compacted.compactions))},
+            {"reclaimed_bytes",
+             StrPrintf("%lld",
+                       static_cast<long long>(compacted.reclaimed_bytes))},
+            {"disk_bytes",
+             StrPrintf("%lld", static_cast<long long>(compacted.disk_bytes))},
+            {"churn_s", StrPrintf("%.6f", churn_s)}});
+
+  // ---- Phase 5: the same workload on a faulty disk --------------------
+  // Every second spill write fails. The contract under fault: ingest
+  // stays lossless, failed spills keep their cells resident (counted,
+  // retried), and the sealed answers stay bit-identical to the unbounded
+  // oracle's — degraded, never wrong.
+  const std::string fault_dir = "bench_memory_budget.fault";
+  RC_CHECK(EnsureDirectory(fault_dir).ok());
+  FaultInjector injector;
+  injector.FailEvery(FaultOp::kWrite, 2);
+  EngineBuilder fault_builder;
+  fault_builder.SetSchema(*schema)
+      .SetTiltPolicy(
+          MakeUniformTiltPolicy({{"quarter", 8}, {"hour", 8}}, {4, 16}))
+      .SetExceptionPolicy(ExceptionPolicy(0.05))
+      .SetShardCount(shards)
+      .SetMemoryBudget(budget)
+      .SetSpillDir(fault_dir)
+      .SetFaultInjector(&injector);
+  auto fault_built = fault_builder.Build();
+  RC_CHECK(fault_built.ok()) << fault_built.status().ToString();
+  Engine faulted = std::move(fault_built).value();
+  const double faulted_s =
+      DriveSliced(faulted, stream, spec.series_length, slices);
+  // Mirror the oracle's late probe so both engines saw identical writes.
+  TimeOneCellRefresh(faulted, stream[0], spec.series_length, nullptr);
+  const SpillStats degraded = faulted.SpillStats();
+  RC_CHECK(injector.injected_failures() > 0)
+      << "fault phase never hit the injector";
+  RC_CHECK(degraded.io_errors + degraded.retries > 0)
+      << "injected write faults never reached the spill path";
+  auto want_window = oracle.TakeSnapshot()->Window(0, 4);
+  auto got_window = faulted.TakeSnapshot()->Window(0, 4);
+  RC_CHECK(want_window.ok()) << want_window.status().ToString();
+  RC_CHECK(got_window.ok()) << got_window.status().ToString();
+  RC_CHECK(want_window->size() == got_window->size())
+      << "faulted engine lost cells";
+  for (std::size_t i = 0; i < want_window->size(); ++i) {
+    RC_CHECK((*want_window)[i].key == (*got_window)[i].key &&
+             (*want_window)[i].measure == (*got_window)[i].measure)
+        << "faulted engine answer diverged at cell " << i;
+  }
+
+  bench::PrintRow({"fault", "ingest(s)", "injected", "io errors", "retries",
+                   "window cells"});
+  bench::PrintRow(
+      {"", StrPrintf("%.3f", faulted_s),
+       StrPrintf("%lld",
+                 static_cast<long long>(injector.injected_failures())),
+       StrPrintf("%lld", static_cast<long long>(degraded.io_errors)),
+       StrPrintf("%lld", static_cast<long long>(degraded.retries)),
+       StrPrintf("%lld", static_cast<long long>(want_window->size()))});
+  std::printf(
+      "\n  %lld injected write failures degraded %lld spills (answers "
+      "bit-identical to the unbounded oracle)\n",
+      static_cast<long long>(injector.injected_failures()),
+      static_cast<long long>(degraded.io_errors));
+  json.Row({{"phase", "\"fault\""},
+            {"shards", StrPrintf("%d", shards)},
+            {"ingest_faulted_s", StrPrintf("%.6f", faulted_s)},
+            {"injected_failures",
+             StrPrintf("%lld",
+                       static_cast<long long>(injector.injected_failures()))},
+            {"io_errors",
+             StrPrintf("%lld", static_cast<long long>(degraded.io_errors))},
+            {"retries",
+             StrPrintf("%lld", static_cast<long long>(degraded.retries))},
+            {"window_cells",
+             StrPrintf("%lld",
+                       static_cast<long long>(want_window->size()))},
+            {"answers_match", "1"}});
   json.Write();
 }
 

@@ -56,6 +56,12 @@ std::shared_ptr<const CubeSnapshot> Engine::TakeSnapshot() {
   auto fresh = std::shared_ptr<const CubeSnapshot>(
       new CubeSnapshot(schema_, policy_, sharded_->options(), pool_,
                        sharded_->GatherAlignedCells()));
+  if (!fresh->status().ok()) {
+    // A failed gather (fault-in hit a disk fault) must not poison the
+    // memo: callers see the typed error on this snapshot, and the next
+    // take retries the gather instead of being served the failure.
+    return fresh;
+  }
   {
     std::lock_guard<std::mutex> lock(cache_->mu);
     // Install only if strictly newer: a slow gather must not clobber a
@@ -132,6 +138,12 @@ std::vector<std::pair<std::string, std::int64_t>> Engine::MemoryReport()
     report.emplace_back("spill.disk_bytes", stats.disk_bytes);
     report.emplace_back("spill.live_bytes", stats.live_bytes);
     report.emplace_back("spill.garbage_bytes", stats.garbage_bytes);
+    const regcube::SpillStats spill = sharded_->SpillStats();
+    report.emplace_back("spill.io_errors", spill.io_errors);
+    report.emplace_back("spill.retries", spill.retries);
+    report.emplace_back("compaction.segments", spill.compactions);
+    report.emplace_back("compaction.reclaimed_bytes", spill.reclaimed_bytes);
+    report.emplace_back("compaction.failures", spill.compaction_failures);
   }
   // Frozen blocks the cached snapshot pins alive. Shared with (and mostly
   // double-counted by) the engine-side gather caches while those still
@@ -170,9 +182,23 @@ Status Engine::InitStorage(const MemoryBudgetConfig& budget) {
                         cache->snapshot.reset();
                         return 0;  // freed bytes show up via the tracker
                       });
+    // The cached snapshot's pinned frames join the budget probe: after
+    // the engine-side caches evict, the tracker no longer sees those
+    // bytes, but they are still resident as long as the snapshot lives —
+    // without this the governor would declare victory while RAM stays
+    // over budget. (While the engine caches also hold the blocks the
+    // bytes are double-counted; that only makes enforcement earlier,
+    // never later, and rung 19 zeroes the probe.)
+    governor->AddUsageProbe([cache]() -> std::int64_t {
+      std::lock_guard<std::mutex> lock(cache->mu);
+      return cache->snapshot != nullptr ? cache->snapshot->PinnedFrameBytes()
+                                        : 0;
+    });
   }
   return Status::OK();
 }
+
+void Engine::CompactSegments() { sharded_->MaybeCompactSegments(); }
 
 std::string Engine::RenderCell(const CellResult& cell) const {
   return RenderCellWith(schema(), lattice(), cell);
@@ -253,6 +279,21 @@ EngineBuilder& EngineBuilder::SetSpillDir(std::string dir) {
   return *this;
 }
 
+EngineBuilder& EngineBuilder::SetCompactThreshold(double ratio) {
+  budget_.compact_garbage_ratio = ratio;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::SetCompactMinBytes(std::int64_t bytes) {
+  budget_.compact_min_bytes = bytes;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::SetFaultInjector(FaultInjector* injector) {
+  fault_injector_ = injector;
+  return *this;
+}
+
 Result<Engine> EngineBuilder::Build() const {
   if (schema_ == nullptr) {
     return Status::InvalidArgument("EngineBuilder: SetSchema is required");
@@ -289,10 +330,23 @@ Result<Engine> EngineBuilder::Build() const {
         "EngineBuilder: memory budget %lld must be >= 0",
         static_cast<long long>(budget_.budget_bytes)));
   }
+  if (budget_.compact_garbage_ratio <= 0.0) {
+    return Status::InvalidArgument(StrPrintf(
+        "EngineBuilder: compaction threshold %g must be > 0",
+        budget_.compact_garbage_ratio));
+  }
+  if (budget_.compact_min_bytes < 0) {
+    return Status::InvalidArgument(StrPrintf(
+        "EngineBuilder: compaction min bytes %lld must be >= 0",
+        static_cast<long long>(budget_.compact_min_bytes)));
+  }
   StreamCubeEngine::Options options = options_;
   options.policy = policy_;
   Engine engine(schema_, policy_, std::move(options), shards_, read_threads_,
                 ingest_);
+  // The injector must be in place before InitStorage opens the store, so
+  // even the store's own header write is behind the seam.
+  engine.sharded_->set_fault_injector(fault_injector_);
   RC_RETURN_IF_ERROR(engine.InitStorage(budget_));
   return engine;
 }

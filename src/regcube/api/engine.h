@@ -74,7 +74,10 @@ class Engine {
   /// are gathered under briefly-held per-shard locks, then all queries on
   /// the snapshot are lock-free. Memoized by engine revision — until the
   /// next write, every caller shares one snapshot (take → query many →
-  /// drop).
+  /// drop). When the gather fails (a spilled cell's fault-in hit a disk
+  /// fault) the returned snapshot carries the typed error in status() and
+  /// every query on it returns that error; failed snapshots are never
+  /// cached, so the next take retries.
   std::shared_ptr<const CubeSnapshot> TakeSnapshot();
 
   /// The one read entry point. Point kinds (kCell, kCellSeries) take the
@@ -126,6 +129,11 @@ class Engine {
   /// Human-readable rendering of a queried cell, using dimension level
   /// names.
   std::string RenderCell(const CellResult& cell) const;
+
+  /// Forces a compaction probe over every shard's spill segment (normally
+  /// sampled from budget enforcement). Cheap when nothing crossed the
+  /// garbage threshold.
+  void CompactSegments();
 
  private:
   friend class EngineBuilder;
@@ -238,6 +246,23 @@ class EngineBuilder {
   /// segments are scratch files, deleted when the engine is destroyed.
   EngineBuilder& SetSpillDir(std::string dir);
 
+  /// Online-compaction trigger: a shard's spill segment is rewritten when
+  /// its garbage reaches `ratio` x its live bytes (and the configured
+  /// minimum, see SetCompactMinBytes). Default 1.0 — steady-state disk is
+  /// bounded at roughly 2x live data. Must be > 0.
+  EngineBuilder& SetCompactThreshold(double ratio);
+
+  /// Minimum garbage bytes before a segment qualifies for compaction
+  /// (default 32 KiB) — exempts tiny segments where a rewrite costs more
+  /// than it reclaims. Must be >= 0.
+  EngineBuilder& SetCompactMinBytes(std::int64_t bytes);
+
+  /// Installs a fault-injection seam on the engine's cold tier: every
+  /// frame-store open/write/read/mmap/rename consults `injector` first.
+  /// Not owned; must outlive the engine. Testing only — lets a test fail
+  /// the Nth disk I/O deterministically and assert the typed degradation.
+  EngineBuilder& SetFaultInjector(FaultInjector* injector);
+
   /// Validates the configuration; InvalidArgument describes the first
   /// problem found (missing schema or tilt policy, bad shard count or
   /// read-thread count, drill path without the popular-path algorithm or
@@ -261,6 +286,7 @@ class EngineBuilder {
   int read_threads_ = 0;
   IngestConfig ingest_;
   MemoryBudgetConfig budget_;
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace regcube

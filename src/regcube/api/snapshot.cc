@@ -15,6 +15,7 @@ CubeSnapshot::CubeSnapshot(std::shared_ptr<const CubeSchema> schema,
       cells_(std::move(gathered.cells)),
       clock_(gathered.clock),
       revision_(gathered.revision),
+      status_(std::move(gathered.status)),
       stats_(gathered.stats) {
   for (const CellSnapshot& cell : *cells_) {
     pinned_frame_bytes_ += cell.frame->MemoryBytes();
@@ -22,21 +23,25 @@ CubeSnapshot::CubeSnapshot(std::shared_ptr<const CubeSchema> schema,
 }
 
 Result<std::vector<MLayerTuple>> CubeSnapshot::Window(int level, int k) const {
+  RC_RETURN_IF_ERROR(status_);
   return SnapshotWindowOf(*cells_, level, k);
 }
 
 Result<RegressionCube> CubeSnapshot::ComputeCube(int level, int k) const {
+  RC_RETURN_IF_ERROR(status_);
   return SnapshotCubeOf(schema_, *cells_, options_, level, k, pool_.get());
 }
 
 Result<CubeSnapshot::DeckSeries> CubeSnapshot::ObservationDeck(
     int level) const {
+  RC_RETURN_IF_ERROR(status_);
   return SnapshotDeckOf(*cells_, lattice_, options_.tilt_policy->num_levels(),
                         level);
 }
 
 Result<std::vector<CubeSnapshot::TrendChange>>
 CubeSnapshot::DetectTrendChanges(int level, double threshold) const {
+  RC_RETURN_IF_ERROR(status_);
   return SnapshotTrendChangesOf(*cells_, lattice_,
                                 options_.tilt_policy->num_levels(), level,
                                 threshold);
@@ -44,6 +49,7 @@ CubeSnapshot::DetectTrendChanges(int level, double threshold) const {
 
 Result<Isb> CubeSnapshot::QueryCell(CuboidId cuboid, const CellKey& key,
                                     int level, int k) const {
+  RC_RETURN_IF_ERROR(status_);
   RC_RETURN_IF_ERROR(ValidatePointQueryTarget(
       lattice_, cuboid, level, options_.tilt_policy->num_levels()));
   return SnapshotCellOf(*cells_, lattice_, cuboid, key, level, k);
@@ -52,6 +58,7 @@ Result<Isb> CubeSnapshot::QueryCell(CuboidId cuboid, const CellKey& key,
 Result<std::vector<Isb>> CubeSnapshot::QueryCellSeries(CuboidId cuboid,
                                                        const CellKey& key,
                                                        int level) const {
+  RC_RETURN_IF_ERROR(status_);
   return SnapshotCellSeriesOf(*cells_, lattice_,
                               options_.tilt_policy->num_levels(), cuboid, key,
                               level);

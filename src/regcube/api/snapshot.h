@@ -86,6 +86,13 @@ class CubeSnapshot {
   /// Engine revision this snapshot froze; the staleness handle.
   std::uint64_t revision() const { return revision_; }
 
+  /// Non-OK when the gather behind this snapshot failed (a spilled cell
+  /// could not be faulted in — typed Unavailable from the cold tier). A
+  /// failed snapshot holds no cells and every query on it returns this
+  /// status; the engine never caches one, so the next TakeSnapshot
+  /// retries the gather.
+  const Status& status() const { return status_; }
+
   /// What the underlying gather paid for this snapshot: frames
   /// materialized vs shared, and — with a cold tier configured — how many
   /// spilled frames had to be faulted back in (`fault_ins` /
@@ -143,6 +150,7 @@ class CubeSnapshot {
   std::shared_ptr<const SnapshotCells> cells_;
   TimeTick clock_ = 0;
   std::uint64_t revision_ = 0;
+  Status status_;  // the gather's outcome; non-OK poisons every query
   std::int64_t pinned_frame_bytes_ = 0;  // Σ frozen frame MemoryBytes()
   GatherStats stats_;  // what the gather behind this snapshot paid
   mutable CubeMemo memo_;  // logically immutable: a memo of the derived cube

@@ -19,6 +19,7 @@ enum class StatusCode {
   kInternal,          // invariant violation that is a library bug
   kUnimplemented,     // feature not available in this configuration
   kResourceExhausted, // a bounded resource (e.g. an ingest queue) is full
+  kUnavailable,       // transient I/O failure; a retry may succeed
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...) for `code`.
@@ -67,6 +68,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -24,14 +24,27 @@ void MemoryGovernor::AddRung(int priority, std::string name, ReclaimFn fn) {
   rung_stats_.insert(rung_stats_.begin() + pos, std::move(stats));
 }
 
+void MemoryGovernor::AddUsageProbe(std::function<std::int64_t()> probe) {
+  probes_.push_back(std::move(probe));
+}
+
+std::int64_t MemoryGovernor::TotalUsage() const {
+  std::int64_t usage = usage_();
+  for (const auto& probe : probes_) usage += probe();
+  return usage;
+}
+
 bool MemoryGovernor::MaybeEnforce() {
   if (budget_ <= 0) return false;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++checks_;
   }
-  std::int64_t usage = usage_();
-  if (usage <= budget_) return false;
+  std::int64_t usage = TotalUsage();
+  if (usage <= budget_) {
+    exhausted_.store(false, std::memory_order_relaxed);
+    return false;
+  }
   std::unique_lock<std::mutex> enforce(enforce_mu_, std::try_to_lock);
   if (!enforce.owns_lock()) return false;
   {
@@ -43,7 +56,7 @@ bool MemoryGovernor::MaybeEnforce() {
   const std::int64_t target = budget_ - budget_ / 8;
   bool ran = false;
   for (std::size_t i = 0; i < rungs_.size(); ++i) {
-    usage = usage_();
+    usage = TotalUsage();
     if (usage <= target) break;
     const std::int64_t reclaimed = rungs_[i].fn(usage - target);
     ran = true;
@@ -51,11 +64,22 @@ bool MemoryGovernor::MaybeEnforce() {
     ++rung_stats_[i].invocations;
     rung_stats_[i].reclaimed_bytes += reclaimed;
   }
+  // The run is "exhausted" when every rung has had its chance and usage
+  // still sits above the full budget: nothing left to evict. Degraded
+  // ingest (typed rejects) keys off this until pressure drops.
+  usage = TotalUsage();
+  const bool still_over = usage > budget_;
+  exhausted_.store(still_over, std::memory_order_relaxed);
   if (ran) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++enforcements_;
+    if (still_over) ++exhausted_runs_;
   }
   return ran;
+}
+
+bool MemoryGovernor::exhausted() const {
+  return exhausted_.load(std::memory_order_relaxed);
 }
 
 MemoryGovernor::Stats MemoryGovernor::stats() const {
@@ -64,6 +88,7 @@ MemoryGovernor::Stats MemoryGovernor::stats() const {
   out.budget_bytes = budget_;
   out.checks = checks_;
   out.enforcements = enforcements_;
+  out.exhausted_runs = exhausted_runs_;
   out.max_over_bytes = max_over_bytes_;
   out.rungs = rung_stats_;
   return out;

@@ -1,6 +1,7 @@
 #ifndef REGCUBE_CORE_MEMORY_GOVERNOR_H_
 #define REGCUBE_CORE_MEMORY_GOVERNOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -18,6 +19,7 @@ struct SpillStats {
   std::int64_t memo_evictions = 0;  // rung invocations, by rung
   std::int64_t cache_evictions = 0;
   std::int64_t spill_evictions = 0;
+  std::int64_t export_evictions = 0;  // export.dirty rung invocations
   std::int64_t evicted_bytes = 0;   // bytes reclaimed by all rungs
   std::int64_t spilled_cells = 0;   // cells currently cold (point in time)
   std::int64_t spilled_blocks = 0;  // blocks ever written to the cold tier
@@ -26,6 +28,15 @@ struct SpillStats {
   std::int64_t fault_in_bytes = 0;
   double fault_in_p99_us = 0.0;
   std::int64_t disk_bytes = 0;      // cold-tier footprint (point in time)
+  std::int64_t live_bytes = 0;      // cold-tier bytes still referenced
+  std::int64_t garbage_bytes = 0;   // released bytes awaiting compaction
+  std::int64_t io_errors = 0;       // spill attempts abandoned after retry
+  std::int64_t retries = 0;         // spill attempts retried (transient)
+  std::int64_t compactions = 0;     // segments rewritten without garbage
+  std::int64_t compacted_bytes = 0; // live bytes copied by compactions
+  std::int64_t reclaimed_bytes = 0; // garbage bytes compaction dropped
+  std::int64_t compaction_failures = 0;
+  std::int64_t budget_rejects = 0;  // ingest rejected: budget unreachable
 };
 
 /// The global memory budget shared by every shard: a byte ceiling, a usage
@@ -61,12 +72,25 @@ class MemoryGovernor {
   /// thread-safe; call during engine construction only.
   void AddRung(int priority, std::string name, ReclaimFn fn);
 
+  /// Registers an extra usage probe summed with the primary one — e.g.
+  /// the api layer's pinned snapshot bytes, which the tracker stops
+  /// seeing once engine-side caches evict while a cached snapshot still
+  /// holds the frames. Not thread-safe; construction only.
+  void AddUsageProbe(std::function<std::int64_t()> probe);
+
   /// Runs the ladder if usage exceeds the budget. Returns true if any
   /// rung ran. A no-op (false) when under budget or when another thread
   /// is already enforcing.
   bool MaybeEnforce();
 
   std::int64_t budget_bytes() const { return budget_; }
+
+  /// True when the most recent full ladder run still left usage above the
+  /// budget — every rung fired and the engine is out of things to evict.
+  /// Cleared by the next enforcement (or probe) that finds usage back
+  /// under budget. The engines use this to degrade ingest to typed
+  /// ResourceExhausted rejects instead of overshooting without bound.
+  bool exhausted() const;
 
   struct RungStats {
     std::string name;
@@ -77,6 +101,7 @@ class MemoryGovernor {
     std::int64_t budget_bytes = 0;
     std::int64_t checks = 0;        // MaybeEnforce calls
     std::int64_t enforcements = 0;  // calls that ran >= 1 rung
+    std::int64_t exhausted_runs = 0;  // full-ladder runs still over budget
     std::int64_t max_over_bytes = 0;
     std::vector<RungStats> rungs;   // ladder order
   };
@@ -89,8 +114,11 @@ class MemoryGovernor {
     ReclaimFn fn;
   };
 
+  std::int64_t TotalUsage() const;
+
   const std::int64_t budget_;
   const std::function<std::int64_t()> usage_;
+  std::vector<std::function<std::int64_t()>> probes_;
   std::vector<Rung> rungs_;
 
   std::mutex enforce_mu_;  // serializes the ladder; contenders skip
@@ -98,8 +126,11 @@ class MemoryGovernor {
   mutable std::mutex stats_mu_;
   std::int64_t checks_ = 0;
   std::int64_t enforcements_ = 0;
+  std::int64_t exhausted_runs_ = 0;
   std::int64_t max_over_bytes_ = 0;
   std::vector<RungStats> rung_stats_;  // parallel to rungs_
+
+  std::atomic<bool> exhausted_{false};
 };
 
 }  // namespace regcube

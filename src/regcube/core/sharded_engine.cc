@@ -29,6 +29,20 @@ std::int64_t SliceBytes(const SnapshotCells& cells) {
   return static_cast<std::int64_t>(cells.size() * sizeof(CellSnapshot));
 }
 
+// Re-entrancy guard for the export.dirty ladder rung: set while the rung
+// runs, so that if any path it takes ever reaches MaybeEnforceBudget on
+// the same thread, the enforcement skips instead of try_locking the
+// governor's enforce mutex on the thread that already holds it (undefined
+// behavior, not just a deadlock). The rung's current body (clean dirty
+// queues + spill sweep) never re-enters, so this is pure defense.
+thread_local bool tl_in_budget_rung = false;
+
+struct ScopedFlag {
+  explicit ScopedFlag(bool& flag) : flag_(flag) { flag_ = true; }
+  ~ScopedFlag() { flag_ = false; }
+  bool& flag_;
+};
+
 /// Re-materializes one frozen block iff a tilt unit ends between its
 /// freeze tick and `target` — otherwise advancing it would seal nothing
 /// and the block is shared as-is. Returns the bytes retained by the new
@@ -202,6 +216,20 @@ IngestTicket ShardedStreamEngine::IngestAsync(
     const std::vector<StreamTuple>& tuples) {
   RC_CHECK(ingest_.mode == IngestMode::kAsync)
       << "IngestAsync requires IngestMode::kAsync";
+  // Budget-exhausted degradation precedes the queues: accepting tuples the
+  // owner threads would only pile onto an engine that cannot shed bytes
+  // turns overload into unbounded growth. A refused ticket is typed and
+  // complete — nothing entered any queue.
+  {
+    Status admission = CheckIngestAdmission();
+    if (!admission.ok()) {
+      IngestTicket refused;
+      refused.attempted = static_cast<std::int64_t>(tuples.size());
+      refused.rejected = refused.attempted;
+      refused.status = std::move(admission);
+      return refused;
+    }
+  }
   // Map before hashing (same as the sync path) so the tuples queued for a
   // shard are exactly what its engine will absorb — the owner thread never
   // touches the mapper.
@@ -261,10 +289,33 @@ std::int64_t ShardedStreamEngine::IngestQueueBytes() const {
   return bytes;
 }
 
+Status ShardedStreamEngine::CheckIngestAdmission() {
+  // Degraded admission is opt-in through the backpressure policy: kBlock
+  // and kDropOldest keep the legacy lossless/lossy semantics (the engine
+  // absorbs and stays over budget, best effort); only kReject turns an
+  // unreachable budget into typed rejects.
+  if (ingest_.backpressure != BackpressurePolicy::kReject) {
+    return Status::OK();
+  }
+  if (governor_ == nullptr || !governor_->exhausted()) return Status::OK();
+  // One more chance before degrading: pressure may have dropped since the
+  // exhausted run (a reader released a snapshot, a compaction landed), and
+  // MaybeEnforce clears the flag the moment usage probes under budget.
+  MaybeEnforceBudget();
+  if (!governor_->exhausted()) return Status::OK();
+  budget_rejects_.fetch_add(1, std::memory_order_relaxed);
+  return Status::ResourceExhausted(StrPrintf(
+      "memory budget of %lld bytes is unreachable: every eviction rung ran "
+      "and usage is still over; ingest degraded to rejects until pressure "
+      "drops",
+      static_cast<long long>(budget_config_.budget_bytes)));
+}
+
 Status ShardedStreamEngine::Ingest(const StreamTuple& tuple) {
   if (ingest_.mode == IngestMode::kAsync) {
     return IngestAsync({tuple}).status;
   }
+  RC_RETURN_IF_ERROR(CheckIngestAdmission());
   const CellKey key = mapper_ ? mapper_(tuple.key) : tuple.key;
   Shard& shard = *shards_[static_cast<size_t>(ShardIndex(key))];
   Status status;
@@ -301,6 +352,15 @@ IngestReport ShardedStreamEngine::IngestBatch(
     report.status = ticket.status;
     return report;
   }
+  IngestReport report;
+  report.attempted = static_cast<std::int64_t>(tuples.size());
+  {
+    Status admission = CheckIngestAdmission();
+    if (!admission.ok()) {
+      report.status = std::move(admission);
+      return report;
+    }
+  }
   std::vector<std::vector<StreamTuple>> partitions(shards_.size());
   TimeTick max_tick = clock_.load(std::memory_order_relaxed);
   for (const StreamTuple& t : tuples) {
@@ -309,8 +369,6 @@ IngestReport ShardedStreamEngine::IngestBatch(
         {key, t.tick, t.value});
     max_tick = std::max(max_tick, t.tick);
   }
-  IngestReport report;
-  report.attempted = static_cast<std::int64_t>(tuples.size());
   bool changed = false;
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (partitions[i].empty()) continue;
@@ -477,6 +535,19 @@ ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherAlignedCells(
     for (size_t i = 0; i < n; ++i) gather_one(static_cast<std::int64_t>(i));
   }
 
+  // A failed export (fault-in error on a spilled cell) poisons the whole
+  // run: return the typed error without touching the cache. No state was
+  // lost — the failing shard kept its dirty list and export revision, and
+  // a shard that *did* export re-exports in full next time (its revision
+  // no longer matches the cached base) — so the retry is complete.
+  for (const auto& e : exports) {
+    if (!e.status.ok()) {
+      out.status = e.status;
+      out.cells = std::make_shared<std::vector<CellSnapshot>>();
+      return out;
+    }
+  }
+
   TimeTick target = clock_.load(std::memory_order_acquire);
   for (TimeTick t : shard_now) target = std::max(target, t);
   out.clock = target;
@@ -598,18 +669,26 @@ ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherFull() {
   const size_t n = shards_.size();
   std::vector<std::vector<CellSnapshot>> slices(n);
   std::vector<GatherStats> stats(n);
+  std::vector<Status> statuses(n);
   std::vector<TimeTick> shard_now(n, 0);
   auto gather_one = [&](std::int64_t idx) {
     const size_t i = static_cast<size_t>(idx);
     Shard& shard = *shards_[i];
     std::lock_guard<std::mutex> lock(shard.mu);
     shard_now[i] = shard.engine.now();
-    shard.engine.ExportCellsFull(&slices[i], &stats[i]);
+    statuses[i] = shard.engine.ExportCellsFull(&slices[i], &stats[i]);
   };
   if (pool_ != nullptr && n > 1) {
     pool_->ParallelFor(static_cast<std::int64_t>(n), gather_one);
   } else {
     for (size_t i = 0; i < n; ++i) gather_one(static_cast<std::int64_t>(i));
+  }
+  for (Status& s : statuses) {
+    if (!s.ok()) {
+      out.status = std::move(s);
+      out.cells = std::make_shared<std::vector<CellSnapshot>>();
+      return out;
+    }
   }
 
   TimeTick target = clock_.load(std::memory_order_acquire);
@@ -640,6 +719,7 @@ ShardedStreamEngine::MemberGather ShardedStreamEngine::GatherCellsMatching(
   MemberGather out;
   const size_t n = shards_.size();
   std::vector<std::vector<CellSnapshot>> slices(n);
+  std::vector<Status> statuses(n);
   std::vector<TimeTick> shard_now(n, 0);
   std::vector<std::int64_t> totals(n, 0);
   auto gather_one = [&](std::int64_t idx) {
@@ -648,13 +728,20 @@ ShardedStreamEngine::MemberGather ShardedStreamEngine::GatherCellsMatching(
     std::lock_guard<std::mutex> lock(shard.mu);
     shard_now[i] = shard.engine.now();
     totals[i] = shard.engine.num_cells();
-    shard.engine.ExportMatchingCells(cuboid, key, &slices[i], nullptr,
-                                     lookup);
+    statuses[i] = shard.engine.ExportMatchingCells(cuboid, key, &slices[i],
+                                                   nullptr, lookup);
   };
   if (pool_ != nullptr && n > 1) {
     pool_->ParallelFor(static_cast<std::int64_t>(n), gather_one);
   } else {
     for (size_t i = 0; i < n; ++i) gather_one(static_cast<std::int64_t>(i));
+  }
+  for (Status& s : statuses) {
+    if (!s.ok()) {
+      out.status = std::move(s);
+      out.cells.clear();
+      return out;
+    }
   }
 
   TimeTick target = clock_.load(std::memory_order_acquire);
@@ -699,7 +786,9 @@ std::vector<CellKey> ShardedStreamEngine::MemberKeysFor(CuboidId cuboid,
 
 Result<std::vector<MLayerTuple>> ShardedStreamEngine::SnapshotWindow(int level,
                                                                      int k) {
-  return SnapshotWindowOf(*GatherAlignedCells().cells, level, k);
+  GatheredCells gathered = GatherAlignedCells();
+  RC_RETURN_IF_ERROR(gathered.status);
+  return SnapshotWindowOf(*gathered.cells, level, k);
 }
 
 Result<RegressionCube> ShardedStreamEngine::ComputeCube(int level, int k) {
@@ -710,6 +799,7 @@ Result<RegressionCube> ShardedStreamEngine::ComputeCube(int level, int k) {
   if (cube_memo_ == nullptr ||
       cube_memo_->WouldEvictDifferentWindow(level, k)) {
     GatheredCells gathered = GatherAlignedCells();
+    RC_RETURN_IF_ERROR(gathered.status);
     return SnapshotCubeOf(schema_, *gathered.cells, options_, level, k,
                           pool_.get());
   }
@@ -721,6 +811,7 @@ Result<RegressionCube> ShardedStreamEngine::ComputeCube(int level, int k) {
 Result<std::shared_ptr<const RegressionCube>>
 ShardedStreamEngine::ComputeCubeShared(int level, int k) {
   GatheredCells gathered = GatherAlignedCells();
+  RC_RETURN_IF_ERROR(gathered.status);
   if (cube_memo_ == nullptr) {
     auto cube = SnapshotCubeOf(schema_, *gathered.cells, options_, level, k,
                                pool_.get());
@@ -775,13 +866,17 @@ Result<RegressionCube> ShardedStreamEngine::ComputeCubeAllLocks(int level,
 
 Result<ShardedStreamEngine::DeckSeries> ShardedStreamEngine::ObservationDeck(
     int level) {
-  return SnapshotDeckOf(*GatherAlignedCells().cells, lattice_,
+  GatheredCells gathered = GatherAlignedCells();
+  RC_RETURN_IF_ERROR(gathered.status);
+  return SnapshotDeckOf(*gathered.cells, lattice_,
                         options_.tilt_policy->num_levels(), level);
 }
 
 Result<std::vector<ShardedStreamEngine::TrendChange>>
 ShardedStreamEngine::DetectTrendChanges(int level, double threshold) {
-  return SnapshotTrendChangesOf(*GatherAlignedCells().cells, lattice_,
+  GatheredCells gathered = GatherAlignedCells();
+  RC_RETURN_IF_ERROR(gathered.status);
+  return SnapshotTrendChangesOf(*gathered.cells, lattice_,
                                 options_.tilt_policy->num_levels(), level,
                                 threshold);
 }
@@ -792,6 +887,7 @@ Result<Isb> ShardedStreamEngine::QueryCell(CuboidId cuboid, const CellKey& key,
   RC_RETURN_IF_ERROR(ValidatePointQueryTarget(
       lattice_, cuboid, level, options_.tilt_policy->num_levels()));
   MemberGather gathered = GatherCellsMatching(cuboid, key);
+  RC_RETURN_IF_ERROR(gathered.status);
   if (gathered.total_cells == 0) return SnapshotNoDataError();
   if (gathered.cells.empty()) {
     return SnapshotNoMembersError(lattice_, cuboid, key);
@@ -806,6 +902,7 @@ Result<std::vector<Isb>> ShardedStreamEngine::QueryCellSeries(
   RC_RETURN_IF_ERROR(ValidatePointQueryTarget(
       lattice_, cuboid, level, options_.tilt_policy->num_levels()));
   MemberGather gathered = GatherCellsMatching(cuboid, key);
+  RC_RETURN_IF_ERROR(gathered.status);
   if (gathered.total_cells == 0) return SnapshotNoDataError();
   if (gathered.cells.empty()) {
     return SnapshotNoMembersError(lattice_, cuboid, key);
@@ -857,11 +954,22 @@ Status ShardedStreamEngine::ConfigureStorage(const MemoryBudgetConfig& config) {
         StrPrintf("memory budget must be >= 0, got %lld",
                   static_cast<long long>(config.budget_bytes)));
   }
+  if (config.compact_garbage_ratio <= 0.0) {
+    return Status::InvalidArgument(
+        StrPrintf("compaction garbage ratio must be > 0, got %g",
+                  config.compact_garbage_ratio));
+  }
+  if (config.compact_min_bytes < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("compaction min bytes must be >= 0, got %lld",
+                  static_cast<long long>(config.compact_min_bytes)));
+  }
   budget_config_ = config;
   if (!config.spill_dir.empty()) {
     auto store = FrameStore::Open(config.spill_dir);
     if (!store.ok()) return store.status();
     frame_store_ = std::move(*store);
+    frame_store_->set_fault_injector(fault_injector_);
     for (size_t i = 0; i < shards_.size(); ++i) {
       std::lock_guard<std::mutex> lock(shards_[i]->mu);
       shards_[i]->engine.set_frame_store(frame_store_.get(),
@@ -883,13 +991,73 @@ Status ShardedStreamEngine::ConfigureStorage(const MemoryBudgetConfig& config) {
       governor_->AddRung(30, "frames.spill", [this](std::int64_t excess) {
         return SpillColdFramesRung(excess);
       });
+      // The last rung handles the all-dirty overshoot: cold spill only
+      // takes clean cells, so a hot-everywhere stream can leave rung 30
+      // with nothing to do. An internal export turns the dirty cells
+      // clean, then the spill sweep re-runs — the ladder converges
+      // instead of stalling one rung short of its only real lever.
+      governor_->AddRung(40, "export.dirty", [this](std::int64_t excess) {
+        return ExportDirtyRung(excess);
+      });
     }
   }
   return Status::OK();
 }
 
 void ShardedStreamEngine::MaybeEnforceBudget() {
-  if (governor_ != nullptr) governor_->MaybeEnforce();
+  // Never re-enter the governor from inside one of its own rungs: the
+  // try_lock on a mutex this thread already holds would be UB.
+  if (tl_in_budget_rung) return;
+  if (governor_ == nullptr) return;
+  governor_->MaybeEnforce();
+  // Compaction rides the enforcement heartbeat, sampled so the per-call
+  // cost stays one relaxed fetch_add: garbage accrues a block at a time,
+  // so a ~256-call probe period bounds staleness without a new thread.
+  if (frame_store_ != nullptr &&
+      (enforce_calls_.fetch_add(1, std::memory_order_relaxed) & 0xFF) == 0) {
+    MaybeCompactSegments();
+  }
+}
+
+void ShardedStreamEngine::MaybeCompactSegments() {
+  if (frame_store_ == nullptr) return;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const int shard = static_cast<int>(i);
+    if (!frame_store_->ShouldCompact(shard,
+                                     budget_config_.compact_garbage_ratio,
+                                     budget_config_.compact_min_bytes)) {
+      continue;
+    }
+    // The shard lock spans the rewrite *and* the re-pointing: a reader on
+    // this shard either sees the old refs before the swap or the new refs
+    // after — never a ref into a retired segment.
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    auto relocations = frame_store_->CompactShardSegment(shard);
+    if (!relocations.ok()) continue;  // counted in CompactionStats.failures
+    shards_[i]->engine.RepointSpilledBlocks(*relocations);
+  }
+}
+
+void ShardedStreamEngine::set_fault_injector(FaultInjector* injector) {
+  fault_injector_ = injector;
+  if (frame_store_ != nullptr) frame_store_->set_fault_injector(injector);
+}
+
+std::int64_t ShardedStreamEngine::ExportDirtyRung(std::int64_t excess) {
+  // Deliberately NOT a gather: rung 21 just dropped the cached run, so a
+  // gather here would be a full export that faults every spilled cell
+  // back in — undoing rung 30's work while claiming to help. Cleaning
+  // the dirty queues touches only resident cells and costs no I/O.
+  ScopedFlag in_rung(tl_in_budget_rung);
+  std::int64_t cleaned = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    cleaned += shard->engine.CleanDirtyCells();
+  }
+  if (cleaned == 0) return 0;  // nothing was dirty; rung 30 said it all
+  // The newly-clean cells are spillable; sweep them out now rather than
+  // waiting for the next enforcement to notice.
+  return SpillColdFramesRung(excess);
 }
 
 std::int64_t ShardedStreamEngine::UsageBytes() const {
@@ -968,11 +1136,14 @@ regcube::SpillStats ShardedStreamEngine::SpillStats() const {
         out.memo_evictions += rung.invocations;
       } else if (rung.name == "frames.spill") {
         out.spill_evictions += rung.invocations;
+      } else if (rung.name == "export.dirty") {
+        out.export_evictions += rung.invocations;
       } else {
         out.cache_evictions += rung.invocations;
       }
     }
   }
+  out.budget_rejects = budget_rejects_.load(std::memory_order_relaxed);
   if (frame_store_ != nullptr) {
     const FrameStoreStats s = frame_store_->Stats();
     out.spilled_blocks = s.spilled_blocks;
@@ -981,10 +1152,19 @@ regcube::SpillStats ShardedStreamEngine::SpillStats() const {
     out.fault_in_bytes = s.fault_in_bytes;
     out.fault_in_p99_us = s.fault_in_p99_us;
     out.disk_bytes = s.disk_bytes;
+    out.live_bytes = s.live_bytes;
+    out.garbage_bytes = s.garbage_bytes;
+    const CompactionStats c = frame_store_->Compactions();
+    out.compactions = c.compactions;
+    out.compacted_bytes = c.compacted_bytes;
+    out.reclaimed_bytes = c.reclaimed_bytes;
+    out.compaction_failures = c.failures;
   }
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     out.spilled_cells += shard->engine.SpilledCells();
+    out.io_errors += shard->engine.SpillIoErrors();
+    out.retries += shard->engine.SpillRetries();
   }
   return out;
 }
@@ -1066,6 +1246,7 @@ Status ShardedStreamEngine::RestoreFrom(const std::string& dir) {
     auto store = FrameStore::Open("");
     if (!store.ok()) return store.status();
     frame_store_ = std::move(*store);
+    frame_store_->set_fault_injector(fault_injector_);
   }
   for (size_t i = 0; i < shards_.size(); ++i) {
     std::lock_guard<std::mutex> lock(shards_[i]->mu);

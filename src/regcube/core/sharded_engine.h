@@ -27,9 +27,18 @@ class MemoryTracker;
 /// shared by every shard (0 = unbounded) and the directory cold frames
 /// spill to (empty = no cold tier; with a budget but no spill dir the
 /// ladder stops at the cache-dropping rungs).
+///
+/// `compact_garbage_ratio`/`compact_min_bytes` tune online compaction: a
+/// shard's spill segment is rewritten when its garbage reaches both
+/// `compact_garbage_ratio` x its live bytes and `compact_min_bytes` — the
+/// defaults bound steady-state disk at roughly 2x live data while keeping
+/// tiny segments exempt (rewriting 4 KiB to reclaim 4 KiB is churn, not
+/// compaction).
 struct MemoryBudgetConfig {
   std::int64_t budget_bytes = 0;
   std::string spill_dir;
+  double compact_garbage_ratio = 1.0;
+  std::int64_t compact_min_bytes = 32 * 1024;
 };
 
 /// Thread-safe scale-out layer over StreamCubeEngine: m-layer cells are
@@ -156,6 +165,12 @@ class ShardedStreamEngine {
     TimeTick clock = 0;          // tick the cells are aligned to
     std::uint64_t revision = 0;  // engine revision when gathering began
     GatherStats stats;           // what this gather paid
+    /// Non-OK when a shard's export failed (a spilled cell could not be
+    /// faulted in). `cells` is then empty-but-valid, nothing was cached,
+    /// and no shard lost state — the failed shard kept its dirty list, a
+    /// succeeded shard re-exports in full next time — so a retry gathers
+    /// exactly the same data.
+    Status status;
   };
 
   /// kDelta shares frozen blocks for unchanged cells and serves clean
@@ -178,6 +193,7 @@ class ShardedStreamEngine {
     SnapshotCells cells;  // the matching members only
     TimeTick clock = 0;
     std::int64_t total_cells = 0;  // all cells across shards at gather time
+    Status status;  // non-OK when a member's fault-in failed (Unavailable)
   };
   MemberGather GatherCellsMatching(CuboidId cuboid, const CellKey& key,
                                    PointLookup lookup = PointLookup::kIndexed);
@@ -303,8 +319,26 @@ class ShardedStreamEngine {
   const FrameStore* frame_store() const { return frame_store_.get(); }
 
   /// Runs the eviction ladder if usage exceeds the budget (no-op without a
-  /// governor). Public so tests can force an enforcement point.
+  /// governor). Public so tests can force an enforcement point. Every
+  /// ~256th call also probes the spill segments for compaction-worthy
+  /// garbage (see MaybeCompactSegments).
   void MaybeEnforceBudget();
+
+  /// Compacts any shard spill segment whose garbage crossed the configured
+  /// threshold (MemoryBudgetConfig::compact_garbage_ratio/min_bytes): the
+  /// store rewrites the segment's live blocks into a fresh file while this
+  /// engine holds that shard's lock, then the shard's BlockRefs are
+  /// re-pointed at the new file before the lock drops — readers can never
+  /// observe a ref into a retired segment. A failed compaction is counted
+  /// (SpillStats::compaction_failures) and leaves the old segment intact.
+  /// Public so tests and the CLI can force a pass; normally sampled from
+  /// MaybeEnforceBudget.
+  void MaybeCompactSegments();
+
+  /// Installs the fault-injection seam on the cold tier (now, if the store
+  /// already exists, and on any store ConfigureStorage/RestoreFrom opens
+  /// later). Not owned; must outlive the engine. Tests only.
+  void set_fault_injector(FaultInjector* injector);
 
   /// Eviction/spill observability: governor counters, frame-store
   /// counters, and the current cold-cell population, merged.
@@ -382,6 +416,12 @@ class ShardedStreamEngine {
   std::int64_t DropCubeMemoRung();
   std::int64_t DropGatherCachesRung();
   std::int64_t SpillColdFramesRung(std::int64_t excess);
+  std::int64_t ExportDirtyRung(std::int64_t excess);
+
+  /// Sync-ingest admission: OK, or a typed ResourceExhausted when the
+  /// governor has exhausted its ladder and usage still exceeds the budget
+  /// (re-enforcing once first, so a transient overshoot clears itself).
+  Status CheckIngestAdmission();
 
   std::shared_ptr<const CubeSchema> schema_;
   CuboidLattice lattice_;
@@ -422,6 +462,9 @@ class ShardedStreamEngine {
   MemoryBudgetConfig budget_config_;
   std::unique_ptr<FrameStore> frame_store_;
   std::unique_ptr<MemoryGovernor> governor_;
+  FaultInjector* fault_injector_ = nullptr;
+  std::atomic<std::int64_t> enforce_calls_{0};   // compaction probe sampler
+  std::atomic<std::int64_t> budget_rejects_{0};  // typed ingest rejects
 
   // The async ingest subsystem (empty in sync mode). writers_ is the LAST
   // member on purpose: destruction runs in reverse declaration order, so

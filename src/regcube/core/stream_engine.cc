@@ -1,6 +1,8 @@
 #include "regcube/core/stream_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "regcube/core/snapshot_reads.h"
 #include "regcube/common/logging.h"
@@ -86,17 +88,20 @@ void StreamCubeEngine::AccountCell(CellState& state) {
   state.tracked_bytes = bytes;
 }
 
-TiltTimeFrame& StreamCubeEngine::LiveFrame(CellState& state,
-                                           GatherStats* stats) {
-  if (state.frame != nullptr) return *state.frame;
-  // Fault-in. Decode failure after a successful store open is fatal by
-  // contract: the block was validated (or written) by this process, so a
-  // bad read here means the mapping itself is gone.
-  RC_CHECK(store_ != nullptr) << "spilled cell without a frame store";
+Result<TiltTimeFrame*> StreamCubeEngine::LiveFrame(CellState& state,
+                                                   GatherStats* stats) {
+  if (state.frame != nullptr) return state.frame.get();
+  // Fault-in. A failed read (injected fault, lost mapping) leaves the cell
+  // spilled and its ref intact: the typed error propagates to whatever
+  // query or ingest touched the cell, and the next touch retries — never
+  // an abort, never a partially-restored frame.
+  if (store_ == nullptr) {
+    return Status::Internal("spilled cell without a frame store");
+  }
   auto decoded = store_->ReadFrame(state.spill);
-  RC_CHECK(decoded.ok()) << "fault-in failed: " << decoded.status().ToString();
+  if (!decoded.ok()) return decoded.status();
   auto frame = TiltTimeFrame::FromSnapshot(options_.tilt_policy, *decoded);
-  RC_CHECK(frame.ok()) << frame.status().ToString();
+  if (!frame.ok()) return frame.status();
   state.frame = std::make_unique<TiltTimeFrame>(*std::move(frame));
   if (stats != nullptr) {
     ++stats->fault_ins;
@@ -106,14 +111,14 @@ TiltTimeFrame& StreamCubeEngine::LiveFrame(CellState& state,
   state.spill = BlockRef{};
   --spilled_cells_;
   AccountCell(state);
-  return *state.frame;
+  return state.frame.get();
 }
 
-TiltTimeFrame& StreamCubeEngine::LiveAlignedFrame(const CellKey& key,
-                                                  CellState& state) {
-  LiveFrame(state);
+Result<TiltTimeFrame*> StreamCubeEngine::LiveAlignedFrame(const CellKey& key,
+                                                          CellState& state) {
+  RC_ASSIGN_OR_RETURN(TiltTimeFrame * frame, LiveFrame(state));
   AlignCellToClock(key, state);
-  return *state.frame;
+  return frame;
 }
 
 void StreamCubeEngine::EnsureIndexed(CuboidId cuboid) {
@@ -165,7 +170,8 @@ Status StreamCubeEngine::Ingest(const StreamTuple& tuple) {
   const CellKey key =
       options_.key_mapper ? options_.key_mapper(tuple.key) : tuple.key;
   CellState& state = CellFor(key);
-  RC_RETURN_IF_ERROR(LiveFrame(state).Add(tuple.tick, tuple.value));
+  RC_ASSIGN_OR_RETURN(TiltTimeFrame * frame, LiveFrame(state));
+  RC_RETURN_IF_ERROR(frame->Add(tuple.tick, tuple.value));
   MarkDirty(key, state);
   AccountCell(state);
   now_ = std::max(now_, tuple.tick);
@@ -230,7 +236,8 @@ Result<std::vector<MLayerTuple>> StreamCubeEngine::SnapshotWindow(int level,
   std::vector<MLayerTuple> tuples;
   tuples.reserve(cells_.size());
   for (auto& [key, state] : cells_) {
-    auto isb = LiveAlignedFrame(key, state).RegressLastSlots(level, k);
+    RC_ASSIGN_OR_RETURN(TiltTimeFrame * frame, LiveAlignedFrame(key, state));
+    auto isb = frame->RegressLastSlots(level, k);
     if (!isb.ok()) return isb.status();
     tuples.push_back(MLayerTuple{key, *isb});
   }
@@ -272,7 +279,8 @@ Result<StreamCubeEngine::DeckSeries> StreamCubeEngine::ObservationDeck(
   const CuboidId o_id = lattice_.o_layer_id();
   for (auto& [key, state] : cells_) {
     const CellKey o_key = lattice_.ProjectMLayerKey(key, o_id);
-    const auto& slots = LiveAlignedFrame(key, state).RawSlots(level);
+    RC_ASSIGN_OR_RETURN(TiltTimeFrame * frame, LiveAlignedFrame(key, state));
+    const auto& slots = frame->RawSlots(level);
     auto& dest = acc[o_key];
     if (dest.size() < slots.size()) dest.resize(slots.size());
     for (size_t i = 0; i < slots.size(); ++i) {
@@ -332,7 +340,9 @@ Result<Isb> StreamCubeEngine::QueryCell(CuboidId cuboid, const CellKey& key,
   }
   Isb acc;
   for (auto& [m_key, state] : members) {
-    auto isb = LiveAlignedFrame(*m_key, *state).RegressLastSlots(level, k);
+    RC_ASSIGN_OR_RETURN(TiltTimeFrame * frame,
+                        LiveAlignedFrame(*m_key, *state));
+    auto isb = frame->RegressLastSlots(level, k);
     if (!isb.ok()) return isb.status();
     AccumulateStandardDim(acc, *isb);
   }
@@ -350,7 +360,9 @@ Result<std::vector<Isb>> StreamCubeEngine::QueryCellSeries(
   }
   std::vector<MomentSums> acc;
   for (auto& [m_key, state] : members) {
-    const auto& slots = LiveAlignedFrame(*m_key, *state).RawSlots(level);
+    RC_ASSIGN_OR_RETURN(TiltTimeFrame * frame,
+                        LiveAlignedFrame(*m_key, *state));
+    const auto& slots = frame->RawSlots(level);
     if (acc.size() < slots.size()) acc.resize(slots.size());
     for (size_t i = 0; i < slots.size(); ++i) {
       if (acc[i].interval.empty()) {
@@ -406,11 +418,12 @@ void StreamCubeEngine::PublishFrozen(
   state.frozen = std::move(block);
 }
 
-const std::shared_ptr<const TiltTimeFrame>& StreamCubeEngine::FrozenFor(
+Result<std::shared_ptr<const TiltTimeFrame>> StreamCubeEngine::FrozenFor(
     CellState& state, GatherStats* stats) {
   if (state.frozen == nullptr ||
       state.frozen_revision != state.last_modified) {
-    auto block = std::make_shared<const TiltTimeFrame>(LiveFrame(state, stats));
+    RC_ASSIGN_OR_RETURN(TiltTimeFrame * live, LiveFrame(state, stats));
+    auto block = std::make_shared<const TiltTimeFrame>(*live);
     if (stats != nullptr) {
       ++stats->materialized;
       stats->bytes_copied += block->MemoryBytes();
@@ -434,7 +447,14 @@ StreamCubeEngine::FrozenExport StreamCubeEngine::ExportFrozen(
     if (revision_ != export_revision_) {
       out.patches.reserve(dirty_cells_.size());
       for (auto& [key, state] : dirty_cells_) {
-        out.patches.push_back({key, FrozenFor(*state, stats)});
+        auto frozen = FrozenFor(*state, stats);
+        if (!frozen.ok()) {
+          // Leave the dirty list and export revision untouched: the next
+          // export retries exactly this work.
+          out.status = frozen.status();
+          return out;
+        }
+        out.patches.push_back({key, *std::move(frozen)});
       }
       std::sort(out.patches.begin(), out.patches.end(),
                 CellSnapshotCanonicalLess);
@@ -446,7 +466,12 @@ StreamCubeEngine::FrozenExport StreamCubeEngine::ExportFrozen(
     auto full = std::make_shared<std::vector<CellSnapshot>>();
     full->reserve(cells_.size());
     for (auto& [key, state] : cells_) {
-      full->push_back({key, FrozenFor(state, stats)});
+      auto frozen = FrozenFor(state, stats);
+      if (!frozen.ok()) {
+        out.status = frozen.status();
+        return out;
+      }
+      full->push_back({key, *std::move(frozen)});
     }
     std::sort(full->begin(), full->end(), CellSnapshotCanonicalLess);
     out.slice = std::move(full);
@@ -457,12 +482,12 @@ StreamCubeEngine::FrozenExport StreamCubeEngine::ExportFrozen(
   return out;
 }
 
-void StreamCubeEngine::ExportCellsFull(std::vector<CellSnapshot>* out,
-                                       GatherStats* stats) {
+Status StreamCubeEngine::ExportCellsFull(std::vector<CellSnapshot>* out,
+                                         GatherStats* stats) {
   out->reserve(out->size() + cells_.size());
   for (auto& [key, state] : cells_) {
-    auto block =
-        std::make_shared<const TiltTimeFrame>(LiveFrame(state, stats));
+    RC_ASSIGN_OR_RETURN(TiltTimeFrame * live, LiveFrame(state, stats));
+    auto block = std::make_shared<const TiltTimeFrame>(*live);
     if (stats != nullptr) {
       ++stats->materialized;
       stats->bytes_copied += block->MemoryBytes();
@@ -470,29 +495,36 @@ void StreamCubeEngine::ExportCellsFull(std::vector<CellSnapshot>* out,
     out->push_back({key, std::move(block)});
   }
   if (stats != nullptr) stats->cells += num_cells();
+  return Status::OK();
 }
 
-void StreamCubeEngine::ExportMatchingCells(CuboidId cuboid, const CellKey& key,
-                                           std::vector<CellSnapshot>* out,
-                                           GatherStats* stats,
-                                           PointLookup lookup) {
+Status StreamCubeEngine::ExportMatchingCells(CuboidId cuboid,
+                                             const CellKey& key,
+                                             std::vector<CellSnapshot>* out,
+                                             GatherStats* stats,
+                                             PointLookup lookup) {
   if (lookup == PointLookup::kScan) {
     // The retained O(cells) oracle: project every key, export matches.
     for (auto& [m_key, state] : cells_) {
       if (!(lattice_.ProjectMLayerKey(m_key, cuboid) == key)) continue;
-      out->push_back({m_key, FrozenFor(state, stats)});
+      RC_ASSIGN_OR_RETURN(std::shared_ptr<const TiltTimeFrame> frozen,
+                          FrozenFor(state, stats));
+      out->push_back({m_key, std::move(frozen)});
       if (stats != nullptr) ++stats->cells;
     }
-    return;
+    return Status::OK();
   }
   EnsureIndexed(cuboid);
   const auto* ids = member_index_.MembersOf(cuboid, key);
-  if (ids == nullptr) return;
+  if (ids == nullptr) return Status::OK();
   for (const MemberIndex::MemberId id : *ids) {
     auto& [m_key, state] = cells_by_id_[id];
-    out->push_back({m_key, FrozenFor(*state, stats)});
+    RC_ASSIGN_OR_RETURN(std::shared_ptr<const TiltTimeFrame> frozen,
+                        FrozenFor(*state, stats));
+    out->push_back({m_key, std::move(frozen)});
     if (stats != nullptr) ++stats->cells;
   }
+  return Status::OK();
 }
 
 void StreamCubeEngine::AppendMemberKeys(CuboidId cuboid, const CellKey& key,
@@ -525,8 +557,29 @@ StreamCubeEngine::SpillSweep StreamCubeEngine::SpillColdFrames(
             });
   for (CellState* state : candidates) {
     if (sweep.bytes >= target_bytes) break;
-    auto ref = store_->AppendFrame(shard_index_, state->frame->Snapshot());
-    if (!ref.ok()) break;  // disk trouble: stop, leave the rest resident
+    // Bounded retry with a short backoff: a transiently failing disk
+    // (injected fault, momentary ENOSPC) gets a few more chances before
+    // the sweep gives up and leaves everything resident. Either way no
+    // state is lost — a cell spills only after its append succeeded.
+    constexpr int kMaxAttempts = 3;
+    Result<BlockRef> ref = Status::Internal("unset");
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      if (attempt > 0) {
+        ++spill_retries_;
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(50ll << attempt));
+      }
+      ref = store_->AppendFrame(shard_index_, state->frame->Snapshot());
+      if (ref.ok() || ref.status().code() != StatusCode::kUnavailable) {
+        break;  // success, or an error a retry cannot fix
+      }
+    }
+    if (!ref.ok()) {
+      // Disk trouble even after retries: count it, stop the sweep, leave
+      // the rest resident.
+      ++spill_io_errors_;
+      break;
+    }
     sweep.bytes += state->frame->MemoryBytes();
     if (state->frozen != nullptr) {
       const std::int64_t frozen = state->frozen->MemoryBytes();
@@ -543,6 +596,37 @@ StreamCubeEngine::SpillSweep StreamCubeEngine::SpillColdFrames(
     AccountCell(*state);
   }
   return sweep;
+}
+
+std::int64_t StreamCubeEngine::CleanDirtyCells() {
+  if (dirty_cells_.empty()) return 0;
+  const std::int64_t cleaned =
+      static_cast<std::int64_t>(dirty_cells_.size());
+  for (auto& entry : dirty_cells_) entry.second->queued = false;
+  dirty_cells_.clear();
+  // Nobody received an export at this revision, so any held run's base
+  // now mismatches and its next gather re-exports in full — correctness
+  // is preserved, only the delta shortcut is forfeited.
+  export_revision_ = revision_;
+  return cleaned;
+}
+
+void StreamCubeEngine::RepointSpilledBlocks(
+    const std::vector<FrameStore::Relocation>& relocations) {
+  if (relocations.empty()) return;
+  // A compaction rewrites exactly one segment, so every relocation names
+  // the same source file.
+  const std::int32_t from_file = relocations.front().from.file;
+  std::unordered_map<std::int64_t, BlockRef> moved;
+  moved.reserve(relocations.size());
+  for (const FrameStore::Relocation& r : relocations) {
+    moved[r.from.offset] = r.to;
+  }
+  for (auto& [key, state] : cells_) {
+    if (state.frame != nullptr || state.spill.file != from_file) continue;
+    auto it = moved.find(state.spill.offset);
+    if (it != moved.end()) state.spill = it->second;
+  }
 }
 
 std::int64_t StreamCubeEngine::DropFrozenBlocks() {

@@ -201,6 +201,12 @@ class StreamCubeEngine {
     FrozenSlice slice;
     std::vector<CellSnapshot> patches;
     bool patched = false;
+    /// Non-OK when a spilled cell could not be faulted in (typed
+    /// Unavailable from the store). The export is then unusable, but the
+    /// engine state is intact: the dirty list was NOT consumed and the
+    /// export revision did not move, so the next export retries the same
+    /// work.
+    Status status;
   };
 
   /// Exports this engine's cells for a delta gather (see FrozenExport).
@@ -219,8 +225,10 @@ class StreamCubeEngine {
   /// Same contract, but deep-copies every frame unconditionally and leaves
   /// the frozen cache untouched — the O(all-cells) baseline the delta path
   /// is benchmarked (and bit-identity-tested) against. Non-const because a
-  /// full export must fault spilled cells back in.
-  void ExportCellsFull(std::vector<CellSnapshot>* out, GatherStats* stats);
+  /// full export must fault spilled cells back in; a fault-in failure
+  /// surfaces as a typed Unavailable (out may hold a partial run the
+  /// caller must discard).
+  Status ExportCellsFull(std::vector<CellSnapshot>* out, GatherStats* stats);
 
   /// Frozen views of only the m-layer cells that roll up into `key` of
   /// `cuboid` — the member-only gather behind point queries. With
@@ -232,9 +240,11 @@ class StreamCubeEngine {
   /// the same member set (sharing frozen blocks exactly like
   /// ExportFrozenCells); only the lookup cost differs. Pre: `cuboid` is a
   /// valid lattice id (callers validate; see SnapshotBadCuboidError).
-  void ExportMatchingCells(CuboidId cuboid, const CellKey& key,
-                           std::vector<CellSnapshot>* out, GatherStats* stats,
-                           PointLookup lookup = PointLookup::kIndexed);
+  /// Fault-in failures surface as typed Unavailable.
+  Status ExportMatchingCells(CuboidId cuboid, const CellKey& key,
+                             std::vector<CellSnapshot>* out,
+                             GatherStats* stats,
+                             PointLookup lookup = PointLookup::kIndexed);
 
   /// Appends the m-layer keys that roll up into `key` of `cuboid` (index
   /// probe, activating the cuboid's map on first use) — the member feed
@@ -291,8 +301,34 @@ class StreamCubeEngine {
   /// only its BlockRef; reads fault it back in transparently, and deferred
   /// alignment at fault-in is bit-identical to eager alignment (AdvanceTo
   /// over missing ticks is deterministic), so queries cannot observe the
-  /// spill. Stops early (cells stay resident) if the store reports errors.
+  /// spill. A failed append is retried a bounded number of times with a
+  /// short backoff (counted in SpillRetries); if the write keeps failing
+  /// the cell stays resident, the error is counted in SpillIoErrors, and
+  /// the sweep stops — degradation, never data loss.
   SpillSweep SpillColdFrames(std::int64_t target_bytes);
+
+  /// Turns every dirty-queued cell clean without exporting anything: the
+  /// queue is dropped and the export revision advances, so the next delta
+  /// gather falls back to a full export instead of missing the skipped
+  /// patches. Dirty cells are resident by construction, so this touches no
+  /// spilled cell — unlike a gather, which would fault the whole cold tier
+  /// back in. The governor's all-dirty escape hatch: after this,
+  /// SpillColdFrames has candidates again. Returns the cells cleaned.
+  std::int64_t CleanDirtyCells();
+
+  /// Applies a compaction's relocation map to this engine's spilled cells:
+  /// every BlockRef that names a rewritten block is re-pointed at its copy
+  /// in the new segment. Must run under the same lock that guards this
+  /// engine's reads (the sharded engine holds the shard mutex across
+  /// CompactShardSegment + this call).
+  void RepointSpilledBlocks(
+      const std::vector<FrameStore::Relocation>& relocations);
+
+  /// Spill writes that failed even after retries (cells kept resident).
+  std::int64_t SpillIoErrors() const { return spill_io_errors_; }
+
+  /// Spill write retries that were attempted (successful or not).
+  std::int64_t SpillRetries() const { return spill_retries_; }
 
   /// Drops every cached frozen block (they are rebuilt on demand from the
   /// live frames) and returns the bytes released — an eviction rung above
@@ -376,19 +412,24 @@ class StreamCubeEngine {
                      std::shared_ptr<const TiltTimeFrame> block);
 
   /// The cell's current frozen block, refreshed from the live frame if the
-  /// cell changed since the last freeze (counted into `stats`).
-  const std::shared_ptr<const TiltTimeFrame>& FrozenFor(CellState& state,
-                                                        GatherStats* stats);
+  /// cell changed since the last freeze (counted into `stats`). A spilled
+  /// cell that cannot be faulted in yields a typed Unavailable.
+  Result<std::shared_ptr<const TiltTimeFrame>> FrozenFor(CellState& state,
+                                                         GatherStats* stats);
 
   /// The cell's live frame, faulting it in from the frame store if it is
   /// spilled (fault-ins counted into `stats` when given). The single choke
   /// point every read/write path goes through, which is what makes spill
-  /// transparent.
-  TiltTimeFrame& LiveFrame(CellState& state, GatherStats* stats = nullptr);
+  /// transparent. A failed fault-in (typed Unavailable from the store)
+  /// leaves the cell spilled and intact: the error propagates to the
+  /// query/ingest caller and a later touch simply retries.
+  Result<TiltTimeFrame*> LiveFrame(CellState& state,
+                                   GatherStats* stats = nullptr);
 
   /// LiveFrame + AlignCellToClock: the frame, resident and advanced to the
   /// engine clock — what point queries and window reads consume.
-  TiltTimeFrame& LiveAlignedFrame(const CellKey& key, CellState& state);
+  Result<TiltTimeFrame*> LiveAlignedFrame(const CellKey& key,
+                                          CellState& state);
 
   /// Recomputes the cell's resident-byte contribution and folds the delta
   /// into frame_bytes_ (and the tracker). Call after any frame mutation,
@@ -410,6 +451,8 @@ class StreamCubeEngine {
   FrameStore* store_ = nullptr;
   int shard_index_ = 0;
   std::int64_t spilled_cells_ = 0;
+  std::int64_t spill_io_errors_ = 0;
+  std::int64_t spill_retries_ = 0;
 
   // Delta-export bookkeeping: export_revision_ is the revision the last
   // ExportFrozen reflected; dirty_cells_ lists each cell modified since —

@@ -1,0 +1,78 @@
+#include "regcube/io/fault_injector.h"
+
+#include "regcube/common/str.h"
+
+namespace regcube {
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kOpen:
+      return "open";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kMmap:
+      return "mmap";
+    case FaultOp::kRename:
+      return "rename";
+  }
+  return "unknown";
+}
+
+void FaultInjector::FailNth(FaultOp op, std::int64_t nth, bool repeat) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Plan& plan = plans_[static_cast<int>(op)];
+  plan.armed = true;
+  plan.nth = nth;
+  plan.every = 0;
+  plan.repeat = repeat;
+  plan.calls = 0;
+}
+
+void FaultInjector::FailEvery(FaultOp op, std::int64_t every) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Plan& plan = plans_[static_cast<int>(op)];
+  plan.armed = every > 0;
+  plan.nth = 0;
+  plan.every = every;
+  plan.repeat = false;
+  plan.calls = 0;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Plan& plan : plans_) {
+    plan.armed = false;
+    plan.nth = 0;
+    plan.every = 0;
+    plan.repeat = false;
+    plan.calls = 0;
+  }
+}
+
+Status FaultInjector::Check(FaultOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Plan& plan = plans_[static_cast<int>(op)];
+  ++plan.calls;
+  if (!plan.armed) return Status::OK();
+  bool fire = false;
+  if (plan.every > 0) {
+    fire = plan.calls % plan.every == 0;
+  } else {
+    fire = plan.repeat ? plan.calls >= plan.nth : plan.calls == plan.nth;
+  }
+  if (!fire) return Status::OK();
+  ++plan.injected;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Unavailable(StrPrintf(
+      "injected %s fault (call %lld)", FaultOpName(op),
+      static_cast<long long>(plan.calls)));
+}
+
+std::int64_t FaultInjector::injected_failures(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_[static_cast<int>(op)].injected;
+}
+
+}  // namespace regcube

@@ -1,0 +1,89 @@
+#ifndef REGCUBE_IO_FAULT_INJECTOR_H_
+#define REGCUBE_IO_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "regcube/common/status.h"
+
+namespace regcube {
+
+/// The I/O operation classes the frame store threads through the injector.
+/// Every syscall the cold tier issues maps to exactly one of these, so a
+/// test can fail "the 3rd write" or "every mmap" deterministically.
+enum class FaultOp {
+  kOpen = 0,   // open(2) of a spill segment or checkpoint file
+  kWrite,      // pwrite(2) of a frame payload, header, or table
+  kRead,       // a decode served from a mapped view
+  kMmap,       // mmap(2) / remap after growth
+  kRename,     // rename(2) of a compacted segment over its predecessor
+};
+
+/// Returns a stable name ("open", "write", ...) for `op`.
+const char* FaultOpName(FaultOp op);
+
+/// Deterministic fault-injection seam for the storage tier. The frame
+/// store calls `Check(op)` immediately before each real syscall; an armed
+/// injector makes the Nth (and optionally every following) matching call
+/// fail with a typed `Unavailable` status instead of touching the disk.
+///
+/// Thread-safe: arming, checking and counter reads may race freely (the
+/// store calls Check under its own mutex, tests arm from outside). The
+/// injector never aborts and never corrupts — a failed Check simply means
+/// the store must take its degraded path, which is exactly what the tests
+/// then observe from the outside.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms the injector: the `nth` matching call (1-based) to Check(`op`)
+  /// fails. With `repeat` true every call from the nth on fails — the
+  /// "disk stays broken" shape; otherwise exactly one failure is injected
+  /// and the disk "recovers".
+  void FailNth(FaultOp op, std::int64_t nth, bool repeat = false);
+
+  /// Arms the injector to fail every `every`-th matching call (every=1
+  /// fails all of them). Overrides a previous FailNth for this op.
+  void FailEvery(FaultOp op, std::int64_t every);
+
+  /// Disarms every op and resets the per-op call counters. Injected
+  /// failure totals survive (they are the test's evidence).
+  void Reset();
+
+  /// Called by the frame store before each real I/O. Returns OK when the
+  /// op should proceed, or a typed Unavailable when the fault fires.
+  Status Check(FaultOp op);
+
+  /// Total failures injected across all ops since construction.
+  std::int64_t injected_failures() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Failures injected for one op class.
+  std::int64_t injected_failures(FaultOp op) const;
+
+ private:
+  struct Plan {
+    bool armed = false;
+    std::int64_t nth = 0;     // 1-based trigger point (FailNth)
+    std::int64_t every = 0;   // modulus trigger (FailEvery); 0 = nth mode
+    bool repeat = false;      // keep failing after the trigger
+    std::int64_t calls = 0;   // matching Check calls seen
+    std::int64_t injected = 0;
+  };
+
+  static constexpr int kNumOps = 5;
+
+  mutable std::mutex mu_;
+  Plan plans_[kNumOps];
+  std::atomic<std::int64_t> injected_{0};
+};
+
+}  // namespace regcube
+
+#endif  // REGCUBE_IO_FAULT_INJECTOR_H_

@@ -21,12 +21,24 @@ namespace {
 constexpr std::uint32_t kStoreMagic = 0x31534352;  // "RCS1" shard/segment file
 constexpr std::uint32_t kTableMagic = 0x31544352;  // "RCT1" footer
 constexpr std::uint32_t kManifestMagic = 0x314D4352;  // "RCM1"
-constexpr std::uint32_t kFormatVersion = 1;
+// Version 2 added a per-block FNV-1a checksum to the checkpoint cell
+// table, so a torn write inside a payload fails at attach instead of
+// decoding differently.
+constexpr std::uint32_t kFormatVersion = 2;
 
 // header: magic u32 + version u32 + shard u32 + reserved u32.
 constexpr std::int64_t kFileHeaderBytes = 16;
 // footer: table_offset u64 + cell count u64 + table magic u32.
 constexpr std::int64_t kFooterBytes = 20;
+
+std::uint64_t Fnv1a64(std::string_view data) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
 
 std::int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -81,6 +93,15 @@ FrameStore::~FrameStore() {
   files_.clear();
 }
 
+Status FrameStore::CheckFaultLocked(FaultOp op) const {
+  return injector_ == nullptr ? Status::OK() : injector_->Check(op);
+}
+
+void FrameStore::set_fault_injector(FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = injector;
+}
+
 Result<std::int32_t> FrameStore::SegmentForLocked(int shard) {
   auto it = segment_of_shard_.find(shard);
   if (it != segment_of_shard_.end()) return it->second;
@@ -89,6 +110,7 @@ Result<std::int32_t> FrameStore::SegmentForLocked(int shard) {
         "frame store has no spill directory configured "
         "(EngineBuilder::SetSpillDir)");
   }
+  RC_RETURN_IF_ERROR(CheckFaultLocked(FaultOp::kOpen));
   MappedFile f;
   f.path = StrPrintf("%s/spill-%d.rcs", dir_.c_str(), shard);
   // O_TRUNC: a segment left by a previous run holds refs nobody remembers.
@@ -99,9 +121,12 @@ Result<std::int32_t> FrameStore::SegmentForLocked(int shard) {
   }
   f.writable = true;
   const std::string header = FileHeader(shard);
-  if (::pwrite(f.fd, header.data(), header.size(), 0) !=
-      static_cast<ssize_t>(header.size())) {
+  Status fault = CheckFaultLocked(FaultOp::kWrite);
+  if (!fault.ok() ||
+      ::pwrite(f.fd, header.data(), header.size(), 0) !=
+          static_cast<ssize_t>(header.size())) {
     ::close(f.fd);
+    if (!fault.ok()) return fault;
     return Status::Internal(
         StrPrintf("cannot write header to %s", f.path.c_str()));
   }
@@ -117,6 +142,7 @@ Status FrameStore::EnsureMappedLocked(std::int32_t id, std::int64_t need) {
   if (f.map != nullptr && static_cast<std::int64_t>(f.map_size) >= need) {
     return Status::OK();
   }
+  RC_RETURN_IF_ERROR(CheckFaultLocked(FaultOp::kMmap));
   if (f.map != nullptr) {
     ::munmap(f.map, f.map_size);
     f.map = nullptr;
@@ -140,6 +166,12 @@ Result<std::string_view> FrameStore::ViewLocked(const BlockRef& ref) {
         StrPrintf("block ref names unknown store file %d", ref.file));
   }
   MappedFile& f = files_[static_cast<std::size_t>(ref.file)];
+  if (f.retired) {
+    return Status::InvalidArgument(StrPrintf(
+        "block ref [%lld, +%lld) names a compacted-away segment",
+        static_cast<long long>(ref.offset),
+        static_cast<long long>(ref.size)));
+  }
   if (ref.offset < kFileHeaderBytes || ref.size <= 0 ||
       ref.offset + ref.size > f.file_size) {
     return Status::InvalidArgument(StrPrintf(
@@ -166,17 +198,18 @@ Result<BlockRef> FrameStore::AppendFrame(int shard,
   const std::string payload = EncodeTiltFrameState(state);
   std::lock_guard<std::mutex> lock(mu_);
   RC_ASSIGN_OR_RETURN(std::int32_t id, SegmentForLocked(shard));
+  RC_RETURN_IF_ERROR(CheckFaultLocked(FaultOp::kWrite));
   MappedFile& f = files_[static_cast<std::size_t>(id)];
   const std::int64_t offset = f.file_size;
   if (::pwrite(f.fd, payload.data(), payload.size(),
                static_cast<off_t>(offset)) !=
       static_cast<ssize_t>(payload.size())) {
-    return Status::Internal(
+    return Status::Unavailable(
         StrPrintf("short write to spill segment %s", f.path.c_str()));
   }
   const auto size = static_cast<std::int64_t>(payload.size());
   f.file_size += size;
-  f.refs[offset] = 1;
+  f.refs[offset] = BlockMeta{1, size};
   f.live_bytes += size;
   spilled_blocks_ += 1;
   spilled_bytes_ += size;
@@ -186,6 +219,7 @@ Result<BlockRef> FrameStore::AppendFrame(int shard,
 Result<TiltFrameState> FrameStore::ReadFrame(const BlockRef& ref) {
   const std::int64_t start_ns = NowNs();
   std::lock_guard<std::mutex> lock(mu_);
+  RC_RETURN_IF_ERROR(CheckFaultLocked(FaultOp::kRead));
   RC_ASSIGN_OR_RETURN(std::string_view payload, ViewLocked(ref));
   // Decode under the mutex: a concurrent append's remap must never pull
   // the mapping out from under this view.
@@ -200,6 +234,7 @@ Result<TiltFrameState> FrameStore::ReadFrame(const BlockRef& ref) {
 Result<std::string> FrameStore::ReadRawBlock(const BlockRef& ref) const {
   auto* self = const_cast<FrameStore*>(this);
   std::lock_guard<std::mutex> lock(mu_);
+  RC_RETURN_IF_ERROR(CheckFaultLocked(FaultOp::kRead));
   RC_ASSIGN_OR_RETURN(std::string_view payload, self->ViewLocked(ref));
   return std::string(payload);
 }
@@ -210,12 +245,149 @@ void FrameStore::Release(const BlockRef& ref) {
     return;
   }
   MappedFile& f = files_[static_cast<std::size_t>(ref.file)];
+  if (f.retired) return;
   auto it = f.refs.find(ref.offset);
   if (it == f.refs.end()) return;
-  if (--it->second > 0) return;
+  if (--it->second.count > 0) return;
+  const std::int64_t size = it->second.size;
   f.refs.erase(it);
-  f.live_bytes -= ref.size;
-  f.garbage_bytes += ref.size;
+  f.live_bytes -= size;
+  f.garbage_bytes += size;
+}
+
+Result<std::vector<FrameStore::Relocation>> FrameStore::CompactShardSegment(
+    int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto seg = segment_of_shard_.find(shard);
+  if (seg == segment_of_shard_.end()) return std::vector<Relocation>{};
+  const std::int32_t old_id = seg->second;
+  {
+    const MappedFile& old_f = files_[static_cast<std::size_t>(old_id)];
+    if (old_f.garbage_bytes == 0) return std::vector<Relocation>{};
+  }
+
+  // Every step below that fails leaves the old segment exactly as it was:
+  // the tmp file is unlinked, the refs keep pointing at the fat segment,
+  // and the caller sees a typed error it can count and retry later.
+  auto fail = [this](int fd, const std::string& tmp, Status status) {
+    if (fd >= 0) ::close(fd);
+    if (!tmp.empty()) ::unlink(tmp.c_str());
+    ++compaction_.failures;
+    return status;
+  };
+
+  Status fault = CheckFaultLocked(FaultOp::kOpen);
+  if (!fault.ok()) return fail(-1, "", std::move(fault));
+  const std::string tmp_path =
+      files_[static_cast<std::size_t>(old_id)].path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return fail(-1, "", Status::Unavailable(StrPrintf(
+                            "cannot open %s", tmp_path.c_str())));
+  }
+
+  // The copy reads live payloads through the old mapping.
+  Status mapped = EnsureMappedLocked(
+      old_id, files_[static_cast<std::size_t>(old_id)].file_size);
+  if (!mapped.ok()) return fail(fd, tmp_path, std::move(mapped));
+
+  const std::string header = FileHeader(shard);
+  fault = CheckFaultLocked(FaultOp::kWrite);
+  if (!fault.ok()) return fail(fd, tmp_path, std::move(fault));
+  if (::pwrite(fd, header.data(), header.size(), 0) !=
+      static_cast<ssize_t>(header.size())) {
+    return fail(fd, tmp_path, Status::Unavailable(StrPrintf(
+                                  "short write to %s", tmp_path.c_str())));
+  }
+
+  MappedFile& old_f = files_[static_cast<std::size_t>(old_id)];
+  std::vector<std::pair<std::int64_t, BlockMeta>> live(old_f.refs.begin(),
+                                                       old_f.refs.end());
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // The successor's id is known before it is installed: the push_back at
+  // the end happens under this same lock.
+  const auto new_id = static_cast<std::int32_t>(files_.size());
+  std::int64_t new_size = static_cast<std::int64_t>(header.size());
+  std::int64_t copied = 0;
+  std::vector<Relocation> relocations;
+  relocations.reserve(live.size());
+  std::unordered_map<std::int64_t, BlockMeta> new_refs;
+  new_refs.reserve(live.size());
+  for (const auto& [offset, meta] : live) {
+    fault = CheckFaultLocked(FaultOp::kWrite);
+    if (!fault.ok()) return fail(fd, tmp_path, std::move(fault));
+    const char* src = static_cast<const char*>(old_f.map) + offset;
+    if (::pwrite(fd, src, static_cast<std::size_t>(meta.size),
+                 static_cast<off_t>(new_size)) !=
+        static_cast<ssize_t>(meta.size)) {
+      return fail(fd, tmp_path, Status::Unavailable(StrPrintf(
+                                    "short write to %s", tmp_path.c_str())));
+    }
+    relocations.push_back(Relocation{BlockRef{old_id, offset, meta.size},
+                                     BlockRef{new_id, new_size, meta.size}});
+    new_refs[new_size] = meta;
+    new_size += meta.size;
+    copied += meta.size;
+  }
+
+  fault = CheckFaultLocked(FaultOp::kRename);
+  if (!fault.ok()) return fail(fd, tmp_path, std::move(fault));
+  if (::rename(tmp_path.c_str(), old_f.path.c_str()) != 0) {
+    return fail(fd, tmp_path, Status::Unavailable(StrPrintf(
+                                  "cannot rename %s over %s",
+                                  tmp_path.c_str(), old_f.path.c_str())));
+  }
+
+  MappedFile nf;
+  nf.path = old_f.path;
+  nf.fd = fd;
+  nf.writable = true;
+  nf.file_size = new_size;
+  nf.refs = std::move(new_refs);
+  nf.live_bytes = copied;
+
+  // Retire the old slot in place: its fd and mapping are gone, its refs
+  // are cleared, and any stale BlockRef that still names it keeps failing
+  // typed (slots are never reused). The path now belongs to the
+  // successor, so the retired record must not unlink it at destruction.
+  compaction_.reclaimed_bytes += old_f.garbage_bytes;
+  compaction_.compacted_bytes += copied;
+  ++compaction_.compactions;
+  if (old_f.map != nullptr) ::munmap(old_f.map, old_f.map_size);
+  if (old_f.fd >= 0) ::close(old_f.fd);
+  old_f.map = nullptr;
+  old_f.map_size = 0;
+  old_f.fd = -1;
+  old_f.retired = true;
+  old_f.writable = false;
+  old_f.path.clear();
+  old_f.refs.clear();
+  old_f.live_bytes = 0;
+  old_f.garbage_bytes = 0;
+  old_f.file_size = 0;
+
+  files_.push_back(std::move(nf));
+  segment_of_shard_[shard] = new_id;
+  return relocations;
+}
+
+bool FrameStore::ShouldCompact(int shard, double garbage_ratio,
+                               std::int64_t min_bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto seg = segment_of_shard_.find(shard);
+  if (seg == segment_of_shard_.end()) return false;
+  const MappedFile& f = files_[static_cast<std::size_t>(seg->second)];
+  if (f.garbage_bytes < min_bytes) return false;
+  return static_cast<double>(f.garbage_bytes) >=
+         garbage_ratio * static_cast<double>(std::max<std::int64_t>(
+                             f.live_bytes, 1));
+}
+
+CompactionStats FrameStore::Compactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compaction_;
 }
 
 Result<std::vector<FrameStore::CheckpointEntry>>
@@ -265,6 +437,7 @@ FrameStore::AttachCheckpointFile(const std::string& path) {
     RC_ASSIGN_OR_RETURN(e.key, DecodeCellKey(&r));
     RC_ASSIGN_OR_RETURN(std::uint64_t offset, r.ReadU64());
     RC_ASSIGN_OR_RETURN(std::uint64_t size, r.ReadU64());
+    RC_ASSIGN_OR_RETURN(std::uint64_t checksum, r.ReadU64());
     if (offset < static_cast<std::uint64_t>(kFileHeaderBytes) || size < 4 ||
         offset + size > table_offset) {
       return Status::OutOfRange(StrPrintf(
@@ -275,11 +448,22 @@ FrameStore::AttachCheckpointFile(const std::string& path) {
     }
     // Cheap per-block integrity probe: every payload must lead with the
     // tilt-frame magic. Full decode is deferred to fault-in.
-    ByteReader block(std::string_view(data).substr(offset, size));
+    const std::string_view payload = std::string_view(data).substr(offset,
+                                                                   size);
+    ByteReader block(payload);
     RC_ASSIGN_OR_RETURN(std::uint32_t lead, block.ReadU32());
     if (lead != frame_magic) {
       return Status::InvalidArgument(StrPrintf(
           "%s: cell %llu payload at %llu is not a tilt-frame block",
+          path.c_str(), static_cast<unsigned long long>(i),
+          static_cast<unsigned long long>(offset)));
+    }
+    // The checksum catches what the magic cannot: a torn write anywhere
+    // inside the payload would otherwise decode into different numbers
+    // silently.
+    if (Fnv1a64(payload) != checksum) {
+      return Status::InvalidArgument(StrPrintf(
+          "%s: cell %llu payload at %llu fails its checksum (torn write?)",
           path.c_str(), static_cast<unsigned long long>(i),
           static_cast<unsigned long long>(offset)));
     }
@@ -291,17 +475,18 @@ FrameStore::AttachCheckpointFile(const std::string& path) {
   // Structure is sound: install the file read-only in the ref space.
   MappedFile f;
   f.path = path;
+  std::lock_guard<std::mutex> lock(mu_);
+  RC_RETURN_IF_ERROR(CheckFaultLocked(FaultOp::kOpen));
   f.fd = ::open(path.c_str(), O_RDONLY);
   if (f.fd < 0) {
-    return Status::Internal(StrPrintf("cannot reopen %s", path.c_str()));
+    return Status::Unavailable(StrPrintf("cannot reopen %s", path.c_str()));
   }
   f.writable = false;
   f.file_size = static_cast<std::int64_t>(data.size());
-  std::lock_guard<std::mutex> lock(mu_);
   const auto id = static_cast<std::int32_t>(files_.size());
   for (CheckpointEntry& e : entries) {
     e.ref.file = id;
-    f.refs[e.ref.offset] = 1;
+    f.refs[e.ref.offset] = BlockMeta{1, e.ref.size};
     f.live_bytes += e.ref.size;
   }
   files_.push_back(std::move(f));
@@ -369,6 +554,7 @@ std::string EncodeCheckpointShardFile(
     EncodeCellKey(&w, cells[i].first);
     w.WriteU64(spans[i].first);
     w.WriteU64(spans[i].second);
+    w.WriteU64(Fnv1a64(cells[i].second));
   }
   w.WriteU64(table_offset);
   w.WriteU64(static_cast<std::uint64_t>(cells.size()));

@@ -10,6 +10,7 @@
 
 #include "regcube/common/status.h"
 #include "regcube/cube/cell.h"
+#include "regcube/io/fault_injector.h"
 #include "regcube/time/tilt_frame.h"
 
 namespace regcube {
@@ -39,6 +40,16 @@ struct FrameStoreStats {
   std::int64_t fault_in_bytes = 0;
   double fault_in_p99_us = 0.0;
   std::int64_t disk_bytes = 0;      // total size of every store file
+};
+
+/// Online-compaction observability. A compaction rewrites one shard's
+/// spill segment: live blocks are copied into a fresh file, the garbage
+/// is dropped, and the new file is renamed over the old one atomically.
+struct CompactionStats {
+  std::int64_t compactions = 0;      // segments successfully rewritten
+  std::int64_t compacted_bytes = 0;  // live bytes copied into new segments
+  std::int64_t reclaimed_bytes = 0;  // garbage bytes dropped from disk
+  std::int64_t failures = 0;         // attempts that failed (old file kept)
 };
 
 /// What a checkpoint directory's manifest records: enough to validate the
@@ -105,6 +116,38 @@ class FrameStore {
   /// Drops the cell's reference; the block's bytes become garbage.
   void Release(const BlockRef& ref);
 
+  /// Installs the fault-injection seam. `injector` is not owned and must
+  /// outlive the store (or be cleared with nullptr first). Every
+  /// subsequent open/write/read/mmap/rename consults it before touching
+  /// the disk.
+  void set_fault_injector(FaultInjector* injector);
+
+  /// One re-pointed block of a compacted segment: the engine must replace
+  /// every held copy of `from` with `to` before releasing its shard lock.
+  struct Relocation {
+    BlockRef from;
+    BlockRef to;
+  };
+
+  /// Rewrites `shard`'s spill segment without its garbage: live blocks
+  /// are copied into "<segment>.tmp", the tmp file is renamed over the
+  /// original, and the old mapping is retired (stale refs keep failing
+  /// typed, never alias the new file). Returns the relocation map the
+  /// caller applies to its BlockRefs under the same lock that guards its
+  /// reads. An empty vector means there was nothing to compact. On
+  /// failure the old segment is untouched — callers keep their refs and
+  /// the disk simply stays fat until a later attempt succeeds.
+  Result<std::vector<Relocation>> CompactShardSegment(int shard);
+
+  /// True when `shard`'s segment holds at least `min_bytes` of garbage
+  /// and garbage >= `garbage_ratio` x live bytes — the governor's
+  /// compaction trigger probe (the same garbage/live ratio the disk-bound
+  /// acceptance check measures).
+  bool ShouldCompact(int shard, double garbage_ratio,
+                     std::int64_t min_bytes) const;
+
+  CompactionStats Compactions() const;
+
   /// One restored cell of an attached checkpoint file.
   struct CheckpointEntry {
     CellKey key;
@@ -128,14 +171,20 @@ class FrameStore {
  private:
   explicit FrameStore(std::string dir) : dir_(std::move(dir)) {}
 
+  struct BlockMeta {
+    std::int32_t count = 0;  // references held by cells
+    std::int64_t size = 0;   // payload bytes (compaction re-reads these)
+  };
+
   struct MappedFile {
     std::string path;
     int fd = -1;
     bool writable = false;
+    bool retired = false;         // replaced by a compacted successor
     std::int64_t file_size = 0;   // bytes written / on disk
     void* map = nullptr;          // nullptr until first read
     std::size_t map_size = 0;     // bytes currently mapped
-    std::unordered_map<std::int64_t, std::int32_t> refs;  // offset -> count
+    std::unordered_map<std::int64_t, BlockMeta> refs;  // offset -> meta
     std::int64_t live_bytes = 0;
     std::int64_t garbage_bytes = 0;
   };
@@ -155,11 +204,16 @@ class FrameStore {
   void RecordFaultInLocked(std::int64_t ns);
   double FaultInP99Locked() const;
 
+  /// Consults the installed injector (if any) before a real I/O.
+  Status CheckFaultLocked(FaultOp op) const;
+
   const std::string dir_;
 
   mutable std::mutex mu_;
+  FaultInjector* injector_ = nullptr;
   std::vector<MappedFile> files_;
   std::unordered_map<int, std::int32_t> segment_of_shard_;
+  CompactionStats compaction_;
   std::int64_t spilled_blocks_ = 0;
   std::int64_t spilled_bytes_ = 0;
   std::int64_t fault_ins_ = 0;

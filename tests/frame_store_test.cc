@@ -11,6 +11,7 @@
 // The randomized churn and the bitwise comparators come from the shared
 // equivalence harness (tests/equivalence_harness.h).
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -298,6 +299,111 @@ TEST(MemoryBudgetTest, FacadeStaysUnderBudgetAndAnswersIdentically) {
     EXPECT_EQ(want_top->cells()[i].key, got_top->cells()[i].key);
     EXPECT_EQ(want_top->cells()[i].isb, got_top->cells()[i].isb);
   }
+}
+
+// ------------------------------------------------- all-dirty convergence
+
+/// Randomized churn with NO interleaved reads: every resident cell stays
+/// dirty-queued, so the spill rung alone has zero candidates and the
+/// ladder converges only through the export.dirty rung (clean the queues,
+/// then sweep). The engine must return to its budget within a bounded
+/// number of enforcement cycles, and compaction must keep the cold tier's
+/// footprint proportional to its live bytes despite the re-spill churn.
+void RunAllDirtyConvergence(int num_shards) {
+  WorkloadSpec spec = ChurnWorkload(/*tuples=*/150, /*ticks=*/20,
+                                    /*seed=*/61);
+  StreamGenerator gen(spec);
+  const auto stream = gen.GenerateStream();
+
+  EngineBuilder builder;
+  builder.SetSchema(*MakeWorkloadSchemaPtr(spec))
+      .SetTiltPolicy(SmallTiltPolicy())
+      .SetExceptionPolicy(ExceptionPolicy(0.02))
+      .SetShardCount(num_shards);
+
+  // Measure the unbounded frame peak, then re-run under a quarter of it.
+  auto oracle = builder.Build();
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_TRUE(oracle->IngestBatch(stream).ok());
+  const std::int64_t peak =
+      oracle->memory_tracker().category_peak_bytes("stream.tilt_frames");
+  ASSERT_GT(peak, 0);
+
+  auto built =
+      builder.SetMemoryBudget(peak / 4)
+          .SetSpillDir(FreshDir("all_dirty_conv_" +
+                                std::to_string(num_shards)))
+          .SetCompactThreshold(0.5)
+          .SetCompactMinBytes(1)
+          .Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Engine engine = std::move(built).value();
+  ASSERT_TRUE(engine.IngestBatch(stream).ok());
+
+  // Randomized write-only churn: no snapshot ever cleans the dirty set.
+  Pcg32 rng(613, 5);
+  for (int round = 0; round < 10; ++round) {
+    const std::uint32_t writes = 20 + rng.Uniform(40);
+    for (std::uint32_t j = 0; j < writes; ++j) {
+      const auto& cell = gen.cells()[static_cast<size_t>(
+          rng.Uniform(static_cast<std::uint32_t>(gen.cells().size())))];
+      ASSERT_TRUE(
+          engine.Ingest({cell.key, spec.series_length + round, 0.5}).ok());
+    }
+  }
+
+  // Convergence within N cycles: each probe write lands one enforcement;
+  // the ladder must put resident frames at/under budget almost at once
+  // (one run cleans + sweeps; the bound leaves slack for the probe's own
+  // dirtying).
+  constexpr int kMaxCycles = 6;
+  std::int64_t frame_bytes = -1;
+  for (int cycle = 0; cycle < kMaxCycles; ++cycle) {
+    ASSERT_TRUE(
+        engine.Ingest({gen.cells()[0].key, spec.series_length + 10, 0.25})
+            .ok());
+    frame_bytes = -1;
+    for (const auto& [name, bytes] : engine.MemoryReport()) {
+      if (name == "stream.tilt_frames") frame_bytes = bytes;
+    }
+    if (frame_bytes >= 0 && frame_bytes <= peak / 4) break;
+  }
+  EXPECT_GE(frame_bytes, 0);
+  EXPECT_LE(frame_bytes, peak / 4)
+      << "still over budget after " << kMaxCycles << " cycles";
+
+  const SpillStats spill = engine.SpillStats();
+  // The export.dirty rung did the converging: nothing else could, with
+  // every cell dirty.
+  EXPECT_GT(spill.export_evictions, 0);
+  EXPECT_GT(spill.spilled_cells, 0);
+
+  // Disk stays proportional to live bytes: the re-spill churn turned old
+  // blocks into garbage, and compaction sheds it.
+  engine.CompactSegments();
+  const SpillStats compacted = engine.SpillStats();
+  EXPECT_LE(compacted.disk_bytes,
+            3 * std::max<std::int64_t>(compacted.live_bytes, 1))
+      << "garbage " << compacted.garbage_bytes << " live "
+      << compacted.live_bytes;
+
+  // And the survivor still answers every cell.
+  auto snap = engine.TakeSnapshot();
+  ASSERT_TRUE(snap->status().ok()) << snap->status().ToString();
+  ASSERT_TRUE(snap->Window(0, 4).ok());
+  EXPECT_EQ(snap->num_cells(), static_cast<std::int64_t>(gen.cells().size()));
+}
+
+TEST(GovernorConvergenceTest, AllDirtyChurnConvergesOneShard) {
+  RunAllDirtyConvergence(1);
+}
+
+TEST(GovernorConvergenceTest, AllDirtyChurnConvergesTwoShards) {
+  RunAllDirtyConvergence(2);
+}
+
+TEST(GovernorConvergenceTest, AllDirtyChurnConvergesEightShards) {
+  RunAllDirtyConvergence(8);
 }
 
 // --------------------------------------------------- checkpoint / restart

@@ -11,8 +11,11 @@
 //      stale keys re-probed after churn) must match the retained
 //      scan-path oracle bit for bit, errors included.
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "regcube/core/mo_cubing.h"
@@ -128,6 +131,75 @@ TEST(DecoderFuzzTest, CheckpointShardFileRoundTripsRandomCells) {
         << "cut at " << cut;
   }
   std::remove(path.c_str());
+}
+
+TEST(CheckpointTornWriteFuzzTest, EveryTruncationRestoresOrFailsTyped) {
+  // A torn checkpoint write (power cut mid-write: an arbitrary prefix of
+  // one file survives) must never crash OpenFrom and never half-restore:
+  // every truncation of the manifest or of any shard segment either opens
+  // bit-identically to the pristine checkpoint (the tear missed the
+  // commit point) or fails with a typed error from the contract set.
+  WorkloadSpec spec = equivalence::ChurnWorkload(/*tuples=*/60,
+                                                 /*ticks=*/16, /*seed=*/77);
+  auto schema = MakeWorkloadSchemaPtr(spec);
+  ASSERT_TRUE(schema.ok());
+  EngineBuilder builder;
+  builder.SetSchema(*schema)
+      .SetTiltPolicy(equivalence::SmallTiltPolicy())
+      .SetExceptionPolicy(ExceptionPolicy(0.02))
+      .SetShardCount(2);
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  Engine engine = std::move(built).value();
+  StreamGenerator gen(spec);
+  ASSERT_TRUE(engine.IngestBatch(gen.GenerateStream()).ok());
+  ASSERT_TRUE(engine.SealThrough(spec.series_length - 1).ok());
+
+  const std::string dir = ::testing::TempDir() + "/fuzz_torn_ckpt";
+  ASSERT_TRUE(engine.Checkpoint(dir).ok());
+  auto want = engine.TakeSnapshot()->Window(0, 4);
+  ASSERT_TRUE(want.ok());
+
+  // The checkpoint's file set: the manifest plus every shard segment the
+  // writer produced.
+  std::vector<std::string> paths = {CheckpointManifestPath(dir)};
+  for (int i = 0; i < 2; ++i) {
+    paths.push_back(CheckpointShardFilePath(dir, i));
+  }
+  for (const std::string& path : paths) {
+    auto pristine = ReadFile(path);
+    ASSERT_TRUE(pristine.ok()) << path;
+    ASSERT_FALSE(pristine->empty());
+    const size_t step = std::max<size_t>(1, pristine->size() / 48);
+    for (size_t cut = 0; cut < pristine->size(); cut += step) {
+      ASSERT_TRUE(WriteFile(path, pristine->substr(0, cut)).ok());
+      auto opened = builder.OpenFrom(dir);
+      if (opened.ok()) {
+        // The tear was survivable: the restore must be complete and
+        // bit-identical, never a silent partial state.
+        EXPECT_EQ(opened->num_cells(), engine.num_cells())
+            << path << " cut at " << cut;
+        auto got = opened->TakeSnapshot()->Window(0, 4);
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(got->size(), want->size());
+        for (size_t i = 0; i < want->size(); ++i) {
+          EXPECT_EQ((*got)[i].key, (*want)[i].key);
+          EXPECT_EQ((*got)[i].measure, (*want)[i].measure);
+        }
+      } else {
+        const StatusCode code = opened.status().code();
+        EXPECT_TRUE(code == StatusCode::kInvalidArgument ||
+                    code == StatusCode::kOutOfRange ||
+                    code == StatusCode::kNotFound ||
+                    code == StatusCode::kFailedPrecondition)
+            << path << " cut at " << cut << ": "
+            << opened.status().ToString();
+      }
+    }
+    // Restore the pristine file; the checkpoint must open again.
+    ASSERT_TRUE(WriteFile(path, *pristine).ok());
+    ASSERT_TRUE(builder.OpenFrom(dir).ok()) << path;
+  }
 }
 
 struct EngineFuzzCase {

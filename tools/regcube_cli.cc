@@ -12,11 +12,16 @@
 //                        [--queue-capacity N]
 //                        [--backpressure block|drop-oldest|reject]
 //                        [--mem-budget BYTES[k|m|g]] [--spill-dir PATH]
-//                        [--checkpoint PATH]
+//                        [--compact-threshold R] [--compact-min-bytes B]
+//                        [--fail-io op:N] [--checkpoint PATH]
 //                        (on-line path: ingest a generated stream, seal,
 //                        drill the exceptions; with a budget the engine
-//                        evicts/spills to stay under it, and --checkpoint
-//                        persists + warm-restarts to time recovery)
+//                        evicts/spills to stay under it, compacts its
+//                        spill segments when garbage exceeds R x live,
+//                        and --checkpoint persists + warm-restarts to
+//                        time recovery. --fail-io arms deterministic I/O
+//                        faults — from the Nth matching syscall on — to
+//                        demonstrate the typed degraded paths.)
 //   regcube_cli selftest [--dir PATH]   (generate -> cube -> report round
 //                                        trip in a scratch directory)
 //
@@ -38,6 +43,7 @@
 #include "regcube/api/regcube.h"
 #include "regcube/common/stopwatch.h"
 #include "regcube/common/str.h"
+#include "regcube/io/fault_injector.h"
 
 namespace regcube {
 namespace {
@@ -125,6 +131,42 @@ Result<std::int64_t> ParseByteSize(const std::string& text) {
         StrPrintf("byte size \"%s\" must be >= 0", text.c_str()));
   }
   return static_cast<std::int64_t>(value * static_cast<double>(scale));
+}
+
+/// "--fail-io write:3" -> fail the 3rd (and every later) write the storage
+/// tier issues. Ops: open, write, read, mmap, rename.
+Status ArmFaultInjector(const std::string& text, FaultInjector* injector) {
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        StrPrintf("bad --fail-io \"%s\" (use op:N, e.g. write:3)",
+                  text.c_str()));
+  }
+  const std::string op_name = text.substr(0, colon);
+  const std::int64_t nth = std::atoll(text.c_str() + colon + 1);
+  if (nth <= 0) {
+    return Status::InvalidArgument(
+        StrPrintf("bad --fail-io count in \"%s\" (must be >= 1)",
+                  text.c_str()));
+  }
+  FaultOp op;
+  if (op_name == "open") {
+    op = FaultOp::kOpen;
+  } else if (op_name == "write") {
+    op = FaultOp::kWrite;
+  } else if (op_name == "read") {
+    op = FaultOp::kRead;
+  } else if (op_name == "mmap") {
+    op = FaultOp::kMmap;
+  } else if (op_name == "rename") {
+    op = FaultOp::kRename;
+  } else {
+    return Status::InvalidArgument(StrPrintf(
+        "unknown --fail-io op \"%s\" (open|write|read|mmap|rename)",
+        op_name.c_str()));
+  }
+  injector->FailNth(op, nth, /*repeat=*/true);
+  return Status::OK();
 }
 
 Result<std::shared_ptr<const CubeSchema>> SchemaFor(const Args& args) {
@@ -288,6 +330,23 @@ Status RunStream(const Args& args) {
   if (args.Has("spill-dir")) {
     builder.SetSpillDir(args.GetStringOr("spill-dir", ""));
   }
+  if (args.Has("compact-threshold")) {
+    builder.SetCompactThreshold(args.GetDoubleOr("compact-threshold", 1.0));
+  }
+  if (args.Has("compact-min-bytes")) {
+    RC_ASSIGN_OR_RETURN(std::string min_text,
+                        args.GetString("compact-min-bytes"));
+    RC_ASSIGN_OR_RETURN(std::int64_t min_bytes, ParseByteSize(min_text));
+    builder.SetCompactMinBytes(min_bytes);
+  }
+  // The injector must outlive the engine; it lives on this frame and the
+  // engine holds a raw pointer.
+  FaultInjector injector;
+  if (args.Has("fail-io")) {
+    RC_ASSIGN_OR_RETURN(std::string fail_spec, args.GetString("fail-io"));
+    RC_RETURN_IF_ERROR(ArmFaultInjector(fail_spec, &injector));
+    builder.SetFaultInjector(&injector);
+  }
   if (backpressure == "drop-oldest") {
     builder.SetBackpressure(BackpressurePolicy::kDropOldest);
   } else if (backpressure == "reject") {
@@ -409,12 +468,41 @@ Status RunStream(const Args& args) {
                 static_cast<long long>(spill.fault_ins),
                 FormatBytes(spill.fault_in_bytes).c_str(),
                 spill.fault_in_p99_us);
+    std::printf("  cold tier: %s live, %s garbage; %lld compactions "
+                "reclaimed %s (%lld failed)\n",
+                FormatBytes(spill.live_bytes).c_str(),
+                FormatBytes(spill.garbage_bytes).c_str(),
+                static_cast<long long>(spill.compactions),
+                FormatBytes(spill.reclaimed_bytes).c_str(),
+                static_cast<long long>(spill.compaction_failures));
+    if (spill.io_errors > 0 || spill.retries > 0 ||
+        spill.budget_rejects > 0) {
+      std::printf("  degraded: %lld spill i/o errors (%lld retries), %lld "
+                  "budget rejects\n",
+                  static_cast<long long>(spill.io_errors),
+                  static_cast<long long>(spill.retries),
+                  static_cast<long long>(spill.budget_rejects));
+    }
+  }
+  if (args.Has("fail-io")) {
+    std::printf("\nfault injection: %lld injected failures (%s)\n",
+                static_cast<long long>(injector.injected_failures()),
+                args.GetStringOr("fail-io", "").c_str());
   }
 
   if (args.Has("checkpoint")) {
     RC_ASSIGN_OR_RETURN(std::string dir, args.GetString("checkpoint"));
     Stopwatch persist;
-    RC_RETURN_IF_ERROR(engine.Checkpoint(dir));
+    // A fault-injected (or genuinely failing) disk makes Checkpoint fail
+    // with a typed status. The stream run itself succeeded, so report the
+    // degradation and finish normally instead of aborting the command —
+    // exactly the behavior a deployment's checkpoint loop wants.
+    const Status persisted = engine.Checkpoint(dir);
+    if (!persisted.ok()) {
+      std::printf("\ncheckpoint -> %s failed (typed, engine intact): %s\n",
+                  dir.c_str(), persisted.ToString().c_str());
+      return Status::OK();
+    }
     std::printf("\ncheckpointed %lld cells -> %s in %.3f s\n",
                 static_cast<long long>(engine.num_cells()), dir.c_str(),
                 persist.ElapsedSeconds());
@@ -423,14 +511,19 @@ Status RunStream(const Args& args) {
     // query straight off the mapped frames — the restart-to-first-query
     // number a recovering deployment would see.
     Stopwatch restart;
-    RC_ASSIGN_OR_RETURN(Engine reopened, builder.OpenFrom(dir));
+    auto reopened = builder.OpenFrom(dir);
+    if (!reopened.ok()) {
+      std::printf("warm restart from %s failed (typed): %s\n", dir.c_str(),
+                  reopened.status().ToString().c_str());
+      return Status::OK();
+    }
     RC_ASSIGN_OR_RETURN(
         QueryResult check,
-        reopened.Query(QuerySpec::TopExceptions(top, 0, window)));
+        reopened->Query(QuerySpec::TopExceptions(top, 0, window)));
     std::printf("reopened %lld cells, first query (%zu cells) in %.3f s\n",
-                static_cast<long long>(reopened.num_cells()),
+                static_cast<long long>(reopened->num_cells()),
                 check.cells().size(), restart.ElapsedSeconds());
-    if (reopened.num_cells() != engine.num_cells() ||
+    if (reopened->num_cells() != engine.num_cells() ||
         check.cells().size() != top_cells.cells().size()) {
       return Status::Internal("warm restart disagreed with the live engine");
     }
@@ -511,6 +604,8 @@ void PrintUsage() {
       "           [--ingest sync|async] [--queue-capacity N]\n"
       "           [--backpressure block|drop-oldest|reject]\n"
       "           [--mem-budget BYTES[k|m|g]] [--spill-dir PATH]\n"
+      "           [--compact-threshold R] [--compact-min-bytes BYTES[k|m|g]]\n"
+      "           [--fail-io open|write|read|mmap|rename:N]\n"
       "           [--checkpoint PATH]\n"
       "  selftest [--dir PATH]\n");
 }
