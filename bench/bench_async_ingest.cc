@@ -188,49 +188,87 @@ void Run(int argc, char** argv) {
   }
 
   // ---- Phase 2: sustained churn with concurrent snapshot readers -------
+  // The same churn against both write paths. The sync row is the
+  // mutex-gather baseline: every write holds the shard mutex the reader's
+  // gather must also take, so its reader p99 prices the contention. The
+  // async row reads through the owner threads' published generations —
+  // the steady-state gather takes no shard mutex at all —
+  // `reader_gather_p99_us` is the headline comparison between the rows.
   const int churn_writers =
       static_cast<int>(bench::ArgInt(argc, argv, "churn_writers", 4));
+  const std::int64_t churn_rounds =
+      bench::ArgInt(argc, argv, "churn_rounds", 4);
   bench::PrintHeader(StrPrintf(
-      "Sustained churn, %d async writers + 1 snapshot reader",
+      "Sustained churn, %d writers + 1 snapshot reader (sync vs async)",
       churn_writers));
-  {
-    Engine engine =
-        BuildEngine(*schema, shards, IngestMode::kAsync, capacity);
+  bench::PrintRow({"mode", "tuples/s", "gathers", "reader p99(ms)",
+                   "p99 enq(us)", "blocked", "high-water"});
+  for (IngestMode mode : {IngestMode::kSync, IngestMode::kAsync}) {
+    const bool is_async = mode == IngestMode::kAsync;
+    Engine engine = BuildEngine(*schema, shards, mode, capacity);
     std::atomic<bool> done{false};
-    std::atomic<std::int64_t> snapshots{0};
-    std::thread reader([&engine, &done, &snapshots] {
+    // Sample only the takes that observed a *fresh* revision: a
+    // revision-memoized hit is an O(1) pointer copy in both modes, so
+    // including those ~50ns samples would bury the number this phase
+    // exists to compare — what a real gather pays while writers churn.
+    std::vector<double> gather_s;
+    std::thread reader([&engine, &done, &gather_s] {
+      std::uint64_t last_rev = 0;
+      bool first = true;
       while (!done.load(std::memory_order_acquire)) {
+        Stopwatch take;
         auto snapshot = engine.TakeSnapshot();
+        const double s = take.ElapsedSeconds();
         RC_CHECK(snapshot != nullptr);
-        snapshots.fetch_add(1, std::memory_order_relaxed);
+        if (first || snapshot->revision() != last_rev) {
+          gather_s.push_back(s);
+          last_rev = snapshot->revision();
+          first = false;
+        }
       }
     });
     std::vector<double> submit_s;
-    const double seconds =
-        RunIngest(engine, stream, churn_writers, chunk, &submit_s);
+    Stopwatch churn_timer;
+    for (std::int64_t round = 0; round < churn_rounds; ++round) {
+      // Each round replays the workload shifted one series forward, so
+      // the stream keeps advancing (re-sending sealed ticks would be
+      // refused as late).
+      std::vector<StreamTuple> round_stream = stream;
+      const TimeTick shift =
+          static_cast<TimeTick>(round) * spec.series_length;
+      for (StreamTuple& t : round_stream) t.tick += shift;
+      RunIngest(engine, round_stream, churn_writers, chunk, &submit_s);
+    }
+    const double seconds = churn_timer.ElapsedSeconds();
     done.store(true, std::memory_order_release);
     reader.join();
 
     const IngestStats stats = engine.IngestStats();
     RC_CHECK(stats.total.rejected == 0 && stats.total.dropped == 0);
-    bench::PrintRow({"tuples/s", "snapshots", "p99 enq(us)", "blocked",
-                     "high-water"});
+    const double churn_tuples =
+        static_cast<double>(stream.size()) *
+        static_cast<double>(churn_rounds);
+    const bench::LatencySummary reader_lat =
+        bench::SummarizeLatencies(gather_s);
     bench::PrintRow(
-        {StrPrintf("%.0f", static_cast<double>(stream.size()) / seconds),
-         StrPrintf("%lld",
-                   static_cast<long long>(
-                       snapshots.load(std::memory_order_relaxed))),
+        {is_async ? "async" : "sync",
+         StrPrintf("%.0f", churn_tuples / seconds),
+         StrPrintf("%lld", static_cast<long long>(reader_lat.samples)),
+         StrPrintf("%.3f", reader_lat.p99 * 1e3),
          StrPrintf("%.1f", stats.total.p99_enqueue_us),
          StrPrintf("%lld", static_cast<long long>(stats.total.blocked)),
          StrPrintf("%lld", static_cast<long long>(stats.total.high_water))});
     json.Row({{"phase", "\"churn\""},
+              {"mode", is_async ? "\"async\"" : "\"sync\""},
               {"writers", StrPrintf("%d", churn_writers)},
               {"shards", StrPrintf("%d", shards)},
-              {"tuples_per_s",
-               StrPrintf("%.1f",
-                         static_cast<double>(stream.size()) / seconds)},
+              {"tuples_per_s", StrPrintf("%.1f", churn_tuples / seconds)},
               {"snapshots",
-               StrPrintf("%lld", static_cast<long long>(snapshots.load()))},
+               StrPrintf("%lld", static_cast<long long>(reader_lat.samples))},
+              {"reader_gather_p50_us",
+               StrPrintf("%.3f", reader_lat.p50 * 1e6)},
+              {"reader_gather_p99_us",
+               StrPrintf("%.3f", reader_lat.p99 * 1e6)},
               {"p99_enqueue_us",
                StrPrintf("%.3f", stats.total.p99_enqueue_us)},
               {"blocked_calls",

@@ -112,12 +112,17 @@ inline std::vector<StreamTuple> SliceByCell(
   return slice;
 }
 
-/// The q-th percentile (q in [0, 100]) of a *sorted* sample by
+/// The q-th percentile (q clamped to [0, 100]) of a *sorted* sample by
 /// nearest-rank: the smallest value with at least q% of the sample at or
-/// below it. 0 for an empty sample.
+/// below it. 0 for an empty sample; a single-sample vector answers every
+/// quantile with that sample.
 inline double PercentileOfSorted(const std::vector<double>& sorted,
                                  double q) {
   if (sorted.empty()) return 0.0;
+  // Clamp before the rank math: a negative q would push a negative double
+  // through the size_t cast below (undefined behavior), and q > 100 would
+  // name a rank past the end.
+  q = std::min(std::max(q, 0.0), 100.0);
   const double rank = q / 100.0 * static_cast<double>(sorted.size());
   auto index = static_cast<size_t>(rank);
   if (static_cast<double>(index) < rank) ++index;  // ceil

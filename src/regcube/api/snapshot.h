@@ -14,15 +14,19 @@
 namespace regcube {
 
 /// An immutable, self-contained frozen view of the engine's m-layer —
-/// the read side of the public API. Taking one briefly locks each shard
-/// only to export its cells (Engine::TakeSnapshot); every query afterwards
-/// runs lock-free against the frozen cells, so any number of threads can
-/// drill into one snapshot while ingest keeps flowing on the live engine.
+/// the read side of the public API. Taking one (Engine::TakeSnapshot)
+/// loads each shard's atomically published run: under steady async ingest
+/// the shard-owner threads republish inside every absorb, so the take
+/// touches no shard mutex at all; only a shard whose publication is stale
+/// (sync-mode writes, or a seal since the last publish) pays a brief
+/// locked republish of its changed cells. Every query afterwards runs
+/// lock-free against the frozen cells, so any number of threads can drill
+/// into one snapshot while ingest keeps flowing on the live engine.
 ///
 /// Cost model: the frozen cells are refcounted immutable frame blocks
-/// shared with the engine's gather caches, so taking a snapshot deep-
-/// copies only the cells that changed since the last take — O(changed
-/// cells), not O(all cells). QueryCell/QueryCellSeries *on a snapshot*
+/// shared with the shards' published generations, so taking a snapshot
+/// deep-copies only the cells that changed since the last publish —
+/// O(changed cells), not O(all cells). QueryCell/QueryCellSeries *on a snapshot*
 /// scan its frozen cells (the snapshot is self-contained and may outlive
 /// the engine); point queries that should skip the snapshot entirely go
 /// through Engine::Query, which routes kCell/kCellSeries to the engine's

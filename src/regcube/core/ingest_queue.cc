@@ -15,6 +15,48 @@ std::int64_t NowNs() {
 }
 }  // namespace
 
+double P99FromLatencyHistogram(const std::vector<std::int64_t>& hist,
+                               std::int64_t samples) {
+  if (samples == 0) return 0.0;
+  const std::int64_t target = (samples * 99 + 99) / 100;  // ceil(0.99 * n)
+  std::int64_t seen = 0;
+  for (size_t i = 0; i < hist.size(); ++i) {
+    seen += hist[i];
+    if (seen >= target) {
+      // Upper bound of bucket i is 2^i ns (bucket 0: 1 ns).
+      return static_cast<double>(1ll << std::min<size_t>(i, 62)) / 1000.0;
+    }
+  }
+  return 0.0;
+}
+
+void ShardIngestStats::Merge(const ShardIngestStats& other) {
+  depth += other.depth;
+  high_water += other.high_water;
+  enqueued += other.enqueued;
+  absorbed += other.absorbed;
+  dropped += other.dropped;
+  rejected += other.rejected;
+  blocked += other.blocked;
+  absorb_errors += other.absorb_errors;
+  if (!other.latency_hist.empty()) {
+    if (latency_hist.size() < other.latency_hist.size()) {
+      latency_hist.resize(other.latency_hist.size(), 0);
+    }
+    for (size_t i = 0; i < other.latency_hist.size(); ++i) {
+      latency_hist[i] += other.latency_hist[i];
+    }
+  }
+  latency_samples += other.latency_samples;
+  if (!latency_hist.empty() && latency_samples > 0) {
+    // The percentile of the union, recomputed from the summed buckets —
+    // never an average of per-shard percentiles.
+    p99_enqueue_us = P99FromLatencyHistogram(latency_hist, latency_samples);
+  } else if (other.p99_enqueue_us > p99_enqueue_us) {
+    p99_enqueue_us = other.p99_enqueue_us;  // no histogram: worst dominates
+  }
+}
+
 const char* BackpressurePolicyName(BackpressurePolicy policy) {
   switch (policy) {
     case BackpressurePolicy::kBlock:
@@ -149,7 +191,11 @@ ShardIngestStats IngestQueue::Stats() const {
   stats.rejected = rejected_;
   stats.blocked = blocked_calls_;
   stats.absorb_errors = static_cast<std::int64_t>(failed_);
-  stats.p99_enqueue_us = P99FromHistogramLocked();
+  stats.latency_hist.assign(latency_ns_buckets_,
+                            latency_ns_buckets_ + kLatencyBuckets);
+  stats.latency_samples = latency_samples_;
+  stats.p99_enqueue_us =
+      P99FromLatencyHistogram(stats.latency_hist, latency_samples_);
   return stats;
 }
 
@@ -160,21 +206,6 @@ void IngestQueue::RecordEnqueueLatencyLocked(std::int64_t ns) {
   }
   ++latency_ns_buckets_[bucket];
   ++latency_samples_;
-}
-
-double IngestQueue::P99FromHistogramLocked() const {
-  if (latency_samples_ == 0) return 0.0;
-  const std::int64_t target =
-      (latency_samples_ * 99 + 99) / 100;  // ceil(0.99 * samples)
-  std::int64_t seen = 0;
-  for (int i = 0; i < kLatencyBuckets; ++i) {
-    seen += latency_ns_buckets_[i];
-    if (seen >= target) {
-      // Upper bound of bucket i is 2^i ns (bucket 0: 1 ns).
-      return static_cast<double>(1ll << std::min(i, 62)) / 1000.0;
-    }
-  }
-  return 0.0;
 }
 
 }  // namespace regcube

@@ -78,20 +78,26 @@ struct ShardIngestStats {
   std::int64_t absorb_errors = 0; // drained tuples the shard engine refused
   double p99_enqueue_us = 0.0;
 
-  void Merge(const ShardIngestStats& other) {
-    depth += other.depth;
-    high_water += other.high_water;
-    enqueued += other.enqueued;
-    absorbed += other.absorbed;
-    dropped += other.dropped;
-    rejected += other.rejected;
-    blocked += other.blocked;
-    absorb_errors += other.absorb_errors;
-    if (other.p99_enqueue_us > p99_enqueue_us) {
-      p99_enqueue_us = other.p99_enqueue_us;  // worst shard dominates
-    }
-  }
+  // The histogram behind p99_enqueue_us (bucket i counts calls in
+  // [2^(i-1), 2^i) ns), carried so Merge can recompute the percentile of
+  // the *union* of samples. A percentile has no sum: averaging per-shard
+  // p99s understates the tail whenever shards are imbalanced, and even
+  // taking the max is only an upper bound — the histogram sum is exact
+  // (to bucket resolution).
+  std::vector<std::int64_t> latency_hist;
+  std::int64_t latency_samples = 0;
+
+  /// Histogram-sums the latency figures (recomputing p99 from the summed
+  /// buckets); falls back to worst-shard max when a side carries no
+  /// histogram. All counters add.
+  void Merge(const ShardIngestStats& other);
 };
+
+/// Nearest-rank p99, in microseconds, of a power-of-two ns histogram
+/// (bucket i counts samples in [2^(i-1), 2^i) ns; the bucket's upper bound
+/// is reported). 0 when `samples` is 0.
+double P99FromLatencyHistogram(const std::vector<std::int64_t>& hist,
+                               std::int64_t samples);
 
 /// The whole-engine ingest report (Engine::IngestStats): the configured
 /// mode/policy plus per-shard queue stats and their merged totals. In sync
@@ -176,7 +182,6 @@ class IngestQueue {
 
  private:
   void RecordEnqueueLatencyLocked(std::int64_t ns);
-  double P99FromHistogramLocked() const;
 
   const std::int64_t capacity_;
   const BackpressurePolicy policy_;

@@ -14,12 +14,15 @@ namespace regcube {
 /// The shard-owner thread of the async ingest subsystem: drains one
 /// shard's IngestQueue and applies each drained batch through the `absorb`
 /// callback. With a writer attached the shard is single-writer — callers
-/// only ever touch the queue, so the shard mutex is down to a
-/// publish-style handoff: the owner takes it once per drained batch (to
-/// publish the absorbed state to readers), never per tuple and never
-/// contended by other writers. Tilt-frame maintenance, dirty-list
-/// bookkeeping and member-index appends all happen here, off the callers'
-/// threads.
+/// only ever touch the queue, and the owner takes the shard mutex once
+/// per drained batch, never per tuple. Inside that hold the absorb also
+/// *publishes*: the successor generation (only the batch's cells
+/// re-frozen) is swapped into the shard's atomic publication pointer, so
+/// readers gather from the last published generation without ever taking
+/// the mutex — the lock is down to absorb vs. the structural edits
+/// (seal, epoch roll, compaction re-pointing). Tilt-frame maintenance,
+/// dirty-list bookkeeping and member-index appends all happen here, off
+/// the callers' threads.
 ///
 /// `absorb` runs on the owner thread only. It returns how many of the
 /// batch's tuples the shard engine accepted plus the first error; the

@@ -184,6 +184,53 @@ void ShardedStreamEngine::set_memory_tracker(MemoryTracker* tracker) {
   if (cube_memo_ != nullptr) cube_memo_->set_memory_tracker(tracker);
 }
 
+Status ShardedStreamEngine::PublishLocked(Shard& shard, GatherStats* stats) {
+  StreamCubeEngine::FrozenSlice run;
+  RC_RETURN_IF_ERROR(shard.engine.RefreshPublishedRun(&run, stats));
+  auto pub = std::make_shared<ShardPublication>();
+  pub->cells = std::move(run);
+  pub->now = shard.engine.now();
+  pub->revision = shard.engine.revision();
+  shard.published.store(std::move(pub), std::memory_order_release);
+  shard.version.store(shard.engine.revision(), std::memory_order_release);
+  return Status::OK();
+}
+
+std::shared_ptr<const ShardedStreamEngine::ShardPublication>
+ShardedStreamEngine::PublicationFor(size_t i, GatherStats* stats,
+                                    Status* status) {
+  Shard& shard = *shards_[i];
+  // Fast path: the published generation reflects every completed write
+  // (its revision matches the mirror, and both stores happened inside the
+  // mutex before the write completed), so it can be served without ever
+  // touching the mutex. A mismatch in either direction just means "take
+  // the slow path" — a torn view can never be served fresh.
+  auto pub = shard.published.load(std::memory_order_acquire);
+  if (pub != nullptr &&
+      pub->revision == shard.version.load(std::memory_order_acquire)) {
+    if (stats != nullptr) {
+      stats->cells += static_cast<std::int64_t>(pub->cells->size());
+      ++stats->shards_reused;
+    }
+    return pub;
+  }
+  // Slow path (stale generation — sync-mode writes, seals, or a publish
+  // the owner skipped on error): republish under the shard mutex.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Status s = PublishLocked(shard, stats);
+  if (!s.ok()) {
+    *status = std::move(s);
+    return nullptr;
+  }
+  return shard.published.load(std::memory_order_acquire);
+}
+
+void ShardedStreamEngine::MirrorVersionsLocked() {
+  for (auto& shard : shards_) {
+    shard->version.store(shard->engine.revision(), std::memory_order_release);
+  }
+}
+
 ShardWriter::AbsorbResult ShardedStreamEngine::AbsorbDrained(
     size_t i, const std::vector<StreamTuple>& batch) {
   ShardWriter::AbsorbResult out;
@@ -195,6 +242,16 @@ ShardWriter::AbsorbResult ShardedStreamEngine::AbsorbDrained(
     const std::uint64_t before = shard.engine.revision();
     report = shard.engine.IngestBatch(batch);
     changed = shard.engine.revision() != before;
+    if (changed) {
+      // Eager publish: the successor generation (only this batch's cells
+      // re-frozen) is swapped in before MarkAbsorbed resolves the batch,
+      // so a reader returning from Flush() takes the mutex-free path to
+      // the flushed data. Best-effort — on a fault-in failure the old
+      // generation stays up and readers republish on their slow path.
+      Status published = PublishLocked(shard, nullptr);
+      (void)published;
+    }
+    shard.version.store(shard.engine.revision(), std::memory_order_release);
   }
   out.absorbed = report.absorbed;
   out.status = std::move(report.status);
@@ -325,6 +382,10 @@ Status ShardedStreamEngine::Ingest(const StreamTuple& tuple) {
     const std::uint64_t before = shard.engine.revision();
     status = shard.engine.Ingest({key, tuple.tick, tuple.value});
     changed = shard.engine.revision() != before;
+    // Sync mode mirrors the version but does not publish: readers
+    // republish on demand (their slow path), which is exactly the
+    // mutex-gather baseline the async benches compare against.
+    shard.version.store(shard.engine.revision(), std::memory_order_release);
   }
   if (status.ok()) {
     BumpClock(tuple.tick);
@@ -379,6 +440,8 @@ IngestReport ShardedStreamEngine::IngestBatch(
       const std::uint64_t before = shard.engine.revision();
       shard_report = shard.engine.IngestBatch(partitions[i]);
       changed = changed || shard.engine.revision() != before;
+      shard.version.store(shard.engine.revision(),
+                          std::memory_order_release);
     }
     report.absorbed += shard_report.absorbed;
     if (!shard_report.ok()) {
@@ -452,6 +515,7 @@ Status ShardedStreamEngine::SealThrough(TimeTick t) {
   if (SumShardRevisionsLocked() != before || t + 1 > clock_before) {
     revision_.fetch_add(1, std::memory_order_release);
   }
+  MirrorVersionsLocked();
   locks.clear();
   // Alignment grows frames (rolled-up slots materialize in coarser
   // levels), so a seal can carry the engine over budget even with no
@@ -479,19 +543,17 @@ ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherAlignedCells(
     }
   }
 
-  // One delta gather at a time: each consumes the shards' dirty lists and
-  // folds them into the cached run, so builders must not interleave.
+  // One merged-run rebuild at a time: concurrent builders would duplicate
+  // the splice work and race to install the result. The shards themselves
+  // are read through their published pointers (no shard lock on the
+  // steady-state path), so this is pure thundering-herd protection.
   std::lock_guard<std::mutex> work(gather_work_mu_);
 
   GatheredCells out;
   out.revision = revision_.load(std::memory_order_acquire);
 
   // Re-check the cache: the previous holder of the work lock probably
-  // built exactly the run we came for. Also snapshot the base run the
-  // patches will apply to.
-  GatheredCells base;
-  std::vector<std::uint64_t> base_revs;
-  bool has_base = false;
+  // built exactly the run we came for.
   {
     std::lock_guard<std::mutex> lock(gather_mu_);
     if (gather_valid_ && gather_cache_.revision == out.revision) {
@@ -501,33 +563,20 @@ ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherAlignedCells(
       cached.stats.shards_reused = num_shards();
       return cached;
     }
-    if (gather_valid_) {
-      base = gather_cache_;
-      base_revs = gather_shard_revs_;
-      has_base = base_revs.size() == shards_.size();
-    }
   }
 
-  // Phase 1 — export: each shard hands over its contribution holding only
-  // that shard's lock. A shard whose previous export the base run already
-  // reflects returns just its changed cells, each re-frozen — O(changed
-  // cells); only a shard with no usable base re-exports everything. With a
-  // pool, shards are exported concurrently; either way no lock spans
-  // another shard's export, so writers on other shards keep flowing.
+  // Phase 1 — publications: load each shard's last published generation.
+  // A fresh publication (the steady-state async case: the owner thread
+  // republished inside its absorb) is served without touching the shard
+  // mutex at all; only a stale shard pays a locked republish, and that
+  // refreezes just its changed cells — O(changed cells).
   const size_t n = shards_.size();
-  std::vector<StreamCubeEngine::FrozenExport> exports(n);
+  std::vector<std::shared_ptr<const ShardPublication>> pubs(n);
   std::vector<GatherStats> stats(n);
-  std::vector<TimeTick> shard_now(n, 0);
-  std::vector<std::uint64_t> shard_rev(n, 0);
+  std::vector<Status> statuses(n);
   auto gather_one = [&](std::int64_t idx) {
     const size_t i = static_cast<size_t>(idx);
-    Shard& shard = *shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard_now[i] = shard.engine.now();
-    exports[i] = shard.engine.ExportFrozen(
-        has_base ? base_revs[i] : StreamCubeEngine::kNoBaseRevision,
-        &stats[i]);
-    shard_rev[i] = shard.engine.export_revision();
+    pubs[i] = PublicationFor(i, &stats[i], &statuses[i]);
   };
   if (pool_ != nullptr && n > 1) {
     pool_->ParallelFor(static_cast<std::int64_t>(n), gather_one);
@@ -535,111 +584,54 @@ ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherAlignedCells(
     for (size_t i = 0; i < n; ++i) gather_one(static_cast<std::int64_t>(i));
   }
 
-  // A failed export (fault-in error on a spilled cell) poisons the whole
-  // run: return the typed error without touching the cache. No state was
-  // lost — the failing shard kept its dirty list and export revision, and
-  // a shard that *did* export re-exports in full next time (its revision
-  // no longer matches the cached base) — so the retry is complete.
-  for (const auto& e : exports) {
-    if (!e.status.ok()) {
-      out.status = e.status;
+  // A failed republish (fault-in error on a spilled cell) poisons the
+  // whole run: return the typed error without touching the cache. Nothing
+  // was lost — the failing shard kept its dirty list and retained run, so
+  // the retry repeats exactly the failed work; fresh shards still serve
+  // their publications for free.
+  for (size_t i = 0; i < n; ++i) {
+    if (pubs[i] == nullptr) {
+      out.status = std::move(statuses[i]);
       out.cells = std::make_shared<std::vector<CellSnapshot>>();
       return out;
     }
   }
 
   TimeTick target = clock_.load(std::memory_order_acquire);
-  for (TimeTick t : shard_now) target = std::max(target, t);
+  for (const auto& pub : pubs) target = std::max(target, pub->now);
   out.clock = target;
   const TiltPolicy& policy = *options_.tilt_policy;
 
-  // Phase 2 — fold, outside every lock. Start from a private copy of the
-  // base run (minus any shard that re-exported in full), splice in each
-  // shard's patches, then merge in full slices. Patched blocks are
-  // re-materialized only if a tilt unit ends between their freeze tick and
-  // the target; carried base cells were aligned to base.clock, so they
-  // need a pass only if a unit ends in [base.clock, target) — otherwise
-  // advancing them would seal nothing (see TiltPolicy::AnyUnitEndIn) and
-  // the whole run is shared as-is.
-  bool any_full = false;
-  for (const auto& e : exports) any_full = any_full || !e.patched;
-
+  // Phase 2 — fold, outside every lock. The published runs are sorted and
+  // key-disjoint (cells are hash-partitioned), so a cascade of in-place
+  // merges over copies yields the canonical merged run — pointer copies
+  // only; no frame is touched here. The copies matter: alignment below
+  // swaps frame pointers per cell, and the publications stay live for
+  // concurrent point queries and later gathers.
   auto merged = std::make_shared<std::vector<CellSnapshot>>();
-  if (has_base && !any_full) {
-    *merged = *base.cells;
-  } else if (has_base) {
-    merged->reserve(base.cells->size());
-    for (const CellSnapshot& cell : *base.cells) {
-      const size_t owner = static_cast<size_t>(ShardIndex(cell.key));
-      if (exports[owner].patched) merged->push_back(cell);
-    }
-  }
-
-  auto realign = [&](CellSnapshot& cell) {
-    const std::int64_t copied = RealignCellToClock(cell, target, policy);
-    if (copied > 0) {
-      ++out.stats.materialized;
-      out.stats.bytes_copied += copied;
-    }
-  };
-
-  // Combine the shards' patch runs (sorted, disjoint keys) and apply them
-  // in one tandem walk over the base run — sequential accesses, no
-  // per-patch binary search.
-  std::vector<CellSnapshot> all_patches;
-  {
-    size_t total_patches = 0;
-    for (const auto& e : exports) total_patches += e.patches.size();
-    all_patches.reserve(total_patches);
-    for (auto& e : exports) {
-      all_patches.insert(all_patches.end(),
-                         std::make_move_iterator(e.patches.begin()),
-                         std::make_move_iterator(e.patches.end()));
-    }
-    std::sort(all_patches.begin(), all_patches.end(),
-              CellSnapshotCanonicalLess);
-  }
-  std::vector<CellSnapshot> inserts;
-  auto pos = merged->begin();
-  for (CellSnapshot& patch : all_patches) {
-    realign(patch);
-    while (pos != merged->end() && CanonicalKeyLess(pos->key, patch.key)) {
-      ++pos;
-    }
-    if (pos != merged->end() && pos->key == patch.key) {
-      pos->frame = std::move(patch.frame);
-      ++pos;
-    } else {
-      inserts.push_back(std::move(patch));
-    }
-  }
-  auto splice_sorted = [&](std::vector<CellSnapshot> run) {
-    if (run.empty()) return;
+  size_t total = 0;
+  for (const auto& pub : pubs) total += pub->cells->size();
+  merged->reserve(total);
+  for (const auto& pub : pubs) {
+    if (pub->cells->empty()) continue;
     const auto middle = static_cast<std::ptrdiff_t>(merged->size());
-    merged->insert(merged->end(), std::make_move_iterator(run.begin()),
-                   std::make_move_iterator(run.end()));
+    merged->insert(merged->end(), pub->cells->begin(), pub->cells->end());
     std::inplace_merge(merged->begin(), merged->begin() + middle,
                        merged->end(), CellSnapshotCanonicalLess);
-  };
-  std::sort(inserts.begin(), inserts.end(), CellSnapshotCanonicalLess);
-  splice_sorted(std::move(inserts));
-  for (auto& e : exports) {
-    if (e.patched) continue;
-    // Full exports are aligned by the whole-run pass below (any_full).
-    splice_sorted(std::vector<CellSnapshot>(*e.slice));
   }
-  if (any_full || !has_base ||
-      (base.clock < target && policy.AnyUnitEndIn(base.clock, target))) {
-    AlignRunToClock(*merged, target, policy, pool_.get(), &out.stats);
-  }
+  // Per-block copy-on-write alignment: a block is re-materialized only if
+  // a tilt unit ends between its freeze tick and the target (see
+  // TiltPolicy::AnyUnitEndIn) — a run already at the clock shares every
+  // block and this pass copies nothing.
+  AlignRunToClock(*merged, target, policy, pool_.get(), &out.stats);
   out.cells = std::move(merged);
   for (const GatherStats& s : stats) out.stats.Merge(s);
   out.stats.cells = static_cast<std::int64_t>(out.cells->size());
 
-  // Install as the new base. Builders are serialized, so this entry is
+  // Install as the new cache entry. Builders are serialized, so this is
   // strictly newer than whatever is cached; a racing writer may already
-  // have moved the revision again, in which case the next gather patches
-  // on top of this run.
+  // have moved the revision again, in which case the next gather rebuilds
+  // from the (then fresher) publications.
   {
     std::lock_guard<std::mutex> lock(gather_mu_);
     if (tracker_ != nullptr) {
@@ -650,10 +642,10 @@ ShardedStreamEngine::GatheredCells ShardedStreamEngine::GatherAlignedCells(
       tracker_->Add(kGatherCacheCategory, SliceBytes(*out.cells));
     }
     gather_cache_ = out;  // refcount copy of the shared run
-    gather_shard_revs_ = shard_rev;
     gather_valid_ = true;
   }
-  // The export above is the moment cells turn clean (spillable): writes
+  // The publish refresh above is the moment cells turn clean (spillable):
+  // writes
   // and slot-sealing seals re-dirty them, so post-write enforcement can
   // find nothing to spill in a hot-everywhere stream. Enforcing here —
   // after the dirty lists drained, outside every shard lock — is what
@@ -719,28 +711,72 @@ ShardedStreamEngine::MemberGather ShardedStreamEngine::GatherCellsMatching(
   MemberGather out;
   const size_t n = shards_.size();
   std::vector<std::vector<CellSnapshot>> slices(n);
-  std::vector<Status> statuses(n);
   std::vector<TimeTick> shard_now(n, 0);
   std::vector<std::int64_t> totals(n, 0);
-  auto gather_one = [&](std::int64_t idx) {
-    const size_t i = static_cast<size_t>(idx);
-    Shard& shard = *shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard_now[i] = shard.engine.now();
-    totals[i] = shard.engine.num_cells();
-    statuses[i] = shard.engine.ExportMatchingCells(cuboid, key, &slices[i],
-                                                   nullptr, lookup);
-  };
-  if (pool_ != nullptr && n > 1) {
-    pool_->ParallelFor(static_cast<std::int64_t>(n), gather_one);
+
+  if (lookup == PointLookup::kScan) {
+    // Oracle path, fully under the shard locks: every key projected, every
+    // member frozen in place — the pre-index cost model, retained for
+    // bit-identity tests.
+    std::vector<Status> statuses(n);
+    auto gather_one = [&](std::int64_t idx) {
+      const size_t i = static_cast<size_t>(idx);
+      Shard& shard = *shards_[i];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard_now[i] = shard.engine.now();
+      totals[i] = shard.engine.num_cells();
+      statuses[i] = shard.engine.ExportMatchingCells(cuboid, key, &slices[i],
+                                                     nullptr, lookup);
+    };
+    if (pool_ != nullptr && n > 1) {
+      pool_->ParallelFor(static_cast<std::int64_t>(n), gather_one);
+    } else {
+      for (size_t i = 0; i < n; ++i) gather_one(static_cast<std::int64_t>(i));
+    }
+    for (Status& s : statuses) {
+      if (!s.ok()) {
+        out.status = std::move(s);
+        out.cells.clear();
+        return out;
+      }
+    }
   } else {
-    for (size_t i = 0; i < n; ++i) gather_one(static_cast<std::int64_t>(i));
-  }
-  for (Status& s : statuses) {
-    if (!s.ok()) {
-      out.status = std::move(s);
-      out.cells.clear();
-      return out;
+    // Indexed path: the shard lock covers only the member-index hash probe
+    // (no frame work at all); the members are then resolved against the
+    // shard's published run outside the lock. The probe-then-load order
+    // makes the RC_CHECK safe: a key the index held when we unlocked is in
+    // any publication at least that fresh (cells are never erased, and
+    // PublicationFor never serves a generation older than the last
+    // completed write).
+    std::vector<std::vector<CellKey>> members(n);
+    for (size_t i = 0; i < n; ++i) {
+      Shard& shard = *shards_[i];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard_now[i] = shard.engine.now();
+      totals[i] = shard.engine.num_cells();
+      shard.engine.AppendMemberKeys(cuboid, key, &members[i]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (members[i].empty()) continue;
+      Status status;
+      auto pub = PublicationFor(i, nullptr, &status);
+      if (pub == nullptr) {
+        out.status = std::move(status);
+        out.cells.clear();
+        return out;
+      }
+      shard_now[i] = std::max(shard_now[i], pub->now);
+      slices[i].reserve(members[i].size());
+      for (const CellKey& member : members[i]) {
+        auto it = std::lower_bound(
+            pub->cells->begin(), pub->cells->end(), member,
+            [](const CellSnapshot& a, const CellKey& b) {
+              return CanonicalKeyLess(a.key, b);
+            });
+        RC_CHECK(it != pub->cells->end() && it->key == member)
+            << "member key missing from published run";
+        slices[i].push_back(*it);
+      }
     }
   }
 
@@ -843,6 +879,7 @@ Result<RegressionCube> ShardedStreamEngine::ComputeCubeAllLocks(int level,
   if (SumShardRevisionsLocked() != before) {
     revision_.fetch_add(1, std::memory_order_release);
   }
+  MirrorVersionsLocked();
   RC_RETURN_IF_ERROR(aligned);
   std::int64_t cells = 0;
   for (const auto& shard : shards_) cells += shard->engine.num_cells();
@@ -1088,14 +1125,17 @@ std::int64_t ShardedStreamEngine::DropGatherCachesRung() {
       }
       freed += bytes;
       gather_cache_ = GatheredCells{};  // drops the run's shared_ptr
-      gather_shard_revs_.clear();
       gather_valid_ = false;
     }
   }
-  // The per-cell frozen blocks are only truly freed once the cached run
-  // stops sharing them — which the drop above just arranged.
+  // Retire each shard's published generation too: the per-cell frozen
+  // blocks are only truly freed once no retained run shares them — which
+  // the drops above and below arrange. Readers that arrive before the
+  // next publish pay one locked full refreeze (the eviction trade).
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    shard->published.store(nullptr, std::memory_order_release);
+    freed += shard->engine.DropPublishedRun();
     freed += shard->engine.DropFrozenBlocks();
   }
   return freed;
@@ -1277,6 +1317,7 @@ Status ShardedStreamEngine::RestoreFrom(const std::string& dir) {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->engine.RestoreClock(manifest->clock);
+    shard->version.store(shard->engine.revision(), std::memory_order_release);
   }
   revision_.fetch_add(1, std::memory_order_release);
   return Status::OK();

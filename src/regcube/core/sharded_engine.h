@@ -47,28 +47,34 @@ struct MemoryBudgetConfig {
 /// many threads proceeds in parallel; SealThrough is a barrier that locks
 /// every shard and drives all of them to one global clock.
 ///
-/// Reads are snapshot-based and O(changed cells): GatherAlignedCells
-/// freezes each shard's cells while holding only that shard's lock (shards
-/// are gathered in parallel on the pool), but a cell unchanged since its
-/// last freeze is exported as a pointer to its cached immutable frame
-/// block — only dirty cells are deep-copied. Two cache layers keep repeat
-/// gathers cheap: a per-shard cache keyed by the shard's engine revision
-/// (a clean shard's whole gathered slice is reused wholesale) and a
-/// whole-engine cache keyed by the global revision (every read method at
-/// one revision shares one gather). Alignment to the global clock happens
-/// on the frozen blocks outside the locks; a block is re-materialized only
-/// when the clock crossed a tilt-unit boundary since it froze (otherwise
-/// advancing is observationally a no-op and the block is shared as-is).
-/// The pre-redesign hold-every-lock read survives as ComputeCubeAllLocks,
-/// kept as the baseline oracle for benches and bit-identity tests, and
+/// Reads are snapshot-based, O(changed cells), and — on the steady-state
+/// path — mutex-free: each shard keeps an atomically published generation
+/// (ShardPublication: an immutable sorted run of frozen frames plus the
+/// revision it reflects). In async mode the shard-owner thread absorbs a
+/// drained batch into the engine, refreshes the run (only dirty cells are
+/// re-frozen), and swaps the new generation in with a single
+/// acquire/release pointer publish; GatherAlignedCells / TakeSnapshot /
+/// point-query gathers load the last published generation and never touch
+/// the shard mutex unless the generation is stale (then a slow path takes
+/// the lock and republishes — which is also how sync-mode writes become
+/// visible). The mutex shrinks to structural edits: absorb/ingest, seal
+/// and epoch roll (SealThrough / ComputeCubeAllLocks force-align), and
+/// compaction re-pointing. A whole-engine cache keyed by the global
+/// revision keeps repeat reads at one revision down to a refcount copy.
+/// Alignment to the global clock happens on copies outside every lock; a
+/// block is re-materialized only when the clock crossed a tilt-unit
+/// boundary since it froze (otherwise advancing is observationally a
+/// no-op and the block is shared as-is). The pre-redesign
+/// hold-every-lock read survives as ComputeCubeAllLocks, kept as the
+/// baseline oracle for benches and bit-identity tests, and
 /// GatherAlignedCells(GatherMode::kFull) retains the copy-everything
 /// gather for the same purpose.
 ///
-/// Point queries copy O(matching members): GatherCellsMatching projects
-/// keys under the shard lock (a light O(cells) arithmetic scan, no frame
-/// copies) and copies or pointer-shares only the cells that roll up into
-/// the queried cell, so QueryCell/QueryCellSeries no longer freeze and
-/// copy the whole engine to answer about a handful of members.
+/// Point queries copy O(matching members): GatherCellsMatching probes the
+/// member index under the shard lock (a hash probe, no frame copies),
+/// then binary-searches the members in the published run outside it —
+/// QueryCell/QueryCellSeries never freeze or copy the whole engine to
+/// answer about a handful of members.
 ///
 /// Read results are *bit-identical for every shard count*: frozen per-cell
 /// rows are sorted into a canonical key order before any aggregation, so
@@ -165,11 +171,11 @@ class ShardedStreamEngine {
     TimeTick clock = 0;          // tick the cells are aligned to
     std::uint64_t revision = 0;  // engine revision when gathering began
     GatherStats stats;           // what this gather paid
-    /// Non-OK when a shard's export failed (a spilled cell could not be
+    /// Non-OK when a shard's publish failed (a spilled cell could not be
     /// faulted in). `cells` is then empty-but-valid, nothing was cached,
-    /// and no shard lost state — the failed shard kept its dirty list, a
-    /// succeeded shard re-exports in full next time — so a retry gathers
-    /// exactly the same data.
+    /// and no shard lost state — the failing shard kept its dirty list
+    /// and its previous generation, and a shard that did republish
+    /// retains its run — so a retry gathers exactly the same data.
     Status status;
   };
 
@@ -370,12 +376,32 @@ class ShardedStreamEngine {
   const Options& options() const { return options_; }
 
  private:
+  /// One atomically published generation of a shard's cells: an immutable
+  /// sorted run of frozen frames plus the shard clock and engine revision
+  /// it reflects. The owner (or a slow-path reader under the shard mutex)
+  /// builds a successor and swaps it in with a single release store;
+  /// readers load it with acquire and never touch the mutex on the fast
+  /// path. Retired generations stay alive as long as some reader holds
+  /// them — their frames are freed by the last shared_ptr drop.
+  struct ShardPublication {
+    StreamCubeEngine::FrozenSlice cells;  // canonical order, this shard
+    TimeTick now = 0;            // shard clock when published
+    std::uint64_t revision = 0;  // shard engine revision the run reflects
+  };
+
   struct Shard {
     mutable std::mutex mu;
     // The engine holds the per-shard delta state: per-cell frozen blocks,
-    // the dirty list, and the revision of its last export — together the
-    // per-shard gather cache keyed by the shard's revision.
+    // the dirty list, and the retained published run its publications
+    // share.
     StreamCubeEngine engine;
+    // Mirror of engine.revision(), stored with release inside the mutex
+    // at every mutation site. A reader whose loaded publication carries
+    // `revision == version` knows no write completed since the publish —
+    // the lock-free freshness check behind the mutex-free gather path.
+    std::atomic<std::uint64_t> version{0};
+    // The last published generation. Null until the first publish.
+    std::atomic<std::shared_ptr<const ShardPublication>> published{};
 
     explicit Shard(std::shared_ptr<const CubeSchema> schema, Options options)
         : engine(std::move(schema), std::move(options)) {}
@@ -401,10 +427,31 @@ class ShardedStreamEngine {
   std::uint64_t SumShardRevisionsLocked() const;
 
   /// Owner-thread absorb step for shard `i`: one shard-lock acquisition
-  /// per drained batch, then the same clock/revision bookkeeping the sync
-  /// path does per call.
+  /// per drained batch — absorb into the engine, refresh the published
+  /// run, swap the new generation in — then the same clock/revision
+  /// bookkeeping the sync path does per call. The publish happens before
+  /// MarkAbsorbed resolves the batch, so a reader that returned from
+  /// Flush() gathers the flushed data without touching the shard mutex.
   ShardWriter::AbsorbResult AbsorbDrained(
       size_t i, const std::vector<StreamTuple>& batch);
+
+  /// Pre: shard.mu held. Refreshes the engine's published run and stores
+  /// a new generation (and the version mirror). On a fault-in failure the
+  /// old generation stays published (stale → readers take the slow path
+  /// and retry the refresh) and the error is returned.
+  Status PublishLocked(Shard& shard, GatherStats* stats);
+
+  /// The shard's current publication, fresh as of this call: lock-free
+  /// when the published generation's revision matches the version mirror,
+  /// otherwise a slow path takes the shard mutex and republishes. Returns
+  /// null (with `*status` set) only when a republish failed.
+  std::shared_ptr<const ShardPublication> PublicationFor(size_t i,
+                                                         GatherStats* stats,
+                                                         Status* status);
+
+  /// Pre: all shard locks held. Re-mirrors every shard's version after a
+  /// barrier mutated the engines (seal, force-align, restore).
+  void MirrorVersionsLocked();
 
   /// Current usage the governor compares against the budget: the
   /// tracker's global total when one is attached (it covers frames,
@@ -440,16 +487,15 @@ class ShardedStreamEngine {
 
   // Whole-engine gather cache: every full read at one revision shares one
   // gather (SnapshotWindow, ObservationDeck, DetectTrendChanges, the
-  // facade's TakeSnapshot all route here), and a stale entry is the base
-  // the next delta gather patches — gather_shard_revs_ records, per shard,
-  // the export revision the cached run reflects. gather_work_mu_
-  // serializes delta gathers: each consumes the shards' dirty lists, so
-  // exactly one gather may fold them into the cached run at a time.
+  // facade's TakeSnapshot all route here). A miss rebuilds the merged run
+  // from the per-shard publications (mutex-free for every shard whose
+  // generation is fresh). gather_work_mu_ serializes the rebuilds — pure
+  // thundering-herd protection now that publications retain their runs;
+  // correctness no longer depends on it.
   std::mutex gather_mu_;
   std::mutex gather_work_mu_;
   bool gather_valid_ = false;
   GatheredCells gather_cache_;
-  std::vector<std::uint64_t> gather_shard_revs_;
 
   // The maintained cube (see ComputeCubeShared). Null for popular-path
   // engines — their cubes are not patchable, so they stay from-scratch.

@@ -20,6 +20,10 @@ constexpr char kFrozenCategory[] = "snapshot.frozen_frames";
 constexpr char kMemberIndexCategory[] = "index.members";
 // Resident per-cell state (keys, map overhead, live tilt frames).
 constexpr char kTiltFramesCategory[] = "stream.tilt_frames";
+// The retained published run's entry vector (the frame blocks it points
+// at are shared with the frozen cache and counted there). Same category
+// as the sharded engine's merged run — both are gather-cache state.
+constexpr char kGatherCacheCategory[] = "snapshot.gather_cache";
 // Estimated unordered_map node overhead per cell, matching the historical
 // MemoryBytes formula.
 constexpr std::int64_t kMapEntryOverhead = 16;
@@ -389,6 +393,9 @@ void StreamCubeEngine::set_memory_tracker(MemoryTracker* tracker) {
       tracker_->Release(kMemberIndexCategory, member_index_tracked_);
     }
     if (frame_bytes_ > 0) tracker_->Release(kTiltFramesCategory, frame_bytes_);
+    if (published_run_bytes_ > 0) {
+      tracker_->Release(kGatherCacheCategory, published_run_bytes_);
+    }
   }
   if (tracker != nullptr) {
     if (frozen_bytes_ > 0) tracker->Add(kFrozenCategory, frozen_bytes_);
@@ -396,6 +403,9 @@ void StreamCubeEngine::set_memory_tracker(MemoryTracker* tracker) {
       tracker->Add(kMemberIndexCategory, member_index_tracked_);
     }
     if (frame_bytes_ > 0) tracker->Add(kTiltFramesCategory, frame_bytes_);
+    if (published_run_bytes_ > 0) {
+      tracker->Add(kGatherCacheCategory, published_run_bytes_);
+    }
   }
   tracker_ = tracker;
 }
@@ -434,52 +444,93 @@ Result<std::shared_ptr<const TiltTimeFrame>> StreamCubeEngine::FrozenFor(
   return state.frozen;
 }
 
-StreamCubeEngine::FrozenExport StreamCubeEngine::ExportFrozen(
-    std::uint64_t base_revision, GatherStats* stats) {
+Status StreamCubeEngine::RefreshPublishedRun(FrozenSlice* out,
+                                             GatherStats* stats) {
   if (stats != nullptr) stats->cells += num_cells();
-  FrozenExport out;
-  if (base_revision == export_revision_ &&
-      base_revision != kNoBaseRevision) {
-    // The caller's run reflects our previous export: hand back only what
-    // changed since. (A fresh engine exports everything this way too —
-    // every cell is on the dirty list from creation.)
-    out.patched = true;
-    if (revision_ != export_revision_) {
-      out.patches.reserve(dirty_cells_.size());
-      for (auto& [key, state] : dirty_cells_) {
-        auto frozen = FrozenFor(*state, stats);
-        if (!frozen.ok()) {
-          // Leave the dirty list and export revision untouched: the next
-          // export retries exactly this work.
-          out.status = frozen.status();
-          return out;
-        }
-        out.patches.push_back({key, *std::move(frozen)});
-      }
-      std::sort(out.patches.begin(), out.patches.end(),
-                CellSnapshotCanonicalLess);
-    } else if (stats != nullptr) {
-      ++stats->shards_reused;
-    }
-  } else {
-    // No usable base: full sorted export.
+  if (published_run_ != nullptr && revision_ == export_revision_) {
+    // No observable change since the run was built: hand it back as-is.
+    if (stats != nullptr) ++stats->shards_reused;
+    *out = published_run_;
+    return Status::OK();
+  }
+  if (published_run_ == nullptr) {
+    // No retained run (first refresh, or the run was dropped by a ladder
+    // rung / CleanDirtyCells): full sorted export.
     auto full = std::make_shared<std::vector<CellSnapshot>>();
     full->reserve(cells_.size());
     for (auto& [key, state] : cells_) {
       auto frozen = FrozenFor(state, stats);
-      if (!frozen.ok()) {
-        out.status = frozen.status();
-        return out;
-      }
+      if (!frozen.ok()) return frozen.status();
       full->push_back({key, *std::move(frozen)});
     }
     std::sort(full->begin(), full->end(), CellSnapshotCanonicalLess);
-    out.slice = std::move(full);
+    published_run_ = std::move(full);
+  } else {
+    // Patch refresh: re-freeze only the dirty cells, then splice them over
+    // a pointer-copy of the previous run in one tandem merge — O(changed
+    // cells) frame work, O(cells) pointer moves. (The only revision bump
+    // that skips the dirty list is RestoreCell, which requires an empty —
+    // and therefore runless — engine, so an empty dirty list here really
+    // does mean only no-op changes.)
+    std::vector<CellSnapshot> patches;
+    patches.reserve(dirty_cells_.size());
+    for (auto& [key, state] : dirty_cells_) {
+      auto frozen = FrozenFor(*state, stats);
+      if (!frozen.ok()) {
+        // Leave the dirty list, the run, and the export revision
+        // untouched: the next refresh retries exactly this work.
+        return frozen.status();
+      }
+      patches.push_back({key, *std::move(frozen)});
+    }
+    std::sort(patches.begin(), patches.end(), CellSnapshotCanonicalLess);
+    auto next = std::make_shared<std::vector<CellSnapshot>>();
+    next->reserve(published_run_->size() + patches.size());
+    auto base_it = published_run_->begin();
+    for (CellSnapshot& patch : patches) {
+      while (base_it != published_run_->end() &&
+             CanonicalKeyLess(base_it->key, patch.key)) {
+        next->push_back(*base_it++);
+      }
+      if (base_it != published_run_->end() && base_it->key == patch.key) {
+        ++base_it;  // replaced by the patch
+      }
+      next->push_back(std::move(patch));
+    }
+    next->insert(next->end(), base_it, published_run_->end());
+    published_run_ = std::move(next);
   }
   for (auto& entry : dirty_cells_) entry.second->queued = false;
   dirty_cells_.clear();
   export_revision_ = revision_;
-  return out;
+  AccountPublishedRun();
+  *out = published_run_;
+  return Status::OK();
+}
+
+std::int64_t StreamCubeEngine::DropPublishedRun() {
+  if (published_run_ == nullptr) return 0;
+  const std::int64_t freed = published_run_bytes_;
+  published_run_ = nullptr;
+  AccountPublishedRun();
+  return freed;
+}
+
+void StreamCubeEngine::AccountPublishedRun() {
+  const std::int64_t bytes =
+      published_run_ != nullptr
+          ? static_cast<std::int64_t>(published_run_->size() *
+                                      sizeof(CellSnapshot))
+          : 0;
+  const std::int64_t delta = bytes - published_run_bytes_;
+  if (delta != 0 && tracker_ != nullptr) {
+    if (delta > 0) {
+      tracker_->Add(kGatherCacheCategory, delta);
+    } else {
+      tracker_->Release(kGatherCacheCategory, -delta);
+    }
+  }
+  published_run_bytes_ = bytes;
 }
 
 Status StreamCubeEngine::ExportCellsFull(std::vector<CellSnapshot>* out,
@@ -604,10 +655,12 @@ std::int64_t StreamCubeEngine::CleanDirtyCells() {
       static_cast<std::int64_t>(dirty_cells_.size());
   for (auto& entry : dirty_cells_) entry.second->queued = false;
   dirty_cells_.clear();
-  // Nobody received an export at this revision, so any held run's base
-  // now mismatches and its next gather re-exports in full — correctness
-  // is preserved, only the delta shortcut is forfeited.
+  // Nobody exported the skipped patches, so the retained run must not
+  // pass for fresh at this revision: drop it, and the next refresh
+  // re-exports in full — correctness is preserved, only the delta
+  // shortcut is forfeited.
   export_revision_ = revision_;
+  DropPublishedRun();
   return cleaned;
 }
 

@@ -178,49 +178,34 @@ class StreamCubeEngine {
   Result<std::vector<Isb>> QueryCellSeries(CuboidId cuboid,
                                            const CellKey& key, int level);
 
-  // ---- the gather-under-lock half of the snapshot read path -------------
+  // ---- the publish half of the snapshot read path -----------------------
 
   /// An immutable canonical-key-ordered run of frozen cells, shared
-  /// between the sharded gather cache and any snapshots holding it.
+  /// between the engine's retained published run, the per-shard published
+  /// generation, the sharded gather cache, and any snapshots holding them.
   using FrozenSlice = std::shared_ptr<const std::vector<CellSnapshot>>;
 
-  /// Sentinel for ExportFrozen's base_revision: never matches, forcing a
-  /// full export.
-  static constexpr std::uint64_t kNoBaseRevision = ~0ull;
+  /// Brings this engine's retained published run up to date and hands it
+  /// back. The run is a full sorted export of every cell; the engine keeps
+  /// it across calls, so a refresh after writes pays only for the cells on
+  /// the dirty list (each re-frozen, then spliced over a pointer-copy of
+  /// the previous run) and a refresh with no intervening writes returns
+  /// the same run unchanged (counted as shards_reused). Frames are frozen
+  /// at their own clock; callers align to a global clock outside the lock
+  /// (sharing survives the alignment when no tilt-unit boundary was
+  /// crossed, see TiltPolicy::AnyUnitEndIn) and must align *copies*: the
+  /// returned run is immutable and shared.
+  ///
+  /// On a fault-in failure (typed Unavailable from the store) nothing is
+  /// consumed: the dirty list, the retained run, and the export revision
+  /// all stay put, so the next refresh retries exactly the same work.
+  Status RefreshPublishedRun(FrozenSlice* out, GatherStats* stats);
 
-  /// One shard's contribution to a delta gather. Exactly one of the two
-  /// forms is produced:
-  ///  - patched == true: `patches` holds only the cells modified since the
-  ///    caller's base (key-sorted, unique), each re-frozen — O(changed
-  ///    cells). Produced when `base_revision` matches the revision of this
-  ///    engine's previous export, i.e. the caller's cached run already
-  ///    reflects everything else.
-  ///  - patched == false: `slice` is a full sorted export — the fallback
-  ///    when the caller has no usable base.
-  struct FrozenExport {
-    FrozenSlice slice;
-    std::vector<CellSnapshot> patches;
-    bool patched = false;
-    /// Non-OK when a spilled cell could not be faulted in (typed
-    /// Unavailable from the store). The export is then unusable, but the
-    /// engine state is intact: the dirty list was NOT consumed and the
-    /// export revision did not move, so the next export retries the same
-    /// work.
-    Status status;
-  };
-
-  /// Exports this engine's cells for a delta gather (see FrozenExport).
-  /// Frames are frozen at their own clock; the caller aligns the blocks to
-  /// one global clock outside the lock (sharing survives the alignment
-  /// when no tilt-unit boundary was crossed, see TiltPolicy::AnyUnitEndIn).
-  /// Consumes the dirty list: the caller must fold the result into its
-  /// cached run (the sharded engine serializes delta gathers for exactly
-  /// this reason).
-  FrozenExport ExportFrozen(std::uint64_t base_revision, GatherStats* stats);
-
-  /// The revision this engine's last ExportFrozen reflected — the key a
-  /// caller hands back as base_revision to get a patch export.
-  std::uint64_t export_revision() const { return export_revision_; }
+  /// Releases the retained published run (re-built in full by the next
+  /// refresh) and returns the bytes its entry vector retained. Readers
+  /// holding the old run keep it alive — retiring a generation frees its
+  /// frames only once the last holder drops it.
+  std::int64_t DropPublishedRun();
 
   /// Same contract, but deep-copies every frame unconditionally and leaves
   /// the frozen cache untouched — the O(all-cells) baseline the delta path
@@ -308,9 +293,10 @@ class StreamCubeEngine {
   SpillSweep SpillColdFrames(std::int64_t target_bytes);
 
   /// Turns every dirty-queued cell clean without exporting anything: the
-  /// queue is dropped and the export revision advances, so the next delta
-  /// gather falls back to a full export instead of missing the skipped
-  /// patches. Dirty cells are resident by construction, so this touches no
+  /// queue is dropped, the export revision advances, and the retained
+  /// published run is released (it would otherwise pass for fresh while
+  /// missing the skipped patches), so the next refresh re-exports in
+  /// full. Dirty cells are resident by construction, so this touches no
   /// spilled cell — unlike a gather, which would fault the whole cold tier
   /// back in. The governor's all-dirty escape hatch: after this,
   /// SpillColdFrames has candidates again. Returns the cells cleaned.
@@ -319,8 +305,10 @@ class StreamCubeEngine {
   /// Applies a compaction's relocation map to this engine's spilled cells:
   /// every BlockRef that names a rewritten block is re-pointed at its copy
   /// in the new segment. Must run under the same lock that guards this
-  /// engine's reads (the sharded engine holds the shard mutex across
-  /// CompactShardSegment + this call).
+  /// engine's locked reads (the sharded engine holds the shard mutex
+  /// across CompactShardSegment + this call). The published run needs no
+  /// re-pointing: it carries materialized frames, not refs, so readers on
+  /// the mutex-free publish path never see a retired segment.
   void RepointSpilledBlocks(
       const std::vector<FrameStore::Relocation>& relocations);
 
@@ -454,13 +442,21 @@ class StreamCubeEngine {
   std::int64_t spill_io_errors_ = 0;
   std::int64_t spill_retries_ = 0;
 
-  // Delta-export bookkeeping: export_revision_ is the revision the last
-  // ExportFrozen reflected; dirty_cells_ lists each cell modified since —
-  // exactly what the next export must patch. The `queued` flag keeps every
-  // cell on the list at most once, so the list is bounded by num_cells()
-  // regardless of how writes interleave with exports or member gathers.
+  /// Re-registers the retained published run's entry bytes with the
+  /// tracker after the run changed (under "snapshot.gather_cache"; the
+  /// frame blocks it shares are counted by the frozen cache).
+  void AccountPublishedRun();
+
+  // Delta-export bookkeeping: published_run_ is the retained full sorted
+  // run RefreshPublishedRun hands out, export_revision_ the revision it
+  // reflects; dirty_cells_ lists each cell modified since — exactly what
+  // the next refresh must patch. The `queued` flag keeps every cell on
+  // the list at most once, so the list is bounded by num_cells()
+  // regardless of how writes interleave with refreshes or member gathers.
   // CellState pointers are stable (node-based map) and cells are never
   // erased, so the raw pointer is safe for the engine's lifetime.
+  FrozenSlice published_run_;
+  std::int64_t published_run_bytes_ = 0;
   std::uint64_t export_revision_ = 0;
   std::vector<std::pair<CellKey, CellState*>> dirty_cells_;
 

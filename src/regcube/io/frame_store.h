@@ -137,6 +137,12 @@ class FrameStore {
   /// reads. An empty vector means there was nothing to compact. On
   /// failure the old segment is untouched — callers keep their refs and
   /// the disk simply stays fat until a later attempt succeeds.
+  ///
+  /// Lock-free readers are safe by construction: a shard's *published*
+  /// generation holds materialized frame blocks, never BlockRefs, so
+  /// re-pointing only ever touches the mutable per-cell spill state the
+  /// shard mutex already guards — a concurrent publish-pointer gather
+  /// cannot observe a ref into a retired segment.
   Result<std::vector<Relocation>> CompactShardSegment(int shard);
 
   /// True when `shard`'s segment holds at least `min_bytes` of garbage

@@ -1,7 +1,10 @@
 #include <set>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "gtest/gtest.h"
 #include "regcube/common/memory_tracker.h"
+#include "regcube/core/ingest_queue.h"
 #include "regcube/common/pcg_random.h"
 #include "regcube/common/status.h"
 #include "regcube/common/str.h"
@@ -207,6 +210,82 @@ TEST(StrTest, FormatBytes) {
   EXPECT_EQ(FormatBytes(512), "512.0 B");
   EXPECT_EQ(FormatBytes(2048), "2.0 KB");
   EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(PercentileTest, EmptySampleIsZero) {
+  const std::vector<double> empty;
+  EXPECT_EQ(bench::PercentileOfSorted(empty, 0.0), 0.0);
+  EXPECT_EQ(bench::PercentileOfSorted(empty, 50.0), 0.0);
+  EXPECT_EQ(bench::PercentileOfSorted(empty, 100.0), 0.0);
+  std::vector<double> samples;
+  const bench::LatencySummary s = bench::SummarizeLatencies(samples);
+  EXPECT_EQ(s.samples, 0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(PercentileTest, SingleSampleAnswersEveryQuantile) {
+  std::vector<double> one{7.5};
+  EXPECT_EQ(bench::PercentileOfSorted(one, 0.0), 7.5);
+  EXPECT_EQ(bench::PercentileOfSorted(one, 50.0), 7.5);
+  EXPECT_EQ(bench::PercentileOfSorted(one, 99.0), 7.5);
+  EXPECT_EQ(bench::PercentileOfSorted(one, 100.0), 7.5);
+  const bench::LatencySummary s = bench::SummarizeLatencies(one);
+  EXPECT_EQ(s.samples, 1);
+  EXPECT_EQ(s.mean, 7.5);
+  EXPECT_EQ(s.p50, 7.5);
+  EXPECT_EQ(s.p95, 7.5);
+  EXPECT_EQ(s.p99, 7.5);
+  EXPECT_EQ(s.max, 7.5);
+}
+
+TEST(PercentileTest, OutOfRangeQuantilesClampToEnds) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(bench::PercentileOfSorted(sorted, -5.0), 1.0);
+  EXPECT_EQ(bench::PercentileOfSorted(sorted, 250.0), 4.0);
+}
+
+TEST(PercentileTest, NearestRankOnKnownSample) {
+  // 100 values 1..100: nearest-rank pX is exactly the value X (p0 -> min).
+  std::vector<double> sorted(100);
+  for (int i = 0; i < 100; ++i) sorted[static_cast<size_t>(i)] = i + 1.0;
+  EXPECT_EQ(bench::PercentileOfSorted(sorted, 0.0), 1.0);
+  EXPECT_EQ(bench::PercentileOfSorted(sorted, 50.0), 50.0);
+  EXPECT_EQ(bench::PercentileOfSorted(sorted, 95.0), 95.0);
+  EXPECT_EQ(bench::PercentileOfSorted(sorted, 99.0), 99.0);
+  EXPECT_EQ(bench::PercentileOfSorted(sorted, 100.0), 100.0);
+}
+
+TEST(IngestStatsMergeTest, P99MergesByHistogramSumNotAverage) {
+  // Shard A: 99 fast calls in bucket 4 (~16 ns). Shard B: 99 slow calls in
+  // bucket 14 (~16 us). The union's p99 sits in the slow bucket; an
+  // average of per-shard p99s (~8 us) would understate it.
+  ShardIngestStats a, b;
+  a.latency_hist.assign(20, 0);
+  a.latency_hist[4] = 99;
+  a.latency_samples = 99;
+  a.p99_enqueue_us = P99FromLatencyHistogram(a.latency_hist, 99);
+  b.latency_hist.assign(20, 0);
+  b.latency_hist[14] = 99;
+  b.latency_samples = 99;
+  b.p99_enqueue_us = P99FromLatencyHistogram(b.latency_hist, 99);
+  ShardIngestStats merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.latency_samples, 198);
+  EXPECT_EQ(merged.p99_enqueue_us, b.p99_enqueue_us);
+  EXPECT_GT(merged.p99_enqueue_us,
+            (a.p99_enqueue_us + b.p99_enqueue_us) / 2.0);
+}
+
+TEST(IngestStatsMergeTest, HistogramlessSidesFallBackToMax) {
+  ShardIngestStats a, b;
+  a.p99_enqueue_us = 3.0;
+  b.p99_enqueue_us = 11.0;
+  ShardIngestStats merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.p99_enqueue_us, 11.0);
 }
 
 }  // namespace
